@@ -1,0 +1,77 @@
+"""Ablation: robustness to non-Poisson service access.
+
+Section VI models service access as Poisson; real usage is bursty
+(sessions of several events) and heterogeneous (heavy vs light users).
+This ablation regenerates one paired scenario under increasingly
+non-Poisson access — same mean rates — and reports the Eq. 2 AUC.
+
+Finding: rate heterogeneity is benign, but *burstiness* measurably
+degrades linking at a fixed mean rate — events concentrated in sessions
+produce mostly same-source adjacencies (self-segments) and long dead
+gaps, so far fewer informative mutual segments survive.  Practically:
+what matters for FTL feasibility is the *session* rate, not the raw
+event rate, sharpening Section VI's guidance for bursty services.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.geo.units import days_to_seconds
+from repro.pipeline.experiment import collect_evidence, fit_model_pair
+from repro.pipeline.score_analysis import separation_from_evidence
+from repro.synth.city import CityModel
+from repro.synth.noise import GaussianNoise
+from repro.synth.observation import ObservationService
+from repro.synth.population import generate_population
+from repro.synth.scenario import make_paired_databases
+
+VARIANTS = [
+    ("poisson", {}),
+    ("bursty x3", {"burst_mean": 3.0}),
+    ("bursty x8", {"burst_mean": 8.0}),
+    ("dispersed", {"rate_dispersion": 1.0}),
+    ("bursty+disp", {"burst_mean": 4.0, "rate_dispersion": 1.0}),
+]
+N_QUERIES = 25
+
+
+def test_access_pattern_robustness(benchmark, config):
+    base_rng = np.random.default_rng(67)
+    city = CityModel.generate(base_rng)
+    agents = generate_population(city, 50, days_to_seconds(7), base_rng)
+
+    def run_all():
+        rows = {}
+        for label, kwargs in VARIANTS:
+            rng = np.random.default_rng(68)
+            pair = make_paired_databases(
+                agents,
+                ObservationService("P", 0.55, GaussianNoise(50.0), **kwargs),
+                ObservationService("Q", 0.18, GaussianNoise(50.0), **kwargs),
+                rng,
+            )
+            mr, ma = fit_model_pair(pair, config, rng)
+            n = min(N_QUERIES, len(pair.matched_query_ids()))
+            qids = pair.sample_queries(n, rng)
+            evidence = collect_evidence(pair, qids, mr, ma)
+            rows[label] = separation_from_evidence(evidence, pair.truth)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_header("Ablation: non-Poisson access patterns (same mean rates)")
+    print(f"{'pattern':<14} {'Eq.2 AUC':>9} {'true med':>9} {'false med':>10}")
+    for label, sep in rows.items():
+        print(f"{label:<14} {sep.auc:>9.4f} {sep.true_median:>9.4f} "
+              f"{sep.false_median:>10.4f}")
+
+    # Poisson access is easy; heterogeneity costs little; burstiness
+    # degrades monotonically with session size (see module docstring).
+    assert rows["poisson"].auc > 0.95
+    assert rows["dispersed"].auc > 0.8
+    assert (
+        rows["poisson"].auc
+        > rows["bursty x3"].auc
+        > rows["bursty x8"].auc
+        > 0.5
+    )

@@ -1,0 +1,68 @@
+"""Ablations: time-unit width, Vmax, and model smoothing.
+
+Each ablation re-runs the SB tradeoff under a swept design parameter
+and prints the best Naive-Bayes operating point per setting, showing
+how sensitive FTL is to the choices the paper leaves implicit:
+
+* ``time_unit_s`` — bucket width of the models (paper: "half, one, or
+  two minutes");
+* ``vmax_kph`` — the speed cap of Definition 3 (paper: loose enough to
+  never reject true positives);
+* ``smoothing`` — the pseudo-count our implementation adds (the paper
+  uses raw rates; smoothing protects Naive-Bayes from log(0)).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import cached_scenario, print_header, scale_name
+from repro.config import FTLConfig
+from repro.pipeline.experiment import collect_evidence, fit_model_pair
+from repro.pipeline.tradeoff import tradeoff_from_evidence
+
+N_QUERIES = 25
+
+ABLATIONS = [
+    ("time_unit_s", [30.0, 60.0, 120.0]),
+    ("vmax_kph", [80.0, 120.0, 200.0]),
+    ("smoothing", [0.0, 0.5, 5.0]),
+]
+
+
+def _best_operating_points(pair, config, rng):
+    mr, ma = fit_model_pair(pair, config, rng)
+    n = min(N_QUERIES, len(pair.matched_query_ids()))
+    qids = pair.sample_queries(n, rng)
+    evidence = collect_evidence(pair, qids, mr, ma)
+    curves = tradeoff_from_evidence(evidence, pair.truth)
+    return curves["naive-bayes"]
+
+
+@pytest.mark.parametrize("param,values", ABLATIONS)
+def test_parameter_ablation(benchmark, param, values):
+    pair = cached_scenario(scale_name("SB"))
+    baseline = FTLConfig()
+
+    def run_all():
+        rows = {}
+        for value in values:
+            config = baseline.with_updates(**{param: value})
+            rng = np.random.default_rng(17)
+            rows[value] = _best_operating_points(pair, config, rng)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_header(f"Ablation: {param}")
+    print(f"{param:>12} {'setting':<14} {'selectiveness':>14} {'perceptiveness':>15}")
+    for value, points in rows.items():
+        for point in points:
+            print(
+                f"{value:>12g} {point.param_label:<14} "
+                f"{point.selectiveness:>14.5f} {point.perceptiveness:>15.3f}"
+            )
+
+    # Every setting must keep the linker functional (loosest point finds
+    # a majority of matches) - the method is robust to these choices.
+    for value, points in rows.items():
+        best = max(p.perceptiveness for p in points)
+        assert best >= 0.5, f"{param}={value} broke linking (best={best})"

@@ -1,0 +1,61 @@
+"""Ablation: Poisson-Binomial backend accuracy and speed.
+
+Compares the exact convolution DP (the production backend), the paper's
+Eq. 1 recursion, and the refined normal approximation on profiles of
+growing length, quantifying (a) tail-probability error versus the DP
+and (b) evaluation time.  This motivates DESIGN.md's choice of the DP
+as the default: the recursion's alternating sum loses precision as n or
+the odds grow, and the normal approximation trades a small bias for
+O(1) tail evaluation.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.stats.poisson_binomial import PoissonBinomial
+
+SIZES = (20, 100, 400)
+
+
+def _profile_probs(n: int, rng: np.random.Generator) -> np.ndarray:
+    """FTL-like probability profiles: a few large, mostly small."""
+    small = rng.uniform(0.001, 0.1, size=int(0.8 * n))
+    large = rng.uniform(0.3, 0.95, size=n - small.size)
+    return np.concatenate([small, large])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_pb_backend_ablation(benchmark, n):
+    rng = np.random.default_rng(n)
+    ps = _profile_probs(n, rng)
+    k = int(ps.sum())  # a tail point near the mean
+
+    exact = PoissonBinomial(ps, backend="dp")
+    benchmark(lambda: PoissonBinomial(ps, backend="dp").sf(k))
+
+    rows = []
+    for backend in ("dp", "recursive", "normal"):
+        start = time.perf_counter()
+        try:
+            value = PoissonBinomial(ps, backend=backend).sf(k)
+            elapsed = time.perf_counter() - start
+            error = abs(value - exact.sf(k))
+            rows.append((backend, value, error, elapsed))
+        except Exception as exc:  # the recursion may degrade, not crash
+            rows.append((backend, float("nan"), float("nan"), 0.0))
+            raise AssertionError(f"{backend} failed at n={n}: {exc}") from exc
+
+    print_header(f"PB backend ablation, n={n}, k={k}")
+    print(f"{'backend':<11} {'P(K>=k)':>12} {'abs err':>12} {'seconds':>10}")
+    for backend, value, error, elapsed in rows:
+        print(f"{backend:<11} {value:>12.6g} {error:>12.3g} {elapsed:>10.5f}")
+
+    # The normal approximation must stay within 1% absolute at these sizes.
+    normal_error = rows[2][2]
+    assert normal_error < 0.01
+    # The recursion is exact-in-theory; at small n it must agree tightly.
+    if n <= 20:
+        assert rows[1][2] < 1e-6

@@ -1,0 +1,35 @@
+"""Extension bench: held-out generalisation of the fitted models.
+
+The rejection/acceptance models capture population-level movement and
+noise statistics, not individual identities — so they should transfer
+to unseen users.  This bench fits on a train split and evaluates on
+held-out queries across several configs, printing the generalisation
+gap.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import cached_scenario, print_header, scale_name
+from repro.pipeline.crossval import format_holdout, run_holdout
+
+CONFIG_NAMES = ("SB", "SD", "TB")
+
+
+@pytest.mark.parametrize("name", CONFIG_NAMES)
+def test_holdout_generalisation(benchmark, config, name):
+    pair = cached_scenario(scale_name(name))
+    rng = np.random.default_rng(59)
+    result = benchmark.pedantic(
+        run_holdout,
+        args=(pair, config, rng),
+        kwargs={"test_fraction": 0.3, "phi_r": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    print_header(f"Held-out generalisation on {scale_name(name)}")
+    print(format_holdout(result))
+
+    # Models must transfer: held-out perceptiveness within 0.35 of
+    # in-sample (both folds share the population statistics).
+    assert abs(result.generalisation_gap) <= 0.35

@@ -1,0 +1,92 @@
+"""Extension bench: parallel linking throughput and prefilter pruning.
+
+The paper's conclusion proposes parallel/distributed FTL for
+large-scale linking.  This bench measures (a) multi-process speedup of
+the query fan-out and (b) how much work the conservative mutual-segment
+prefilter removes without losing true matches.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import cached_scenario, print_header, scale_name
+from repro.core.linker import FTLLinker
+from repro.core.prefilter import MutualSegmentCountPrefilter
+from repro.parallel import link_queries_parallel
+from repro.pipeline.experiment import fit_model_pair
+
+
+def test_parallel_scaling(benchmark, config):
+    pair = cached_scenario(scale_name("SC"))
+    rng = np.random.default_rng(19)
+    mr, ma = fit_model_pair(pair, config, rng)
+    qids = pair.sample_queries(min(24, len(pair.truth)), rng)
+    queries = [pair.p_db[qid] for qid in qids]
+
+    timings = {}
+    for workers in (1, 2, 4):
+        start = time.perf_counter()
+        results = link_queries_parallel(
+            queries, mr, ma, pair.q_db, n_workers=workers, phi_r=0.1
+        )
+        timings[workers] = time.perf_counter() - start
+        assert len(results) == len(queries)
+
+    benchmark.pedantic(
+        link_queries_parallel,
+        args=(queries, mr, ma, pair.q_db),
+        kwargs={"n_workers": 2, "phi_r": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Parallel linking scaling (naive-bayes)")
+    print(f"{'workers':>8} {'seconds':>9} {'speedup':>9}")
+    for workers, elapsed in timings.items():
+        print(f"{workers:>8} {elapsed:>9.3f} {timings[1] / elapsed:>8.2f}x")
+    # Parallelism must not be pathological (allow pool-spawn overhead on
+    # small workloads, but 4 workers should not be slower than 1 by much).
+    assert timings[4] < 2.5 * timings[1]
+
+
+def test_prefilter_pruning(benchmark, config):
+    pair = cached_scenario(scale_name("SC"))
+    rng = np.random.default_rng(20)
+    mr, ma = fit_model_pair(pair, config, rng)
+    qids = pair.sample_queries(min(20, len(pair.truth)), rng)
+
+    prefilter = MutualSegmentCountPrefilter(config, min_segments=3)
+
+    def count_survivors():
+        kept = 0
+        total = 0
+        for qid in qids:
+            query = pair.p_db[qid]
+            for candidate in pair.q_db:
+                total += 1
+                kept += prefilter.keep(query, candidate)
+        return kept, total
+
+    kept, total = benchmark.pedantic(count_survivors, rounds=1, iterations=1)
+
+    # Perceptiveness with and without the prefilter.
+    def hits(linker):
+        return sum(
+            1
+            for qid in qids
+            if linker.link(pair.p_db[qid]).contains(pair.truth[qid])
+        )
+
+    base = FTLLinker(config, phi_r=0.1).with_models(mr, ma, pair.q_db)
+    pruned = FTLLinker(
+        config, phi_r=0.1, prefilter=prefilter
+    ).with_models(mr, ma, pair.q_db)
+    base_hits, pruned_hits = hits(base), hits(pruned)
+
+    print_header("Prefilter pruning (min 3 in-horizon mutual segments)")
+    print(f"candidate pairs kept: {kept}/{total} ({100 * kept / total:.0f}%)")
+    print(f"true matches found:   base={base_hits}/{len(qids)}  "
+          f"prefiltered={pruned_hits}/{len(qids)}")
+    # Conservative pruning: loses at most one true match here.
+    assert pruned_hits >= base_hits - 1

@@ -1,0 +1,58 @@
+"""Extension bench: defense sweep (the paper's open privacy question).
+
+Measures how each publisher-side defense degrades an adaptive FTL
+attacker's linkability, and at what utility cost.  Not a paper figure —
+this is the experiment the paper's conclusion proposes as future work.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cached_scenario, print_header, scale_name
+from repro.config import FTLConfig
+from repro.privacy import (
+    GaussianPerturbation,
+    RecordSuppression,
+    SpatialCloaking,
+    TemporalCloaking,
+    evaluate_defense_sweep,
+)
+from repro.privacy.evaluation import format_defense_sweep
+
+DEFENSES = [
+    TemporalCloaking(300.0),
+    TemporalCloaking(900.0),
+    TemporalCloaking(3600.0),
+    SpatialCloaking(500.0),
+    SpatialCloaking(4000.0),
+    GaussianPerturbation(1000.0),
+    RecordSuppression(0.5),
+    RecordSuppression(0.8),
+]
+
+
+def test_privacy_defense_sweep(benchmark, config):
+    pair = cached_scenario(scale_name("SC"))
+    rng = np.random.default_rng(13)
+    points = benchmark.pedantic(
+        evaluate_defense_sweep,
+        args=(pair, DEFENSES, config, rng),
+        kwargs={"n_queries": 25, "phi_r": 0.2},
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Privacy extension: adaptive-attacker defense sweep")
+    print(format_defense_sweep(points))
+
+    baseline = points[0].linkability
+    by_name = {}
+    for p in points[1:]:
+        by_name.setdefault(p.defense, []).append(p)
+
+    # Temporal cloaking at 1 h must collapse linkability ...
+    strongest_temporal = min(
+        by_name["TemporalCloaking"], key=lambda p: -p.strength
+    )
+    assert strongest_temporal.linkability <= 0.4 * max(baseline, 0.25)
+    # ... while block-scale spatial cloaking barely dents it.
+    weakest_spatial = min(by_name["SpatialCloaking"], key=lambda p: p.strength)
+    assert weakest_spatial.linkability >= 0.7 * baseline

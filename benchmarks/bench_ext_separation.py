@@ -1,0 +1,59 @@
+"""Extension bench: threshold-free score separation (ROC AUC) per config.
+
+The paper compares operating points; the AUC of the Eq. 2 score and of
+the Naive-Bayes log-likelihood ratio gives a single threshold-free
+quality number per dataset config, making the Fig. 5 trends (rate up =>
+easier, duration up => easier) visible in one table.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    cached_scenario,
+    n_queries_default,
+    print_header,
+    scale_name,
+)
+from repro.pipeline.experiment import collect_evidence, fit_model_pair
+from repro.pipeline.score_analysis import (
+    format_separation,
+    separation_from_evidence,
+)
+
+GROUPS = [
+    ("S-data", ["SA", "SB", "SC", "SD", "SE", "SF"]),
+    ("T-data", ["TA", "TB", "TC", "TD", "TE", "TF"]),
+]
+
+
+@pytest.mark.parametrize("title,names", GROUPS)
+def test_score_separation(benchmark, config, title, names):
+    n_queries = min(n_queries_default(), 25)
+
+    def run_all():
+        separations = {}
+        for name in names:
+            scaled = scale_name(name)
+            pair = cached_scenario(scaled)
+            rng = np.random.default_rng(41)
+            mr, ma = fit_model_pair(pair, config, rng)
+            n = min(n_queries, len(pair.matched_query_ids()))
+            qids = pair.sample_queries(n, rng)
+            evidence = collect_evidence(pair, qids, mr, ma)
+            separations[scaled] = separation_from_evidence(
+                evidence, pair.truth
+            )
+        return separations
+
+    separations = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_header(f"Score separation (Eq. 2 AUC), {title}")
+    print(format_separation(separations))
+
+    aucs = {name: sep.auc for name, sep in separations.items()}
+    # Every config must separate far better than chance, and the
+    # easiest config of each sweep must not trail the hardest.
+    for name, auc in aucs.items():
+        assert auc > 0.75, f"{name}: AUC {auc}"
+    ordered = [aucs[scale_name(n)] for n in names[:3]]  # rate sweep A..C
+    assert ordered[-1] >= ordered[0] - 0.05

@@ -1,0 +1,84 @@
+"""Fig. 4: fX(x) vs Poisson approximations.
+
+Reproduces both panels — (lam_p, lam_q) = (0.5, 2) and (4, 10) — printing
+the exact pmf ``fX``, a Poisson of the *same* mean, and the paper's
+approximation ``Pois(E^(X))``, plus a Monte-Carlo check.  The benchmark
+measures the exact pmf computation.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.stats.theory import (
+    expected_mutual_segments,
+    expected_mutual_segments_approx,
+    mutual_segment_count_pmf,
+    mutual_segment_count_pmf_poisson,
+    poisson_pmf,
+    simulate_mutual_segment_counts,
+)
+
+PANELS = [
+    ("Fig. 4(a)", 0.5, 2.0, 6),
+    ("Fig. 4(b)", 4.0, 10.0, 14),
+]
+
+
+@pytest.mark.parametrize("panel,lam_p,lam_q,max_x", PANELS)
+def test_fig4(benchmark, panel, lam_p, lam_q, max_x):
+    fx = benchmark(mutual_segment_count_pmf, lam_p, lam_q, max_x)
+    exact_mean = expected_mutual_segments(lam_p, lam_q)
+    approx_mean = expected_mutual_segments_approx(lam_p, lam_q)
+    same_mean_pois = poisson_pmf(exact_mean, np.arange(max_x + 1))
+    fhat = mutual_segment_count_pmf_poisson(lam_p, lam_q, max_x)
+    rng = np.random.default_rng(0)
+    sim = simulate_mutual_segment_counts(lam_p, lam_q, 40_000, rng)
+
+    print_header(f"{panel}: lam_p={lam_p}, lam_q={lam_q}")
+    print(f"E(X) exact = {exact_mean:.4f}   E^(X) = {approx_mean:.4f}")
+    print(f"{'x':>3} {'fX(x)':>9} {'Pois(E)':>9} {'Pois(E^)':>9} {'MC':>9}")
+    for x in range(max_x + 1):
+        mc = float((sim == x).mean())
+        print(f"{x:>3} {fx[x]:>9.5f} {same_mean_pois[x]:>9.5f} "
+              f"{fhat[x]:>9.5f} {mc:>9.5f}")
+
+    # Paper claims: fX and the approximations share the trend, f^X is
+    # slightly right-biased, and the bias shrinks for larger rates.
+    # fx is truncated at max_x; the remaining mass must be tiny.
+    assert 0.999 < fx.sum() <= 1.0 + 1e-9
+    mc_mean = sim.mean()
+    assert abs(mc_mean - exact_mean) < 0.05 * max(1.0, exact_mean)
+    assert approx_mean > exact_mean
+
+    def relative_bias(a, b):
+        exact = expected_mutual_segments(a, b)
+        return (expected_mutual_segments_approx(a, b) - exact) / exact
+
+    # The *relative* bias of f^X shrinks as the rates grow (panel (b)
+    # visibly hugs fX much more closely than panel (a)).
+    assert relative_bias(4.0, 10.0) < relative_bias(0.5, 2.0)
+
+
+def test_fig4_length_distribution(benchmark):
+    """Corollary 6.2 companion: mutual-segment lengths are exponential."""
+    lam_p, lam_q = 0.5, 2.0
+    rng = np.random.default_rng(1)
+
+    from repro.stats.theory import (
+        mutual_segment_length_pdf,
+        simulate_mutual_segment_lengths,
+    )
+
+    lengths = benchmark(
+        simulate_mutual_segment_lengths, lam_p, lam_q, 20_000.0, rng
+    )
+    print_header("Problem 3: mutual segment length distribution")
+    edges = np.linspace(0, 2.0, 9)
+    centres = (edges[:-1] + edges[1:]) / 2
+    hist, _ = np.histogram(lengths, bins=edges, density=True)
+    pdf = mutual_segment_length_pdf(lam_p, lam_q, centres)
+    print(f"{'y':>6} {'gY(y)':>9} {'MC density':>11}")
+    for y, g, h in zip(centres, pdf, hist):
+        print(f"{y:>6.3f} {g:>9.4f} {h:>11.4f}")
+    assert lengths.mean() == pytest.approx(1 / (lam_p + lam_q), rel=0.05)

@@ -1,0 +1,74 @@
+"""Fig. 5: perceptiveness-selectiveness tradeoff, all four panels.
+
+Panel (a): S-data sampling-rate sweep (SA, SB, SC).
+Panel (b): S-data duration sweep (SD, SE, SF).
+Panel (c): T-data sampling-rate sweep (TA, TB, TC).
+Panel (d): T-data duration sweep (TD, TE, TF).
+
+For each config both algorithms' parameter ladders are evaluated on the
+same sampled queries.  The benchmark measures the evidence collection
+(the shared expensive step) for the panel's middle config.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    cached_scenario,
+    n_queries_default,
+    print_header,
+    scale_name,
+)
+from repro.config import FTLConfig
+from repro.pipeline.experiment import collect_evidence, fit_model_pair
+from repro.pipeline.tradeoff import format_tradeoff, tradeoff_from_evidence
+
+PANELS = [
+    ("Fig. 5(a) S-data, sampling-rate sweep", ["SA", "SB", "SC"]),
+    ("Fig. 5(b) S-data, duration sweep", ["SD", "SE", "SF"]),
+    ("Fig. 5(c) T-data, sampling-rate sweep", ["TA", "TB", "TC"]),
+    ("Fig. 5(d) T-data, duration sweep", ["TD", "TE", "TF"]),
+]
+
+
+def _evidence_for(name, config, n_queries, seed=5):
+    rng = np.random.default_rng(seed)
+    pair = cached_scenario(name)
+    mr, ma = fit_model_pair(pair, config, rng)
+    n = min(n_queries, len(pair.matched_query_ids()))
+    query_ids = pair.sample_queries(n, rng)
+    return pair, collect_evidence(pair, query_ids, mr, ma)
+
+
+@pytest.mark.parametrize("panel,names", PANELS)
+def test_fig5_panel(benchmark, config, panel, names):
+    n_queries = n_queries_default()
+    scaled = [scale_name(n) for n in names]
+
+    # Benchmark the shared hot path once, on the middle config.
+    mid = scaled[1]
+    pair_mid, _ = _evidence_for(mid, config, 2)
+    rng = np.random.default_rng(0)
+    mr, ma = fit_model_pair(pair_mid, config, rng)
+    qids = pair_mid.sample_queries(min(5, len(pair_mid.truth)), rng)
+    benchmark.pedantic(
+        collect_evidence, args=(pair_mid, qids, mr, ma), rounds=1, iterations=1
+    )
+
+    print_header(panel)
+    curves_at_mid_selectiveness = {}
+    for name in scaled:
+        pair, evidence = _evidence_for(name, config, n_queries)
+        curves = tradeoff_from_evidence(evidence, pair.truth)
+        print(f"\n--- {name} ({len(evidence)} queries, |Q|={len(pair.q_db)}) ---")
+        print(format_tradeoff(curves))
+        # Track the loosest-setting perceptiveness for trend checks.
+        curves_at_mid_selectiveness[name] = max(
+            point.perceptiveness for point in curves["naive-bayes"]
+        )
+
+    # Paper trend: within each panel the richer config (higher rate /
+    # longer duration, listed last) should do at least as well at its
+    # best operating point as the poorest (listed first).
+    best = curves_at_mid_selectiveness
+    assert best[scaled[-1]] >= best[scaled[0]] - 0.10, best

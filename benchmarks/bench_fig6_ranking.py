@@ -1,0 +1,54 @@
+"""Fig. 6: ranking effectiveness on the SF and TF configs.
+
+Loose acceptance settings ((0.001, 0.08) / phi_r = 0.4) produce large
+candidate pools; Eq. 2 scores are pooled across queries and globally
+ranked.  The printed curve is the number of queries whose true match
+appears inside the global top-k, which should grow steeply at small k
+and flatten — real matches concentrate at the top of the ranking.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    cached_scenario,
+    is_full_scale,
+    n_queries_default,
+    print_header,
+    scale_name,
+)
+from repro.pipeline.experiment import collect_evidence, fit_model_pair
+from repro.pipeline.ranking_eval import format_ranking, ranking_from_evidence
+
+PANELS = [("Fig. 6(a)", "SF"), ("Fig. 6(b)", "TF")]
+
+
+@pytest.mark.parametrize("panel,name", PANELS)
+def test_fig6_ranking(benchmark, config, panel, name):
+    scaled = scale_name(name)
+    pair = cached_scenario(scaled)
+    rng = np.random.default_rng(6)
+    n_queries = min(
+        500 if is_full_scale() else 40, len(pair.matched_query_ids())
+    )
+    mr, ma = fit_model_pair(pair, config, rng)
+    query_ids = pair.sample_queries(n_queries, rng)
+    evidence = benchmark.pedantic(
+        collect_evidence, args=(pair, query_ids, mr, ma), rounds=1, iterations=1
+    )
+    top = 500 if is_full_scale() else n_queries
+    ks = sorted({max(1, round(top * f)) for f in
+                 (0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0)})
+    curves = ranking_from_evidence(evidence, pair.truth, ks)
+
+    print_header(f"{panel}: ranking effectiveness on {scaled}")
+    print(format_ranking(curves))
+
+    for curve in curves.values():
+        hits = list(curve.hits)
+        assert hits == sorted(hits)  # non-decreasing in k
+        # Real matches concentrate at the top of the global ranking:
+        # the earliest prefix should be nearly pure true matches, and
+        # by k = n_queries a solid majority of queries are answered.
+        assert hits[0] >= 0.8 * curve.ks[0]
+        assert hits[-1] >= 0.6 * curve.n_queries

@@ -1,0 +1,94 @@
+"""Fig. 8: FTL vs P2T/DTW/LCSS/EDR precision under down-sampling.
+
+Panel (a): high sampling rates on a dense 2-day split pair — all
+methods should do well near rate 1, with P2T/DTW degrading first as
+the data thins.
+
+Panel (b): very low rates (0.08 -> 0.02) on a very dense 7-day split
+pair — LCSS/EDR collapse while FTL stays high (the paper's headline
+robustness claim: FTL > 80% at rate 0.02).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import is_full_scale, cached_scenario, print_header
+from repro.pipeline.precision_eval import (
+    evaluate_at_rate,
+    format_precision,
+    run_precision_comparison,
+)
+
+HIGH_RATES = (1.0, 0.6, 0.3, 0.1)
+LOW_RATES = (0.08, 0.04, 0.02)
+
+
+def _panel_params():
+    if is_full_scale():
+        return {"n_queries": 100, "max_points": 200}
+    return {"n_queries": 15, "max_points": 100}
+
+
+def test_fig8a_high_rates(benchmark, config):
+    name = "FIG8A" if is_full_scale() else "FIG8A-mini"
+    pair = cached_scenario(name)
+    params = _panel_params()
+    rng = np.random.default_rng(8)
+    query_ids = pair.sample_queries(
+        min(params["n_queries"], len(pair.matched_query_ids())), rng
+    )
+
+    # Benchmark one representative column (the sparsest, cheapest one).
+    benchmark.pedantic(
+        evaluate_at_rate,
+        args=(pair, HIGH_RATES[-1], query_ids, config, rng),
+        kwargs={"max_points": params["max_points"]},
+        rounds=1,
+        iterations=1,
+    )
+
+    results = run_precision_comparison(
+        pair, config, rng, rates=HIGH_RATES,
+        n_queries=params["n_queries"], max_points=params["max_points"],
+    )
+    print_header(f"Fig. 8(a): high sampling rates on {name}")
+    print(format_precision(results))
+
+    dense, sparse = results[0], results[-1]
+    # At rate 1 everything works; FTL must stay strong at rate 0.1 while
+    # the point-matching P2T degrades.
+    assert dense.precision["FTL"] >= 0.8
+    assert sparse.precision["FTL"] >= 0.8
+    assert sparse.precision["P2T"] <= dense.precision["P2T"] + 0.1
+
+
+def test_fig8b_low_rates(benchmark, config):
+    name = "FIG8B" if is_full_scale() else "FIG8B-mini"
+    pair = cached_scenario(name)
+    params = _panel_params()
+    rng = np.random.default_rng(9)
+    query_ids = pair.sample_queries(
+        min(params["n_queries"], len(pair.matched_query_ids())), rng
+    )
+
+    benchmark.pedantic(
+        evaluate_at_rate,
+        args=(pair, LOW_RATES[-1], query_ids, config, rng),
+        kwargs={"max_points": params["max_points"]},
+        rounds=1,
+        iterations=1,
+    )
+
+    results = run_precision_comparison(
+        pair, config, rng, rates=LOW_RATES,
+        n_queries=params["n_queries"], max_points=params["max_points"],
+    )
+    print_header(f"Fig. 8(b): very low sampling rates on {name}")
+    print(format_precision(results))
+
+    final = results[-1]
+    # The headline claim: FTL stays above 80% even at 2% sampling, and
+    # beats every similarity baseline there.
+    assert final.precision["FTL"] >= 0.8
+    for baseline in ("P2T", "DTW", "LCSS", "EDR"):
+        assert final.precision["FTL"] >= final.precision[baseline]

@@ -1,0 +1,38 @@
+"""Table I: statistics of the twelve dataset configurations.
+
+Regenerates the paper's Table I layout (one column per config, the
+record-count and inter-record-gap rows) from the synthetic catalog.
+The benchmark measures the statistics computation over all configs.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_scenario, print_header, scale_name
+from repro.datasets.catalog import catalog_entry
+from repro.pipeline.tables import render_table1, table1_column
+
+S_NAMES = [f"S{letter}" for letter in "ABCDEF"]
+T_NAMES = [f"T{letter}" for letter in "ABCDEF"]
+
+
+def _nominal_duration(name: str) -> float:
+    entry = catalog_entry(name)
+    return entry.trim_days if entry.trim_days is not None else entry.duration_days
+
+
+@pytest.mark.parametrize("group,names", [("S", S_NAMES), ("T", T_NAMES)])
+def test_table1(benchmark, group, names):
+    scaled = [scale_name(n) for n in names]
+    pairs = {name: cached_scenario(name) for name in scaled}
+    durations = {name: _nominal_duration(name) for name in scaled}
+
+    def compute():
+        return {name: table1_column(pairs[name], durations[name]) for name in scaled}
+
+    columns = benchmark(compute)
+    print_header(f"Table I ({group}-data configs)")
+    print(render_table1(pairs, durations))
+    # Sanity: every config produced non-trivial databases.
+    for name, column in columns.items():
+        assert column[1] > 0, f"{name}: empty P database"
+        assert column[5] > 0, f"{name}: empty Q database"

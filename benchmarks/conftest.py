@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures and scale control.
+
+All figure/table benches run at *mini* scale by default (a few minutes
+total on a laptop) and print the same rows/series the paper reports.
+Set ``FTL_BENCH_FULL=1`` to run the full-scale catalog entries with the
+paper's durations and query counts (much slower).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.datasets.catalog import build_scenario
+
+
+def is_full_scale() -> bool:
+    return os.environ.get("FTL_BENCH_FULL", "") == "1"
+
+
+def scale_name(base: str) -> str:
+    """Map a config base name to the scale being benched."""
+    return base if is_full_scale() else f"{base}-mini"
+
+
+def n_queries_default() -> int:
+    return 200 if is_full_scale() else 30
+
+
+@lru_cache(maxsize=None)
+def cached_scenario(name: str):
+    """Scenario pairs are deterministic per name; build each once."""
+    return build_scenario(name)
+
+
+@pytest.fixture(scope="session")
+def config() -> FTLConfig:
+    return FTLConfig()
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(2024)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,94 @@
+"""Example 1 from the paper: disease-control contact tracing.
+
+An infected person rode buses before diagnosis.  The health agency
+knows the anonymous commuting-card IDs of everyone who shared those
+buses and wants real identities.  Commuting-card taps form anonymous
+trajectories; CDR pings (identity-registered SIM cards) form eponymous
+trajectories.  FTL links the two: for each exposed card ID it returns a
+small ranked set of mobile subscribers for manual follow-up.
+
+Run:  python examples/disease_contact_tracing.py
+"""
+
+import numpy as np
+
+from repro import FTLConfig, FTLLinker
+from repro.geo.units import days_to_seconds
+from repro.synth import (
+    CityModel,
+    GaussianNoise,
+    ObservationService,
+    TowerSnapNoise,
+    generate_population,
+    make_paired_databases,
+)
+
+#: Fictional subscriber names so the output reads like the paper's Fig. 1.
+NAMES = [
+    "Alice", "Bob", "Charlie", "David", "Eve", "Frank", "Grace", "Heidi",
+    "Ivan", "Judy", "Ken", "Laura", "Mallory", "Niaj", "Olivia", "Peggy",
+    "Quentin", "Rupert", "Sybil", "Trent", "Uma", "Victor", "Wendy",
+    "Xavier", "Yolanda", "Zach",
+]
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    city = CityModel.generate(rng)
+
+    # Commuters with home/work routines observed for two weeks.
+    agents = generate_population(
+        city, n_agents=26, duration_s=days_to_seconds(14), rng=rng,
+        mobility="commuter",
+    )
+
+    # Anonymous commuting-card taps: sparse, GPS-accurate (bus stops).
+    transit = ObservationService(
+        "transit", rate_per_hour=0.35, noise=GaussianNoise(80.0),
+        day_fraction=0.95,
+    )
+    # Eponymous CDR: more frequent, tower-snapped locations.
+    cdr = ObservationService(
+        "CDR", rate_per_hour=1.0, noise=TowerSnapNoise(city), day_fraction=0.9,
+    )
+    pair = make_paired_databases(agents, transit, cdr, rng)
+
+    # Rename CDR trajectories with subscriber names (identity-registered).
+    subscriber_of = {
+        qid: NAMES[i % len(NAMES)] for i, qid in enumerate(pair.q_db.ids())
+    }
+
+    linker = FTLLinker(FTLConfig(), phi_r=0.3).fit(pair.p_db, pair.q_db, rng)
+
+    # The investigation: three exposed card IDs from bus manifests.
+    exposed_cards = pair.sample_queries(3, rng)
+    print("Exposed commuting cards:", ", ".join(f"#{c}" for c in exposed_cards))
+    print()
+
+    for card in exposed_cards:
+        result = linker.link(pair.p_db[card], method="naive-bayes")
+        print(f"card #{card}: {len(result)} candidate subscriber(s)")
+        for candidate in result.candidates:
+            name = subscriber_of[candidate.candidate_id]
+            is_true = candidate.candidate_id == pair.truth[card]
+            tag = "  <-- ground truth" if is_true else ""
+            print(
+                f"    {name:<10} score={candidate.score:.3f} "
+                f"(mutual segments: {candidate.n_mutual}, "
+                f"incompatible: {candidate.n_incompatible}){tag}"
+            )
+        if not result.candidates:
+            print("    no confident match; investigators must widen the net")
+        print()
+
+    hits = sum(
+        1
+        for card in exposed_cards
+        if linker.link(pair.p_db[card]).contains(pair.truth[card])
+    )
+    print(f"{hits}/{len(exposed_cards)} exposed cards resolved to the right "
+          f"subscriber (brute-force follow-up prunes any false positives)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Multi-source linking: commuting card -> CDR -> card payments.
+
+The paper's introduction lists *several* services that each see a slice
+of a person's movement.  This example observes one population with
+three services, links them pairwise with global one-to-one assignment,
+chains the per-hop links into end-to-end identities, and performs the
+three-way trajectory enrichment of Fig. 2 — producing, for each chained
+identity, a merged trajectory far richer than any single source.
+
+Run:  python examples/multi_source_enrichment.py
+"""
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.core.database import TrajectoryDatabase
+from repro.core.multisource import chain_accuracy, enrich_chain, link_chain
+from repro.geo.units import days_to_seconds
+from repro.synth import (
+    CityModel,
+    GaussianNoise,
+    ObservationService,
+    TowerSnapNoise,
+    generate_population,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(51)
+    city = CityModel.generate(rng)
+    agents = generate_population(
+        city, n_agents=20, duration_s=days_to_seconds(8), rng=rng,
+        mobility="taxi",
+    )
+
+    services = [
+        ("transit", ObservationService("transit", 0.6, GaussianNoise(60.0))),
+        ("cdr", ObservationService("cdr", 1.0, TowerSnapNoise(city))),
+        ("payments", ObservationService("payments", 0.25, GaussianNoise(30.0))),
+    ]
+    prefixes = ["T", "M", "B"]
+    databases = []
+    truths: list[dict] = [{}, {}]
+    observed = {}
+    for prefix, (name, svc) in zip(prefixes, services):
+        db = TrajectoryDatabase(name=name)
+        for agent in agents:
+            traj = svc.observe(agent.path, rng, traj_id=f"{prefix}{agent.agent_id}")
+            if len(traj) >= 2:
+                db.add(traj)
+        observed[prefix] = db
+        databases.append(db)
+    for agent in agents:
+        t, m, b = (f"T{agent.agent_id}", f"M{agent.agent_id}",
+                   f"B{agent.agent_id}")
+        if t in observed["T"] and m in observed["M"]:
+            truths[0][t] = m
+        if m in observed["M"] and b in observed["B"]:
+            truths[1][m] = b
+
+    for db in databases:
+        print(f"{db.name:<10} {len(db):>3} trajectories, "
+              f"{db.total_records():>6} records")
+
+    chains = link_chain(databases, FTLConfig(), rng, method="optimal")
+    accuracy = chain_accuracy(chains, truths)
+    print(f"\nchained {len(chains)} identities across 3 sources "
+          f"(end-to-end accuracy {accuracy:.2f})\n")
+
+    for chain in chains[:5]:
+        merged = enrich_chain(chain, databases)
+        parts = " + ".join(
+            f"{len(db[tid])} {db.name}" for tid, db in zip(chain.ids, databases)
+        )
+        print(f"  {' -> '.join(map(str, chain.ids))}: "
+              f"{parts} = {len(merged)} merged records")
+
+    richest = max(
+        (enrich_chain(c, databases) for c in chains), key=len
+    )
+    single_best = max(
+        len(databases[0][richest.traj_id[0]]),
+        len(databases[1][richest.traj_id[1]]),
+        len(databases[2][richest.traj_id[2]]),
+    )
+    print(f"\nrichest enriched identity: {len(richest)} records vs "
+          f"{single_best} in its best single source "
+          f"({len(richest) / single_best:.1f}x enrichment)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Privacy study: which defenses actually stop fuzzy trajectory linking?
+
+The paper's conclusion flags FTL as a privacy threat and leaves the
+defense question open.  This example publishes a commuting-card
+database under four defense families at increasing strengths and
+attacks each with an *adaptive* FTL adversary (one who re-fits the
+models on the defended data), reporting linkability against utility
+loss.
+
+The headline finding: FTL's evidence lives in the *timing* of mutual
+segments, so temporal cloaking collapses linkability quickly, while
+spatial cloaking at city-block scale barely helps.
+
+Run:  python examples/privacy_defense_study.py
+"""
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.datasets import build_scenario
+from repro.privacy import (
+    GaussianPerturbation,
+    RecordSuppression,
+    SpatialCloaking,
+    TemporalCloaking,
+    evaluate_defense_sweep,
+)
+from repro.privacy.evaluation import format_defense_sweep
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    pair = build_scenario("SC-mini")
+    config = FTLConfig()
+
+    defenses = [
+        TemporalCloaking(300.0),        # 5-minute windows
+        TemporalCloaking(900.0),        # 15-minute windows
+        TemporalCloaking(3600.0),       # 1-hour windows
+        SpatialCloaking(500.0),         # city-block generalisation
+        SpatialCloaking(4000.0),        # district generalisation
+        GaussianPerturbation(500.0),    # geo-indistinguishability noise
+        GaussianPerturbation(2000.0),
+        RecordSuppression(0.5),         # publish half the records
+        RecordSuppression(0.8),         # publish one fifth
+    ]
+
+    print("Attacking a published commuting database (SC-mini) with an "
+          "adaptive FTL adversary:\n")
+    points = evaluate_defense_sweep(
+        pair, defenses, config, rng, n_queries=30, phi_r=0.2
+    )
+    print(format_defense_sweep(points))
+
+    baseline = points[0].linkability
+    print(f"\nundefended linkability: {baseline:.2f}")
+    effective = [
+        p for p in points[1:] if p.linkability <= 0.5 * baseline
+    ]
+    print("defenses that at least halve linkability:")
+    for p in effective:
+        cost = (f"{p.spatial_distortion_m:.0f} m spatial"
+                if p.spatial_distortion_m
+                else f"{p.temporal_distortion_s:.0f} s temporal"
+                if p.temporal_distortion_s
+                else "record loss only")
+        print(f"  - {p.defense}(strength={p.strength:g}): "
+              f"linkability {p.linkability:.2f}, utility cost: {cost}")
+    print("\ntakeaway: blur *when*, not *where* - FTL's evidence is "
+          "temporal compatibility, so coarse timestamps defeat it at "
+          "zero spatial utility cost.")
+
+
+if __name__ == "__main__":
+    main()

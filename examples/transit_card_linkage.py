@@ -1,0 +1,77 @@
+"""The paper's flagship scenario, modelled faithfully end to end.
+
+Anonymous commuting cards tap **only at bus stops, only when boarding
+or alighting** — not Poisson samples of a path — while a telco's CDR
+pings the same people at cell-tower granularity throughout the day.
+This example builds that world from the ground up (road network ->
+transit lines -> timetabled commuters) and shows FTL de-anonymising the
+cards against the CDR database, exactly the Fig. 1 situation.
+
+Run:  python examples/transit_card_linkage.py
+"""
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.core.linker import FTLLinker
+from repro.geo.units import days_to_seconds
+from repro.synth.city import CityModel
+from repro.synth.noise import TowerSnapNoise
+from repro.synth.observation import ObservationService
+from repro.synth.roads import build_road_network, detour_ratio
+from repro.synth.transit import build_transit_system, make_transit_scenario
+
+
+def main() -> None:
+    rng = np.random.default_rng(77)
+
+    # --- The city, its streets, and its bus lines ---------------------
+    city = CityModel.generate(rng)
+    network = build_road_network(city, rng)
+    transit = build_transit_system(
+        network, rng, n_routes=8, headway_s=600.0, speed_kph=35.0
+    )
+    print(f"city: {city.bbox.width / 1000:.0f} x "
+          f"{city.bbox.height / 1000:.0f} km, "
+          f"{network.n_nodes} intersections "
+          f"(detour ratio {detour_ratio(network, rng, 30):.2f})")
+    print(f"transit: {len(transit)} routes, "
+          f"{sum(r.n_stops for r in transit.routes)} stops, "
+          f"10-minute headways\n")
+
+    # --- Thirty commuters observed by both systems --------------------
+    cdr = ObservationService(
+        "CDR", rate_per_hour=1.1, noise=TowerSnapNoise(city), day_fraction=0.9
+    )
+    pair = make_transit_scenario(
+        city, transit, n_agents=30, duration_s=days_to_seconds(14),
+        rng=rng, cdr_service=cdr,
+    )
+    print(f"card database: {len(pair.p_db)} cards, "
+          f"{pair.p_db.total_records()} taps "
+          f"({pair.p_db.total_records() / len(pair.p_db) / 14:.1f} taps/day)")
+    print(f"CDR database:  {len(pair.q_db)} subscribers, "
+          f"{pair.q_db.total_records()} tower pings\n")
+
+    # --- De-anonymisation ---------------------------------------------
+    linker = FTLLinker(FTLConfig(), phi_r=0.2).fit(pair.p_db, pair.q_db, rng)
+    hits = 0
+    total_candidates = 0
+    query_ids = pair.sample_queries(min(20, len(pair.truth)), rng)
+    for card in query_ids:
+        result = linker.link(pair.p_db[card])
+        total_candidates += len(result)
+        found = result.contains(pair.truth[card])
+        hits += found
+        top = result.candidates[0].candidate_id if result.candidates else "-"
+        print(f"  card {card:<8} -> top candidate {top:<8} "
+              f"({len(result)} returned){'  <- correct' if found else ''}")
+
+    print(f"\nperceptiveness: {hits / len(query_ids):.2f}  "
+          f"mean candidates/card: {total_candidates / len(query_ids):.1f}")
+    print("taps alone (4 events/day at bus stops) suffice to re-identify "
+          "cardholders against CDR data - the paper's central privacy point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable-install support (it falls back to the legacy
+``setup.py develop`` path with ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Trajectory-similarity baselines used in the paper's Section VII-E.
+
+Four classic measures, implemented from their original definitions:
+
+* :mod:`repro.baselines.p2t` — point-to-trajectory distance;
+* :mod:`repro.baselines.dtw` — Dynamic Time Warping (Yi et al. [15]);
+* :mod:`repro.baselines.lcss` — Longest Common Sub-Sequence
+  (Vlachos et al. [16]);
+* :mod:`repro.baselines.edr` — Edit Distance on Real sequence
+  (Chen et al. [17]).
+
+All expose ``<name>_distance(p, q, ...) -> float`` where smaller means
+more similar, plus a shared top-k retrieval harness in
+:mod:`repro.baselines.common`.
+"""
+
+from repro.baselines.common import SimilarityRetriever, rank_by_distance
+from repro.baselines.dtw import dtw_distance
+from repro.baselines.edr import edr_distance
+from repro.baselines.lcss import lcss_distance, lcss_length, lcss_similarity
+from repro.baselines.p2t import p2t_distance
+
+__all__ = [
+    "SimilarityRetriever",
+    "dtw_distance",
+    "edr_distance",
+    "lcss_distance",
+    "lcss_length",
+    "lcss_similarity",
+    "p2t_distance",
+    "rank_by_distance",
+]

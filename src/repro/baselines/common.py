@@ -1,0 +1,94 @@
+"""Shared baseline machinery: pairwise distances and top-k retrieval.
+
+The paper's Section VII-E protocol retrieves, for each query, the
+``k`` most similar candidate trajectories under a distance measure and
+checks whether the true match is among them.  The
+:class:`SimilarityRetriever` wraps any ``distance(p, q) -> float``
+callable in that protocol, with an optional per-trajectory point cap
+(the similarity measures are quadratic in trajectory length; the paper
+itself notes runs taking "days" on dense data).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+
+DistanceFn = Callable[[Trajectory, Trajectory], float]
+
+
+def pairwise_distances(p: Trajectory, q: Trajectory) -> np.ndarray:
+    """``(|p|, |q|)`` matrix of planar point distances."""
+    return np.hypot(
+        p.xs[:, np.newaxis] - q.xs[np.newaxis, :],
+        p.ys[:, np.newaxis] - q.ys[np.newaxis, :],
+    )
+
+
+def rank_by_distance(
+    query: Trajectory,
+    candidates: Iterable[Trajectory],
+    distance: DistanceFn,
+) -> list[tuple[object, float]]:
+    """``(candidate_id, distance)`` pairs sorted by increasing distance.
+
+    Ties are broken by candidate order (stable sort).
+    """
+    scored = [(c.traj_id, float(distance(query, c))) for c in candidates]
+    scored.sort(key=lambda item: item[1])
+    return scored
+
+
+def _cap_length(traj: Trajectory, max_points: int | None) -> Trajectory:
+    if max_points is None or len(traj) <= max_points:
+        return traj
+    keep_every = int(np.ceil(len(traj) / max_points))
+    return traj.thin(keep_every)
+
+
+class SimilarityRetriever:
+    """Top-k retrieval over a candidate database with one distance measure.
+
+    Parameters
+    ----------
+    distance:
+        A ``(p, q) -> float`` trajectory distance (smaller = closer).
+    max_points:
+        When set, every trajectory is deterministically thinned to at
+        most this many points before distance evaluation, bounding the
+        quadratic DP cost.
+    """
+
+    def __init__(
+        self, distance: DistanceFn, max_points: int | None = None
+    ) -> None:
+        if max_points is not None and max_points < 2:
+            raise ValidationError(f"max_points must be >= 2, got {max_points}")
+        self._distance = distance
+        self._max_points = max_points
+
+    def rank(
+        self, query: Trajectory, candidates: TrajectoryDatabase | Iterable[Trajectory]
+    ) -> list[tuple[object, float]]:
+        """All candidates ranked by increasing distance from the query."""
+        capped_query = _cap_length(query, self._max_points)
+        capped = (
+            _cap_length(c, self._max_points) for c in candidates if len(c) > 0
+        )
+        return rank_by_distance(capped_query, capped, self._distance)
+
+    def top_k(
+        self,
+        query: Trajectory,
+        candidates: TrajectoryDatabase | Iterable[Trajectory],
+        k: int,
+    ) -> list[object]:
+        """Ids of the ``k`` nearest candidates."""
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        return [cid for cid, _d in self.rank(query, candidates)[:k]]

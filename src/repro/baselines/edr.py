@@ -1,0 +1,40 @@
+"""Edit Distance on Real sequence (EDR) for trajectories.
+
+EDR (paper reference [17]) is string edit distance lifted to real
+sequences: two records "match" (substitution cost 0) when within the
+spatial threshold ``eps_m``, otherwise substitution costs 1; insertions
+and deletions cost 1.  The normalised form divides by ``max(n, m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import pairwise_distances
+from repro.core.trajectory import Trajectory
+from repro.errors import EmptyTrajectoryError, ValidationError
+
+
+def edr_raw(p: Trajectory, q: Trajectory, eps_m: float) -> int:
+    """Unnormalised EDR: the minimum number of edit operations."""
+    n, m = len(p), len(q)
+    if n == 0 or m == 0:
+        raise EmptyTrajectoryError("edr needs non-empty trajectories")
+    if eps_m < 0:
+        raise ValidationError(f"eps_m must be >= 0, got {eps_m}")
+    subcost = (pairwise_distances(p, q) > eps_m).astype(np.int64)
+    dp = np.zeros((n + 1, m + 1), dtype=np.int64)
+    dp[:, 0] = np.arange(n + 1)
+    dp[0, :] = np.arange(m + 1)
+    for k in range(2, n + m + 1):
+        i = np.arange(max(1, k - m), min(n, k - 1) + 1)
+        j = k - i
+        sub = dp[i - 1, j - 1] + subcost[i - 1, j - 1]
+        gap = np.minimum(dp[i - 1, j], dp[i, j - 1]) + 1
+        dp[i, j] = np.minimum(sub, gap)
+    return int(dp[n, m])
+
+
+def edr_distance(p: Trajectory, q: Trajectory, eps_m: float) -> float:
+    """EDR normalised by ``max(|p|, |q|)``, in [0, 1]."""
+    return edr_raw(p, q, eps_m) / max(len(p), len(q))

@@ -1,0 +1,69 @@
+"""Longest Common Sub-Sequence similarity for trajectories.
+
+LCSS (paper reference [16]) counts the longest order-preserving chain
+of record pairs that match within a spatial threshold ``eps_m`` and an
+index-offset threshold ``delta``.  Robust to noise and differing
+sampling rates — but, as Fig. 8(b) shows, it still collapses once
+trajectories become extremely sparse, because matching *points* stop
+existing at all.
+
+Similarity is normalised as ``LCSS / min(n, m)``; the associated
+distance is ``1 - similarity``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import pairwise_distances
+from repro.core.trajectory import Trajectory
+from repro.errors import EmptyTrajectoryError, ValidationError
+
+
+def lcss_length(
+    p: Trajectory, q: Trajectory, eps_m: float, delta: int | None = None
+) -> int:
+    """Length of the longest common subsequence under the thresholds.
+
+    Parameters
+    ----------
+    eps_m:
+        Two records match when their distance is at most ``eps_m``.
+    delta:
+        Optional index-offset bound: records ``p_i`` and ``q_j`` may
+        only match when ``|i - j| <= delta``.
+    """
+    n, m = len(p), len(q)
+    if n == 0 or m == 0:
+        raise EmptyTrajectoryError("lcss needs non-empty trajectories")
+    if eps_m < 0:
+        raise ValidationError(f"eps_m must be >= 0, got {eps_m}")
+    if delta is not None and delta < 0:
+        raise ValidationError(f"delta must be >= 0, got {delta}")
+    match = pairwise_distances(p, q) <= eps_m
+    if delta is not None:
+        i_idx = np.arange(n)[:, np.newaxis]
+        j_idx = np.arange(m)[np.newaxis, :]
+        match &= np.abs(i_idx - j_idx) <= delta
+    dp = np.zeros((n + 1, m + 1), dtype=np.int64)
+    for k in range(2, n + m + 1):
+        i = np.arange(max(1, k - m), min(n, k - 1) + 1)
+        j = k - i
+        take = dp[i - 1, j - 1] + match[i - 1, j - 1]
+        skip = np.maximum(dp[i - 1, j], dp[i, j - 1])
+        dp[i, j] = np.maximum(take, skip)
+    return int(dp[n, m])
+
+
+def lcss_similarity(
+    p: Trajectory, q: Trajectory, eps_m: float, delta: int | None = None
+) -> float:
+    """``LCSS / min(|p|, |q|)`` in [0, 1]; larger is more similar."""
+    return lcss_length(p, q, eps_m, delta) / min(len(p), len(q))
+
+
+def lcss_distance(
+    p: Trajectory, q: Trajectory, eps_m: float, delta: int | None = None
+) -> float:
+    """``1 - lcss_similarity`` — the distance used for retrieval."""
+    return 1.0 - lcss_similarity(p, q, eps_m, delta)

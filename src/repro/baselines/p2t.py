@@ -1,0 +1,34 @@
+"""Point-to-trajectory (P2T) distance.
+
+The simplest spatial similarity: the mean, over points of the query
+trajectory, of the distance to the *closest* point of the candidate
+trajectory.  Purely spatial — timestamps are ignored — which is exactly
+why it degrades on sparse data (Fig. 8): with few candidate points, the
+nearest one can be far even for the true match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trajectory import Trajectory
+from repro.errors import EmptyTrajectoryError
+
+
+def p2t_distance(p: Trajectory, q: Trajectory, chunk: int = 2048) -> float:
+    """Mean nearest-point distance from each point of ``p`` to ``q``.
+
+    Computed in chunks to bound the pairwise-distance matrix memory at
+    ``chunk * len(q)`` floats.
+    """
+    if len(p) == 0 or len(q) == 0:
+        raise EmptyTrajectoryError("p2t_distance needs non-empty trajectories")
+    qx = q.xs[np.newaxis, :]
+    qy = q.ys[np.newaxis, :]
+    total = 0.0
+    for start in range(0, len(p), chunk):
+        px = p.xs[start : start + chunk, np.newaxis]
+        py = p.ys[start : start + chunk, np.newaxis]
+        dists = np.hypot(px - qx, py - qy)
+        total += float(dists.min(axis=1).sum())
+    return total / len(p)

@@ -1,0 +1,286 @@
+"""Command-line interface.
+
+Installed as ``ftl`` (see ``pyproject.toml``).  Subcommands:
+
+* ``ftl datasets`` — list catalog entries;
+* ``ftl generate NAME --out DIR`` — build a catalog scenario and write
+  both databases (CSV) plus the ground truth (JSON);
+* ``ftl stats NAME`` — print the Table I statistics of a scenario;
+* ``ftl link NAME --method M`` — run linking over sampled queries and
+  report perceptiveness/selectiveness;
+* ``ftl theory --lam-p A --lam-q B`` — print the Section VI pmf table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.core.linker import FTLLinker
+from repro.datasets.catalog import build_scenario, catalog, catalog_entry
+from repro.io.csv_io import write_trajectories_csv
+from repro.pipeline.tables import render_table1
+from repro.stats.theory import (
+    expected_mutual_segments,
+    expected_mutual_segments_approx,
+    mutual_segment_count_pmf,
+    mutual_segment_count_pmf_poisson,
+)
+from repro.version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ftl",
+        description="Fuzzy Trajectory Linking (ICDE 2016 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset catalog")
+
+    gen = sub.add_parser("generate", help="build a scenario and write it out")
+    gen.add_argument("name", help="catalog entry name (see `ftl datasets`)")
+    gen.add_argument("--out", required=True, help="output directory")
+
+    stats = sub.add_parser("stats", help="print Table I statistics")
+    stats.add_argument("names", nargs="+", help="catalog entry names")
+
+    link = sub.add_parser("link", help="run FTL over sampled queries")
+    link.add_argument("name", help="catalog entry name")
+    link.add_argument(
+        "--method", default="naive-bayes", choices=("naive-bayes", "alpha-filter")
+    )
+    link.add_argument("--queries", type=int, default=30)
+    link.add_argument("--phi-r", type=float, default=0.05)
+    link.add_argument("--alpha1", type=float, default=0.05)
+    link.add_argument("--alpha2", type=float, default=0.05)
+    link.add_argument("--seed", type=int, default=0)
+
+    theory = sub.add_parser("theory", help="Section VI mutual-segment pmf")
+    theory.add_argument("--lam-p", type=float, required=True)
+    theory.add_argument("--lam-q", type=float, required=True)
+    theory.add_argument("--max-x", type=int, default=10)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="fit models on a scenario and report separability"
+    )
+    diagnose.add_argument("name", help="catalog entry name")
+    diagnose.add_argument("--buckets", type=int, default=12,
+                          help="buckets to show in the model table")
+    diagnose.add_argument("--lam-p", type=float, default=None,
+                          help="query-service rate per hour (feasibility)")
+    diagnose.add_argument("--lam-q", type=float, default=None,
+                          help="candidate-service rate per hour (feasibility)")
+    diagnose.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="Fig. 5-style perceptiveness/selectiveness tradeoff"
+    )
+    sweep.add_argument("name", help="catalog entry name")
+    sweep.add_argument("--queries", type=int, default=30)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    assign = sub.add_parser(
+        "assign", help="global one-to-one linking of all queries"
+    )
+    assign.add_argument("name", help="catalog entry name")
+    assign.add_argument(
+        "--method", default="optimal", choices=("greedy", "optimal")
+    )
+    assign.add_argument("--min-score", type=float, default=1e-6)
+    assign.add_argument("--seed", type=int, default=0)
+
+    holdout = sub.add_parser(
+        "holdout", help="train/test split: do the models generalise?"
+    )
+    holdout.add_argument("name", help="catalog entry name")
+    holdout.add_argument("--test-fraction", type=float, default=0.3)
+    holdout.add_argument("--phi-r", type=float, default=0.1)
+    holdout.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="run the mini evaluation and write a markdown report"
+    )
+    report.add_argument("--out", required=True, help="output markdown path")
+    report.add_argument(
+        "--datasets", nargs="+",
+        default=["SB-mini", "SD-mini", "TB-mini", "TD-mini"],
+    )
+    report.add_argument("--queries", type=int, default=25)
+    report.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_datasets() -> int:
+    for name, entry in sorted(catalog().items()):
+        print(f"{name:<12} {entry.protocol:<7} {entry.description}")
+    return 0
+
+
+def _cmd_generate(name: str, out: str) -> int:
+    pair = build_scenario(name)
+    out_dir = Path(out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    n_p = write_trajectories_csv(pair.p_db, out_dir / "P.csv")
+    n_q = write_trajectories_csv(pair.q_db, out_dir / "Q.csv")
+    (out_dir / "truth.json").write_text(
+        json.dumps({str(k): str(v) for k, v in pair.truth.items()}, indent=2)
+    )
+    print(f"wrote {n_p} P records, {n_q} Q records, "
+          f"{len(pair.truth)} truth pairs to {out_dir}")
+    return 0
+
+
+def _cmd_stats(names: list[str]) -> int:
+    pairs = {name: build_scenario(name) for name in names}
+    durations = {
+        name: (catalog_entry(name).trim_days or catalog_entry(name).duration_days)
+        for name in names
+    }
+    print(render_table1(pairs, durations))
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    pair = build_scenario(args.name)
+    linker = FTLLinker(
+        FTLConfig(),
+        alpha1=args.alpha1,
+        alpha2=args.alpha2,
+        phi_r=args.phi_r,
+    ).fit(pair.p_db, pair.q_db, rng)
+    n = min(args.queries, len(pair.matched_query_ids()))
+    query_ids = pair.sample_queries(n, rng)
+    hits = 0
+    returned = 0
+    for qid in query_ids:
+        result = linker.link(pair.p_db[qid], method=args.method)
+        returned += len(result)
+        if result.contains(pair.truth[qid]):
+            hits += 1
+    print(f"dataset={args.name} method={args.method} queries={n}")
+    print(f"perceptiveness = {hits / n:.3f}")
+    print(f"selectiveness  = {returned / (n * len(pair.q_db)):.5f}")
+    print(f"mean |Q_P|     = {returned / n:.2f}")
+    return 0
+
+
+def _cmd_theory(lam_p: float, lam_q: float, max_x: int) -> int:
+    exact = mutual_segment_count_pmf(lam_p, lam_q, max_x)
+    approx = mutual_segment_count_pmf_poisson(lam_p, lam_q, max_x)
+    print(f"E(X) exact  = {expected_mutual_segments(lam_p, lam_q):.4f}")
+    print(f"E^(X) approx = {expected_mutual_segments_approx(lam_p, lam_q):.4f}")
+    print(f"{'x':>4} {'fX(x)':>10} {'Pois(E^)':>10}")
+    for x in range(max_x + 1):
+        print(f"{x:>4} {exact[x]:>10.5f} {approx[x]:>10.5f}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core.diagnostics import (
+        discriminability,
+        format_model_table,
+        model_table,
+    )
+    from repro.core.models import CompatibilityModel
+    from repro.stats.feasibility import assess_feasibility
+
+    rng = np.random.default_rng(args.seed)
+    pair = build_scenario(args.name)
+    config = FTLConfig()
+    mr = CompatibilityModel.fit_rejection([pair.p_db, pair.q_db], config)
+    ma = CompatibilityModel.fit_acceptance([pair.p_db, pair.q_db], config, rng)
+    print(f"dataset={args.name}  |P|={len(pair.p_db)}  |Q|={len(pair.q_db)}")
+    print(format_model_table(model_table(mr, ma, max_buckets=args.buckets)))
+    print(f"\ndiscriminability = {discriminability(mr, ma):.3f} nats/segment")
+    if args.lam_p is not None and args.lam_q is not None:
+        report = assess_feasibility(args.lam_p, args.lam_q, mr, ma)
+        print(report.summary())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.pipeline.tradeoff import format_tradeoff, run_tradeoff
+
+    rng = np.random.default_rng(args.seed)
+    pair = build_scenario(args.name)
+    curves = run_tradeoff(pair, FTLConfig(), rng, n_queries=args.queries)
+    print(f"dataset={args.name}  |Q|={len(pair.q_db)}")
+    print(format_tradeoff(curves))
+    return 0
+
+
+def _cmd_assign(args: argparse.Namespace) -> int:
+    from repro.core.assignment import assign_queries
+    from repro.core.models import CompatibilityModel
+
+    rng = np.random.default_rng(args.seed)
+    pair = build_scenario(args.name)
+    config = FTLConfig()
+    mr = CompatibilityModel.fit_rejection([pair.p_db, pair.q_db], config)
+    ma = CompatibilityModel.fit_acceptance([pair.p_db, pair.q_db], config, rng)
+    assignment = assign_queries(
+        pair.p_db, pair.q_db, mr, ma,
+        method=args.method, min_score=args.min_score,
+    )
+    print(f"dataset={args.name} method={args.method}")
+    print(f"assigned {len(assignment)}/{len(pair.p_db)} queries, "
+          f"total score {assignment.total_score:.2f}")
+    print(f"accuracy over assigned: {assignment.accuracy(pair.truth):.3f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "generate":
+        return _cmd_generate(args.name, args.out)
+    if args.command == "stats":
+        return _cmd_stats(args.names)
+    if args.command == "link":
+        return _cmd_link(args)
+    if args.command == "theory":
+        return _cmd_theory(args.lam_p, args.lam_q, args.max_x)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "assign":
+        return _cmd_assign(args)
+    if args.command == "holdout":
+        from repro.pipeline.crossval import format_holdout, run_holdout
+
+        rng = np.random.default_rng(args.seed)
+        pair = build_scenario(args.name)
+        result = run_holdout(
+            pair, FTLConfig(), rng,
+            test_fraction=args.test_fraction, phi_r=args.phi_r,
+        )
+        print(f"dataset={args.name}")
+        print(format_holdout(result))
+        return 0
+    if args.command == "report":
+        from repro.pipeline.report import ReportSpec, write_report
+
+        spec = ReportSpec(
+            datasets=tuple(args.datasets),
+            n_queries=args.queries,
+            seed=args.seed,
+        )
+        written = write_report(args.out, spec)
+        print(f"wrote {written}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Core FTL machinery: data model, alignment, models, matchers, metrics."""
+
+from repro.core.alignment import (
+    AlignedTrajectory,
+    MutualSegmentProfile,
+    Segment,
+    align,
+    mutual_segment_profile,
+)
+from repro.core.assignment import (
+    Assignment,
+    assign_queries,
+    greedy_assignment,
+    optimal_assignment,
+)
+from repro.core.compatibility import (
+    is_compatible,
+    compatibility_many,
+    implied_speed,
+)
+from repro.core.database import TrajectoryDatabase
+from repro.core.diagnostics import (
+    bucket_divergence,
+    discriminability,
+    format_model_table,
+    model_table,
+)
+from repro.core.filtering import AlphaFilter, FilterDecision
+from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
+from repro.core.linker import Candidate, FTLLinker, LinkResult
+from repro.core.metrics import (
+    hits_within_topk,
+    perceptiveness,
+    precision_at_k,
+    selectiveness,
+)
+from repro.core.models import CompatibilityModel
+from repro.core.naive_bayes import NaiveBayesMatcher, NBDecision
+from repro.core.prefilter import (
+    MutualSegmentCountPrefilter,
+    NullPrefilter,
+    TimeOverlapPrefilter,
+)
+from repro.core.ranking import rank_candidates, score_candidate
+from repro.core.records import Record
+from repro.core.trajectory import Trajectory
+
+__all__ = [
+    "AlignedTrajectory",
+    "AlphaFilter",
+    "Assignment",
+    "Candidate",
+    "CompatibilityModel",
+    "FTLLinker",
+    "FilterDecision",
+    "LinkResult",
+    "MutualSegmentCountPrefilter",
+    "MutualSegmentProfile",
+    "NBDecision",
+    "NaiveBayesMatcher",
+    "NullPrefilter",
+    "Record",
+    "Segment",
+    "TimeOverlapPrefilter",
+    "Trajectory",
+    "TrajectoryDatabase",
+    "acceptance_pvalue",
+    "align",
+    "assign_queries",
+    "bucket_divergence",
+    "compatibility_many",
+    "discriminability",
+    "format_model_table",
+    "greedy_assignment",
+    "hits_within_topk",
+    "implied_speed",
+    "is_compatible",
+    "model_table",
+    "mutual_segment_profile",
+    "optimal_assignment",
+    "perceptiveness",
+    "precision_at_k",
+    "rank_candidates",
+    "rejection_pvalue",
+    "score_candidate",
+    "selectiveness",
+]

@@ -1,0 +1,92 @@
+"""Statistical calibration of the hypothesis tests.
+
+A *calibrated* test produces p-values that are (super-)uniform under
+its null hypothesis: ``Pr(p <= t) <= t`` for every threshold ``t``, so
+the configured significance level really bounds the false-rejection
+rate.  For FTL that means:
+
+* under the **rejection** test's null (same-person pairs), ``p1``
+  should be super-uniform — then ``alpha1`` bounds the chance of
+  pruning a true match;
+* under the **acceptance** test's null (different-person pairs),
+  ``p2`` should be super-uniform — then ``alpha2`` bounds the chance
+  of falsely accepting a stranger.
+
+(The tests are discrete, so exact uniformity is impossible; the valid
+direction is conservatism.)  :func:`calibration_curve` computes the
+empirical ``Pr(p <= t)`` curve and :func:`max_anticonservatism` its
+worst violation, used by tests and the calibration bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Default threshold grid: the significance levels anyone would use.
+DEFAULT_THRESHOLDS = (0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5)
+
+
+@dataclass(frozen=True)
+class CalibrationCurve:
+    """Empirical ``Pr(p <= t)`` at each threshold ``t``."""
+
+    thresholds: tuple[float, ...]
+    empirical: tuple[float, ...]
+    n_pvalues: int
+
+    def rows(self) -> list[tuple[float, float]]:
+        return list(zip(self.thresholds, self.empirical))
+
+
+def calibration_curve(
+    pvalues: Sequence[float] | np.ndarray,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+) -> CalibrationCurve:
+    """The empirical rejection-rate curve of a p-value sample."""
+    ps = np.asarray(pvalues, dtype=np.float64)
+    if ps.size == 0:
+        raise ValidationError("need at least one p-value")
+    if np.any((ps < 0) | (ps > 1)):
+        raise ValidationError("p-values must lie in [0, 1]")
+    ts = tuple(float(t) for t in thresholds)
+    if any(not 0 < t <= 1 for t in ts):
+        raise ValidationError("thresholds must lie in (0, 1]")
+    empirical = tuple(float((ps <= t).mean()) for t in ts)
+    return CalibrationCurve(
+        thresholds=ts, empirical=empirical, n_pvalues=int(ps.size)
+    )
+
+
+def max_anticonservatism(curve: CalibrationCurve) -> float:
+    """Largest ``empirical - threshold`` (positive = anti-conservative).
+
+    A calibrated (conservative) test keeps this at or below the
+    sampling noise of the estimate.
+    """
+    return max(
+        emp - t for t, emp in zip(curve.thresholds, curve.empirical)
+    )
+
+
+def format_calibration(
+    curves: dict[str, CalibrationCurve]
+) -> str:
+    """Monospace rendering of one or more labelled calibration curves."""
+    labels = list(curves)
+    header = f"{'threshold':>10} " + " ".join(f"{lab:>14}" for lab in labels)
+    lines = [header]
+    thresholds = curves[labels[0]].thresholds
+    for i, t in enumerate(thresholds):
+        row = f"{t:>10g} " + " ".join(
+            f"{curves[lab].empirical[i]:>14.4f}" for lab in labels
+        )
+        lines.append(row)
+    lines.append(
+        "n: " + ", ".join(f"{lab}={curves[lab].n_pvalues}" for lab in labels)
+    )
+    return "\n".join(lines)

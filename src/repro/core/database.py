@@ -1,0 +1,188 @@
+"""Trajectory databases: named collections of trajectories.
+
+The paper's setting has two databases ``P`` (queries) and ``Q``
+(candidates).  :class:`TrajectoryDatabase` is an ordered mapping from
+trajectory id to :class:`~repro.core.trajectory.Trajectory` with the
+summary statistics reported in the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.core.trajectory import Trajectory
+from repro.geo.units import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class DatabaseStats:
+    """Summary statistics of a database (the Table I columns).
+
+    ``mean_gap_hours`` / ``std_gap_hours`` describe inter-record time
+    differences pooled across all trajectories, in hours, matching the
+    paper's "mean/stdv of timediff" rows.
+    """
+
+    n_trajectories: int
+    mean_length: float
+    std_length: float
+    mean_gap_hours: float
+    std_gap_hours: float
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """Label/value pairs in Table I row order."""
+        return [
+            ("mean of |T|", self.mean_length),
+            ("stdv. of |T|", self.std_length),
+            ("mean of timediff (hours)", self.mean_gap_hours),
+            ("stdv. of timediff (hours)", self.std_gap_hours),
+        ]
+
+
+class TrajectoryDatabase:
+    """An insertion-ordered collection of trajectories keyed by id.
+
+    Parameters
+    ----------
+    trajectories:
+        Trajectories to add; each must carry a unique, non-None
+        ``traj_id``.
+    name:
+        Optional human-readable label (e.g. ``"CDR"`` or ``"commuter"``).
+    """
+
+    def __init__(
+        self, trajectories: Iterable[Trajectory] = (), name: str = ""
+    ) -> None:
+        self._name = name
+        self._trajs: dict[object, Trajectory] = {}
+        for traj in trajectories:
+            self.add(traj)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, trajectory: Trajectory) -> None:
+        """Add a trajectory; its id must be set and unused."""
+        traj_id = trajectory.traj_id
+        if traj_id is None:
+            raise ValidationError("trajectories in a database need a non-None id")
+        if traj_id in self._trajs:
+            raise ValidationError(f"duplicate trajectory id {traj_id!r}")
+        self._trajs[traj_id] = trajectory
+
+    def remove(self, traj_id: object) -> Trajectory:
+        """Remove and return the trajectory with the given id."""
+        try:
+            return self._trajs.pop(traj_id)
+        except KeyError:
+            raise ValidationError(f"no trajectory with id {traj_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._trajs)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self._trajs.values())
+
+    def __contains__(self, traj_id: object) -> bool:
+        return traj_id in self._trajs
+
+    def __getitem__(self, traj_id: object) -> Trajectory:
+        try:
+            return self._trajs[traj_id]
+        except KeyError:
+            raise KeyError(f"no trajectory with id {traj_id!r}") from None
+
+    def get(self, traj_id: object, default: Trajectory | None = None) -> Trajectory | None:
+        return self._trajs.get(traj_id, default)
+
+    def ids(self) -> list[object]:
+        """All trajectory ids in insertion order."""
+        return list(self._trajs.keys())
+
+    def items(self) -> Iterator[tuple[object, Trajectory]]:
+        return iter(self._trajs.items())
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"TrajectoryDatabase({label} n={len(self)})"
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    # ------------------------------------------------------------------
+    # Statistics / transforms
+    # ------------------------------------------------------------------
+    def total_records(self) -> int:
+        """Total number of records across all trajectories."""
+        return sum(len(t) for t in self)
+
+    def stats(self) -> DatabaseStats:
+        """Table I-style summary statistics of this database."""
+        lengths = np.array([len(t) for t in self], dtype=np.float64)
+        all_gaps = [t.gaps() for t in self if len(t) >= 2]
+        gaps = (
+            np.concatenate(all_gaps) if all_gaps else np.empty(0, dtype=np.float64)
+        )
+        gaps_h = gaps / SECONDS_PER_HOUR
+        return DatabaseStats(
+            n_trajectories=len(self),
+            mean_length=float(lengths.mean()) if lengths.size else 0.0,
+            std_length=float(lengths.std()) if lengths.size else 0.0,
+            mean_gap_hours=float(gaps_h.mean()) if gaps_h.size else 0.0,
+            std_gap_hours=float(gaps_h.std()) if gaps_h.size else 0.0,
+        )
+
+    def map(self, fn, name: str | None = None) -> "TrajectoryDatabase":
+        """A new database with ``fn(trajectory)`` applied to every member.
+
+        Trajectories mapped to length 0 are dropped (a down-sampled
+        trajectory can lose all its records).
+        """
+        out = TrajectoryDatabase(name=self._name if name is None else name)
+        for traj in self:
+            mapped = fn(traj)
+            if len(mapped) > 0:
+                out.add(mapped)
+        return out
+
+    def downsample(
+        self, rate: float, rng: np.random.Generator, name: str | None = None
+    ) -> "TrajectoryDatabase":
+        """Every trajectory down-sampled at ``rate`` (empty ones dropped)."""
+        return self.map(lambda t: t.downsample(rate, rng), name=name)
+
+    def head_duration(
+        self, duration_s: float, name: str | None = None
+    ) -> "TrajectoryDatabase":
+        """Every trajectory trimmed to its first ``duration_s`` seconds."""
+        return self.map(lambda t: t.head_duration(duration_s), name=name)
+
+    def subset(self, traj_ids: Iterable[object], name: str | None = None) -> "TrajectoryDatabase":
+        """The database restricted to the given ids (order preserved)."""
+        out = TrajectoryDatabase(name=self._name if name is None else name)
+        for traj_id in traj_ids:
+            out.add(self[traj_id])
+        return out
+
+    def sample_ids(self, k: int, rng: np.random.Generator) -> list[object]:
+        """``k`` distinct trajectory ids drawn uniformly without replacement."""
+        ids = self.ids()
+        if k > len(ids):
+            raise ValidationError(
+                f"cannot sample {k} ids from a database of {len(ids)}"
+            )
+        chosen = rng.choice(len(ids), size=k, replace=False)
+        return [ids[i] for i in chosen]
+
+
+GroundTruth = Mapping[object, object]
+"""Mapping from query trajectory id (in P) to true matching id (in Q)."""

@@ -1,0 +1,145 @@
+"""Model diagnostics: how separable are the fitted Mr / Ma?
+
+The paper's discrimination criterion for choosing model statistics
+("the models [must be] highly distinguishable by their sets of
+statistics") suggests quantifying that distinguishability for a fitted
+pair.  This module provides:
+
+* :func:`model_table` — per-bucket view of both models' probabilities
+  and sample counts, for eyeballing a fit;
+* :func:`bucket_divergence` — per-bucket KL divergence (in nats)
+  between the two Bernoulli laws, i.e. the expected per-segment
+  log-likelihood-ratio contribution of a segment falling in that
+  bucket when the *same-person* hypothesis is true;
+* :func:`discriminability` — the overall expected evidence per mutual
+  segment, weighting buckets by an (empirical or theoretical) gap
+  distribution.  Larger means fewer mutual segments are needed for a
+  confident decision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.models import CompatibilityModel, require_fitted_pair
+from repro.errors import ValidationError
+
+
+def _bernoulli_kl(p: float, q: float, floor: float = 1e-9) -> float:
+    """KL(Bern(p) || Bern(q)) in nats, with probability clamping."""
+    p = min(max(p, floor), 1.0 - floor)
+    q = min(max(q, floor), 1.0 - floor)
+    return p * math.log(p / q) + (1.0 - p) * math.log((1.0 - p) / (1.0 - q))
+
+
+def bucket_divergence(
+    rejection_model: CompatibilityModel,
+    acceptance_model: CompatibilityModel,
+) -> np.ndarray:
+    """Per-bucket ``KL(Mr_bucket || Ma_bucket)`` in nats.
+
+    Entry ``i`` is the expected log-likelihood-ratio evidence that one
+    mutual segment of bucket ``i`` contributes toward the (true)
+    same-person hypothesis.
+    """
+    mr, ma = require_fitted_pair(rejection_model, acceptance_model)
+    buckets = np.arange(mr.n_buckets)
+    p_r = mr.probs_for(buckets)
+    p_a = ma.probs_for(buckets)
+    return np.array(
+        [_bernoulli_kl(float(r), float(a)) for r, a in zip(p_r, p_a)]
+    )
+
+
+def discriminability(
+    rejection_model: CompatibilityModel,
+    acceptance_model: CompatibilityModel,
+    gap_weights: np.ndarray | None = None,
+) -> float:
+    """Expected same-person evidence per mutual segment, in nats.
+
+    Parameters
+    ----------
+    gap_weights:
+        Probability weights over buckets (length ``n_buckets``); by
+        default the pooled empirical bucket distribution of the
+        acceptance model's training segments is used.  Combine with
+        :func:`repro.stats.theory.mutual_segment_length_pdf` for a
+        theoretical weighting.
+    """
+    mr, ma = require_fitted_pair(rejection_model, acceptance_model)
+    divergence = bucket_divergence(mr, ma)
+    if gap_weights is None:
+        counts = ma.counts.total.astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            raise ValidationError("acceptance model has no training segments")
+        gap_weights = counts / total
+    else:
+        gap_weights = np.asarray(gap_weights, dtype=np.float64)
+        if gap_weights.shape != divergence.shape:
+            raise ValidationError(
+                f"gap_weights must have length {divergence.shape[0]}"
+            )
+        if np.any(gap_weights < 0) or gap_weights.sum() <= 0:
+            raise ValidationError("gap_weights must be a non-negative measure")
+        gap_weights = gap_weights / gap_weights.sum()
+    return float((divergence * gap_weights).sum())
+
+
+@dataclass(frozen=True)
+class BucketRow:
+    """One row of the per-bucket diagnostic table."""
+
+    bucket: int
+    gap_seconds: float
+    rejection_prob: float
+    acceptance_prob: float
+    rejection_count: int
+    acceptance_count: int
+    divergence_nats: float
+
+
+def model_table(
+    rejection_model: CompatibilityModel,
+    acceptance_model: CompatibilityModel,
+    max_buckets: int | None = None,
+) -> list[BucketRow]:
+    """The per-bucket diagnostic view of a fitted model pair."""
+    mr, ma = require_fitted_pair(rejection_model, acceptance_model)
+    divergence = bucket_divergence(mr, ma)
+    n = mr.n_buckets if max_buckets is None else min(max_buckets, mr.n_buckets)
+    unit = mr.config.time_unit_s
+    rows = []
+    for bucket in range(n):
+        rows.append(
+            BucketRow(
+                bucket=bucket,
+                gap_seconds=bucket * unit,
+                rejection_prob=mr.prob(bucket),
+                acceptance_prob=ma.prob(bucket),
+                rejection_count=int(mr.counts.total[bucket]),
+                acceptance_count=int(ma.counts.total[bucket]),
+                divergence_nats=float(divergence[bucket]),
+            )
+        )
+    return rows
+
+
+def format_model_table(rows: list[BucketRow]) -> str:
+    """Monospace rendering of :func:`model_table` output."""
+    lines = [
+        f"{'bucket':>7} {'gap s':>7} {'s_r':>8} {'s_a':>8} "
+        f"{'n_r':>8} {'n_a':>8} {'KL nats':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.bucket:>7} {row.gap_seconds:>7.0f} "
+            f"{row.rejection_prob:>8.4f} {row.acceptance_prob:>8.4f} "
+            f"{row.rejection_count:>8} {row.acceptance_count:>8} "
+            f"{row.divergence_nats:>9.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""The (alpha1, alpha2)-filtering algorithm (paper Section IV-D).
+
+For a query trajectory ``P`` the algorithm starts from the full
+candidate set ``Q`` and applies two phases to each candidate ``Q``:
+
+1. **alpha1-rejection** — reject (prune) the candidate when
+   ``p1 = Pr(K >= k_obs | Mr) < alpha1``: the pair shows too many
+   incompatible mutual segments to be of one person.
+2. **alpha2-acceptance** — accept the survivor when
+   ``p2 = Pr(K <= k_obs | Ma) < alpha2``: the pair shows too few
+   incompatibilities to be of two different persons.
+
+Only candidates that survive phase 1 *and* pass phase 2 enter ``Q_P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.alignment import MutualSegmentProfile, mutual_segment_profile
+from repro.core.database import TrajectoryDatabase
+from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
+from repro.core.models import CompatibilityModel, require_fitted_pair
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of testing one (query, candidate) pair.
+
+    Attributes
+    ----------
+    candidate_id:
+        Id of the tested candidate trajectory.
+    p_rejection:
+        ``p1`` — the alpha1-phase p-value under the rejection model.
+    p_acceptance:
+        ``p2`` — the alpha2-phase p-value under the acceptance model
+        (``None`` when the pair was already pruned in phase 1, which
+        skips the second, more informative test).
+    accepted:
+        Whether the candidate enters ``Q_P``.
+    n_mutual:
+        Number of in-horizon mutual segments the tests were based on.
+    n_incompatible:
+        How many of them were incompatible.
+    """
+
+    candidate_id: object
+    p_rejection: float
+    p_acceptance: float | None
+    accepted: bool
+    n_mutual: int
+    n_incompatible: int
+
+    @property
+    def rejected_in_phase1(self) -> bool:
+        return self.p_acceptance is None
+
+
+class AlphaFilter:
+    """(alpha1, alpha2)-filtering matcher bound to a fitted model pair.
+
+    Parameters
+    ----------
+    rejection_model, acceptance_model:
+        The fitted ``Mr`` / ``Ma`` pair (must share one config).
+    alpha1:
+        Significance level of the rejection phase; larger is stricter.
+    alpha2:
+        Significance level of the acceptance phase; smaller is stricter.
+    """
+
+    def __init__(
+        self,
+        rejection_model: CompatibilityModel,
+        acceptance_model: CompatibilityModel,
+        alpha1: float = 0.05,
+        alpha2: float = 0.05,
+    ) -> None:
+        self._mr, self._ma = require_fitted_pair(rejection_model, acceptance_model)
+        if not 0.0 <= alpha1 <= 1.0:
+            raise ValidationError(f"alpha1 must be in [0, 1], got {alpha1}")
+        if not 0.0 <= alpha2 <= 1.0:
+            raise ValidationError(f"alpha2 must be in [0, 1], got {alpha2}")
+        self._alpha1 = float(alpha1)
+        self._alpha2 = float(alpha2)
+
+    @property
+    def alpha1(self) -> float:
+        return self._alpha1
+
+    @property
+    def alpha2(self) -> float:
+        return self._alpha2
+
+    @property
+    def config(self):
+        return self._mr.config
+
+    def decide_profile(
+        self, profile: MutualSegmentProfile, candidate_id: object = None
+    ) -> FilterDecision:
+        """Run both phases on a pre-computed mutual-segment profile."""
+        within = profile.within_horizon(self._mr.n_buckets)
+        p1 = rejection_pvalue(profile, self._mr)
+        if p1 < self._alpha1:
+            return FilterDecision(
+                candidate_id=candidate_id,
+                p_rejection=p1,
+                p_acceptance=None,
+                accepted=False,
+                n_mutual=within.n_total,
+                n_incompatible=within.n_incompatible,
+            )
+        p2 = acceptance_pvalue(profile, self._ma)
+        return FilterDecision(
+            candidate_id=candidate_id,
+            p_rejection=p1,
+            p_acceptance=p2,
+            accepted=p2 < self._alpha2,
+            n_mutual=within.n_total,
+            n_incompatible=within.n_incompatible,
+        )
+
+    def decide(self, query: Trajectory, candidate: Trajectory) -> FilterDecision:
+        """Run both phases on one (query, candidate) trajectory pair."""
+        profile = mutual_segment_profile(query, candidate, self.config)
+        return self.decide_profile(profile, candidate_id=candidate.traj_id)
+
+    def query(
+        self,
+        query: Trajectory,
+        candidates: TrajectoryDatabase | Iterable[Trajectory],
+    ) -> list[FilterDecision]:
+        """Decisions for every accepted candidate in ``candidates``.
+
+        Returns only accepted candidates (the paper's ``Q_P``), in
+        database order; use :meth:`decide` for per-pair diagnostics on
+        rejected candidates.
+        """
+        accepted: list[FilterDecision] = []
+        for candidate in candidates:
+            decision = self.decide(query, candidate)
+            if decision.accepted:
+                accepted.append(decision)
+        return accepted

@@ -1,0 +1,82 @@
+"""Hypothesis-testing p-values for the (alpha1, alpha2)-filtering scheme.
+
+Under either model, the number ``K`` of incompatible mutual segments in
+an aligned pair follows a Poisson-Binomial law parameterised by the
+model's per-bucket probabilities ``(s^(l_1), ..., s^(l_n))`` (paper
+Section IV-D).
+
+The two tests look at opposite tails:
+
+* **rejection p-value** ``p1 = Pr(K >= k_obs | Mr)`` — small when the
+  observed pair has *more* incompatibilities than a same-person pair
+  can explain; the alpha1-rejection phase prunes when ``p1 < alpha1``.
+* **acceptance p-value** ``p2 = Pr(K <= k_obs | Ma)`` — small when the
+  pair has *fewer* incompatibilities than different persons would
+  produce; the alpha2-acceptance phase accepts when ``p2 < alpha2``.
+
+This tail choice makes the paper's monotonicity statements hold
+(raising alpha1 or lowering alpha2 is stricter) and makes the ranking
+score ``v = p1 * (1 - p2)`` largest for true matches.
+
+Mutual segments at or beyond the model horizon are excluded: both
+models give them incompatibility probability 0, so they carry no
+information (they are almost surely compatible in the data as well
+whenever ``horizon >= city diameter / Vmax``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.alignment import MutualSegmentProfile
+from repro.core.models import CompatibilityModel
+from repro.errors import ValidationError
+from repro.stats.poisson_binomial import PoissonBinomial
+
+
+def _test_arrays(
+    profile: MutualSegmentProfile, model: CompatibilityModel
+) -> tuple[np.ndarray, int]:
+    """Per-segment model probabilities and the observed count, in-horizon."""
+    within = profile.within_horizon(model.n_buckets)
+    ps = model.probs_for(within.buckets)
+    return ps, within.n_incompatible
+
+
+def rejection_pvalue(
+    profile: MutualSegmentProfile,
+    rejection_model: CompatibilityModel,
+    backend: str | None = None,
+) -> float:
+    """``p1 = Pr(K >= k_obs)`` under the rejection model.
+
+    Returns 1.0 for pairs with no in-horizon mutual segments (vacuous
+    observation: nothing contradicts the same-person hypothesis).
+    """
+    if rejection_model.kind != "rejection":
+        raise ValidationError("rejection_pvalue needs a rejection model")
+    ps, k_obs = _test_arrays(profile, rejection_model)
+    if ps.size == 0:
+        return 1.0
+    used = backend if backend is not None else rejection_model.config.pb_backend
+    return PoissonBinomial(ps, backend=used).sf(k_obs)
+
+
+def acceptance_pvalue(
+    profile: MutualSegmentProfile,
+    acceptance_model: CompatibilityModel,
+    backend: str | None = None,
+) -> float:
+    """``p2 = Pr(K <= k_obs)`` under the acceptance model.
+
+    Returns 1.0 for pairs with no in-horizon mutual segments: with no
+    evidence, the different-person hypothesis can never be rejected, so
+    such pairs are never accepted.
+    """
+    if acceptance_model.kind != "acceptance":
+        raise ValidationError("acceptance_pvalue needs an acceptance model")
+    ps, k_obs = _test_arrays(profile, acceptance_model)
+    if ps.size == 0:
+        return 1.0
+    used = backend if backend is not None else acceptance_model.config.pb_backend
+    return PoissonBinomial(ps, backend=used).cdf(k_obs)

@@ -1,0 +1,241 @@
+"""High-level FTL facade.
+
+:class:`FTLLinker` bundles the full workflow — fit the rejection and
+acceptance models on a database pair, run either linking algorithm for a
+query, and return ranked candidates — behind one object:
+
+    linker = FTLLinker(config).fit(p_db, q_db, rng)
+    result = linker.link(p_db["taxi-17"], method="naive-bayes")
+    for cand in result.candidates:
+        print(cand.candidate_id, cand.score)
+
+Both algorithms share the fitted model pair, and every returned
+candidate carries the Eq. 2 ranking score, so downstream code (the
+experiment pipeline, the examples) does not need to know which
+algorithm produced the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, FTLConfig
+from repro.core.alignment import mutual_segment_profile
+from repro.core.database import TrajectoryDatabase
+from repro.core.filtering import AlphaFilter
+from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
+from repro.core.models import CompatibilityModel
+from repro.core.naive_bayes import NaiveBayesMatcher
+from repro.core.trajectory import Trajectory
+from repro.errors import NotFittedError, ValidationError
+
+METHODS = ("alpha-filter", "naive-bayes")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One returned candidate with its ranking evidence."""
+
+    candidate_id: object
+    score: float
+    p_rejection: float
+    p_acceptance: float
+    n_mutual: int
+    n_incompatible: int
+
+
+@dataclass(frozen=True)
+class LinkResult:
+    """Outcome of linking one query against a candidate database."""
+
+    query_id: object
+    method: str
+    candidates: tuple[Candidate, ...]
+
+    def candidate_ids(self) -> list[object]:
+        """Candidate ids in rank order (best first)."""
+        return [c.candidate_id for c in self.candidates]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def contains(self, candidate_id: object) -> bool:
+        return any(c.candidate_id == candidate_id for c in self.candidates)
+
+
+class FTLLinker:
+    """Fit-once / query-many fuzzy trajectory linker.
+
+    Parameters
+    ----------
+    config:
+        The shared :class:`~repro.config.FTLConfig`.
+    alpha1, alpha2:
+        Parameters of the (alpha1, alpha2)-filtering method.
+    phi_r:
+        Prior of the Naive-Bayes method.
+    prefilter:
+        Optional candidate pre-filter (see :mod:`repro.core.prefilter`)
+        applied before the statistical tests; ``None`` keeps the
+        paper's exhaustive candidate scan.
+    """
+
+    def __init__(
+        self,
+        config: FTLConfig = DEFAULT_CONFIG,
+        *,
+        alpha1: float = 0.05,
+        alpha2: float = 0.05,
+        phi_r: float = 0.01,
+        prefilter=None,
+    ) -> None:
+        self._config = config
+        self._alpha1 = alpha1
+        self._alpha2 = alpha2
+        self._phi_r = phi_r
+        self._prefilter = prefilter
+        self._mr: CompatibilityModel | None = None
+        self._ma: CompatibilityModel | None = None
+        self._candidate_db: TrajectoryDatabase | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        p_db: TrajectoryDatabase,
+        q_db: TrajectoryDatabase,
+        rng: np.random.Generator,
+    ) -> "FTLLinker":
+        """Fit the model pair on both databases and bind ``q_db`` as targets."""
+        self._mr = CompatibilityModel.fit_rejection([p_db, q_db], self._config)
+        self._ma = CompatibilityModel.fit_acceptance([p_db, q_db], self._config, rng)
+        self._candidate_db = q_db
+        return self
+
+    def with_models(
+        self,
+        rejection_model: CompatibilityModel,
+        acceptance_model: CompatibilityModel,
+        q_db: TrajectoryDatabase,
+    ) -> "FTLLinker":
+        """Bind pre-fitted models (e.g. loaded from disk) instead of fitting."""
+        self._mr = rejection_model
+        self._ma = acceptance_model
+        self._candidate_db = q_db
+        return self
+
+    @property
+    def config(self) -> FTLConfig:
+        return self._config
+
+    @property
+    def rejection_model(self) -> CompatibilityModel:
+        self._require_fitted()
+        return self._mr  # type: ignore[return-value]
+
+    @property
+    def acceptance_model(self) -> CompatibilityModel:
+        self._require_fitted()
+        return self._ma  # type: ignore[return-value]
+
+    def _require_fitted(self) -> None:
+        if self._mr is None or self._ma is None or self._candidate_db is None:
+            raise NotFittedError("call fit() or with_models() before linking")
+
+    # ------------------------------------------------------------------
+    # Linking
+    # ------------------------------------------------------------------
+    def link(
+        self,
+        query: Trajectory,
+        method: str = "naive-bayes",
+        candidates: Iterable[Trajectory] | None = None,
+    ) -> LinkResult:
+        """Return the ranked candidate set ``Q_P`` for one query.
+
+        Parameters
+        ----------
+        query:
+            The query trajectory ``P``.
+        method:
+            ``"alpha-filter"`` or ``"naive-bayes"``.
+        candidates:
+            Optional override of the candidate pool (defaults to the
+            bound database) — used e.g. to restrict to a pre-filtered
+            subset in the application examples.
+        """
+        self._require_fitted()
+        if method not in METHODS:
+            raise ValidationError(f"unknown method {method!r}; known: {METHODS}")
+        pool: Iterable[Trajectory] = (
+            self._candidate_db if candidates is None else candidates  # type: ignore[assignment]
+        )
+        if self._prefilter is not None:
+            pool = [c for c in pool if self._prefilter.keep(query, c)]
+        if method == "alpha-filter":
+            matched_ids = self._alpha_filter_ids(query, pool)
+        else:
+            matched_ids = self._naive_bayes_ids(query, pool)
+        ranked = self._score_and_rank(query, matched_ids)
+        return LinkResult(query_id=query.traj_id, method=method, candidates=ranked)
+
+    def _alpha_filter_ids(
+        self, query: Trajectory, pool: Iterable[Trajectory]
+    ) -> list[Trajectory]:
+        matcher = AlphaFilter(self._mr, self._ma, self._alpha1, self._alpha2)
+        matched: list[Trajectory] = []
+        for candidate in pool:
+            if matcher.decide(query, candidate).accepted:
+                matched.append(candidate)
+        return matched
+
+    def _naive_bayes_ids(
+        self, query: Trajectory, pool: Iterable[Trajectory]
+    ) -> list[Trajectory]:
+        matcher = NaiveBayesMatcher(self._mr, self._ma, self._phi_r)
+        matched: list[Trajectory] = []
+        for candidate in pool:
+            if matcher.decide(query, candidate).same_person:
+                matched.append(candidate)
+        return matched
+
+    def _score_and_rank(
+        self, query: Trajectory, matched: Sequence[Trajectory]
+    ) -> tuple[Candidate, ...]:
+        scored: list[Candidate] = []
+        for candidate in matched:
+            profile = mutual_segment_profile(query, candidate, self._config)
+            within = profile.within_horizon(self._mr.n_buckets)  # type: ignore[union-attr]
+            p1 = rejection_pvalue(profile, self._mr)  # type: ignore[arg-type]
+            p2 = acceptance_pvalue(profile, self._ma)  # type: ignore[arg-type]
+            scored.append(
+                Candidate(
+                    candidate_id=candidate.traj_id,
+                    score=p1 * (1.0 - p2),
+                    p_rejection=p1,
+                    p_acceptance=p2,
+                    n_mutual=within.n_total,
+                    n_incompatible=within.n_incompatible,
+                )
+            )
+        scored.sort(key=lambda c: -c.score)
+        return tuple(scored)
+
+    # ------------------------------------------------------------------
+    # Enrichment (Fig. 2's second knowledge gain)
+    # ------------------------------------------------------------------
+    def enrich(self, query: Trajectory, candidate_id: object) -> Trajectory:
+        """Merge the query with a linked candidate into one trajectory.
+
+        The paper's *trajectory enrichment*: after linking, the two
+        sources' records are interleaved into a single richer
+        trajectory for the identified person.
+        """
+        self._require_fitted()
+        candidate = self._candidate_db[candidate_id]  # type: ignore[index]
+        merged_id = (query.traj_id, candidate_id)
+        return query.concat(candidate, traj_id=merged_id)

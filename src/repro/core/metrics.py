@@ -1,0 +1,115 @@
+"""Evaluation metrics (paper Definitions 1-2 and Section VII).
+
+* **Perceptiveness** — the probability that a query's returned candidate
+  set contains a trajectory of the same owner (Definition 1), estimated
+  as the fraction of queries with at least one true match returned.
+* **Selectiveness** — the expected fractional size ``|Q_P| / |Q|`` of
+  the returned set (Definition 2); smaller is better.
+* **precision_at_k** — the Fig. 8 protocol: a query is "found" when the
+  true match is inside the per-query top-k; precision is the found
+  fraction.
+* **hits_within_topk** — the Fig. 6 protocol: candidates of *all*
+  queries are pooled, globally ranked by score, and for each k we count
+  the queries whose true match appears within the global top-k prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ValidationError
+
+CandidateSets = Mapping[object, Sequence[object]]
+"""query id -> ordered candidate ids returned for that query."""
+
+GroundTruth = Mapping[object, object]
+"""query id -> the true matching candidate id."""
+
+
+def _check_queries(results: CandidateSets, truth: GroundTruth) -> None:
+    missing = [qid for qid in results if qid not in truth]
+    if missing:
+        raise ValidationError(
+            f"{len(missing)} queries lack ground truth (first: {missing[0]!r})"
+        )
+
+
+def perceptiveness(results: CandidateSets, truth: GroundTruth) -> float:
+    """Fraction of queries whose candidate set contains the true match."""
+    if not results:
+        raise ValidationError("perceptiveness needs at least one query")
+    _check_queries(results, truth)
+    hits = sum(1 for qid, cands in results.items() if truth[qid] in set(cands))
+    return hits / len(results)
+
+
+def selectiveness(results: CandidateSets, database_size: int) -> float:
+    """Mean returned-set fraction ``|Q_P| / |Q|`` over all queries."""
+    if not results:
+        raise ValidationError("selectiveness needs at least one query")
+    if database_size < 1:
+        raise ValidationError(f"database_size must be >= 1, got {database_size}")
+    return sum(len(cands) for cands in results.values()) / (
+        len(results) * database_size
+    )
+
+
+def precision_at_k(results: CandidateSets, truth: GroundTruth, k: int) -> float:
+    """Fraction of queries whose true match is within their top-``k`` list.
+
+    ``results`` values must be ordered best-first (rank order).
+    """
+    if not results:
+        raise ValidationError("precision_at_k needs at least one query")
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    _check_queries(results, truth)
+    hits = sum(1 for qid, cands in results.items() if truth[qid] in set(cands[:k]))
+    return hits / len(results)
+
+
+def hits_within_topk(
+    scored: Sequence[tuple[object, object, float]],
+    truth: GroundTruth,
+    ks: Sequence[int],
+) -> list[int]:
+    """Fig. 6 curve: queries matched within the global top-k, per k.
+
+    Parameters
+    ----------
+    scored:
+        Pooled ``(query_id, candidate_id, score)`` triples across all
+        queries.
+    truth:
+        Query id -> true matching candidate id.
+    ks:
+        Increasing cut-offs (the x-axis of Fig. 6).
+
+    Returns
+    -------
+    For each ``k`` in ``ks``, the number of distinct queries whose true
+    match appears among the ``k`` highest-scored triples overall.
+    """
+    if any(k < 0 for k in ks):
+        raise ValidationError("ks must be non-negative")
+    if any(b < a for a, b in zip(ks, ks[1:])):
+        raise ValidationError("ks must be non-decreasing")
+    ordered = sorted(scored, key=lambda item: -item[2])
+    matched: set[object] = set()
+    counts: list[int] = []
+    position = 0
+    for k in ks:
+        while position < min(k, len(ordered)):
+            qid, cid, _score = ordered[position]
+            if truth.get(qid) == cid:
+                matched.add(qid)
+            position += 1
+        counts.append(len(matched))
+    return counts
+
+
+def recall_curve(
+    results: CandidateSets, truth: GroundTruth, ks: Sequence[int]
+) -> list[float]:
+    """Per-query-rank recall: ``precision_at_k`` evaluated at each k."""
+    return [precision_at_k(results, truth, k) for k in ks]

@@ -1,0 +1,325 @@
+"""Rejection and acceptance models (paper Sections IV-B, IV-C).
+
+Both models are the same statistical object — a table mapping a
+time-difference bucket ``i`` to the probability ``s^(i)`` that a mutual
+segment whose gap rounds to ``i`` time units is *incompatible* — fitted
+on different populations:
+
+* the **rejection model** is fitted on *same-person* data.  Following
+  Algorithm 1, each individual trajectory is treated as an aligned
+  same-person pair and each of its (self-)segments as a mutual segment;
+  incompatibility then only arises from measurement noise.
+* the **acceptance model** is fitted on *different-person* data.
+  Following Algorithm 2, random pairs of distinct trajectories from the
+  same database are aligned and their mutual segments pooled.  (We cap
+  the number of sampled pairs; the paper's double loop is quadratic.)
+
+Buckets at or beyond the configured horizon are always compatible
+(``s = 0``) and are not stored, matching the paper's finite-model
+argument ("given enough time, one can always travel ... hence mutual
+segments beyond certain time difference are always compatible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.core.alignment import mutual_segment_profile, self_segment_profile
+from repro.core.database import TrajectoryDatabase
+from repro.errors import NotFittedError, ValidationError
+
+REJECTION = "rejection"
+ACCEPTANCE = "acceptance"
+
+
+@dataclass
+class BucketCounts:
+    """Raw per-bucket tallies accumulated during fitting (mutable)."""
+
+    total: np.ndarray
+    incompatible: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.total.shape != self.incompatible.shape:
+            raise ValidationError("count arrays must have equal shapes")
+        if np.any(self.incompatible > self.total):
+            raise ValidationError("incompatible counts cannot exceed totals")
+
+    @classmethod
+    def zeros(cls, n_buckets: int) -> "BucketCounts":
+        return cls(
+            np.zeros(n_buckets, dtype=np.int64), np.zeros(n_buckets, dtype=np.int64)
+        )
+
+    def accumulate(self, buckets: np.ndarray, incompatible: np.ndarray) -> None:
+        """Add one profile's segments to the tallies (in place).
+
+        Segments beyond the stored horizon are ignored — they are
+        0-probability by construction.
+        """
+        n = self.total.shape[0]
+        mask = buckets < n
+        if not np.any(mask):
+            return
+        kept = buckets[mask]
+        self.total += np.bincount(kept, minlength=n)
+        self.incompatible += np.bincount(
+            kept, weights=incompatible[mask].astype(np.int64), minlength=n
+        ).astype(np.int64)
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.total.sum())
+
+
+def _smoothed_probabilities(counts: BucketCounts, config: FTLConfig) -> np.ndarray:
+    """Per-bucket incompatibility probability with smoothing and gap filling.
+
+    Buckets with at least ``min_bucket_count`` observations get the
+    pseudo-count estimate ``(inc + s) / (tot + 2s)``.  Under-observed
+    buckets are filled by linear interpolation between populated
+    neighbours (constant extrapolation at the edges); if no bucket is
+    populated the pooled rate is used everywhere.
+    """
+    s = config.smoothing
+    total = counts.total.astype(np.float64)
+    inc = counts.incompatible.astype(np.float64)
+    n = total.shape[0]
+    probs = np.empty(n, dtype=np.float64)
+
+    populated = total >= max(config.min_bucket_count, 1)
+    probs[populated] = (inc[populated] + s) / (total[populated] + 2.0 * s)
+
+    if not np.any(populated):
+        pooled_total = total.sum()
+        pooled = (inc.sum() + s) / (pooled_total + 2.0 * s) if pooled_total else 0.0
+        probs[:] = pooled
+        return probs
+    if not np.all(populated):
+        idx = np.arange(n)
+        probs[~populated] = np.interp(
+            idx[~populated], idx[populated], probs[populated]
+        )
+    return probs
+
+
+class CompatibilityModel:
+    """A fitted per-bucket incompatibility-probability table.
+
+    Use the classmethods :meth:`fit_rejection` / :meth:`fit_acceptance`
+    rather than the constructor; the constructor exists for
+    deserialisation and testing.
+
+    Parameters
+    ----------
+    kind:
+        ``"rejection"`` or ``"acceptance"``.
+    counts:
+        Per-bucket tallies (defines the horizon via its length).
+    config:
+        The configuration the model was fitted under; bucketing must
+        match at query time.
+    """
+
+    def __init__(self, kind: str, counts: BucketCounts, config: FTLConfig) -> None:
+        if kind not in (REJECTION, ACCEPTANCE):
+            raise ValidationError(f"kind must be rejection|acceptance, got {kind!r}")
+        if counts.total.shape[0] != config.n_buckets:
+            raise ValidationError(
+                f"counts cover {counts.total.shape[0]} buckets but the config "
+                f"defines {config.n_buckets}"
+            )
+        self._kind = kind
+        self._counts = counts
+        self._config = config
+        self._probs = _smoothed_probabilities(counts, config)
+
+    # ------------------------------------------------------------------
+    # Fitting (Algorithms 1 and 2)
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit_rejection(
+        cls,
+        databases: Iterable[TrajectoryDatabase],
+        config: FTLConfig,
+    ) -> "CompatibilityModel":
+        """Algorithm 1: pool the self-segments of every trajectory."""
+        counts = BucketCounts.zeros(config.n_buckets)
+        n_trajectories = 0
+        for db in databases:
+            for traj in db:
+                profile = self_segment_profile(traj, config)
+                counts.accumulate(profile.buckets, profile.incompatible)
+                n_trajectories += 1
+        if n_trajectories == 0:
+            raise ValidationError("fit_rejection needs at least one trajectory")
+        return cls(REJECTION, counts, config)
+
+    @classmethod
+    def fit_acceptance(
+        cls,
+        databases: Iterable[TrajectoryDatabase],
+        config: FTLConfig,
+        rng: np.random.Generator,
+        max_pairs: int | None = None,
+    ) -> "CompatibilityModel":
+        """Algorithm 2: pool mutual segments of random distinct-id pairs.
+
+        For each database, up to ``max_pairs`` unordered pairs of
+        distinct trajectories are sampled without replacement from the
+        full pair space (all pairs are used when there are fewer).
+        """
+        if max_pairs is None:
+            max_pairs = config.max_acceptance_pairs
+        if max_pairs < 1:
+            raise ValidationError(f"max_pairs must be >= 1, got {max_pairs}")
+        counts = BucketCounts.zeros(config.n_buckets)
+        saw_pair = False
+        for db in databases:
+            trajs = list(db)
+            n = len(trajs)
+            if n < 2:
+                continue
+            for i, j in _sample_distinct_pairs(n, max_pairs, rng):
+                profile = mutual_segment_profile(trajs[i], trajs[j], config)
+                counts.accumulate(profile.buckets, profile.incompatible)
+                saw_pair = True
+        if not saw_pair:
+            raise ValidationError(
+                "fit_acceptance needs a database with at least two trajectories"
+            )
+        return cls(ACCEPTANCE, counts, config)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def config(self) -> FTLConfig:
+        return self._config
+
+    @property
+    def counts(self) -> BucketCounts:
+        return self._counts
+
+    @property
+    def n_buckets(self) -> int:
+        return self._probs.shape[0]
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments the model was fitted on."""
+        return self._counts.n_segments
+
+    def prob(self, bucket: int) -> float:
+        """``s^(bucket)`` — incompatibility probability for one bucket.
+
+        Buckets at or beyond the horizon return 0.0 (always compatible).
+        """
+        if bucket < 0:
+            raise ValidationError(f"bucket must be >= 0, got {bucket}")
+        if bucket >= self.n_buckets:
+            return 0.0
+        return float(self._probs[bucket])
+
+    def probs_for(self, buckets: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`prob` over a bucket-index array."""
+        buckets = np.asarray(buckets, dtype=np.int64)
+        out = np.zeros(buckets.shape, dtype=np.float64)
+        mask = buckets < self.n_buckets
+        out[mask] = self._probs[buckets[mask]]
+        return out
+
+    def empirical_rate(self, bucket: int) -> float:
+        """Unsmoothed observed rate for one bucket (NaN when unobserved)."""
+        if not 0 <= bucket < self.n_buckets:
+            raise ValidationError(f"bucket {bucket} outside model support")
+        total = self._counts.total[bucket]
+        if total == 0:
+            return float("nan")
+        return float(self._counts.incompatible[bucket] / total)
+
+    # ------------------------------------------------------------------
+    # Serialisation (round-trips through repro.io)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot of the fitted model."""
+        return {
+            "kind": self._kind,
+            "total": self._counts.total.tolist(),
+            "incompatible": self._counts.incompatible.tolist(),
+            "config": {
+                "vmax_kph": self._config.vmax_kph,
+                "time_unit_s": self._config.time_unit_s,
+                "horizon_s": self._config.horizon_s,
+                "metric": self._config.metric,
+                "smoothing": self._config.smoothing,
+                "min_bucket_count": self._config.min_bucket_count,
+                "max_acceptance_pairs": self._config.max_acceptance_pairs,
+                "pb_backend": self._config.pb_backend,
+                "prob_floor": self._config.prob_floor,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompatibilityModel":
+        """Rebuild a model saved by :meth:`to_dict`."""
+        try:
+            config = FTLConfig(**payload["config"])
+            counts = BucketCounts(
+                np.asarray(payload["total"], dtype=np.int64),
+                np.asarray(payload["incompatible"], dtype=np.int64),
+            )
+            return cls(payload["kind"], counts, config)
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed model payload: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"CompatibilityModel(kind={self._kind!r}, buckets={self.n_buckets}, "
+            f"segments={self.n_segments})"
+        )
+
+
+def _sample_distinct_pairs(
+    n: int, max_pairs: int, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Up to ``max_pairs`` unordered distinct index pairs from ``range(n)``.
+
+    When the full pair space fits, it is enumerated; otherwise pairs are
+    drawn by rejection sampling without replacement.
+    """
+    total_pairs = n * (n - 1) // 2
+    if total_pairs <= max_pairs:
+        return [(i, j) for i in range(n) for j in range(i + 1, n)]
+    seen: set[tuple[int, int]] = set()
+    while len(seen) < max_pairs:
+        i = int(rng.integers(0, n))
+        j = int(rng.integers(0, n))
+        if i == j:
+            continue
+        pair = (min(i, j), max(i, j))
+        seen.add(pair)
+    return sorted(seen)
+
+
+def require_fitted_pair(
+    rejection: CompatibilityModel | None, acceptance: CompatibilityModel | None
+) -> tuple[CompatibilityModel, CompatibilityModel]:
+    """Validate the (Mr, Ma) pair shared by both matchers."""
+    if rejection is None or acceptance is None:
+        raise NotFittedError("both rejection and acceptance models are required")
+    if rejection.kind != REJECTION:
+        raise ValidationError("first model must be a rejection model")
+    if acceptance.kind != ACCEPTANCE:
+        raise ValidationError("second model must be an acceptance model")
+    if rejection.config != acceptance.config:
+        raise ValidationError("models were fitted under different configs")
+    return rejection, acceptance

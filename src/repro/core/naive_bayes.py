@@ -1,0 +1,149 @@
+"""The Naive-Bayes-matching algorithm (paper Section IV-E).
+
+Let ``(b_1, ..., b_n)`` be the incompatibility indicators of the mutual
+segments of an aligned pair.  The matcher compares the two posteriors
+
+    Pr(Mr | b) ~ phi_r * prod_i s_r^(l_i)^{b_i} (1 - s_r^(l_i))^{1-b_i}
+    Pr(Ma | b) ~ phi_a * prod_i s_a^(l_i)^{b_i} (1 - s_a^(l_i))^{1-b_i}
+
+and declares *same person* when the rejection-model posterior wins.
+``phi_r`` is the prior probability that a random (P, Q) pair is of one
+person; when unknown it acts as a strictness knob — larger ``phi_r``
+loosens candidate selection (paper Section IV-E's discussion).
+
+All likelihoods are computed in log space with probability clamping to
+``[prob_floor, 1 - prob_floor]`` so that zero-probability buckets (e.g.
+beyond-horizon segments) never produce ``-inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.alignment import MutualSegmentProfile, mutual_segment_profile
+from repro.core.database import TrajectoryDatabase
+from repro.core.models import CompatibilityModel, require_fitted_pair
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class NBDecision:
+    """Outcome of Naive-Bayes-matching one (query, candidate) pair.
+
+    Attributes
+    ----------
+    candidate_id:
+        Id of the tested candidate.
+    log_likelihood_rejection / log_likelihood_acceptance:
+        Log observation likelihood under ``Mr`` / ``Ma``.
+    log_posterior_ratio:
+        ``log(phi_r L(Mr)) - log(phi_a L(Ma))``; positive means the
+        same-person model wins.
+    same_person:
+        The decision (``log_posterior_ratio >= 0``).
+    n_mutual, n_incompatible:
+        Size of the in-horizon observation.
+    """
+
+    candidate_id: object
+    log_likelihood_rejection: float
+    log_likelihood_acceptance: float
+    log_posterior_ratio: float
+    same_person: bool
+    n_mutual: int
+    n_incompatible: int
+
+
+def _log_likelihood(
+    ps: np.ndarray, incompatible: np.ndarray, floor: float
+) -> float:
+    """``sum_i log(p_i)`` over incompatible plus ``log(1-p_i)`` over compatible."""
+    clamped = np.clip(ps, floor, 1.0 - floor)
+    return float(
+        np.log(clamped[incompatible]).sum()
+        + np.log1p(-clamped[~incompatible]).sum()
+    )
+
+
+class NaiveBayesMatcher:
+    """Naive-Bayes matcher bound to a fitted (Mr, Ma) model pair.
+
+    Parameters
+    ----------
+    rejection_model, acceptance_model:
+        The fitted models (must share one config).
+    phi_r:
+        Prior probability ``Pr(M = Mr)`` that a pair is of the same
+        person, in (0, 1).  ``phi_a = 1 - phi_r``.
+    """
+
+    def __init__(
+        self,
+        rejection_model: CompatibilityModel,
+        acceptance_model: CompatibilityModel,
+        phi_r: float = 0.01,
+    ) -> None:
+        self._mr, self._ma = require_fitted_pair(rejection_model, acceptance_model)
+        if not 0.0 < phi_r < 1.0:
+            raise ValidationError(f"phi_r must be in (0, 1), got {phi_r}")
+        self._phi_r = float(phi_r)
+
+    @property
+    def phi_r(self) -> float:
+        return self._phi_r
+
+    @property
+    def phi_a(self) -> float:
+        return 1.0 - self._phi_r
+
+    @property
+    def config(self):
+        return self._mr.config
+
+    def decide_profile(
+        self, profile: MutualSegmentProfile, candidate_id: object = None
+    ) -> NBDecision:
+        """Classify a pre-computed mutual-segment profile."""
+        floor = self.config.prob_floor
+        within = profile.within_horizon(self._mr.n_buckets)
+        ps_r = self._mr.probs_for(within.buckets)
+        ps_a = self._ma.probs_for(within.buckets)
+        ll_r = _log_likelihood(ps_r, within.incompatible, floor)
+        ll_a = _log_likelihood(ps_a, within.incompatible, floor)
+        ratio = (math.log(self._phi_r) + ll_r) - (math.log(self.phi_a) + ll_a)
+        return NBDecision(
+            candidate_id=candidate_id,
+            log_likelihood_rejection=ll_r,
+            log_likelihood_acceptance=ll_a,
+            log_posterior_ratio=ratio,
+            same_person=ratio >= 0.0,
+            n_mutual=within.n_total,
+            n_incompatible=within.n_incompatible,
+        )
+
+    def decide(self, query: Trajectory, candidate: Trajectory) -> NBDecision:
+        """Classify one (query, candidate) trajectory pair."""
+        profile = mutual_segment_profile(query, candidate, self.config)
+        return self.decide_profile(profile, candidate_id=candidate.traj_id)
+
+    def query(
+        self,
+        query: Trajectory,
+        candidates: TrajectoryDatabase | Iterable[Trajectory],
+    ) -> list[NBDecision]:
+        """Decisions for every candidate classified *same person*.
+
+        Returned in database order; the paper ranks them separately via
+        the (alpha1, alpha2)-filtering score when needed (Section V).
+        """
+        matched: list[NBDecision] = []
+        for candidate in candidates:
+            decision = self.decide(query, candidate)
+            if decision.same_person:
+                matched.append(decision)
+        return matched

@@ -1,0 +1,148 @@
+"""Candidate pre-filters: cheap pruning before the statistical tests.
+
+FTL evidence lives entirely in mutual segments with small time gaps, so
+a candidate whose observation window barely overlaps the query's — or
+whose record density near the query's records is too low — cannot be
+confidently accepted no matter what the tests say.  These pre-filters
+exploit that to skip the (comparatively expensive) Poisson-Binomial
+evaluation for hopeless candidates, a first step toward the paper's
+future-work goal of large-scale linking.
+
+Pre-filters are *conservative*: they may only drop candidates that
+could not have produced enough in-horizon mutual segments to be
+accepted anyway, so they trade a bounded amount of perceptiveness for
+throughput.  ``NullPrefilter`` keeps everything (the default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+
+
+class NullPrefilter:
+    """Keep every candidate (the exhaustive behaviour of the paper)."""
+
+    def keep(self, query: Trajectory, candidate: Trajectory) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "NullPrefilter()"
+
+
+class TimeOverlapPrefilter:
+    """Require the two observation windows to overlap by a minimum time.
+
+    Parameters
+    ----------
+    min_overlap_s:
+        Least overlap of ``[start, end]`` windows, in seconds.  Pairs
+        below it generate mutual segments only at the single junction
+        point — essentially no evidence.
+    """
+
+    def __init__(self, min_overlap_s: float) -> None:
+        if min_overlap_s < 0:
+            raise ValidationError(
+                f"min_overlap_s must be >= 0, got {min_overlap_s}"
+            )
+        self._min_overlap_s = float(min_overlap_s)
+
+    @property
+    def min_overlap_s(self) -> float:
+        return self._min_overlap_s
+
+    def keep(self, query: Trajectory, candidate: Trajectory) -> bool:
+        if len(query) == 0 or len(candidate) == 0:
+            return False
+        overlap = min(query.end_time, candidate.end_time) - max(
+            query.start_time, candidate.start_time
+        )
+        return overlap >= self._min_overlap_s
+
+    def __repr__(self) -> str:
+        return f"TimeOverlapPrefilter(min_overlap_s={self._min_overlap_s})"
+
+
+class SpatialOverlapPrefilter:
+    """Require the trajectories' bounding boxes to come within a margin.
+
+    Two trajectories whose record envelopes never approach each other
+    closer than ``margin_m`` cannot produce an *incompatibility-free*
+    short-gap mutual segment pattern typical of a same-person pair — a
+    cheap spatial screen before the statistical tests.  Note this is a
+    heuristic (unlike the time filters it can in principle drop a true
+    match whose two services cover disjoint areas); the default margin
+    is generous.
+    """
+
+    def __init__(self, margin_m: float = 5_000.0) -> None:
+        if margin_m < 0:
+            raise ValidationError(f"margin_m must be >= 0, got {margin_m}")
+        self._margin_m = float(margin_m)
+
+    @property
+    def margin_m(self) -> float:
+        return self._margin_m
+
+    def keep(self, query: Trajectory, candidate: Trajectory) -> bool:
+        if len(query) == 0 or len(candidate) == 0:
+            return False
+        gap_x = max(
+            float(candidate.xs.min()) - float(query.xs.max()),
+            float(query.xs.min()) - float(candidate.xs.max()),
+            0.0,
+        )
+        gap_y = max(
+            float(candidate.ys.min()) - float(query.ys.max()),
+            float(query.ys.min()) - float(candidate.ys.max()),
+            0.0,
+        )
+        return float(np.hypot(gap_x, gap_y)) <= self._margin_m
+
+    def __repr__(self) -> str:
+        return f"SpatialOverlapPrefilter(margin_m={self._margin_m})"
+
+
+class MutualSegmentCountPrefilter:
+    """Require a minimum number of in-horizon mutual segments.
+
+    Counts, without computing any distances, how many adjacent pairs in
+    the merged timestamp sequence cross sources with a gap below the
+    config horizon.  Pairs with fewer than ``min_segments`` such
+    segments cannot carry enough evidence for a confident decision.
+    """
+
+    def __init__(self, config: FTLConfig, min_segments: int = 1) -> None:
+        if min_segments < 1:
+            raise ValidationError(f"min_segments must be >= 1, got {min_segments}")
+        self._config = config
+        self._min_segments = int(min_segments)
+
+    @property
+    def min_segments(self) -> int:
+        return self._min_segments
+
+    def keep(self, query: Trajectory, candidate: Trajectory) -> bool:
+        n_p, n_q = len(query), len(candidate)
+        if n_p == 0 or n_q == 0:
+            return False
+        ts = np.concatenate([query.ts, candidate.ts])
+        sources = np.empty(n_p + n_q, dtype=np.int8)
+        sources[:n_p] = 0
+        sources[n_p:] = 1
+        order = np.argsort(ts, kind="stable")
+        ts_sorted = ts[order]
+        src_sorted = sources[order]
+        mutual = src_sorted[1:] != src_sorted[:-1]
+        gaps = np.diff(ts_sorted)
+        in_horizon = mutual & (gaps < self._config.horizon_s)
+        return int(np.count_nonzero(in_horizon)) >= self._min_segments
+
+    def __repr__(self) -> str:
+        return (
+            f"MutualSegmentCountPrefilter(min_segments={self._min_segments})"
+        )

@@ -1,0 +1,85 @@
+"""Candidate ranking (paper Section V, Equation 2).
+
+Any candidate ``Q`` of a query ``P`` is scored by
+
+    v_PQ = p1 * (1 - p2)
+
+where ``p1`` is the alpha1-rejection p-value (large when the pair is
+consistent with the same-person model) and ``p2`` the alpha2-acceptance
+p-value (small when the pair is inconsistent with the different-person
+model).  Larger scores mean more likely true matches.  The same score is
+applied to Naive-Bayes candidate sets, as the paper prescribes, since the
+NB posterior itself needs an unavailable prior ``Pr(b_1..b_n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.alignment import MutualSegmentProfile, mutual_segment_profile
+from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
+from repro.core.models import CompatibilityModel, require_fitted_pair
+from repro.core.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """A candidate id with its ranking score and the underlying p-values."""
+
+    candidate_id: object
+    score: float
+    p_rejection: float
+    p_acceptance: float
+
+
+def score_candidate(
+    profile: MutualSegmentProfile,
+    rejection_model: CompatibilityModel,
+    acceptance_model: CompatibilityModel,
+) -> ScoredCandidate:
+    """Score one pre-computed profile with Eq. 2 (id left as ``None``)."""
+    mr, ma = require_fitted_pair(rejection_model, acceptance_model)
+    p1 = rejection_pvalue(profile, mr)
+    p2 = acceptance_pvalue(profile, ma)
+    return ScoredCandidate(
+        candidate_id=None,
+        score=p1 * (1.0 - p2),
+        p_rejection=p1,
+        p_acceptance=p2,
+    )
+
+
+def rank_candidates(
+    query: Trajectory,
+    candidates: Iterable[Trajectory],
+    rejection_model: CompatibilityModel,
+    acceptance_model: CompatibilityModel,
+) -> list[ScoredCandidate]:
+    """Score every candidate and return them sorted by non-increasing score.
+
+    Ties are broken by candidate order (stable sort), matching the
+    paper's non-increasing-likelihood examination order.
+    """
+    mr, ma = require_fitted_pair(rejection_model, acceptance_model)
+    scored: list[ScoredCandidate] = []
+    for candidate in candidates:
+        profile = mutual_segment_profile(query, candidate, mr.config)
+        base = score_candidate(profile, mr, ma)
+        scored.append(
+            ScoredCandidate(
+                candidate_id=candidate.traj_id,
+                score=base.score,
+                p_rejection=base.p_rejection,
+                p_acceptance=base.p_acceptance,
+            )
+        )
+    scored.sort(key=lambda c: -c.score)
+    return scored
+
+
+def top_k(ranked: Sequence[ScoredCandidate], k: int) -> list[ScoredCandidate]:
+    """The first ``k`` entries of an already-ranked candidate list."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    return list(ranked[:k])

@@ -1,0 +1,58 @@
+"""A single location-timestamp record.
+
+The paper (Section III) models a trajectory as a time-sorted sequence of
+location-timestamp records.  :class:`Record` is the user-facing scalar
+view; internally :class:`~repro.core.trajectory.Trajectory` stores
+columnar NumPy arrays and materialises :class:`Record` objects only on
+demand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True, order=True)
+class Record:
+    """One observation: a point ``(x, y)`` seen at time ``t``.
+
+    Ordering is by ``(t, x, y)`` so sorting a list of records sorts them
+    in time order, matching the paper's trajectory definition.
+
+    Attributes
+    ----------
+    t:
+        Timestamp in seconds (any consistent epoch).
+    x, y:
+        Planar coordinates in metres, or (lon, lat) degrees when the
+        haversine metric is configured.
+    """
+
+    t: float
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        for name in ("t", "x", "y"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)):
+                raise ValidationError(f"Record.{name} must be a number, got {value!r}")
+            if not math.isfinite(value):
+                raise ValidationError(f"Record.{name} must be finite, got {value!r}")
+
+    @property
+    def location(self) -> tuple[float, float]:
+        """The ``(x, y)`` coordinate pair."""
+        return (self.x, self.y)
+
+    def time_shifted(self, offset_s: float) -> "Record":
+        """A copy of this record with ``offset_s`` added to the timestamp."""
+        return Record(self.t + offset_s, self.x, self.y)
+
+
+def timediff(a: Record, b: Record) -> float:
+    """Absolute timestamp difference in seconds (paper's ``timediff``)."""
+    return abs(a.t - b.t)

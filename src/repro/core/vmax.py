@@ -1,0 +1,117 @@
+"""Learning ``Vmax`` from data (paper Section IV-B).
+
+"The Vmax can either be manually set, e.g. the maximum allowed speed in
+a city, or learnt from the data."  This module implements the learning
+route: pool the implied speeds of all *self-segments* (consecutive
+records of individual trajectories — same-person movement by
+construction), take a high quantile, and inflate it by a safety margin
+so that measurement noise never pushes a true positive over the cap.
+
+The quantile/margin defaults are deliberately loose, matching the
+paper's design principle that FTL "will not reject true positives":
+a cap that is too high only weakens evidence, while a cap that is too
+low silently breaks the rejection model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.core.database import TrajectoryDatabase
+from repro.errors import ValidationError
+from repro.geo.distance import get_metric
+from repro.geo.units import mps_to_kph
+
+
+@dataclass(frozen=True)
+class VmaxEstimate:
+    """Outcome of learning the speed cap from data."""
+
+    vmax_kph: float
+    quantile_kph: float
+    n_segments: int
+    quantile: float
+    margin: float
+
+    def as_config(self, base: FTLConfig | None = None) -> FTLConfig:
+        """A config with the learnt cap (other fields from ``base``)."""
+        base = base if base is not None else FTLConfig()
+        return base.with_updates(vmax_kph=self.vmax_kph)
+
+
+def _self_segment_speeds(
+    db: TrajectoryDatabase, metric_name: str, min_gap_s: float
+) -> np.ndarray:
+    """Implied m/s speeds of all self-segments with gap >= min_gap_s.
+
+    Very short gaps are excluded: location noise over a near-zero time
+    difference produces unbounded spurious speeds (the same observation
+    that motivates the rejection model's bucket-0 statistics).
+    """
+    metric = get_metric(metric_name)
+    speeds: list[np.ndarray] = []
+    for traj in db:
+        if len(traj) < 2:
+            continue
+        dts = np.diff(traj.ts)
+        dists = metric(traj.xs[:-1], traj.ys[:-1], traj.xs[1:], traj.ys[1:])
+        usable = dts >= min_gap_s
+        if np.any(usable):
+            speeds.append(dists[usable] / dts[usable])
+    if not speeds:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(speeds)
+
+
+def learn_vmax(
+    databases: Iterable[TrajectoryDatabase],
+    quantile: float = 0.999,
+    margin: float = 1.5,
+    metric: str = "euclidean",
+    min_gap_s: float = 120.0,
+) -> VmaxEstimate:
+    """Estimate ``Vmax`` from the self-segments of the given databases.
+
+    Parameters
+    ----------
+    quantile:
+        Speed quantile of the pooled self-segments taken as the
+        plausible-travel ceiling (default 99.9%).
+    margin:
+        Multiplicative safety factor applied on top (default 1.5x),
+        keeping the cap loose as the paper prescribes.
+    min_gap_s:
+        Segments shorter than this are excluded (noise-dominated).
+    """
+    if not 0.5 < quantile < 1.0:
+        raise ValidationError(f"quantile must be in (0.5, 1), got {quantile}")
+    if margin < 1.0:
+        raise ValidationError(f"margin must be >= 1, got {margin}")
+    if min_gap_s < 0:
+        raise ValidationError(f"min_gap_s must be >= 0, got {min_gap_s}")
+    pooled: list[np.ndarray] = []
+    for db in databases:
+        speeds = _self_segment_speeds(db, metric, min_gap_s)
+        if speeds.size:
+            pooled.append(speeds)
+    if not pooled:
+        raise ValidationError(
+            "no usable self-segments; lower min_gap_s or supply more data"
+        )
+    all_speeds = np.concatenate(pooled)
+    q_mps = float(np.quantile(all_speeds, quantile))
+    if q_mps <= 0:
+        raise ValidationError(
+            "learnt speed ceiling is zero; the data appears stationary"
+        )
+    return VmaxEstimate(
+        vmax_kph=mps_to_kph(q_mps * margin),
+        quantile_kph=mps_to_kph(q_mps),
+        n_segments=int(all_speeds.size),
+        quantile=quantile,
+        margin=margin,
+    )

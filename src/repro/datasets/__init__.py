@@ -1,0 +1,10 @@
+"""Named dataset configurations mirroring the paper's Table I grid."""
+
+from repro.datasets.catalog import (
+    CatalogEntry,
+    build_scenario,
+    catalog,
+    catalog_entry,
+)
+
+__all__ = ["CatalogEntry", "build_scenario", "catalog", "catalog_entry"]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the FTL reproduction.
+
+All library-raised exceptions derive from :class:`FTLError` so callers can
+catch one base type.  Input problems raise subclasses of
+:class:`ValidationError`; algorithmic misuse (e.g. querying an unfitted
+model) raises :class:`StateError`.
+"""
+
+from __future__ import annotations
+
+
+class FTLError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(FTLError, ValueError):
+    """Invalid user input (bad parameter value, malformed record, ...)."""
+
+
+class EmptyTrajectoryError(ValidationError):
+    """An operation required a non-empty trajectory."""
+
+
+class UnsortedRecordsError(ValidationError):
+    """Records supplied to a trajectory were not in time order."""
+
+
+class StateError(FTLError, RuntimeError):
+    """Operation called in the wrong object state (e.g. unfitted model)."""
+
+
+class NotFittedError(StateError):
+    """A model was used before being fitted."""
+
+
+class DataFormatError(ValidationError):
+    """A file being loaded does not match the expected format."""

@@ -1,0 +1,41 @@
+"""Geometry substrate: units, distance metrics, bounding boxes, grid index."""
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.distance import (
+    euclidean,
+    euclidean_many,
+    get_metric,
+    haversine,
+    haversine_many,
+)
+from repro.geo.grid import GridIndex
+from repro.geo.units import (
+    KM_PER_MILE,
+    kph_to_mps,
+    km_to_m,
+    m_to_km,
+    mps_to_kph,
+    hours_to_seconds,
+    days_to_seconds,
+    minutes_to_seconds,
+    seconds_to_hours,
+)
+
+__all__ = [
+    "BoundingBox",
+    "GridIndex",
+    "KM_PER_MILE",
+    "euclidean",
+    "euclidean_many",
+    "get_metric",
+    "haversine",
+    "haversine_many",
+    "kph_to_mps",
+    "km_to_m",
+    "m_to_km",
+    "mps_to_kph",
+    "hours_to_seconds",
+    "days_to_seconds",
+    "minutes_to_seconds",
+    "seconds_to_hours",
+]

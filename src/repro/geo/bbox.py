@@ -1,0 +1,104 @@
+"""Axis-aligned bounding boxes for planar city coordinates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]`` in metres.
+
+    Used as the extent of a simulated city and for spatial sanity checks on
+    loaded data.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if not (self.max_x > self.min_x and self.max_y > self.min_y):
+            raise ValidationError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def from_size(cls, width: float, height: float) -> "BoundingBox":
+        """A box anchored at the origin with the given width/height in metres."""
+        return cls(0.0, 0.0, float(width), float(height))
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def diameter(self) -> float:
+        """Length of the diagonal — the largest possible in-box distance."""
+        return float(np.hypot(self.width, self.height))
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point lies inside the box (boundaries inclusive)."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_many(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over coordinate arrays."""
+        xs = np.asarray(xs)
+        ys = np.asarray(ys)
+        return (
+            (xs >= self.min_x)
+            & (xs <= self.max_x)
+            & (ys >= self.min_y)
+            & (ys <= self.max_y)
+        )
+
+    def clip(self, x: float, y: float) -> tuple[float, float]:
+        """The point moved to the nearest in-box location."""
+        return (
+            float(min(max(x, self.min_x), self.max_x)),
+            float(min(max(y, self.min_y), self.max_y)),
+        )
+
+    def clip_many(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`clip`."""
+        return (
+            np.clip(np.asarray(xs, dtype=np.float64), self.min_x, self.max_x),
+            np.clip(np.asarray(ys, dtype=np.float64), self.min_y, self.max_y),
+        )
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """``n`` uniform points inside the box as an ``(n, 2)`` array."""
+        if n < 0:
+            raise ValidationError(f"n must be non-negative, got {n}")
+        xs = rng.uniform(self.min_x, self.max_x, size=n)
+        ys = rng.uniform(self.min_y, self.max_y, size=n)
+        return np.column_stack([xs, ys])
+
+    def expand(self, margin: float) -> "BoundingBox":
+        """A box grown by ``margin`` metres on every side."""
+        if margin < 0 and (self.width + 2 * margin <= 0 or self.height + 2 * margin <= 0):
+            raise ValidationError(f"margin {margin} collapses the box")
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )

@@ -1,0 +1,134 @@
+"""A uniform grid spatial index over planar points.
+
+Used by the simulator (nearest cell tower lookup) and available as an
+optional coarse candidate pre-filter.  The index maps each point into a
+square cell of side ``cell_size`` and answers nearest-neighbour and
+radius queries by scanning a growing ring of cells.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class GridIndex:
+    """Static uniform-grid index over a fixed point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array of planar coordinates in metres.
+    cell_size:
+        Side length of a grid cell in metres.  A good default is the
+        typical query radius.
+    """
+
+    def __init__(self, points: np.ndarray, cell_size: float) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValidationError(f"points must be (n, 2), got shape {points.shape}")
+        if not cell_size > 0:
+            raise ValidationError(f"cell_size must be positive, got {cell_size}")
+        self._points = points
+        self._cell_size = float(cell_size)
+        self._cells: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for idx, (x, y) in enumerate(points):
+            self._cells[self._cell_of(x, y)].append(idx)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed points (read-only view)."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def cell_size(self) -> float:
+        return self._cell_size
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        return (int(np.floor(x / self._cell_size)), int(np.floor(y / self._cell_size)))
+
+    def _ring_indices(self, cx: int, cy: int, ring: int) -> list[int]:
+        """Point indices in the square ring at Chebyshev distance ``ring``."""
+        found: list[int] = []
+        if ring == 0:
+            return list(self._cells.get((cx, cy), ()))
+        for dx in range(-ring, ring + 1):
+            for dy in range(-ring, ring + 1):
+                if max(abs(dx), abs(dy)) != ring:
+                    continue
+                found.extend(self._cells.get((cx + dx, cy + dy), ()))
+        return found
+
+    def nearest(self, x: float, y: float) -> tuple[int, float]:
+        """Index and distance of the point nearest to ``(x, y)``.
+
+        Raises :class:`~repro.errors.ValidationError` if the index is empty.
+        """
+        if len(self._points) == 0:
+            raise ValidationError("nearest() on an empty index")
+        cx, cy = self._cell_of(x, y)
+        best_idx = -1
+        best_dist = np.inf
+        ring = 0
+        # Expand rings until the best candidate cannot be beaten by any
+        # point in the next unexplored ring.
+        while True:
+            candidates = self._ring_indices(cx, cy, ring)
+            if candidates:
+                pts = self._points[candidates]
+                dists = np.hypot(pts[:, 0] - x, pts[:, 1] - y)
+                local_best = int(np.argmin(dists))
+                if dists[local_best] < best_dist:
+                    best_dist = float(dists[local_best])
+                    best_idx = candidates[local_best]
+            # Any point in ring r+1 is at least r * cell_size away.
+            if best_idx >= 0 and best_dist <= ring * self._cell_size:
+                return best_idx, best_dist
+            ring += 1
+            if ring * self._cell_size > self._max_extent() + 2 * self._cell_size:
+                # The query is far outside the populated area; ring
+                # expansion would crawl, so finish by brute force.
+                dists = np.hypot(self._points[:, 0] - x, self._points[:, 1] - y)
+                idx = int(np.argmin(dists))
+                return idx, float(dists[idx])
+
+    def _max_extent(self) -> float:
+        mins = self._points.min(axis=0)
+        maxs = self._points.max(axis=0)
+        return float(np.hypot(*(maxs - mins)))
+
+    def within(self, x: float, y: float, radius: float) -> list[int]:
+        """Indices of all points within ``radius`` metres of ``(x, y)``."""
+        if radius < 0:
+            raise ValidationError(f"radius must be non-negative, got {radius}")
+        cx, cy = self._cell_of(x, y)
+        max_ring = int(np.ceil(radius / self._cell_size)) + 1
+        found: list[int] = []
+        for ring in range(max_ring + 1):
+            for idx in self._ring_indices(cx, cy, ring):
+                px, py = self._points[idx]
+                if np.hypot(px - x, py - y) <= radius:
+                    found.append(idx)
+        return found
+
+    def nearest_many(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`nearest` returning an index array."""
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape:
+            raise ValidationError("xs and ys must have identical shapes")
+        flat_x = np.atleast_1d(xs).ravel()
+        flat_y = np.atleast_1d(ys).ravel()
+        out = np.empty(flat_x.shape[0], dtype=np.int64)
+        for i, (x, y) in enumerate(zip(flat_x, flat_y)):
+            out[i] = self.nearest(float(x), float(y))[0]
+        return out.reshape(np.atleast_1d(xs).shape)

@@ -1,0 +1,79 @@
+"""Unit conversions used throughout the library.
+
+The library's internal convention is SI: metres for distance, seconds for
+time, metres/second for speed.  The paper quotes speeds in km/h (e.g.
+``Vmax = 120 kph`` for Singapore taxis, ``140 kph`` as a loose city-wide
+cap), so converters to/from those units live here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+#: Seconds in one minute / hour / day.
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+#: Kilometres in one statute mile (occasionally useful for imported data).
+KM_PER_MILE = 1.609344
+
+
+def _require_finite_nonnegative(value: float, name: str) -> float:
+    number = float(value)
+    if not number >= 0.0:  # also rejects NaN
+        raise ValidationError(f"{name} must be a non-negative number, got {value!r}")
+    return number
+
+
+def kph_to_mps(kph: float) -> float:
+    """Convert kilometres/hour to metres/second.
+
+    >>> kph_to_mps(36.0)
+    10.0
+    """
+    return _require_finite_nonnegative(kph, "kph") * 1000.0 / SECONDS_PER_HOUR
+
+
+def mps_to_kph(mps: float) -> float:
+    """Convert metres/second to kilometres/hour.
+
+    >>> mps_to_kph(10.0)
+    36.0
+    """
+    return _require_finite_nonnegative(mps, "mps") * SECONDS_PER_HOUR / 1000.0
+
+
+def km_to_m(km: float) -> float:
+    """Convert kilometres to metres."""
+    return _require_finite_nonnegative(km, "km") * 1000.0
+
+
+def m_to_km(m: float) -> float:
+    """Convert metres to kilometres."""
+    return _require_finite_nonnegative(m, "m") / 1000.0
+
+
+def minutes_to_seconds(minutes: float) -> float:
+    """Convert minutes to seconds."""
+    return _require_finite_nonnegative(minutes, "minutes") * SECONDS_PER_MINUTE
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return _require_finite_nonnegative(hours, "hours") * SECONDS_PER_HOUR
+
+
+def days_to_seconds(days: float) -> float:
+    """Convert days to seconds."""
+    return _require_finite_nonnegative(days, "days") * SECONDS_PER_DAY
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return _require_finite_nonnegative(seconds, "seconds") / SECONDS_PER_HOUR
+
+
+def seconds_to_days(seconds: float) -> float:
+    """Convert seconds to days."""
+    return _require_finite_nonnegative(seconds, "seconds") / SECONDS_PER_DAY

@@ -1,0 +1,20 @@
+"""Persistence: CSV / JSONL trajectory interchange and a SQLite store."""
+
+from repro.io.csv_io import read_trajectories_csv, write_trajectories_csv
+from repro.io.jsonl_io import (
+    load_model_json,
+    read_trajectories_jsonl,
+    save_model_json,
+    write_trajectories_jsonl,
+)
+from repro.io.sqlite_store import SQLiteTrajectoryStore
+
+__all__ = [
+    "SQLiteTrajectoryStore",
+    "load_model_json",
+    "read_trajectories_csv",
+    "read_trajectories_jsonl",
+    "save_model_json",
+    "write_trajectories_csv",
+    "write_trajectories_jsonl",
+]

@@ -1,0 +1,65 @@
+"""CSV interchange for trajectory databases.
+
+The format is the long/tidy layout every public check-in or taxi corpus
+can be massaged into: one record per row, with columns
+``traj_id,t,x,y`` (a header row is required).  Extra columns are
+ignored on read, so raw exports with additional attributes load as-is.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import DataFormatError
+
+REQUIRED_COLUMNS = ("traj_id", "t", "x", "y")
+
+
+def write_trajectories_csv(db: TrajectoryDatabase, path: str | Path) -> int:
+    """Write a database to CSV; returns the number of rows written."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(REQUIRED_COLUMNS)
+        for traj in db:
+            for t, x, y in zip(traj.ts, traj.xs, traj.ys):
+                writer.writerow([traj.traj_id, repr(float(t)), repr(float(x)), repr(float(y))])
+                rows += 1
+    return rows
+
+
+def read_trajectories_csv(
+    path: str | Path, name: str = "", sort: bool = True
+) -> TrajectoryDatabase:
+    """Load a database from CSV written by :func:`write_trajectories_csv`.
+
+    Rows may appear in any order; records are grouped by ``traj_id``
+    and (by default) time-sorted per trajectory.
+    """
+    path = Path(path)
+    grouped: dict[str, list[tuple[float, float, float]]] = {}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataFormatError(f"{path}: empty file")
+        missing = [c for c in REQUIRED_COLUMNS if c not in reader.fieldnames]
+        if missing:
+            raise DataFormatError(
+                f"{path}: missing required columns {missing}; "
+                f"found {reader.fieldnames}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                record = (float(row["t"]), float(row["x"]), float(row["y"]))
+            except (TypeError, ValueError) as exc:
+                raise DataFormatError(f"{path}:{line_no}: bad record: {exc}") from exc
+            grouped.setdefault(row["traj_id"], []).append(record)
+    db = TrajectoryDatabase(name=name)
+    for traj_id, records in grouped.items():
+        ts, xs, ys = zip(*records)
+        db.add(Trajectory(ts, xs, ys, traj_id, sort=sort))
+    return db

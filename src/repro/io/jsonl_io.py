@@ -1,0 +1,76 @@
+"""JSONL interchange for trajectories and JSON snapshots for models.
+
+JSONL stores one trajectory per line — convenient for streaming large
+databases — and fitted :class:`~repro.core.models.CompatibilityModel`
+objects round-trip through plain JSON files, so expensive model fits
+can be cached between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.models import CompatibilityModel
+from repro.core.trajectory import Trajectory
+from repro.errors import DataFormatError
+
+
+def write_trajectories_jsonl(db: TrajectoryDatabase, path: str | Path) -> int:
+    """Write one trajectory per line; returns the number of lines."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for traj in db:
+            payload = {
+                "traj_id": traj.traj_id,
+                "t": traj.ts.tolist(),
+                "x": traj.xs.tolist(),
+                "y": traj.ys.tolist(),
+            }
+            handle.write(json.dumps(payload) + "\n")
+            count += 1
+    return count
+
+
+def read_trajectories_jsonl(
+    path: str | Path, name: str = "", sort: bool = True
+) -> TrajectoryDatabase:
+    """Load a database written by :func:`write_trajectories_jsonl`."""
+    path = Path(path)
+    db = TrajectoryDatabase(name=name)
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                db.add(
+                    Trajectory(
+                        payload["t"],
+                        payload["x"],
+                        payload["y"],
+                        payload["traj_id"],
+                        sort=sort,
+                    )
+                )
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise DataFormatError(f"{path}:{line_no}: {exc}") from exc
+    return db
+
+
+def save_model_json(model: CompatibilityModel, path: str | Path) -> None:
+    """Persist a fitted model (counts + config) as JSON."""
+    Path(path).write_text(json.dumps(model.to_dict(), indent=2))
+
+
+def load_model_json(path: str | Path) -> CompatibilityModel:
+    """Load a model saved by :func:`save_model_json`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DataFormatError(f"{path}: not valid JSON: {exc}") from exc
+    return CompatibilityModel.from_dict(payload)

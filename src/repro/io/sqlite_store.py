@@ -1,0 +1,199 @@
+"""A SQLite-backed trajectory store.
+
+Real deployments hold each provider's records in a relational database
+(the paper's Singapore data "were originally stored in two databases").
+:class:`SQLiteTrajectoryStore` mirrors that: named databases of
+trajectories persisted in one SQLite file, with indexed point storage
+and time-window queries — so large scenarios can be generated once and
+reloaded cheaply.
+
+Schema::
+
+    databases(db_id INTEGER PK, name TEXT UNIQUE)
+    trajectories(traj_pk INTEGER PK, db_id INTEGER, traj_id TEXT,
+                 UNIQUE(db_id, traj_id))
+    points(traj_pk INTEGER, t REAL, x REAL, y REAL)
+      + index on (traj_pk, t)
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import DataFormatError, ValidationError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS databases (
+    db_id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE
+);
+CREATE TABLE IF NOT EXISTS trajectories (
+    traj_pk INTEGER PRIMARY KEY,
+    db_id INTEGER NOT NULL REFERENCES databases(db_id) ON DELETE CASCADE,
+    traj_id TEXT NOT NULL,
+    UNIQUE (db_id, traj_id)
+);
+CREATE TABLE IF NOT EXISTS points (
+    traj_pk INTEGER NOT NULL REFERENCES trajectories(traj_pk) ON DELETE CASCADE,
+    t REAL NOT NULL,
+    x REAL NOT NULL,
+    y REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_points_traj_t ON points (traj_pk, t);
+"""
+
+
+class SQLiteTrajectoryStore:
+    """Store/load named trajectory databases in one SQLite file.
+
+    Usable as a context manager::
+
+        with SQLiteTrajectoryStore("scenario.db") as store:
+            store.save(pair.p_db, "P")
+            store.save(pair.q_db, "Q")
+
+    ``":memory:"`` gives an ephemeral store for tests.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = str(path)
+        self._conn = sqlite3.connect(self._path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteTrajectoryStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(
+        self, db: TrajectoryDatabase, name: str, replace: bool = False
+    ) -> int:
+        """Persist a database under ``name``; returns points written.
+
+        Raises unless ``replace=True`` when the name already exists.
+        """
+        if not name:
+            raise ValidationError("database name must be non-empty")
+        cur = self._conn.cursor()
+        existing = cur.execute(
+            "SELECT db_id FROM databases WHERE name = ?", (name,)
+        ).fetchone()
+        if existing is not None:
+            if not replace:
+                raise ValidationError(
+                    f"database {name!r} already stored (pass replace=True)"
+                )
+            cur.execute("DELETE FROM databases WHERE db_id = ?", (existing[0],))
+        cur.execute("INSERT INTO databases (name) VALUES (?)", (name,))
+        db_id = cur.lastrowid
+        n_points = 0
+        for traj in db:
+            cur.execute(
+                "INSERT INTO trajectories (db_id, traj_id) VALUES (?, ?)",
+                (db_id, str(traj.traj_id)),
+            )
+            traj_pk = cur.lastrowid
+            cur.executemany(
+                "INSERT INTO points (traj_pk, t, x, y) VALUES (?, ?, ?, ?)",
+                (
+                    (traj_pk, float(t), float(x), float(y))
+                    for t, x, y in zip(traj.ts, traj.xs, traj.ys)
+                ),
+            )
+            n_points += len(traj)
+        self._conn.commit()
+        return n_points
+
+    def delete(self, name: str) -> None:
+        """Remove a stored database and all its points."""
+        cur = self._conn.execute("DELETE FROM databases WHERE name = ?", (name,))
+        self._conn.commit()
+        if cur.rowcount == 0:
+            raise ValidationError(f"no stored database named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """All stored database names, sorted."""
+        rows = self._conn.execute("SELECT name FROM databases ORDER BY name")
+        return [row[0] for row in rows]
+
+    def _db_id(self, name: str) -> int:
+        row = self._conn.execute(
+            "SELECT db_id FROM databases WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise DataFormatError(f"no stored database named {name!r}")
+        return int(row[0])
+
+    def load(
+        self,
+        name: str,
+        start_t: float | None = None,
+        end_t: float | None = None,
+    ) -> TrajectoryDatabase:
+        """Load a database, optionally restricted to a time window.
+
+        ``start_t`` / ``end_t`` bound the record timestamps
+        (inclusive / exclusive); trajectories with no in-window records
+        are omitted.
+        """
+        db_id = self._db_id(name)
+        out = TrajectoryDatabase(name=name)
+        for traj_pk, traj_id in self._conn.execute(
+            "SELECT traj_pk, traj_id FROM trajectories WHERE db_id = ? "
+            "ORDER BY traj_pk",
+            (db_id,),
+        ).fetchall():
+            clauses = ["traj_pk = ?"]
+            params: list[object] = [traj_pk]
+            if start_t is not None:
+                clauses.append("t >= ?")
+                params.append(start_t)
+            if end_t is not None:
+                clauses.append("t < ?")
+                params.append(end_t)
+            rows = self._conn.execute(
+                f"SELECT t, x, y FROM points WHERE {' AND '.join(clauses)} "
+                "ORDER BY t",
+                params,
+            ).fetchall()
+            if not rows:
+                continue
+            data = np.asarray(rows, dtype=np.float64)
+            out.add(Trajectory(data[:, 0], data[:, 1], data[:, 2], traj_id))
+        return out
+
+    def iter_trajectories(self, name: str) -> Iterator[Trajectory]:
+        """Stream a stored database trajectory by trajectory."""
+        loaded = self.load(name)
+        return iter(loaded)
+
+    def count_points(self, name: str) -> int:
+        """Number of stored records in a database."""
+        db_id = self._db_id(name)
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM points p JOIN trajectories tr "
+            "ON p.traj_pk = tr.traj_pk WHERE tr.db_id = ?",
+            (db_id,),
+        ).fetchone()
+        return int(row[0])

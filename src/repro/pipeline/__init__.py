@@ -1,0 +1,53 @@
+"""Experiment pipeline: one module per paper table/figure.
+
+* :mod:`repro.pipeline.tables` — Table I dataset statistics;
+* :mod:`repro.pipeline.tradeoff` — Fig. 5 perceptiveness/selectiveness;
+* :mod:`repro.pipeline.ranking_eval` — Fig. 6 ranking effectiveness;
+* :mod:`repro.pipeline.runtime_eval` — Fig. 7 per-query runtime;
+* :mod:`repro.pipeline.precision_eval` — Fig. 8 baseline comparison;
+* :mod:`repro.pipeline.experiment` — shared evidence computation.
+"""
+
+from repro.pipeline.crossval import HoldoutResult, run_holdout
+from repro.pipeline.experiment import (
+    PairEvidence,
+    QueryEvidence,
+    collect_evidence,
+    fit_model_pair,
+)
+from repro.pipeline.report import ReportSpec, generate_report, write_report
+from repro.pipeline.score_analysis import (
+    ScoreSeparation,
+    auc_from_scores,
+    separation_from_evidence,
+)
+from repro.pipeline.precision_eval import PrecisionResult, run_precision_comparison
+from repro.pipeline.ranking_eval import RankingCurve, run_ranking_eval
+from repro.pipeline.runtime_eval import RuntimeResult, run_runtime_eval
+from repro.pipeline.tables import format_table, render_table1
+from repro.pipeline.tradeoff import TradeoffPoint, run_tradeoff
+
+__all__ = [
+    "HoldoutResult",
+    "PairEvidence",
+    "PrecisionResult",
+    "QueryEvidence",
+    "RankingCurve",
+    "ReportSpec",
+    "RuntimeResult",
+    "ScoreSeparation",
+    "TradeoffPoint",
+    "auc_from_scores",
+    "collect_evidence",
+    "fit_model_pair",
+    "format_table",
+    "generate_report",
+    "render_table1",
+    "run_holdout",
+    "run_precision_comparison",
+    "run_ranking_eval",
+    "run_runtime_eval",
+    "run_tradeoff",
+    "separation_from_evidence",
+    "write_report",
+]

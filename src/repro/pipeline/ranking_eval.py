@@ -1,0 +1,120 @@
+"""Fig. 6: ranking effectiveness.
+
+Protocol (Section VII-C): with intentionally loose acceptance settings
+((alpha1, alpha2) = (0.001, 0.08), phi_r = 0.4) each method returns a
+large candidate pool; every (query, candidate) pair is scored by Eq. 2,
+pooled across queries, globally sorted, and the curve reports — for
+growing k — how many queries have their true match inside the global
+top-k prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.core.metrics import hits_within_topk
+from repro.errors import ValidationError
+from repro.pipeline.experiment import (
+    PairEvidence,
+    collect_evidence,
+    fit_model_pair,
+)
+from repro.synth.scenario import ScenarioPair
+
+#: Loose settings used by the paper for this experiment.
+LOOSE_ALPHA = (0.001, 0.08)
+LOOSE_PHI_R = 0.4
+
+
+@dataclass(frozen=True)
+class RankingCurve:
+    """The Fig. 6 curve for one method."""
+
+    method: str
+    ks: tuple[int, ...]
+    hits: tuple[int, ...]
+    n_queries: int
+    n_pooled_candidates: int
+
+
+def _pooled_scores(
+    evidence: PairEvidence, masks: Sequence[np.ndarray]
+) -> list[tuple[object, object, float]]:
+    pooled: list[tuple[object, object, float]] = []
+    for qe, mask in zip(evidence, masks):
+        scores = qe.scores()
+        for cid, keep, score in zip(qe.candidate_ids, mask, scores):
+            if keep:
+                pooled.append((qe.query_id, cid, float(score)))
+    return pooled
+
+
+def ranking_from_evidence(
+    evidence: PairEvidence,
+    truth: Mapping[object, object],
+    ks: Sequence[int],
+    alpha: tuple[float, float] = LOOSE_ALPHA,
+    phi_r: float = LOOSE_PHI_R,
+) -> dict[str, RankingCurve]:
+    """Both methods' Fig. 6 curves from pre-computed evidence."""
+    curves: dict[str, RankingCurve] = {}
+    method_masks = {
+        "alpha-filter": [qe.alpha_filter_mask(*alpha) for qe in evidence],
+        "naive-bayes": [qe.naive_bayes_mask(phi_r) for qe in evidence],
+    }
+    for method, masks in method_masks.items():
+        pooled = _pooled_scores(evidence, masks)
+        hits = hits_within_topk(pooled, truth, list(ks))
+        curves[method] = RankingCurve(
+            method=method,
+            ks=tuple(ks),
+            hits=tuple(hits),
+            n_queries=len(evidence),
+            n_pooled_candidates=len(pooled),
+        )
+    return curves
+
+
+def run_ranking_eval(
+    pair: ScenarioPair,
+    config: FTLConfig,
+    rng: np.random.Generator,
+    n_queries: int = 500,
+    ks: Sequence[int] | None = None,
+    alpha: tuple[float, float] = LOOSE_ALPHA,
+    phi_r: float = LOOSE_PHI_R,
+) -> dict[str, RankingCurve]:
+    """The full Fig. 6 protocol on one scenario."""
+    if n_queries < 1:
+        raise ValidationError(f"n_queries must be >= 1, got {n_queries}")
+    mr, ma = fit_model_pair(pair, config, rng)
+    n = min(n_queries, len(pair.matched_query_ids()))
+    query_ids = pair.sample_queries(n, rng)
+    evidence = collect_evidence(pair, query_ids, mr, ma)
+    if ks is None:
+        top = max(n, 50)
+        ks = [max(1, round(top * frac)) for frac in
+              (0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0)]
+    return ranking_from_evidence(evidence, pair.truth, ks, alpha, phi_r)
+
+
+def format_ranking(curves: Mapping[str, RankingCurve]) -> str:
+    """Monospace rendering: one row per k, one column per method."""
+    methods = sorted(curves)
+    ks = curves[methods[0]].ks
+    header = f"{'top-k':>8} " + " ".join(f"{m:>14}" for m in methods)
+    lines = [header]
+    for idx, k in enumerate(ks):
+        row = f"{k:>8} " + " ".join(
+            f"{curves[m].hits[idx]:>14}" for m in methods
+        )
+        lines.append(row)
+    lines.append(
+        "queries: "
+        + ", ".join(f"{m}={curves[m].n_queries}" for m in methods)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""One-command reproduction report.
+
+Runs a configurable subset of the paper's experiments and renders a
+single markdown report (the automated counterpart of EXPERIMENTS.md).
+Used by ``ftl report`` and by integration tests; all sizes are
+parameters so tests can run a tiny-but-complete report in seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.datasets.catalog import build_scenario, catalog_entry
+from repro.errors import ValidationError
+from repro.pipeline.experiment import collect_evidence, fit_model_pair
+from repro.pipeline.ranking_eval import format_ranking, ranking_from_evidence
+from repro.pipeline.runtime_eval import format_runtime, run_runtime_eval
+from repro.pipeline.score_analysis import (
+    format_separation,
+    separation_from_evidence,
+)
+from repro.pipeline.tables import render_table1
+from repro.pipeline.tradeoff import format_tradeoff, tradeoff_from_evidence
+from repro.version import __version__
+
+
+@dataclass(frozen=True)
+class ReportSpec:
+    """What to include in a generated report.
+
+    The defaults reproduce the mini-scale evaluation; tests shrink the
+    dataset list and query count further.
+    """
+
+    datasets: Sequence[str] = (
+        "SA-mini", "SB-mini", "SC-mini", "SD-mini", "SE-mini", "SF-mini",
+    )
+    n_queries: int = 25
+    include_table1: bool = True
+    include_tradeoff: bool = True
+    include_ranking: bool = True
+    include_runtime: bool = True
+    include_separation: bool = True
+    include_operating_point: bool = True
+    reference_phi_r: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.datasets:
+            raise ValidationError("report needs at least one dataset")
+        if self.n_queries < 1:
+            raise ValidationError("n_queries must be >= 1")
+
+
+def _nominal_duration(name: str) -> float:
+    entry = catalog_entry(name)
+    return entry.trim_days if entry.trim_days is not None else entry.duration_days
+
+
+def generate_report(
+    spec: ReportSpec = ReportSpec(), config: FTLConfig | None = None
+) -> str:
+    """Run the requested experiments and return the markdown report."""
+    config = config if config is not None else FTLConfig()
+    started = time.time()
+    lines: list[str] = [
+        "# FTL reproduction report",
+        "",
+        f"- library version: {__version__}",
+        f"- datasets: {', '.join(spec.datasets)}",
+        f"- queries per dataset: {spec.n_queries}",
+        "",
+    ]
+
+    pairs = {name: build_scenario(name) for name in spec.datasets}
+    evidences = {}
+    for name, pair in pairs.items():
+        rng = np.random.default_rng(spec.seed)
+        mr, ma = fit_model_pair(pair, config, rng)
+        n = min(spec.n_queries, len(pair.matched_query_ids()))
+        qids = pair.sample_queries(n, rng)
+        evidences[name] = (pair, collect_evidence(pair, qids, mr, ma))
+
+    if spec.include_table1:
+        lines += ["## Table I: dataset statistics", "", "```"]
+        durations = {name: _nominal_duration(name) for name in spec.datasets}
+        lines.append(render_table1(pairs, durations))
+        lines += ["```", ""]
+
+    if spec.include_tradeoff:
+        lines += ["## Fig. 5: perceptiveness-selectiveness tradeoff", ""]
+        for name, (pair, evidence) in evidences.items():
+            curves = tradeoff_from_evidence(evidence, pair.truth)
+            lines += [f"### {name}", "", "```",
+                      format_tradeoff(curves), "```", ""]
+
+    if spec.include_ranking:
+        lines += ["## Fig. 6: ranking effectiveness", ""]
+        for name, (pair, evidence) in evidences.items():
+            n = len(evidence)
+            ks = sorted({max(1, round(n * f)) for f in (0.1, 0.25, 0.5, 1.0)})
+            curves = ranking_from_evidence(evidence, pair.truth, ks)
+            lines += [f"### {name}", "", "```",
+                      format_ranking(curves), "```", ""]
+
+    if spec.include_runtime:
+        lines += ["## Fig. 7: per-query runtime", "", "```"]
+        results = []
+        for name, pair in pairs.items():
+            rng = np.random.default_rng(spec.seed)
+            results.append(
+                run_runtime_eval(
+                    pair, config, rng,
+                    n_queries=min(spec.n_queries, 10), dataset=name,
+                )
+            )
+        lines += [format_runtime(results), "```", ""]
+
+    if spec.include_operating_point:
+        from repro.stats.bootstrap import perceptiveness_ci, selectiveness_ci
+
+        lines += [
+            f"## Reference operating point (Naive-Bayes, "
+            f"phi_r = {spec.reference_phi_r:g}) with 95% bootstrap CIs",
+            "",
+            "```",
+            f"{'dataset':<12} {'perceptiveness':>32} {'selectiveness':>32}",
+        ]
+        boot_rng = np.random.default_rng(spec.seed + 1)
+        for name, (pair, evidence) in evidences.items():
+            results = {}
+            for qe in evidence:
+                mask = qe.naive_bayes_mask(spec.reference_phi_r)
+                results[qe.query_id] = [
+                    cid for cid, keep in zip(qe.candidate_ids, mask) if keep
+                ]
+            perc = perceptiveness_ci(results, dict(pair.truth), boot_rng)
+            sel = selectiveness_ci(results, len(pair.q_db), boot_rng)
+            lines.append(f"{name:<12} {str(perc):>32} {str(sel):>32}")
+        lines += ["```", ""]
+
+    if spec.include_separation:
+        lines += ["## Score separation (Eq. 2 AUC)", "", "```"]
+        separations = {
+            name: separation_from_evidence(evidence, pair.truth)
+            for name, (pair, evidence) in evidences.items()
+        }
+        lines += [format_separation(separations), "```", ""]
+
+    elapsed = time.time() - started
+    lines += [f"_Generated in {elapsed:.1f}s._", ""]
+    return "\n".join(lines)
+
+
+def write_report(
+    path: str | Path,
+    spec: ReportSpec = ReportSpec(),
+    config: FTLConfig | None = None,
+) -> Path:
+    """Generate and write the report; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(generate_report(spec, config))
+    return path

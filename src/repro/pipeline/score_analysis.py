@@ -1,0 +1,126 @@
+"""Score-distribution analysis: how separable are true and false pairs?
+
+Beyond the paper's operating-point metrics, a threshold-free view of
+FTL quality: collect the Eq. 2 scores (or NB log-likelihood ratios) of
+*true* (same-person) and *false* (different-person) pairs and compute
+
+* the ROC AUC — the probability that a random true pair outscores a
+  random false pair (1.0 = perfect separation, 0.5 = chance);
+* summary quantiles of both score populations.
+
+Used by tests and available for custom evaluation; the AUC is also the
+cleanest way to compare configs whose parameter ladders are not
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.pipeline.experiment import PairEvidence
+
+
+def auc_from_scores(
+    true_scores: np.ndarray, false_scores: np.ndarray
+) -> float:
+    """Mann-Whitney AUC: P(true > false) + 0.5 P(true == false)."""
+    true_scores = np.asarray(true_scores, dtype=np.float64)
+    false_scores = np.asarray(false_scores, dtype=np.float64)
+    if true_scores.size == 0 or false_scores.size == 0:
+        raise ValidationError("both score populations must be non-empty")
+    # Rank-based computation: O((n+m) log(n+m)).
+    combined = np.concatenate([true_scores, false_scores])
+    order = combined.argsort(kind="mergesort")
+    ranks = np.empty_like(combined)
+    ranks[order] = np.arange(1, combined.size + 1, dtype=np.float64)
+    # Midranks for ties.
+    sorted_vals = combined[order]
+    idx = 0
+    while idx < sorted_vals.size:
+        j = idx
+        while j + 1 < sorted_vals.size and sorted_vals[j + 1] == sorted_vals[idx]:
+            j += 1
+        if j > idx:
+            mid = (idx + 1 + j + 1) / 2.0
+            ranks[order[idx : j + 1]] = mid
+        idx = j + 1
+    n_true = true_scores.size
+    n_false = false_scores.size
+    rank_sum = ranks[:n_true].sum()
+    u_stat = rank_sum - n_true * (n_true + 1) / 2.0
+    return float(u_stat / (n_true * n_false))
+
+
+@dataclass(frozen=True)
+class ScoreSeparation:
+    """Separation statistics of true vs false pair scores."""
+
+    auc: float
+    n_true: int
+    n_false: int
+    true_median: float
+    false_median: float
+    true_q10: float
+    false_q90: float
+
+    @property
+    def medians_ordered(self) -> bool:
+        """Whether the true-pair median exceeds the false-pair median."""
+        return self.true_median > self.false_median
+
+
+def separation_from_evidence(
+    evidence: PairEvidence,
+    truth: Mapping[object, object],
+    statistic: str = "score",
+) -> ScoreSeparation:
+    """Separation of true vs false pairs from pre-computed evidence.
+
+    Parameters
+    ----------
+    statistic:
+        ``"score"`` (Eq. 2) or ``"llr"`` (NB log-likelihood ratio).
+    """
+    if statistic not in ("score", "llr"):
+        raise ValidationError(f"unknown statistic {statistic!r}")
+    true_vals: list[float] = []
+    false_vals: list[float] = []
+    for qe in evidence:
+        values = qe.scores() if statistic == "score" else qe.llr
+        match = truth.get(qe.query_id)
+        for cid, value in zip(qe.candidate_ids, values):
+            (true_vals if cid == match else false_vals).append(float(value))
+    if not true_vals or not false_vals:
+        raise ValidationError("need both true and false pairs in the evidence")
+    true_arr = np.asarray(true_vals)
+    false_arr = np.asarray(false_vals)
+    return ScoreSeparation(
+        auc=auc_from_scores(true_arr, false_arr),
+        n_true=true_arr.size,
+        n_false=false_arr.size,
+        true_median=float(np.median(true_arr)),
+        false_median=float(np.median(false_arr)),
+        true_q10=float(np.quantile(true_arr, 0.10)),
+        false_q90=float(np.quantile(false_arr, 0.90)),
+    )
+
+
+def format_separation(
+    separations: Mapping[str, ScoreSeparation]
+) -> str:
+    """Monospace rendering: one row per labelled separation."""
+    lines = [
+        f"{'dataset':<12} {'AUC':>7} {'true med':>9} {'false med':>10} "
+        f"{'true q10':>9} {'false q90':>10}"
+    ]
+    for label, sep in separations.items():
+        lines.append(
+            f"{label:<12} {sep.auc:>7.4f} {sep.true_median:>9.4f} "
+            f"{sep.false_median:>10.4f} {sep.true_q10:>9.4f} "
+            f"{sep.false_q90:>10.4f}"
+        )
+    return "\n".join(lines)

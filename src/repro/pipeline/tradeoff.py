@@ -1,0 +1,114 @@
+"""Fig. 5: the perceptiveness-selectiveness tradeoff.
+
+For each dataset config the paper sweeps a ladder of (alpha1, alpha2)
+pairs and of phi_r values, plotting the (selectiveness, perceptiveness)
+point of each setting.  The parameter ladders below are the ones
+labelled on the SB curves in Fig. 5(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.config import FTLConfig
+from repro.errors import ValidationError
+from repro.pipeline.experiment import (
+    PairEvidence,
+    collect_evidence,
+    fit_model_pair,
+    perceptiveness_selectiveness,
+)
+from repro.synth.scenario import ScenarioPair
+
+#: The paper's alpha ladder (strict -> loose), as labelled in Fig. 5(a).
+DEFAULT_ALPHA_LADDER: tuple[tuple[float, float], ...] = (
+    (0.2, 0.01),
+    (0.1, 0.02),
+    (0.05, 0.05),
+    (0.02, 0.1),
+    (0.01, 0.2),
+    (0.001, 0.4),
+)
+
+#: The paper's phi_r ladder (strict -> loose).
+DEFAULT_PHI_LADDER: tuple[float, ...] = (0.001, 0.005, 0.02, 0.05, 0.1, 0.3, 0.5)
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One operating point on a tradeoff curve."""
+
+    method: str
+    param_label: str
+    perceptiveness: float
+    selectiveness: float
+
+
+def tradeoff_from_evidence(
+    evidence: PairEvidence,
+    truth: Mapping[object, object],
+    alpha_ladder: Sequence[tuple[float, float]] = DEFAULT_ALPHA_LADDER,
+    phi_ladder: Sequence[float] = DEFAULT_PHI_LADDER,
+) -> dict[str, list[TradeoffPoint]]:
+    """Evaluate both methods' ladders on pre-computed evidence."""
+    curves: dict[str, list[TradeoffPoint]] = {"alpha-filter": [], "naive-bayes": []}
+    for alpha1, alpha2 in alpha_ladder:
+        masks = [qe.alpha_filter_mask(alpha1, alpha2) for qe in evidence]
+        perc, sel = perceptiveness_selectiveness(evidence, truth, masks)
+        curves["alpha-filter"].append(
+            TradeoffPoint(
+                method="alpha-filter",
+                param_label=f"a1={alpha1:g},a2={alpha2:g}",
+                perceptiveness=perc,
+                selectiveness=sel,
+            )
+        )
+    for phi_r in phi_ladder:
+        masks = [qe.naive_bayes_mask(phi_r) for qe in evidence]
+        perc, sel = perceptiveness_selectiveness(evidence, truth, masks)
+        curves["naive-bayes"].append(
+            TradeoffPoint(
+                method="naive-bayes",
+                param_label=f"phi_r={phi_r:g}",
+                perceptiveness=perc,
+                selectiveness=sel,
+            )
+        )
+    return curves
+
+
+def run_tradeoff(
+    pair: ScenarioPair,
+    config: FTLConfig,
+    rng: np.random.Generator,
+    n_queries: int = 200,
+    alpha_ladder: Sequence[tuple[float, float]] = DEFAULT_ALPHA_LADDER,
+    phi_ladder: Sequence[float] = DEFAULT_PHI_LADDER,
+) -> dict[str, list[TradeoffPoint]]:
+    """Fit models, sample queries and produce both tradeoff curves.
+
+    ``n_queries`` is capped at the number of ground-truth queries (the
+    paper samples 200).
+    """
+    if n_queries < 1:
+        raise ValidationError(f"n_queries must be >= 1, got {n_queries}")
+    mr, ma = fit_model_pair(pair, config, rng)
+    n = min(n_queries, len(pair.matched_query_ids()))
+    query_ids = pair.sample_queries(n, rng)
+    evidence = collect_evidence(pair, query_ids, mr, ma)
+    return tradeoff_from_evidence(evidence, pair.truth, alpha_ladder, phi_ladder)
+
+
+def format_tradeoff(curves: Mapping[str, Sequence[TradeoffPoint]]) -> str:
+    """Monospace rendering of the two curves (one row per setting)."""
+    lines = [f"{'method':<13} {'setting':<22} {'selectiveness':>14} {'perceptiveness':>15}"]
+    for method in sorted(curves):
+        for point in curves[method]:
+            lines.append(
+                f"{point.method:<13} {point.param_label:<22} "
+                f"{point.selectiveness:>14.5f} {point.perceptiveness:>15.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Privacy defenses against FTL (the paper's second future-work item).
+
+The paper frames FTL as both an opportunity and a privacy threat and
+closes with *"we would like to study the privacy issues brought by
+FTL"*.  This package provides that study's toolkit:
+
+* :mod:`repro.privacy.defenses` — data-publisher defenses that degrade
+  the mutual-segment signal: temporal cloaking (timestamp coarsening),
+  spatial cloaking (grid generalisation), record suppression, and
+  Gaussian location perturbation;
+* :mod:`repro.privacy.evaluation` — a sweep harness measuring how each
+  defense trades linkability (perceptiveness of an adaptive attacker
+  who re-fits the FTL models on the defended data) against utility loss
+  (spatial/temporal distortion of the published records).
+"""
+
+from repro.privacy.defenses import (
+    GaussianPerturbation,
+    RecordSuppression,
+    SpatialCloaking,
+    TemporalCloaking,
+)
+from repro.privacy.evaluation import DefensePoint, evaluate_defense_sweep
+
+__all__ = [
+    "DefensePoint",
+    "GaussianPerturbation",
+    "RecordSuppression",
+    "SpatialCloaking",
+    "TemporalCloaking",
+    "evaluate_defense_sweep",
+]

@@ -1,0 +1,141 @@
+"""Publisher-side defenses that weaken fuzzy trajectory linking.
+
+Each defense is a deterministic-or-seeded transform over a
+:class:`~repro.core.trajectory.Trajectory`, applied database-wide via
+:meth:`~repro.core.database.TrajectoryDatabase.map`.  FTL's evidence is
+the (time gap, implied speed) joint of mutual segments, so a defense
+works by blurring time, blurring space, or deleting records:
+
+* :class:`TemporalCloaking` rounds timestamps to a window (a record
+  published at 12:07 becomes "somewhere in [12:00, 12:15)"), destroying
+  the short-gap mutual segments that carry most discrimination;
+* :class:`SpatialCloaking` generalises locations to a grid cell centre
+  (k-anonymity-style), making incompatibility judgements coarser;
+* :class:`GaussianPerturbation` adds location noise (geo-
+  indistinguishability-style);
+* :class:`RecordSuppression` publishes each record only with some
+  probability (less data, fewer mutual segments).
+
+The "distortion" each defense reports is the utility loss a data
+analyst experiences: mean metres of location error and mean seconds of
+timestamp error, per published record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+
+
+class Defense:
+    """Interface: transform one trajectory; report per-record distortion."""
+
+    #: Human-readable knob value, filled by subclasses.
+    strength: float
+
+    def apply(self, traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+        raise NotImplementedError
+
+    def apply_db(
+        self, db: TrajectoryDatabase, rng: np.random.Generator
+    ) -> TrajectoryDatabase:
+        """The defense applied to every trajectory of a database."""
+        return db.map(lambda t: self.apply(t, rng))
+
+    def spatial_distortion_m(self) -> float:
+        """Expected per-record location error introduced, in metres."""
+        return 0.0
+
+    def temporal_distortion_s(self) -> float:
+        """Expected per-record timestamp error introduced, in seconds."""
+        return 0.0
+
+
+class TemporalCloaking(Defense):
+    """Round each timestamp down to a ``window_s``-second boundary."""
+
+    def __init__(self, window_s: float) -> None:
+        if window_s <= 0:
+            raise ValidationError(f"window_s must be positive, got {window_s}")
+        self._window_s = float(window_s)
+        self.strength = self._window_s
+
+    def apply(self, traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+        ts = np.floor(traj.ts / self._window_s) * self._window_s
+        return Trajectory(ts, traj.xs, traj.ys, traj.traj_id, sort=True)
+
+    def temporal_distortion_s(self) -> float:
+        # Uniform within the window: mean error is half the window.
+        return self._window_s / 2.0
+
+    def __repr__(self) -> str:
+        return f"TemporalCloaking(window_s={self._window_s})"
+
+
+class SpatialCloaking(Defense):
+    """Generalise each location to the centre of a ``cell_m`` grid cell."""
+
+    def __init__(self, cell_m: float) -> None:
+        if cell_m <= 0:
+            raise ValidationError(f"cell_m must be positive, got {cell_m}")
+        self._cell_m = float(cell_m)
+        self.strength = self._cell_m
+
+    def apply(self, traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+        half = self._cell_m / 2.0
+        xs = np.floor(traj.xs / self._cell_m) * self._cell_m + half
+        ys = np.floor(traj.ys / self._cell_m) * self._cell_m + half
+        return Trajectory(traj.ts, xs, ys, traj.traj_id)
+
+    def spatial_distortion_m(self) -> float:
+        # Mean distance from a uniform point in a square to its centre:
+        # ~0.3826 * side.
+        return 0.3826 * self._cell_m
+
+    def __repr__(self) -> str:
+        return f"SpatialCloaking(cell_m={self._cell_m})"
+
+
+class GaussianPerturbation(Defense):
+    """Add isotropic Gaussian noise of ``sigma_m`` metres per axis."""
+
+    def __init__(self, sigma_m: float) -> None:
+        if sigma_m < 0:
+            raise ValidationError(f"sigma_m must be >= 0, got {sigma_m}")
+        self._sigma_m = float(sigma_m)
+        self.strength = self._sigma_m
+
+    def apply(self, traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+        if len(traj) == 0 or self._sigma_m == 0:
+            return traj
+        xs = traj.xs + rng.normal(0.0, self._sigma_m, len(traj))
+        ys = traj.ys + rng.normal(0.0, self._sigma_m, len(traj))
+        return Trajectory(traj.ts, xs, ys, traj.traj_id)
+
+    def spatial_distortion_m(self) -> float:
+        # Mean of a Rayleigh(sigma) distance: sigma * sqrt(pi/2).
+        return self._sigma_m * float(np.sqrt(np.pi / 2.0))
+
+    def __repr__(self) -> str:
+        return f"GaussianPerturbation(sigma_m={self._sigma_m})"
+
+
+class RecordSuppression(Defense):
+    """Publish each record only with probability ``1 - suppress_rate``."""
+
+    def __init__(self, suppress_rate: float) -> None:
+        if not 0.0 <= suppress_rate < 1.0:
+            raise ValidationError(
+                f"suppress_rate must be in [0, 1), got {suppress_rate}"
+            )
+        self._suppress_rate = float(suppress_rate)
+        self.strength = self._suppress_rate
+
+    def apply(self, traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+        return traj.downsample(1.0 - self._suppress_rate, rng)
+
+    def __repr__(self) -> str:
+        return f"RecordSuppression(suppress_rate={self._suppress_rate})"

@@ -1,0 +1,37 @@
+"""Statistical machinery: Poisson-Binomial law, Poisson processes, theory."""
+
+from repro.stats.poisson_binomial import (
+    PoissonBinomial,
+    pb_cdf,
+    pb_pmf,
+    pb_sf,
+)
+from repro.stats.poisson_process import (
+    merge_processes,
+    sample_poisson_process,
+)
+from repro.stats.theory import (
+    expected_mutual_segments,
+    expected_mutual_segments_approx,
+    mutual_segment_count_pmf,
+    mutual_segment_count_pmf_poisson,
+    mutual_segment_length_pdf,
+    simulate_mutual_segment_counts,
+    simulate_mutual_segment_lengths,
+)
+
+__all__ = [
+    "PoissonBinomial",
+    "expected_mutual_segments",
+    "expected_mutual_segments_approx",
+    "merge_processes",
+    "mutual_segment_count_pmf",
+    "mutual_segment_count_pmf_poisson",
+    "mutual_segment_length_pdf",
+    "pb_cdf",
+    "pb_pmf",
+    "pb_sf",
+    "sample_poisson_process",
+    "simulate_mutual_segment_counts",
+    "simulate_mutual_segment_lengths",
+]

@@ -1,0 +1,116 @@
+"""Bootstrap confidence intervals for evaluation metrics.
+
+Perceptiveness and selectiveness are estimated from a few dozen sampled
+queries (the paper uses 200); reporting them without uncertainty
+invites over-reading small differences.  This module provides
+percentile-bootstrap CIs over per-query outcome vectors, used by the
+report generator and available for any custom metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    level: float
+    n_samples: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}] @ {self.level:.0%}"
+        )
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    values: Sequence[float] | np.ndarray,
+    rng: np.random.Generator,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    n_boot: int = 2000,
+    level: float = 0.95,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI of ``statistic`` over per-unit values.
+
+    Parameters
+    ----------
+    values:
+        One outcome per independent unit (e.g. per query: 1.0 if the
+        true match was returned else 0.0).
+    statistic:
+        Vectorised reducer applied to each resample (default: mean).
+    n_boot:
+        Number of bootstrap resamples.
+    level:
+        Two-sided coverage level in (0, 1).
+    """
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise ValidationError("need at least one value")
+    if not 0.0 < level < 1.0:
+        raise ValidationError(f"level must be in (0, 1), got {level}")
+    if n_boot < 10:
+        raise ValidationError(f"n_boot must be >= 10, got {n_boot}")
+    estimate = float(statistic(data))
+    idx = rng.integers(0, data.size, size=(n_boot, data.size))
+    resamples = data[idx]
+    stats = np.apply_along_axis(statistic, 1, resamples)
+    alpha = (1.0 - level) / 2.0
+    return ConfidenceInterval(
+        estimate=estimate,
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        level=level,
+        n_samples=int(data.size),
+    )
+
+
+def perceptiveness_ci(
+    results: dict,
+    truth: dict,
+    rng: np.random.Generator,
+    n_boot: int = 2000,
+    level: float = 0.95,
+) -> ConfidenceInterval:
+    """Bootstrap CI of perceptiveness over the per-query hit indicators."""
+    if not results:
+        raise ValidationError("need at least one query result")
+    hits = [
+        1.0 if truth.get(qid) in set(cands) else 0.0
+        for qid, cands in results.items()
+    ]
+    return bootstrap_ci(hits, rng, n_boot=n_boot, level=level)
+
+
+def selectiveness_ci(
+    results: dict,
+    database_size: int,
+    rng: np.random.Generator,
+    n_boot: int = 2000,
+    level: float = 0.95,
+) -> ConfidenceInterval:
+    """Bootstrap CI of selectiveness over the per-query set sizes."""
+    if not results:
+        raise ValidationError("need at least one query result")
+    if database_size < 1:
+        raise ValidationError("database_size must be >= 1")
+    fractions = [len(cands) / database_size for cands in results.values()]
+    return bootstrap_ci(fractions, rng, n_boot=n_boot, level=level)

@@ -1,0 +1,148 @@
+"""FTL feasibility prediction from service access rates (Section VI).
+
+The paper closes its analysis with: *"Our analysis reveals the
+relationship between service access patterns and mutual segments.  This
+is useful in evaluating the feasibility of FTL when real values for
+lam_p and lam_q are known."*  This module operationalises that remark.
+
+Given the two services' access rates and a fitted (or hypothesised)
+model pair, it predicts:
+
+* how many *informative* (in-horizon) mutual segments a day of data
+  yields — combining the rate of mutual segments (Problem 2) with the
+  exponential law of their lengths (Problem 3);
+* the expected same-person evidence accumulated per day (in nats),
+  using the per-bucket KL divergence of the model pair weighted by the
+  theoretical gap distribution;
+* how many days of data are needed to reach a target log-likelihood-
+  ratio separation (e.g. ~6.9 nats ~ a posterior odds swing of 1000x).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.diagnostics import bucket_divergence
+from repro.core.models import CompatibilityModel, require_fitted_pair
+from repro.errors import ValidationError
+from repro.geo.units import SECONDS_PER_DAY
+from repro.stats.theory import expected_mutual_segments
+
+#: ln(1000): the evidence needed to swing posterior odds by 1000x.
+DECISIVE_EVIDENCE_NATS = math.log(1000.0)
+
+
+def informative_fraction(
+    lam_p_per_s: float, lam_q_per_s: float, horizon_s: float
+) -> float:
+    """Fraction of mutual segments whose gap is below the horizon.
+
+    Mutual segment lengths are Exponential(lam_p + lam_q) (Corollary
+    6.2), so the in-horizon fraction is ``1 - exp(-(lam_p+lam_q) * h)``.
+    """
+    if lam_p_per_s <= 0 or lam_q_per_s <= 0:
+        raise ValidationError("rates must be positive")
+    if horizon_s <= 0:
+        raise ValidationError("horizon_s must be positive")
+    return 1.0 - math.exp(-(lam_p_per_s + lam_q_per_s) * horizon_s)
+
+
+def informative_segments_per_day(
+    lam_p_per_hour: float, lam_q_per_hour: float, horizon_s: float
+) -> float:
+    """Expected in-horizon mutual segments per day of co-observation."""
+    lam_p_s = lam_p_per_hour / 3600.0
+    lam_q_s = lam_q_per_hour / 3600.0
+    # E(X) per second times seconds/day, thinned to in-horizon segments.
+    per_second = expected_mutual_segments(
+        lam_p_s * SECONDS_PER_DAY, lam_q_s * SECONDS_PER_DAY
+    ) / SECONDS_PER_DAY
+    return per_second * SECONDS_PER_DAY * informative_fraction(
+        lam_p_s, lam_q_s, horizon_s
+    )
+
+
+def theoretical_gap_weights(
+    lam_p_per_hour: float,
+    lam_q_per_hour: float,
+    config,
+) -> np.ndarray:
+    """Bucket weights implied by the Exponential(lam_p+lam_q) gap law.
+
+    Returns the probability, conditioned on the segment being
+    in-horizon, that an in-horizon mutual segment falls in each bucket
+    of the given :class:`~repro.config.FTLConfig`.
+    """
+    total_per_s = (lam_p_per_hour + lam_q_per_hour) / 3600.0
+    if total_per_s <= 0:
+        raise ValidationError("rates must be positive")
+    unit = config.time_unit_s
+    n = config.n_buckets
+    # Bucket i covers gaps in [(i - 0.5) * unit, (i + 0.5) * unit)
+    # (bucket 0 covers [0, unit/2)).
+    edges = np.concatenate([[0.0], (np.arange(n) + 0.5) * unit])
+    cdf = 1.0 - np.exp(-total_per_s * edges)
+    weights = np.diff(cdf)
+    total = weights.sum()
+    if total <= 0:
+        raise ValidationError("horizon too small for the given rates")
+    return weights / total
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Predicted FTL feasibility for one (lam_p, lam_q, models) setting."""
+
+    lam_p_per_hour: float
+    lam_q_per_hour: float
+    informative_segments_per_day: float
+    evidence_per_segment_nats: float
+    evidence_per_day_nats: float
+    days_to_decisive: float
+
+    def summary(self) -> str:
+        return (
+            f"lam_p={self.lam_p_per_hour:g}/h, lam_q={self.lam_q_per_hour:g}/h: "
+            f"{self.informative_segments_per_day:.2f} informative segments/day, "
+            f"{self.evidence_per_segment_nats:.3f} nats/segment, "
+            f"{self.evidence_per_day_nats:.2f} nats/day "
+            f"-> ~{self.days_to_decisive:.1f} days to decisive evidence"
+        )
+
+
+def assess_feasibility(
+    lam_p_per_hour: float,
+    lam_q_per_hour: float,
+    rejection_model: CompatibilityModel,
+    acceptance_model: CompatibilityModel,
+    target_nats: float = DECISIVE_EVIDENCE_NATS,
+) -> FeasibilityReport:
+    """Predict how much data FTL needs at the given access rates.
+
+    Combines the Section VI segment-frequency/length laws with the
+    fitted models' per-bucket discriminability.  ``days_to_decisive``
+    is ``inf`` when the models carry no evidence at all.
+    """
+    if target_nats <= 0:
+        raise ValidationError(f"target_nats must be positive, got {target_nats}")
+    mr, ma = require_fitted_pair(rejection_model, acceptance_model)
+    config = mr.config
+    segments_per_day = informative_segments_per_day(
+        lam_p_per_hour, lam_q_per_hour, config.horizon_s
+    )
+    weights = theoretical_gap_weights(lam_p_per_hour, lam_q_per_hour, config)
+    divergence = bucket_divergence(mr, ma)
+    per_segment = float((divergence * weights).sum())
+    per_day = per_segment * segments_per_day
+    days = target_nats / per_day if per_day > 0 else float("inf")
+    return FeasibilityReport(
+        lam_p_per_hour=lam_p_per_hour,
+        lam_q_per_hour=lam_q_per_hour,
+        informative_segments_per_day=segments_per_day,
+        evidence_per_segment_nats=per_segment,
+        evidence_per_day_nats=per_day,
+        days_to_decisive=days,
+    )

@@ -1,0 +1,105 @@
+"""Homogeneous and inhomogeneous Poisson process samplers.
+
+Section VI of the paper models service access patterns as independent
+Poisson processes.  The samplers here drive both the theory-validation
+experiments (Fig. 4) and the synthetic observation services of
+:mod:`repro.synth.observation`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def sample_poisson_process(
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Event times of a homogeneous Poisson process on ``[start, start+duration)``.
+
+    Parameters
+    ----------
+    rate:
+        Events per unit time (>= 0).
+    duration:
+        Window length in the same time unit (>= 0).
+
+    Returns
+    -------
+    Sorted float64 array of event times.
+    """
+    if rate < 0:
+        raise ValidationError(f"rate must be >= 0, got {rate}")
+    if duration < 0:
+        raise ValidationError(f"duration must be >= 0, got {duration}")
+    n = int(rng.poisson(rate * duration))
+    times = rng.uniform(start, start + duration, size=n)
+    times.sort()
+    return times
+
+
+def sample_inhomogeneous_poisson(
+    rate_fn: Callable[[np.ndarray], np.ndarray],
+    max_rate: float,
+    duration: float,
+    rng: np.random.Generator,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Event times of an inhomogeneous Poisson process, by thinning.
+
+    Parameters
+    ----------
+    rate_fn:
+        Vectorised intensity function of absolute time; must satisfy
+        ``0 <= rate_fn(t) <= max_rate`` on the window.
+    max_rate:
+        Dominating constant rate used for the candidate process.
+    """
+    if max_rate < 0:
+        raise ValidationError(f"max_rate must be >= 0, got {max_rate}")
+    candidates = sample_poisson_process(max_rate, duration, rng, start=start)
+    if candidates.size == 0:
+        return candidates
+    rates = np.asarray(rate_fn(candidates), dtype=np.float64)
+    if np.any(rates < 0) or np.any(rates > max_rate * (1.0 + 1e-9)):
+        raise ValidationError("rate_fn must stay within [0, max_rate]")
+    keep = rng.random(candidates.size) < rates / max_rate
+    return candidates[keep]
+
+
+def merge_processes(
+    times_a: np.ndarray, times_b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two sorted event-time arrays, labelling each event's origin.
+
+    Returns
+    -------
+    ``(times, labels)`` where ``labels`` is 0 for events of ``times_a``
+    and 1 for events of ``times_b``.  Ties keep ``times_a`` first
+    (stable merge).
+    """
+    times_a = np.asarray(times_a, dtype=np.float64)
+    times_b = np.asarray(times_b, dtype=np.float64)
+    merged = np.concatenate([times_a, times_b])
+    labels = np.concatenate(
+        [
+            np.zeros(times_a.size, dtype=np.int8),
+            np.ones(times_b.size, dtype=np.int8),
+        ]
+    )
+    order = np.argsort(merged, kind="stable")
+    return merged[order], labels[order]
+
+
+def count_label_changes(labels: np.ndarray) -> int:
+    """Number of adjacent label changes — i.e. of mutual segments."""
+    labels = np.asarray(labels)
+    if labels.size < 2:
+        return 0
+    return int(np.count_nonzero(labels[1:] != labels[:-1]))

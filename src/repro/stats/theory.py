@@ -1,0 +1,199 @@
+"""Section VI theory: frequency and duration of mutual segments.
+
+Service accesses of the two sources are two independent Poisson processes
+``N_P``, ``N_Q`` with rates ``lam_p``, ``lam_q`` per unit time.  The paper
+studies:
+
+* **Problem 1** — the pmf ``fX(x)`` of the number ``X`` of mutual
+  segments in one unit of time.  We compute it exactly by conditioning
+  on the merged event count ``k ~ Poisson(lam_p + lam_q)`` and running a
+  transfer-matrix DP over the iid source labels (each event comes from
+  ``P`` independently with probability ``lam_p / (lam_p + lam_q)``); a
+  mutual segment is an adjacent label change.  This is algebraically the
+  same quantity as the paper's closed-form ``mu(x|k)`` enumeration.
+* **Problem 2** — the exact expectation
+  ``E(X) = 2 a b / (a+b) - (1 - e^{-(a+b)}) * 2 a b / (a+b)^2`` and the
+  approximation ``E^(X) = 2 a b / (a+b)`` whose Poisson law is the
+  paper's ``f^X``.
+* **Problem 3 / Corollary 6.2** — mutual segment time length
+  ``Y ~ Exponential(lam_p + lam_q)``.
+
+Monte-Carlo counterparts (used in tests and Fig. 4) live here too.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.stats.poisson_process import (
+    count_label_changes,
+    merge_processes,
+    sample_poisson_process,
+)
+
+
+def _validate_rates(lam_p: float, lam_q: float) -> tuple[float, float]:
+    if not (lam_p > 0 and lam_q > 0):
+        raise ValidationError(
+            f"rates must be positive, got lam_p={lam_p}, lam_q={lam_q}"
+        )
+    return float(lam_p), float(lam_q)
+
+
+def expected_mutual_segments(lam_p: float, lam_q: float) -> float:
+    """Exact ``E(X)`` — expected mutual segments per unit time (Problem 2)."""
+    lam_p, lam_q = _validate_rates(lam_p, lam_q)
+    total = lam_p + lam_q
+    lead = 2.0 * lam_p * lam_q / total
+    correction = (1.0 - math.exp(-total)) * 2.0 * lam_p * lam_q / total**2
+    return lead - correction
+
+
+def expected_mutual_segments_approx(lam_p: float, lam_q: float) -> float:
+    """``E^(X) = 2 lam_p lam_q / (lam_p + lam_q)`` (the paper's approximation)."""
+    lam_p, lam_q = _validate_rates(lam_p, lam_q)
+    return 2.0 * lam_p * lam_q / (lam_p + lam_q)
+
+
+def poisson_pmf(lam: float, ks: np.ndarray) -> np.ndarray:
+    """Poisson pmf at integer points ``ks`` (vectorised, log-space safe)."""
+    ks = np.asarray(ks, dtype=np.int64)
+    if np.any(ks < 0):
+        raise ValidationError("Poisson support is non-negative integers")
+    if lam < 0:
+        raise ValidationError(f"lam must be >= 0, got {lam}")
+    if lam == 0:
+        return (ks == 0).astype(np.float64)
+    log_pmf = ks * math.log(lam) - lam - np.array(
+        [math.lgamma(k + 1.0) for k in ks]
+    )
+    return np.exp(log_pmf)
+
+
+def _poisson_truncation_point(lam: float, tol: float = 1e-13) -> int:
+    """Smallest k with ``Pr(K > k) < tol`` for ``K ~ Poisson(lam)``."""
+    k = int(lam)
+    cum = poisson_pmf(lam, np.arange(k + 1)).sum()
+    while 1.0 - cum >= tol:
+        k += 1
+        cum += float(poisson_pmf(lam, np.array([k]))[0])
+        if k > lam + 40 * math.sqrt(lam + 1.0) + 100:
+            break
+    return k
+
+
+def mutual_segment_count_pmf(
+    lam_p: float, lam_q: float, max_x: int, tol: float = 1e-13
+) -> np.ndarray:
+    """Exact ``fX(x)`` for ``x = 0 .. max_x`` (Problem 1).
+
+    Conditioned on ``k`` merged events, each event's source label is iid
+    ``P`` with probability ``gamma = lam_p / (lam_p + lam_q)``; ``X`` is
+    the number of adjacent label changes, whose conditional law is
+    computed by a transfer-matrix DP over the label sequence.  The
+    Poisson mixture over ``k`` is truncated at relative mass ``tol``.
+    """
+    lam_p, lam_q = _validate_rates(lam_p, lam_q)
+    if max_x < 0:
+        raise ValidationError(f"max_x must be >= 0, got {max_x}")
+    total = lam_p + lam_q
+    gamma = lam_p / total
+    k_max = max(_poisson_truncation_point(total, tol), max_x + 1)
+    k_pmf = poisson_pmf(total, np.arange(k_max + 1))
+
+    fx = np.zeros(max_x + 1)
+    # k = 0 (no events) and k = 1 (one event) both give X = 0.
+    fx[0] += k_pmf[0] + (k_pmf[1] if k_max >= 1 else 0.0)
+
+    # DP state after placing j labels: prob[label, changes], truncated at
+    # max_x + 1 changes (excess changes can never fall back below max_x).
+    width = max_x + 2
+    state = np.zeros((2, width))
+    state[0, 0] = gamma        # first label is P
+    state[1, 0] = 1.0 - gamma  # first label is Q
+    for k in range(2, k_max + 1):
+        nxt = np.empty_like(state)
+        # Next label P: no change if previous was P, change if previous Q.
+        nxt[0, 0] = gamma * state[0, 0]
+        nxt[0, 1:] = gamma * (state[0, 1:] + state[1, :-1])
+        nxt[1, 0] = (1.0 - gamma) * state[1, 0]
+        nxt[1, 1:] = (1.0 - gamma) * (state[1, 1:] + state[0, :-1])
+        # Overflow bucket absorbs > max_x changes.
+        nxt[:, -1] += np.array(
+            [gamma * state[1, -1], (1.0 - gamma) * state[0, -1]]
+        )
+        state = nxt
+        fx += k_pmf[k] * state[:, : max_x + 1].sum(axis=0)
+    return fx
+
+
+def mutual_segment_count_pmf_poisson(
+    lam_p: float, lam_q: float, max_x: int
+) -> np.ndarray:
+    """The paper's approximation ``f^X``: Poisson with mean ``E^(X)``."""
+    if max_x < 0:
+        raise ValidationError(f"max_x must be >= 0, got {max_x}")
+    mean = expected_mutual_segments_approx(lam_p, lam_q)
+    return poisson_pmf(mean, np.arange(max_x + 1))
+
+
+def mutual_segment_length_pdf(
+    lam_p: float, lam_q: float, ys: np.ndarray
+) -> np.ndarray:
+    """``gY(y) = (lam_p + lam_q) e^{-(lam_p + lam_q) y}`` (Problem 3)."""
+    lam_p, lam_q = _validate_rates(lam_p, lam_q)
+    ys = np.asarray(ys, dtype=np.float64)
+    if np.any(ys < 0):
+        raise ValidationError("segment lengths are non-negative")
+    total = lam_p + lam_q
+    return total * np.exp(-total * ys)
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo counterparts
+# ----------------------------------------------------------------------
+def simulate_mutual_segment_counts(
+    lam_p: float,
+    lam_q: float,
+    n_units: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sampled mutual-segment counts over ``n_units`` unit-time windows.
+
+    Each window independently draws two Poisson processes, merges them,
+    and counts label changes — an empirical draw from ``fX``.
+    """
+    _validate_rates(lam_p, lam_q)
+    if n_units < 0:
+        raise ValidationError(f"n_units must be >= 0, got {n_units}")
+    counts = np.empty(n_units, dtype=np.int64)
+    for i in range(n_units):
+        times_p = sample_poisson_process(lam_p, 1.0, rng)
+        times_q = sample_poisson_process(lam_q, 1.0, rng)
+        _, labels = merge_processes(times_p, times_q)
+        counts[i] = count_label_changes(labels)
+    return counts
+
+
+def simulate_mutual_segment_lengths(
+    lam_p: float,
+    lam_q: float,
+    duration: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Observed mutual-segment time lengths over one long window.
+
+    An empirical sample from ``gY`` (Problem 3).
+    """
+    _validate_rates(lam_p, lam_q)
+    times_p = sample_poisson_process(lam_p, duration, rng)
+    times_q = sample_poisson_process(lam_q, duration, rng)
+    times, labels = merge_processes(times_p, times_q)
+    if times.size < 2:
+        return np.empty(0, dtype=np.float64)
+    mutual = labels[1:] != labels[:-1]
+    gaps = np.diff(times)
+    return gaps[mutual]

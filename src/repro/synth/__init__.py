@@ -1,0 +1,68 @@
+"""Synthetic data substrate.
+
+The paper evaluates on proprietary Singapore taxi databases and on the
+T-Drive GPS corpus; neither is redistributable, so this package builds
+the closest synthetic equivalent (see DESIGN.md, "Substitutions"):
+
+* a planar :class:`~repro.synth.city.CityModel` with clustered POIs and
+  a jittered cell-tower grid;
+* per-agent continuous ground-truth motion
+  (:mod:`repro.synth.mobility`) bounded by a true travel speed;
+* two independent Poisson-sampled *observation services* with
+  per-service noise (:mod:`repro.synth.observation`) producing the
+  paired trajectory databases; and
+* the T-Drive-style record-split protocol
+  (:func:`~repro.synth.scenario.make_split_databases`).
+"""
+
+from repro.synth.city import CityModel
+from repro.synth.mobility import (
+    GroundTruthPath,
+    build_commuter_path,
+    build_taxi_path,
+)
+from repro.synth.noise import GaussianNoise, NoNoise, TowerSnapNoise
+from repro.synth.observation import ObservationService
+from repro.synth.population import Agent, generate_population
+from repro.synth.scenario import (
+    ScenarioPair,
+    make_paired_databases,
+    make_split_databases,
+)
+from repro.synth.downsample import downsample_pair, trim_pair
+from repro.synth.roads import (
+    RoadNetwork,
+    build_road_network,
+    build_road_taxi_path,
+)
+from repro.synth.transit import (
+    TransitSystem,
+    build_transit_commuter,
+    build_transit_system,
+    make_transit_scenario,
+)
+
+__all__ = [
+    "Agent",
+    "CityModel",
+    "GaussianNoise",
+    "GroundTruthPath",
+    "NoNoise",
+    "ObservationService",
+    "RoadNetwork",
+    "ScenarioPair",
+    "TowerSnapNoise",
+    "TransitSystem",
+    "build_commuter_path",
+    "build_road_network",
+    "build_road_taxi_path",
+    "build_taxi_path",
+    "build_transit_commuter",
+    "build_transit_system",
+    "downsample_pair",
+    "generate_population",
+    "make_paired_databases",
+    "make_split_databases",
+    "make_transit_scenario",
+    "trim_pair",
+]

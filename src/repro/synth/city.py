@@ -1,0 +1,117 @@
+"""The simulated city: extent, POIs and cell towers.
+
+A :class:`CityModel` is shared by all agents of a scenario so that
+their movements, POI choices and CDR tower snapping are mutually
+consistent.  The default dimensions approximate Singapore's main island
+(~45 km x 25 km), the city the paper's primary dataset comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.geo.bbox import BoundingBox
+from repro.geo.grid import GridIndex
+from repro.synth.pois import generate_pois, generate_tower_grid
+
+#: Default extent, metres (Singapore-like).
+DEFAULT_WIDTH_M = 45_000.0
+DEFAULT_HEIGHT_M = 25_000.0
+
+
+class CityModel:
+    """A city with POIs and a cell-tower grid.
+
+    Use :meth:`generate` to build one from a random generator; the
+    constructor accepts explicit geometry for tests.
+
+    Parameters
+    ----------
+    bbox:
+        City extent in metres.
+    pois:
+        ``(n, 2)`` POI coordinates.
+    towers:
+        ``(m, 2)`` cell-tower coordinates.
+    """
+
+    def __init__(
+        self, bbox: BoundingBox, pois: np.ndarray, towers: np.ndarray
+    ) -> None:
+        pois = np.asarray(pois, dtype=np.float64)
+        towers = np.asarray(towers, dtype=np.float64)
+        if pois.ndim != 2 or pois.shape[1] != 2 or pois.shape[0] < 2:
+            raise ValidationError("pois must be an (n >= 2, 2) array")
+        if towers.ndim != 2 or towers.shape[1] != 2 or towers.shape[0] < 1:
+            raise ValidationError("towers must be an (m >= 1, 2) array")
+        self._bbox = bbox
+        self._pois = pois
+        self._towers = towers
+        self._tower_index = GridIndex(towers, cell_size=max(bbox.diameter / 20.0, 1.0))
+
+    @classmethod
+    def generate(
+        cls,
+        rng: np.random.Generator,
+        width_m: float = DEFAULT_WIDTH_M,
+        height_m: float = DEFAULT_HEIGHT_M,
+        n_pois: int = 120,
+        tower_spacing_m: float = 1_500.0,
+    ) -> "CityModel":
+        """A random city with clustered POIs and a jittered tower grid."""
+        bbox = BoundingBox.from_size(width_m, height_m)
+        pois = generate_pois(bbox, n_pois, rng)
+        towers = generate_tower_grid(bbox, tower_spacing_m, rng)
+        return cls(bbox, pois, towers)
+
+    @property
+    def bbox(self) -> BoundingBox:
+        return self._bbox
+
+    @property
+    def pois(self) -> np.ndarray:
+        view = self._pois.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def towers(self) -> np.ndarray:
+        view = self._towers.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_pois(self) -> int:
+        return int(self._pois.shape[0])
+
+    @property
+    def diameter_m(self) -> float:
+        """The largest possible in-city distance."""
+        return self._bbox.diameter
+
+    def random_poi(self, rng: np.random.Generator) -> tuple[float, float]:
+        """Coordinates of a uniformly random POI."""
+        idx = int(rng.integers(0, self.n_pois))
+        return (float(self._pois[idx, 0]), float(self._pois[idx, 1]))
+
+    def random_poi_indices(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` uniformly random POI indices (with replacement)."""
+        if n < 0:
+            raise ValidationError(f"n must be non-negative, got {n}")
+        return rng.integers(0, self.n_pois, size=n)
+
+    def nearest_tower(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """``(n, 2)`` coordinates of the tower nearest to each point."""
+        idx = self._tower_index.nearest_many(np.atleast_1d(xs), np.atleast_1d(ys))
+        return self._towers[idx]
+
+    def min_horizon_s(self, vmax_mps: float) -> float:
+        """Smallest model horizon guaranteeing beyond-horizon compatibility.
+
+        Any two in-city points are within ``diameter_m``; after
+        ``diameter_m / vmax_mps`` seconds every segment is compatible.
+        """
+        if not vmax_mps > 0:
+            raise ValidationError(f"vmax_mps must be positive, got {vmax_mps}")
+        return self.diameter_m / vmax_mps

@@ -1,0 +1,70 @@
+"""Scenario-level sparsity and duration transforms.
+
+The paper's evaluation sweeps two knobs over fixed raw data: the
+*sampling rate* (fraction of records kept) and the *duration* (prefix of
+the observation window kept).  These helpers apply either knob to a
+whole :class:`~repro.synth.scenario.ScenarioPair`, re-deriving the
+ground truth so queries whose trajectory became unusably short drop out,
+exactly as in the paper's Table I derivation of SA..SF / TA..TF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.synth.scenario import ScenarioPair
+
+
+def _rebuild_truth(pair: ScenarioPair, min_records: int) -> dict[object, object]:
+    truth: dict[object, object] = {}
+    for p_id, q_id in pair.truth.items():
+        p_traj = pair.p_db.get(p_id)
+        q_traj = pair.q_db.get(q_id)
+        if p_traj is None or q_traj is None:
+            continue
+        if len(p_traj) >= min_records and len(q_traj) >= min_records:
+            truth[p_id] = q_id
+    return truth
+
+
+def downsample_pair(
+    pair: ScenarioPair,
+    rate_p: float,
+    rate_q: float,
+    rng: np.random.Generator,
+    min_records: int = 2,
+) -> ScenarioPair:
+    """Down-sample both databases at independent rates.
+
+    ``rate_p`` / ``rate_q`` are record-keeping probabilities in
+    ``(0, 1]``; trajectories losing all records are removed and the
+    ground truth filtered accordingly.
+    """
+    for label, rate in (("rate_p", rate_p), ("rate_q", rate_q)):
+        if not 0.0 < rate <= 1.0:
+            raise ValidationError(f"{label} must be in (0, 1], got {rate}")
+    thinned = ScenarioPair(
+        p_db=pair.p_db.downsample(rate_p, rng),
+        q_db=pair.q_db.downsample(rate_q, rng),
+        truth=pair.truth,
+    )
+    return ScenarioPair(
+        thinned.p_db, thinned.q_db, _rebuild_truth(thinned, min_records)
+    )
+
+
+def trim_pair(
+    pair: ScenarioPair, duration_s: float, min_records: int = 2
+) -> ScenarioPair:
+    """Trim every trajectory to its first ``duration_s`` seconds."""
+    if duration_s <= 0:
+        raise ValidationError(f"duration_s must be positive, got {duration_s}")
+    trimmed = ScenarioPair(
+        p_db=pair.p_db.head_duration(duration_s),
+        q_db=pair.q_db.head_duration(duration_s),
+        truth=pair.truth,
+    )
+    return ScenarioPair(
+        trimmed.p_db, trimmed.q_db, _rebuild_truth(trimmed, min_records)
+    )

@@ -1,0 +1,228 @@
+"""Continuous ground-truth motion of simulated agents.
+
+A :class:`GroundTruthPath` is a piecewise-linear function of time built
+from waypoints.  Builders produce two mobility styles:
+
+* :func:`build_taxi_path` — continuous wandering between random POIs
+  with short dwells, approximating the paper's taxi traces;
+* :func:`build_commuter_path` — a home/work daily schedule with an
+  optional evening errand, approximating the commuter/CDR populations
+  the paper's introduction motivates.
+
+All travel is along straight lines at speeds strictly below the
+configured true maximum, which in turn should sit below the FTL
+``Vmax``; this reproduces the paper's argument that the loose speed cap
+never rejects true positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.geo.units import SECONDS_PER_DAY, SECONDS_PER_HOUR, kph_to_mps
+from repro.synth.city import CityModel
+
+
+class GroundTruthPath:
+    """A piecewise-linear trajectory of one agent over a time window.
+
+    Parameters
+    ----------
+    waypoint_ts, waypoint_xs, waypoint_ys:
+        Strictly sorted waypoint timestamps (seconds) and coordinates
+        (metres).  Between waypoints the agent moves linearly; outside
+        the window it stays at the nearest endpoint.
+    """
+
+    __slots__ = ("_ts", "_xs", "_ys")
+
+    def __init__(
+        self,
+        waypoint_ts: np.ndarray,
+        waypoint_xs: np.ndarray,
+        waypoint_ys: np.ndarray,
+    ) -> None:
+        ts = np.asarray(waypoint_ts, dtype=np.float64)
+        xs = np.asarray(waypoint_xs, dtype=np.float64)
+        ys = np.asarray(waypoint_ys, dtype=np.float64)
+        if ts.ndim != 1 or ts.shape != xs.shape or ts.shape != ys.shape:
+            raise ValidationError("waypoint arrays must be equal-length 1-D")
+        if ts.shape[0] < 2:
+            raise ValidationError("a path needs at least two waypoints")
+        if np.any(np.diff(ts) < 0):
+            raise ValidationError("waypoint timestamps must be non-decreasing")
+        self._ts = ts
+        self._xs = xs
+        self._ys = ys
+
+    @property
+    def start_time(self) -> float:
+        return float(self._ts[0])
+
+    @property
+    def end_time(self) -> float:
+        return float(self._ts[-1])
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def n_waypoints(self) -> int:
+        return int(self._ts.shape[0])
+
+    @property
+    def waypoints(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The (ts, xs, ys) waypoint arrays (copies)."""
+        return (self._ts.copy(), self._xs.copy(), self._ys.copy())
+
+    def position_at(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Interpolated ``(xs, ys)`` at the given absolute times.
+
+        Vectorised; times outside the window clamp to the endpoints.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        return (
+            np.interp(times, self._ts, self._xs),
+            np.interp(times, self._ts, self._ys),
+        )
+
+    def max_speed_mps(self) -> float:
+        """The largest leg speed of the path (0 if all legs are dwells)."""
+        dts = np.diff(self._ts)
+        dists = np.hypot(np.diff(self._xs), np.diff(self._ys))
+        moving = dts > 0
+        if not np.any(moving):
+            return 0.0
+        return float((dists[moving] / dts[moving]).max())
+
+
+@dataclass(frozen=True)
+class _WaypointBuilder:
+    """Accumulates waypoints while enforcing speed-bounded travel."""
+
+    ts: list
+    xs: list
+    ys: list
+
+    @classmethod
+    def start(cls, t: float, x: float, y: float) -> "_WaypointBuilder":
+        return cls([t], [x], [y])
+
+    @property
+    def now(self) -> float:
+        return self.ts[-1]
+
+    @property
+    def here(self) -> tuple[float, float]:
+        return (self.xs[-1], self.ys[-1])
+
+    def dwell_until(self, t: float) -> None:
+        """Stay in place until absolute time ``t`` (no-op if in the past)."""
+        if t > self.now:
+            self.ts.append(t)
+            self.xs.append(self.xs[-1])
+            self.ys.append(self.ys[-1])
+
+    def travel_to(self, x: float, y: float, speed_mps: float) -> None:
+        """Move in a straight line to ``(x, y)`` at the given speed."""
+        if not speed_mps > 0:
+            raise ValidationError(f"speed must be positive, got {speed_mps}")
+        dist = float(np.hypot(x - self.xs[-1], y - self.ys[-1]))
+        arrival = self.now + dist / speed_mps
+        self.ts.append(arrival)
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def build(self) -> GroundTruthPath:
+        return GroundTruthPath(
+            np.asarray(self.ts), np.asarray(self.xs), np.asarray(self.ys)
+        )
+
+
+def _sample_speed(
+    rng: np.random.Generator, low_kph: float, high_kph: float
+) -> float:
+    return kph_to_mps(float(rng.uniform(low_kph, high_kph)))
+
+
+def build_taxi_path(
+    city: CityModel,
+    duration_s: float,
+    rng: np.random.Generator,
+    speed_low_kph: float = 25.0,
+    speed_high_kph: float = 70.0,
+    dwell_max_s: float = 600.0,
+    start_time: float = 0.0,
+) -> GroundTruthPath:
+    """Continuous POI-to-POI wandering, taxi style.
+
+    The agent repeatedly picks a uniformly random POI, drives there in a
+    straight line at a uniform random speed in
+    ``[speed_low_kph, speed_high_kph]``, dwells up to ``dwell_max_s``
+    seconds, and repeats until ``duration_s`` is covered.
+    """
+    if duration_s <= 0:
+        raise ValidationError(f"duration_s must be positive, got {duration_s}")
+    if not 0 < speed_low_kph <= speed_high_kph:
+        raise ValidationError("need 0 < speed_low_kph <= speed_high_kph")
+    x0, y0 = city.random_poi(rng)
+    builder = _WaypointBuilder.start(start_time, x0, y0)
+    end = start_time + duration_s
+    while builder.now < end:
+        x, y = city.random_poi(rng)
+        builder.travel_to(x, y, _sample_speed(rng, speed_low_kph, speed_high_kph))
+        dwell = float(rng.uniform(0.0, dwell_max_s))
+        builder.dwell_until(builder.now + dwell)
+    builder.dwell_until(end)
+    return builder.build()
+
+
+def build_commuter_path(
+    city: CityModel,
+    duration_s: float,
+    rng: np.random.Generator,
+    speed_low_kph: float = 20.0,
+    speed_high_kph: float = 60.0,
+    errand_probability: float = 0.35,
+    start_time: float = 0.0,
+) -> GroundTruthPath:
+    """A home/work daily schedule with optional evening errands.
+
+    Each simulated day the agent leaves home around 08:00 (+- 1 h),
+    works until around 18:00 (+- 1 h), optionally visits one random POI
+    on the way back, and spends the night at home.  Home and work are
+    two fixed POIs chosen per agent.
+    """
+    if duration_s <= 0:
+        raise ValidationError(f"duration_s must be positive, got {duration_s}")
+    if not 0 <= errand_probability <= 1:
+        raise ValidationError(
+            f"errand_probability must be in [0, 1], got {errand_probability}"
+        )
+    home = city.random_poi(rng)
+    work = city.random_poi(rng)
+    builder = _WaypointBuilder.start(start_time, *home)
+    end = start_time + duration_s
+    n_days = int(np.ceil(duration_s / SECONDS_PER_DAY))
+    for day in range(n_days):
+        day_start = start_time + day * SECONDS_PER_DAY
+        leave_home = day_start + 8.0 * SECONDS_PER_HOUR + rng.normal(0, 0.5 * SECONDS_PER_HOUR)
+        leave_work = day_start + 18.0 * SECONDS_PER_HOUR + rng.normal(0, 0.5 * SECONDS_PER_HOUR)
+        builder.dwell_until(min(leave_home, end))
+        if builder.now >= end:
+            break
+        builder.travel_to(*work, _sample_speed(rng, speed_low_kph, speed_high_kph))
+        builder.dwell_until(min(max(leave_work, builder.now), end))
+        if builder.now >= end:
+            break
+        if rng.random() < errand_probability:
+            errand = city.random_poi(rng)
+            builder.travel_to(*errand, _sample_speed(rng, speed_low_kph, speed_high_kph))
+            builder.dwell_until(builder.now + float(rng.uniform(900.0, 5400.0)))
+        builder.travel_to(*home, _sample_speed(rng, speed_low_kph, speed_high_kph))
+    builder.dwell_until(end)
+    return builder.build()

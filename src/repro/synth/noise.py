@@ -1,0 +1,94 @@
+"""Observation noise models.
+
+Each service distorts the agent's true position in its own way (paper
+Section I, "Inaccuracy"): GPS-based services add metre-scale jitter,
+CDR-based services report the serving cell tower's location.  A noise
+model is a callable object applied to arrays of true coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.synth.city import CityModel
+
+
+class NoiseModel:
+    """Interface: transform true coordinates into observed coordinates."""
+
+    def apply(
+        self, xs: np.ndarray, ys: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class NoNoise(NoiseModel):
+    """Perfect observation (used in tests and ablations)."""
+
+    def apply(
+        self, xs: np.ndarray, ys: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(xs, dtype=np.float64), np.asarray(ys, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return "NoNoise()"
+
+
+class GaussianNoise(NoiseModel):
+    """Isotropic Gaussian jitter — GPS-style inaccuracy.
+
+    Parameters
+    ----------
+    sigma_m:
+        Standard deviation per axis in metres.
+    """
+
+    def __init__(self, sigma_m: float) -> None:
+        if sigma_m < 0:
+            raise ValidationError(f"sigma_m must be >= 0, got {sigma_m}")
+        self._sigma = float(sigma_m)
+
+    @property
+    def sigma_m(self) -> float:
+        return self._sigma
+
+    def apply(
+        self, xs: np.ndarray, ys: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if self._sigma == 0:
+            return xs, ys
+        return (
+            xs + rng.normal(0.0, self._sigma, size=xs.shape),
+            ys + rng.normal(0.0, self._sigma, size=ys.shape),
+        )
+
+    def __repr__(self) -> str:
+        return f"GaussianNoise(sigma_m={self._sigma})"
+
+
+class TowerSnapNoise(NoiseModel):
+    """CDR-style localisation: report the nearest cell tower's position.
+
+    "The user location in CDR data is usually the location of a nearby
+    cell tower, which can be hundreds of meters away from the real
+    user's location."
+    """
+
+    def __init__(self, city: CityModel) -> None:
+        self._city = city
+
+    def apply(
+        self, xs: np.ndarray, ys: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.size == 0:
+            return xs, ys
+        towers = self._city.nearest_tower(xs, ys)
+        return towers[:, 0].copy(), towers[:, 1].copy()
+
+    def __repr__(self) -> str:
+        return "TowerSnapNoise()"

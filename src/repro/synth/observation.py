@@ -1,0 +1,186 @@
+"""Observation services: how a provider samples an agent's motion.
+
+An :class:`ObservationService` models one data-collecting service
+(telco, transit operator, taxi dispatcher, check-in platform).  Its
+access pattern is a Poisson process — exactly the Section VI model —
+optionally modulated by a day/night intensity profile, and its location
+readings pass through a :class:`~repro.synth.noise.NoiseModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+from repro.geo.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.stats.poisson_process import (
+    sample_inhomogeneous_poisson,
+    sample_poisson_process,
+)
+from repro.synth.mobility import GroundTruthPath
+from repro.synth.noise import NoiseModel, NoNoise
+
+
+class ObservationService:
+    """One service observing agents at Poisson-random instants.
+
+    Parameters
+    ----------
+    name:
+        Label for the produced database (e.g. ``"CDR"``, ``"transit"``).
+    rate_per_hour:
+        Mean observations per hour per agent (the Section VI ``lambda``
+        expressed per hour).
+    noise:
+        Location distortion applied to every reading.
+    day_fraction:
+        When not ``None``, the Poisson intensity is modulated so that
+        this fraction of events falls in the 07:00-23:00 window (most
+        human service usage is diurnal); ``None`` keeps the process
+        homogeneous.
+    burst_mean:
+        When > 1, events arrive in bursts (a Neyman-Scott cluster
+        process): Poisson "session starts" each spawn a geometric
+        number of events with mean ``burst_mean``, spread over
+        ``burst_span_s``.  The overall mean rate is preserved.  Bursty
+        usage violates Section VI's Poisson assumption — useful for
+        robustness studies.
+    burst_span_s:
+        Mean within-burst spread in seconds.
+    rate_dispersion:
+        When > 0, each observed agent gets a private rate multiplier
+        drawn from a Gamma distribution with unit mean and this squared
+        coefficient of variation — heavy users and light users instead
+        of a homogeneous population.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rate_per_hour: float,
+        noise: NoiseModel | None = None,
+        day_fraction: float | None = None,
+        burst_mean: float = 1.0,
+        burst_span_s: float = 300.0,
+        rate_dispersion: float = 0.0,
+    ) -> None:
+        if rate_per_hour <= 0:
+            raise ValidationError(
+                f"rate_per_hour must be positive, got {rate_per_hour}"
+            )
+        if day_fraction is not None and not 0.0 < day_fraction <= 1.0:
+            raise ValidationError(
+                f"day_fraction must be in (0, 1], got {day_fraction}"
+            )
+        if burst_mean < 1.0:
+            raise ValidationError(f"burst_mean must be >= 1, got {burst_mean}")
+        if burst_span_s <= 0:
+            raise ValidationError(
+                f"burst_span_s must be positive, got {burst_span_s}"
+            )
+        if rate_dispersion < 0:
+            raise ValidationError(
+                f"rate_dispersion must be >= 0, got {rate_dispersion}"
+            )
+        self._name = name
+        self._rate_per_s = float(rate_per_hour) / SECONDS_PER_HOUR
+        self._noise = noise if noise is not None else NoNoise()
+        self._day_fraction = day_fraction
+        self._burst_mean = float(burst_mean)
+        self._burst_span_s = float(burst_span_s)
+        self._rate_dispersion = float(rate_dispersion)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def rate_per_hour(self) -> float:
+        return self._rate_per_s * SECONDS_PER_HOUR
+
+    @property
+    def noise(self) -> NoiseModel:
+        return self._noise
+
+    def _effective_rate(self, rng: np.random.Generator) -> float:
+        """This observation's base rate, with optional agent dispersion."""
+        rate = self._rate_per_s
+        if self._rate_dispersion > 0:
+            # Gamma with unit mean and variance = rate_dispersion.
+            shape = 1.0 / self._rate_dispersion
+            rate *= float(rng.gamma(shape, 1.0 / shape))
+        return rate
+
+    def _burstify(
+        self,
+        session_starts: np.ndarray,
+        start: float,
+        duration: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Expand session starts into geometric event bursts."""
+        events: list[np.ndarray] = []
+        for t0 in session_starts:
+            size = int(rng.geometric(1.0 / self._burst_mean))
+            offsets = np.concatenate(
+                [[0.0], rng.exponential(self._burst_span_s, size - 1)]
+            ) if size > 1 else np.array([0.0])
+            events.append(t0 + np.cumsum(offsets))
+        if not events:
+            return np.empty(0, dtype=np.float64)
+        merged = np.concatenate(events)
+        merged = merged[(merged >= start) & (merged < start + duration)]
+        merged.sort()
+        return merged
+
+    def _sample_times(
+        self, start: float, duration: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        rate = self._effective_rate(rng)
+        if self._burst_mean > 1.0:
+            session_rate = rate / self._burst_mean
+            starts = sample_poisson_process(
+                session_rate, duration, rng, start=start
+            )
+            return self._burstify(starts, start, duration, rng)
+        if self._day_fraction is None:
+            return sample_poisson_process(rate, duration, rng, start=start)
+        # Piecewise-constant diurnal profile: the 07:00-23:00 window (16 h)
+        # carries day_fraction of the mass, the night the remainder, with
+        # the overall mean rate preserved.
+        day_hours, night_hours = 16.0, 8.0
+        day_rate = rate * self._day_fraction * 24.0 / day_hours
+        night_rate = rate * (1.0 - self._day_fraction) * 24.0 / night_hours
+        max_rate = max(day_rate, night_rate)
+
+        def rate_fn(times: np.ndarray) -> np.ndarray:
+            hour_of_day = (np.asarray(times) % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+            is_day = (hour_of_day >= 7.0) & (hour_of_day < 23.0)
+            return np.where(is_day, day_rate, night_rate)
+
+        times = sample_inhomogeneous_poisson(rate_fn, max_rate, duration, rng, start=start)
+        return times
+
+    def observe(
+        self,
+        path: GroundTruthPath,
+        rng: np.random.Generator,
+        traj_id: object = None,
+    ) -> Trajectory:
+        """Sample one agent's path into an observed trajectory.
+
+        Observation times are drawn over the path's time window; true
+        positions are interpolated from the path and passed through the
+        service's noise model.
+        """
+        times = self._sample_times(path.start_time, path.duration, rng)
+        xs, ys = path.position_at(times)
+        noisy_x, noisy_y = self._noise.apply(xs, ys, rng)
+        return Trajectory(times, noisy_x, noisy_y, traj_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"ObservationService(name={self._name!r}, "
+            f"rate_per_hour={self.rate_per_hour:.3g}, noise={self._noise!r})"
+        )

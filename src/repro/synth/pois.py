@@ -1,0 +1,77 @@
+"""Points of interest: clustered destinations inside a city.
+
+POIs are drawn from a Gaussian mixture whose cluster centres are uniform
+in the city box — a simple stand-in for the dense activity centres
+(malls, stations, business districts) that real taxi trips connect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.geo.bbox import BoundingBox
+
+
+def generate_pois(
+    bbox: BoundingBox,
+    n_pois: int,
+    rng: np.random.Generator,
+    n_clusters: int = 8,
+    cluster_std_fraction: float = 0.06,
+) -> np.ndarray:
+    """``(n_pois, 2)`` POI coordinates clustered inside ``bbox``.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of Gaussian activity centres.
+    cluster_std_fraction:
+        Cluster standard deviation as a fraction of the box diameter.
+
+    Points falling outside the box are clipped to its boundary.
+    """
+    if n_pois < 1:
+        raise ValidationError(f"n_pois must be >= 1, got {n_pois}")
+    if n_clusters < 1:
+        raise ValidationError(f"n_clusters must be >= 1, got {n_clusters}")
+    if not 0 < cluster_std_fraction < 1:
+        raise ValidationError(
+            f"cluster_std_fraction must be in (0, 1), got {cluster_std_fraction}"
+        )
+    centres = bbox.sample(rng, n_clusters)
+    assignments = rng.integers(0, n_clusters, size=n_pois)
+    std = cluster_std_fraction * bbox.diameter
+    points = centres[assignments] + rng.normal(0.0, std, size=(n_pois, 2))
+    xs, ys = bbox.clip_many(points[:, 0], points[:, 1])
+    return np.column_stack([xs, ys])
+
+
+def generate_tower_grid(
+    bbox: BoundingBox,
+    spacing_m: float,
+    rng: np.random.Generator,
+    jitter_fraction: float = 0.25,
+) -> np.ndarray:
+    """Cell-tower locations on a jittered square grid.
+
+    Used by :class:`~repro.synth.noise.TowerSnapNoise` to reproduce
+    CDR-style localisation, where the recorded location is the serving
+    tower rather than the user ("can be hundreds of meters away from
+    the real user's location").
+    """
+    if not spacing_m > 0:
+        raise ValidationError(f"spacing_m must be positive, got {spacing_m}")
+    if not 0 <= jitter_fraction < 0.5:
+        raise ValidationError(
+            f"jitter_fraction must be in [0, 0.5), got {jitter_fraction}"
+        )
+    xs = np.arange(bbox.min_x + spacing_m / 2.0, bbox.max_x, spacing_m)
+    ys = np.arange(bbox.min_y + spacing_m / 2.0, bbox.max_y, spacing_m)
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    towers = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+    towers += rng.uniform(
+        -jitter_fraction * spacing_m, jitter_fraction * spacing_m, size=towers.shape
+    )
+    cx, cy = bbox.clip_many(towers[:, 0], towers[:, 1])
+    return np.column_stack([cx, cy])

@@ -1,0 +1,70 @@
+"""Populations of simulated agents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.synth.city import CityModel
+from repro.synth.mobility import (
+    GroundTruthPath,
+    build_commuter_path,
+    build_taxi_path,
+)
+
+MOBILITY_STYLES = ("taxi", "commuter", "road-taxi")
+
+
+@dataclass(frozen=True)
+class Agent:
+    """One simulated person/vehicle with its ground-truth motion."""
+
+    agent_id: int
+    path: GroundTruthPath
+
+
+def generate_population(
+    city: CityModel,
+    n_agents: int,
+    duration_s: float,
+    rng: np.random.Generator,
+    mobility: str = "taxi",
+    **mobility_kwargs,
+) -> list[Agent]:
+    """``n_agents`` agents with independent paths over ``[0, duration_s)``.
+
+    Parameters
+    ----------
+    mobility:
+        ``"taxi"`` (continuous POI wandering, straight-line travel),
+        ``"commuter"`` (home/work schedule), or ``"road-taxi"`` (POI
+        wandering along a generated road network's shortest paths).
+    mobility_kwargs:
+        Forwarded to the path builder (speed range, dwell times, ...).
+    """
+    if n_agents < 1:
+        raise ValidationError(f"n_agents must be >= 1, got {n_agents}")
+    if mobility not in MOBILITY_STYLES:
+        raise ValidationError(
+            f"unknown mobility {mobility!r}; known: {MOBILITY_STYLES}"
+        )
+    if mobility == "road-taxi":
+        from repro.synth.roads import build_road_network, build_road_taxi_path
+
+        network = build_road_network(city, rng)
+        return [
+            Agent(
+                agent_id=i,
+                path=build_road_taxi_path(
+                    city, network, duration_s, rng, **mobility_kwargs
+                ),
+            )
+            for i in range(n_agents)
+        ]
+    builder = build_taxi_path if mobility == "taxi" else build_commuter_path
+    return [
+        Agent(agent_id=i, path=builder(city, duration_s, rng, **mobility_kwargs))
+        for i in range(n_agents)
+    ]

@@ -1,0 +1,150 @@
+"""Scenario builders: paired trajectory databases with ground truth.
+
+Two protocols, mirroring the paper's two datasets:
+
+* :func:`make_paired_databases` — every agent is observed by two
+  independent services (the Singapore taxi log/trip situation: "when a
+  taxi reports its trip location to the trip database, it probably does
+  not report its current status to the log database").
+* :func:`make_split_databases` — one dense trajectory per agent is
+  split record-by-record into two databases with equal probability
+  (the paper's T-Drive protocol).
+
+Both return a :class:`ScenarioPair` holding the query database ``P``,
+the candidate database ``Q`` and the ground-truth id mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+from repro.synth.observation import ObservationService
+from repro.synth.population import Agent
+
+
+@dataclass(frozen=True)
+class ScenarioPair:
+    """A (P, Q) database pair with ground truth.
+
+    Attributes
+    ----------
+    p_db:
+        Query database (the paper's ``P``).
+    q_db:
+        Candidate database (the paper's ``Q``).
+    truth:
+        Mapping from ``P`` trajectory id to the matching ``Q`` id; only
+        queries that *have* a match appear.
+    """
+
+    p_db: TrajectoryDatabase
+    q_db: TrajectoryDatabase
+    truth: Mapping[object, object]
+
+    def matched_query_ids(self) -> list[object]:
+        """Query ids that have a ground-truth match present in both DBs."""
+        return [
+            pid
+            for pid, qid in self.truth.items()
+            if pid in self.p_db and qid in self.q_db
+        ]
+
+    def sample_queries(
+        self, n: int, rng: np.random.Generator
+    ) -> list[object]:
+        """``n`` random matched query ids without replacement."""
+        ids = self.matched_query_ids()
+        if n > len(ids):
+            raise ValidationError(
+                f"cannot sample {n} queries; only {len(ids)} matched queries exist"
+            )
+        chosen = rng.choice(len(ids), size=n, replace=False)
+        return [ids[i] for i in chosen]
+
+
+def make_paired_databases(
+    agents: Sequence[Agent],
+    service_p: ObservationService,
+    service_q: ObservationService,
+    rng: np.random.Generator,
+    min_records: int = 2,
+) -> ScenarioPair:
+    """Observe every agent with two services to form a (P, Q) pair.
+
+    Agents whose observation in either database has fewer than
+    ``min_records`` records are dropped from the ground truth (but a
+    non-empty lone trajectory still enters its database, acting as a
+    distractor — exactly what happens with real partial coverage).
+    """
+    if not agents:
+        raise ValidationError("need at least one agent")
+    p_db = TrajectoryDatabase(name=service_p.name)
+    q_db = TrajectoryDatabase(name=service_q.name)
+    truth: dict[object, object] = {}
+    for agent in agents:
+        p_id = f"P{agent.agent_id}"
+        q_id = f"Q{agent.agent_id}"
+        p_traj = service_p.observe(agent.path, rng, traj_id=p_id)
+        q_traj = service_q.observe(agent.path, rng, traj_id=q_id)
+        if len(p_traj) > 0:
+            p_db.add(p_traj)
+        if len(q_traj) > 0:
+            q_db.add(q_traj)
+        if len(p_traj) >= min_records and len(q_traj) >= min_records:
+            truth[p_id] = q_id
+    if len(p_db) == 0 or len(q_db) == 0:
+        raise ValidationError(
+            "observation produced an empty database; increase rates or duration"
+        )
+    return ScenarioPair(p_db, q_db, truth)
+
+
+def make_split_databases(
+    trajectories: Iterable[Trajectory],
+    rng: np.random.Generator,
+    split_probability: float = 0.5,
+    min_records: int = 2,
+) -> ScenarioPair:
+    """Split each dense trajectory into two databases, record by record.
+
+    Each record lands in ``P`` with probability ``split_probability``
+    and in ``Q`` otherwise (the paper's T-Drive protocol: "each
+    individual record is randomly dropped into one of the two datasets
+    with the same probability", doubling the mean sampling interval).
+    """
+    if not 0.0 < split_probability < 1.0:
+        raise ValidationError(
+            f"split_probability must be in (0, 1), got {split_probability}"
+        )
+    p_db = TrajectoryDatabase(name="split-P")
+    q_db = TrajectoryDatabase(name="split-Q")
+    truth: dict[object, object] = {}
+    n_seen = 0
+    for traj in trajectories:
+        n_seen += 1
+        to_p = rng.random(len(traj)) < split_probability
+        p_id = f"P{traj.traj_id}"
+        q_id = f"Q{traj.traj_id}"
+        p_traj = Trajectory(
+            traj.ts[to_p], traj.xs[to_p], traj.ys[to_p], p_id
+        )
+        q_traj = Trajectory(
+            traj.ts[~to_p], traj.xs[~to_p], traj.ys[~to_p], q_id
+        )
+        if len(p_traj) > 0:
+            p_db.add(p_traj)
+        if len(q_traj) > 0:
+            q_db.add(q_traj)
+        if len(p_traj) >= min_records and len(q_traj) >= min_records:
+            truth[p_id] = q_id
+    if n_seen == 0:
+        raise ValidationError("need at least one trajectory to split")
+    if len(p_db) == 0 or len(q_db) == 0:
+        raise ValidationError("split produced an empty database")
+    return ScenarioPair(p_db, q_db, truth)

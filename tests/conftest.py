@@ -1,0 +1,64 @@
+"""Shared fixtures: deterministic RNGs, a small scenario and fitted models.
+
+The expensive fixtures (scenario + models) are session-scoped; tests
+must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.models import CompatibilityModel
+from repro.geo.units import days_to_seconds
+from repro.synth.city import CityModel
+from repro.synth.noise import GaussianNoise
+from repro.synth.observation import ObservationService
+from repro.synth.population import generate_population
+from repro.synth.scenario import ScenarioPair, make_paired_databases
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def config() -> FTLConfig:
+    return FTLConfig()
+
+
+@pytest.fixture(scope="session")
+def session_rng() -> np.random.Generator:
+    return np.random.default_rng(99)
+
+
+@pytest.fixture(scope="session")
+def city(session_rng) -> CityModel:
+    return CityModel.generate(session_rng)
+
+
+@pytest.fixture(scope="session")
+def small_pair(city, session_rng) -> ScenarioPair:
+    """A small paired-service scenario: 30 taxi agents over 5 days."""
+    agents = generate_population(
+        city, 30, days_to_seconds(5), session_rng, mobility="taxi"
+    )
+    service_p = ObservationService("P", rate_per_hour=0.8, noise=GaussianNoise(50.0))
+    service_q = ObservationService("Q", rate_per_hour=0.4, noise=GaussianNoise(50.0))
+    return make_paired_databases(agents, service_p, service_q, session_rng)
+
+
+@pytest.fixture(scope="session")
+def fitted_models(small_pair, session_rng):
+    """(rejection, acceptance) models fitted on the small scenario."""
+    config = FTLConfig()
+    mr = CompatibilityModel.fit_rejection(
+        [small_pair.p_db, small_pair.q_db], config
+    )
+    ma = CompatibilityModel.fit_acceptance(
+        [small_pair.p_db, small_pair.q_db], config, session_rng
+    )
+    return mr, ma

@@ -1,0 +1,216 @@
+"""Trajectory alignment and mutual segments (paper Section IV-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FTLConfig
+from repro.core.alignment import (
+    SOURCE_P,
+    SOURCE_Q,
+    align,
+    mutual_segment_profile,
+    self_segment_profile,
+)
+from repro.core.trajectory import Trajectory
+
+
+def traj(ts, xs=None, ys=None, traj_id=None):
+    n = len(ts)
+    return Trajectory(
+        ts,
+        np.zeros(n) if xs is None else xs,
+        np.zeros(n) if ys is None else ys,
+        traj_id,
+    )
+
+
+@pytest.fixture
+def config():
+    return FTLConfig()
+
+
+class TestAlign:
+    def test_merged_is_time_sorted(self):
+        w = align(traj([0.0, 100.0]), traj([50.0, 150.0]))
+        assert list(w.ts) == [0.0, 50.0, 100.0, 150.0]
+
+    def test_sources_labelled(self):
+        w = align(traj([0.0, 100.0]), traj([50.0, 150.0]))
+        assert list(w.sources) == [SOURCE_P, SOURCE_Q, SOURCE_P, SOURCE_Q]
+
+    def test_tie_puts_p_first(self):
+        w = align(traj([10.0]), traj([10.0]))
+        assert list(w.sources) == [SOURCE_P, SOURCE_Q]
+
+    def test_length(self):
+        w = align(traj([0.0, 1.0, 2.0]), traj([0.5]))
+        assert len(w) == 4
+
+    def test_paper_figure3_segment_counts(self):
+        # Fig. 3: p1 q1 q2 p2 p3 q3 p4 q4 -> mutual at (p1,q1), (q2,p2),
+        # (p3,q3), (q3,p4), (p4,q4); self at (q1,q2), (p2,p3).
+        p = traj([1.0, 4.0, 5.0, 7.0])
+        q = traj([2.0, 3.0, 6.0, 8.0])
+        w = align(p, q)
+        assert w.n_mutual_segments() == 5
+        assert w.n_self_segments() == 2
+
+    def test_segment_iteration(self):
+        p = traj([1.0, 4.0])
+        q = traj([2.0, 3.0])
+        w = align(p, q)
+        segments = list(w.segments())
+        assert len(segments) == 3
+        mutual = list(w.mutual_segments())
+        assert len(mutual) == 2
+        assert all(s.is_mutual for s in mutual)
+
+    def test_segment_timediff_nonnegative(self):
+        w = align(traj([1.0, 4.0]), traj([2.0, 3.0]))
+        assert all(s.timediff >= 0 for s in w.segments())
+
+    def test_empty_side(self):
+        w = align(traj([]), traj([1.0, 2.0]))
+        assert len(w) == 2
+        assert w.n_mutual_segments() == 0
+
+    def test_getitem(self):
+        w = align(traj([0.0], xs=[5.0], ys=[6.0]), traj([]))
+        record, source = w[0]
+        assert (record.x, record.y) == (5.0, 6.0)
+        assert source == SOURCE_P
+
+
+class TestMutualSegmentProfile:
+    def test_matches_object_api_counts(self, config):
+        rng = np.random.default_rng(0)
+        p = traj(np.sort(rng.uniform(0, 1e4, 30)), rng.uniform(0, 1e3, 30),
+                 rng.uniform(0, 1e3, 30))
+        q = traj(np.sort(rng.uniform(0, 1e4, 20)), rng.uniform(0, 1e3, 20),
+                 rng.uniform(0, 1e3, 20))
+        profile = mutual_segment_profile(p, q, config)
+        assert profile.n_total == align(p, q).n_mutual_segments()
+
+    def test_empty_inputs_give_empty_profile(self, config):
+        profile = mutual_segment_profile(traj([]), traj([1.0]), config)
+        assert profile.n_total == 0
+        assert profile.n_incompatible == 0
+
+    def test_no_interleave_gives_empty_only_one_mutual(self, config):
+        # P entirely before Q: exactly one mutual segment at the junction.
+        profile = mutual_segment_profile(
+            traj([0.0, 1.0]), traj([100.0, 200.0]), config
+        )
+        assert profile.n_total == 1
+
+    def test_compatibility_against_definition(self, config):
+        # 10 km apart 60 s apart: 600 m/s >> Vmax -> incompatible.
+        p = traj([0.0], xs=[0.0])
+        q = traj([60.0], xs=[10_000.0])
+        profile = mutual_segment_profile(p, q, config)
+        assert profile.n_incompatible == 1
+
+    def test_compatible_when_slow(self, config):
+        p = traj([0.0], xs=[0.0])
+        q = traj([3600.0], xs=[10_000.0])
+        profile = mutual_segment_profile(p, q, config)
+        assert profile.n_incompatible == 0
+
+    def test_zero_dt_distinct_location_incompatible(self, config):
+        p = traj([10.0], xs=[0.0])
+        q = traj([10.0], xs=[1.0])
+        profile = mutual_segment_profile(p, q, config)
+        assert profile.n_incompatible == 1
+
+    def test_zero_dt_same_location_compatible(self, config):
+        p = traj([10.0], xs=[5.0])
+        q = traj([10.0], xs=[5.0])
+        profile = mutual_segment_profile(p, q, config)
+        assert profile.n_incompatible == 0
+
+    def test_buckets_use_config_unit(self):
+        config = FTLConfig(time_unit_s=30.0)
+        p = traj([0.0])
+        q = traj([90.0])
+        profile = mutual_segment_profile(p, q, config)
+        assert profile.buckets[0] == 3
+
+    def test_within_horizon_filters(self, config):
+        p = traj([0.0, 10_000.0])
+        q = traj([5.0, 10_005.0])
+        profile = mutual_segment_profile(p, q, config)
+        within = profile.within_horizon(config.n_buckets)
+        assert within.n_total <= profile.n_total
+
+    def test_symmetric_in_count(self, config):
+        rng = np.random.default_rng(2)
+        p = traj(np.sort(rng.uniform(0, 1e4, 15)))
+        q = traj(np.sort(rng.uniform(0, 1e4, 25)))
+        assert (
+            mutual_segment_profile(p, q, config).n_total
+            == mutual_segment_profile(q, p, config).n_total
+        )
+
+
+class TestSelfSegmentProfile:
+    def test_counts_consecutive_segments(self, config):
+        t = traj([0.0, 60.0, 120.0])
+        profile = self_segment_profile(t, config)
+        assert profile.n_total == 2
+
+    def test_short_trajectory_empty(self, config):
+        assert self_segment_profile(traj([1.0]), config).n_total == 0
+        assert self_segment_profile(traj([]), config).n_total == 0
+
+    def test_speeding_segment_incompatible(self, config):
+        t = traj([0.0, 60.0], xs=[0.0, 50_000.0])
+        profile = self_segment_profile(t, config)
+        assert profile.n_incompatible == 1
+
+    def test_slow_segments_compatible(self, config):
+        t = traj([0.0, 3600.0, 7200.0], xs=[0.0, 1000.0, 2000.0])
+        assert self_segment_profile(t, config).n_incompatible == 0
+
+
+class TestAlignmentProperties:
+    @given(
+        st.lists(st.floats(0, 1e5, allow_nan=False), max_size=25),
+        st.lists(st.floats(0, 1e5, allow_nan=False), max_size=25),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mutual_plus_self_segments(self, ts_p, ts_q):
+        p = traj(sorted(ts_p))
+        q = traj(sorted(ts_q))
+        w = align(p, q)
+        total = max(len(p) + len(q) - 1, 0)
+        assert w.n_mutual_segments() + w.n_self_segments() == total
+
+    @given(
+        st.lists(st.floats(0, 1e5, allow_nan=False), min_size=1, max_size=25),
+        st.lists(st.floats(0, 1e5, allow_nan=False), min_size=1, max_size=25),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mutual_count_bounded_by_smaller_side(self, ts_p, ts_q):
+        # Each record participates in at most 2 mutual segments; the count
+        # is at most 2 * min(|P|, |Q|) (alternation bound).
+        p = traj(sorted(ts_p))
+        q = traj(sorted(ts_q))
+        w = align(p, q)
+        assert w.n_mutual_segments() <= 2 * min(len(p), len(q))
+
+    @given(
+        st.lists(st.floats(0, 1e4, allow_nan=False), min_size=2, max_size=25),
+        st.lists(st.floats(0, 1e4, allow_nan=False), min_size=2, max_size=25),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_profile_matches_object_api(self, ts_p, ts_q):
+        config = FTLConfig()
+        rng = np.random.default_rng(0)
+        p = traj(sorted(ts_p), rng.uniform(0, 1e4, len(ts_p)),
+                 rng.uniform(0, 1e4, len(ts_p)))
+        q = traj(sorted(ts_q), rng.uniform(0, 1e4, len(ts_q)),
+                 rng.uniform(0, 1e4, len(ts_q)))
+        profile = mutual_segment_profile(p, q, config)
+        assert profile.n_total == align(p, q).n_mutual_segments()

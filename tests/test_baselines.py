@@ -1,0 +1,299 @@
+"""Trajectory-similarity baselines: P2T, DTW, LCSS, EDR."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.common import (
+    SimilarityRetriever,
+    pairwise_distances,
+    rank_by_distance,
+)
+from repro.baselines.dtw import dtw_distance
+from repro.baselines.edr import edr_distance, edr_raw
+from repro.baselines.lcss import lcss_distance, lcss_length, lcss_similarity
+from repro.baselines.p2t import p2t_distance
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import EmptyTrajectoryError, ValidationError
+
+
+def traj(xs, ys=None, traj_id=None):
+    n = len(xs)
+    return Trajectory(
+        np.arange(n, dtype=float),
+        np.asarray(xs, dtype=float),
+        np.zeros(n) if ys is None else np.asarray(ys, dtype=float),
+        traj_id,
+    )
+
+
+def random_traj(rng, n, traj_id=None, scale=100.0):
+    return Trajectory(
+        np.sort(rng.uniform(0, 1e4, n)),
+        np.cumsum(rng.normal(0, scale, n)),
+        np.cumsum(rng.normal(0, scale, n)),
+        traj_id,
+    )
+
+
+class TestPairwiseDistances:
+    def test_shape_and_values(self):
+        p = traj([0.0, 3.0])
+        q = traj([0.0, 4.0, 0.0], ys=[0.0, 0.0, 4.0])
+        d = pairwise_distances(p, q)
+        assert d.shape == (2, 3)
+        assert d[0, 1] == 4.0
+        assert d[1, 2] == 5.0
+
+
+class TestP2T:
+    def test_identical_zero(self):
+        t = traj([1.0, 2.0, 3.0])
+        assert p2t_distance(t, t) == 0.0
+
+    def test_hand_computed(self):
+        p = traj([0.0, 10.0])
+        q = traj([1.0])
+        assert p2t_distance(p, q) == pytest.approx((1.0 + 9.0) / 2)
+
+    def test_asymmetric(self):
+        p = traj([0.0])
+        q = traj([0.0, 100.0])
+        assert p2t_distance(p, q) == 0.0
+        assert p2t_distance(q, p) == 50.0
+
+    def test_chunking_consistent(self):
+        rng = np.random.default_rng(0)
+        p = random_traj(rng, 50)
+        q = random_traj(rng, 60)
+        assert p2t_distance(p, q, chunk=7) == pytest.approx(
+            p2t_distance(p, q, chunk=4096)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTrajectoryError):
+            p2t_distance(traj([]), traj([1.0]))
+
+
+class TestDTW:
+    def test_identical_zero(self):
+        rng = np.random.default_rng(1)
+        t = random_traj(rng, 20)
+        assert dtw_distance(t, t) == 0.0
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            p = random_traj(rng, 10)
+            q = random_traj(rng, 13)
+            assert dtw_distance(p, q) == pytest.approx(_dtw_brute(p, q))
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(3)
+        p, q = random_traj(rng, 15), random_traj(rng, 12)
+        assert dtw_distance(p, q) == pytest.approx(dtw_distance(q, p))
+
+    def test_single_points(self):
+        p = traj([0.0])
+        q = traj([3.0], ys=[4.0])
+        assert dtw_distance(p, q) == 5.0
+
+    def test_band_equals_unbanded_when_wide(self):
+        rng = np.random.default_rng(4)
+        p, q = random_traj(rng, 12), random_traj(rng, 12)
+        assert dtw_distance(p, q, band=12) == pytest.approx(dtw_distance(p, q))
+
+    def test_band_never_below_unbanded(self):
+        rng = np.random.default_rng(5)
+        p, q = random_traj(rng, 20), random_traj(rng, 20)
+        assert dtw_distance(p, q, band=3) >= dtw_distance(p, q) - 1e-9
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValidationError):
+            dtw_distance(traj([0.0]), traj([0.0]), band=-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyTrajectoryError):
+            dtw_distance(traj([]), traj([1.0]))
+
+    def test_shifted_cheaper_than_far(self):
+        base = traj(np.linspace(0, 100, 20))
+        near = traj(np.linspace(0, 100, 20) + 5.0)
+        far = traj(np.linspace(0, 100, 20) + 500.0)
+        assert dtw_distance(base, near) < dtw_distance(base, far)
+
+
+def _dtw_brute(p, q):
+    n, m = len(p), len(q)
+    dp = [[math.inf] * (m + 1) for _ in range(n + 1)]
+    dp[0][0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            c = math.hypot(p.xs[i - 1] - q.xs[j - 1], p.ys[i - 1] - q.ys[j - 1])
+            dp[i][j] = c + min(dp[i - 1][j - 1], dp[i - 1][j], dp[i][j - 1])
+    return dp[n][m]
+
+
+def _lcss_brute(p, q, eps, delta=None):
+    n, m = len(p), len(q)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            d = math.hypot(p.xs[i - 1] - q.xs[j - 1], p.ys[i - 1] - q.ys[j - 1])
+            ok = d <= eps and (delta is None or abs((i - 1) - (j - 1)) <= delta)
+            dp[i][j] = max(
+                dp[i - 1][j - 1] + (1 if ok else 0), dp[i - 1][j], dp[i][j - 1]
+            )
+    return dp[n][m]
+
+
+class TestLCSS:
+    def test_identical_full_match(self):
+        rng = np.random.default_rng(6)
+        t = random_traj(rng, 15)
+        assert lcss_length(t, t, eps_m=1.0) == 15
+        assert lcss_similarity(t, t, eps_m=1.0) == 1.0
+        assert lcss_distance(t, t, eps_m=1.0) == 0.0
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            p = random_traj(rng, 9, scale=50.0)
+            q = random_traj(rng, 11, scale=50.0)
+            assert lcss_length(p, q, eps_m=120.0) == _lcss_brute(p, q, 120.0)
+
+    def test_delta_constrains(self):
+        rng = np.random.default_rng(8)
+        p = random_traj(rng, 10, scale=10.0)
+        q = random_traj(rng, 10, scale=10.0)
+        free = lcss_length(p, q, eps_m=100.0)
+        constrained = lcss_length(p, q, eps_m=100.0, delta=1)
+        assert constrained <= free
+        assert constrained == _lcss_brute(p, q, 100.0, delta=1)
+
+    def test_no_matches_zero(self):
+        p = traj([0.0, 1.0])
+        q = traj([1000.0, 2000.0])
+        assert lcss_length(p, q, eps_m=10.0) == 0
+        assert lcss_distance(p, q, eps_m=10.0) == 1.0
+
+    def test_bad_params(self):
+        t = traj([0.0])
+        with pytest.raises(ValidationError):
+            lcss_length(t, t, eps_m=-1.0)
+        with pytest.raises(ValidationError):
+            lcss_length(t, t, eps_m=1.0, delta=-1)
+        with pytest.raises(EmptyTrajectoryError):
+            lcss_length(traj([]), t, eps_m=1.0)
+
+
+def _edr_brute(p, q, eps):
+    n, m = len(p), len(q)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            d = math.hypot(p.xs[i - 1] - q.xs[j - 1], p.ys[i - 1] - q.ys[j - 1])
+            sub = dp[i - 1][j - 1] + (0 if d <= eps else 1)
+            dp[i][j] = min(sub, dp[i - 1][j] + 1, dp[i][j - 1] + 1)
+    return dp[n][m]
+
+
+class TestEDR:
+    def test_identical_zero(self):
+        rng = np.random.default_rng(9)
+        t = random_traj(rng, 12)
+        assert edr_raw(t, t, eps_m=1.0) == 0
+        assert edr_distance(t, t, eps_m=1.0) == 0.0
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(10)
+        for _ in range(5):
+            p = random_traj(rng, 9, scale=50.0)
+            q = random_traj(rng, 12, scale=50.0)
+            assert edr_raw(p, q, eps_m=120.0) == _edr_brute(p, q, 120.0)
+
+    def test_completely_different(self):
+        p = traj([0.0, 1.0, 2.0])
+        q = traj([9e5, 9e5 + 1])
+        # All substitutions cost 1 plus one deletion: total = max(n, m).
+        assert edr_raw(p, q, eps_m=1.0) == 3
+        assert edr_distance(p, q, eps_m=1.0) == 1.0
+
+    def test_length_difference_costs(self):
+        p = traj([0.0, 0.0, 0.0, 0.0])
+        q = traj([0.0])
+        assert edr_raw(p, q, eps_m=1.0) == 3
+
+    def test_bad_params(self):
+        t = traj([0.0])
+        with pytest.raises(ValidationError):
+            edr_raw(t, t, eps_m=-1.0)
+        with pytest.raises(EmptyTrajectoryError):
+            edr_raw(traj([]), t, eps_m=1.0)
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_bounds(self, n, m):
+        rng = np.random.default_rng(n * 100 + m)
+        p = random_traj(rng, n)
+        q = random_traj(rng, m)
+        raw = edr_raw(p, q, eps_m=100.0)
+        assert abs(n - m) <= raw <= max(n, m)
+
+
+class TestRetriever:
+    @pytest.fixture
+    def db(self):
+        rng = np.random.default_rng(11)
+        return TrajectoryDatabase(
+            [random_traj(rng, 20, traj_id=f"c{i}") for i in range(10)]
+        )
+
+    def test_rank_by_distance_sorted(self, db):
+        query = db["c3"]
+        ranked = rank_by_distance(query, db, p2t_distance)
+        dists = [d for _cid, d in ranked]
+        assert dists == sorted(dists)
+        assert ranked[0][0] == "c3"
+
+    def test_top_k(self, db):
+        retriever = SimilarityRetriever(p2t_distance)
+        top = retriever.top_k(db["c5"], db, 3)
+        assert len(top) == 3
+        assert top[0] == "c5"
+
+    def test_max_points_caps(self, db):
+        seen_lengths = []
+
+        def spy(p, q):
+            seen_lengths.append((len(p), len(q)))
+            return p2t_distance(p, q)
+
+        retriever = SimilarityRetriever(spy, max_points=5)
+        retriever.rank(db["c0"], db)
+        assert all(n <= 5 and m <= 5 for n, m in seen_lengths)
+
+    def test_invalid_params(self, db):
+        with pytest.raises(ValidationError):
+            SimilarityRetriever(p2t_distance, max_points=1)
+        retriever = SimilarityRetriever(p2t_distance)
+        with pytest.raises(ValidationError):
+            retriever.top_k(db["c0"], db, 0)
+
+    def test_self_retrieval_across_measures(self, db):
+        for distance in (
+            p2t_distance,
+            dtw_distance,
+            lambda p, q: lcss_distance(p, q, eps_m=50.0),
+            lambda p, q: edr_distance(p, q, eps_m=50.0),
+        ):
+            retriever = SimilarityRetriever(distance)
+            assert retriever.top_k(db["c7"], db, 1) == ["c7"]

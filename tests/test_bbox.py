@@ -1,0 +1,92 @@
+"""Bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.bbox import BoundingBox
+
+
+@pytest.fixture
+def box() -> BoundingBox:
+    return BoundingBox(0.0, 0.0, 100.0, 50.0)
+
+
+class TestConstruction:
+    def test_from_size(self):
+        b = BoundingBox.from_size(10.0, 20.0)
+        assert (b.min_x, b.min_y, b.max_x, b.max_y) == (0, 0, 10, 20)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValidationError):
+            BoundingBox(0, 0, 0, 10)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValidationError):
+            BoundingBox(10, 0, 0, 10)
+
+
+class TestGeometry:
+    def test_width_height_area(self, box):
+        assert box.width == 100.0
+        assert box.height == 50.0
+        assert box.area == 5000.0
+
+    def test_diameter(self, box):
+        assert box.diameter == pytest.approx(np.hypot(100, 50))
+
+    def test_center(self, box):
+        assert box.center == (50.0, 25.0)
+
+    def test_expand(self, box):
+        grown = box.expand(5.0)
+        assert grown.min_x == -5.0 and grown.max_y == 55.0
+
+    def test_expand_collapse_rejected(self, box):
+        with pytest.raises(ValidationError):
+            box.expand(-60.0)
+
+
+class TestContainment:
+    def test_contains_inside(self, box):
+        assert box.contains(50, 25)
+
+    def test_contains_boundary(self, box):
+        assert box.contains(0, 0)
+        assert box.contains(100, 50)
+
+    def test_contains_outside(self, box):
+        assert not box.contains(101, 25)
+        assert not box.contains(50, -1)
+
+    def test_contains_many(self, box):
+        xs = np.array([50.0, 101.0, 0.0])
+        ys = np.array([25.0, 25.0, 0.0])
+        assert list(box.contains_many(xs, ys)) == [True, False, True]
+
+
+class TestClipAndSample:
+    def test_clip_inside_unchanged(self, box):
+        assert box.clip(30, 20) == (30.0, 20.0)
+
+    def test_clip_outside(self, box):
+        assert box.clip(-10, 60) == (0.0, 50.0)
+
+    def test_clip_many(self, box):
+        xs, ys = box.clip_many(np.array([-5.0, 120.0]), np.array([25.0, 25.0]))
+        assert list(xs) == [0.0, 100.0]
+
+    def test_sample_inside(self, box):
+        rng = np.random.default_rng(0)
+        pts = box.sample(rng, 200)
+        assert pts.shape == (200, 2)
+        assert box.contains_many(pts[:, 0], pts[:, 1]).all()
+
+    def test_sample_zero(self, box):
+        rng = np.random.default_rng(0)
+        assert box.sample(rng, 0).shape == (0, 2)
+
+    def test_sample_negative_rejected(self, box):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            box.sample(rng, -1)

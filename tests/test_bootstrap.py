@@ -1,0 +1,89 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    perceptiveness_ci,
+    selectiveness_ci,
+)
+
+
+class TestBootstrapCI:
+    def test_estimate_is_statistic_of_data(self, rng):
+        values = [0.0, 1.0, 1.0, 1.0]
+        ci = bootstrap_ci(values, rng)
+        assert ci.estimate == pytest.approx(0.75)
+
+    def test_interval_contains_estimate(self, rng):
+        values = np.random.default_rng(0).random(50)
+        ci = bootstrap_ci(values, rng)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_coverage_on_known_distribution(self):
+        # ~95% of CIs from Bernoulli(0.6) samples should contain 0.6.
+        hits = 0
+        trials = 200
+        for seed in range(trials):
+            rng = np.random.default_rng(seed)
+            data = (rng.random(60) < 0.6).astype(float)
+            ci = bootstrap_ci(data, rng, n_boot=400)
+            hits += ci.contains(0.6)
+        assert hits / trials > 0.85
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        data_rng = np.random.default_rng(1)
+        small = bootstrap_ci(data_rng.random(10), rng)
+        large = bootstrap_ci(data_rng.random(1000), rng)
+        assert large.width < small.width
+
+    def test_degenerate_data_zero_width(self, rng):
+        ci = bootstrap_ci(np.ones(20), rng)
+        assert ci.low == ci.high == 1.0
+
+    def test_custom_statistic(self, rng):
+        values = np.arange(11, dtype=float)
+        ci = bootstrap_ci(values, rng, statistic=np.median)
+        assert ci.estimate == 5.0
+
+    def test_str_format(self, rng):
+        ci = bootstrap_ci([0.5, 0.5], rng)
+        assert "[" in str(ci) and "95%" in str(ci)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            bootstrap_ci([], rng)
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0], rng, level=1.0)
+        with pytest.raises(ValidationError):
+            bootstrap_ci([1.0], rng, n_boot=5)
+
+
+class TestMetricCIs:
+    TRUTH = {"p1": "q1", "p2": "q2", "p3": "q3"}
+
+    def test_perceptiveness_ci_estimate(self, rng):
+        results = {"p1": ["q1"], "p2": ["q9"], "p3": ["q3", "q1"]}
+        ci = perceptiveness_ci(results, self.TRUTH, rng)
+        assert ci.estimate == pytest.approx(2 / 3)
+        assert ci.n_samples == 3
+
+    def test_selectiveness_ci_estimate(self, rng):
+        results = {"p1": ["a", "b"], "p2": ["c"], "p3": []}
+        ci = selectiveness_ci(results, 10, rng)
+        assert ci.estimate == pytest.approx(0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            perceptiveness_ci({}, self.TRUTH, rng)
+        with pytest.raises(ValidationError):
+            selectiveness_ci({"p1": []}, 0, rng)
+
+    def test_interval_dataclass(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6, 0.95, 10)
+        assert ci.width == pytest.approx(0.2)
+        assert ci.contains(0.45)
+        assert not ci.contains(0.7)

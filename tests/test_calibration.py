@@ -1,0 +1,81 @@
+"""Calibration of the hypothesis tests' p-values."""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import mutual_segment_profile
+from repro.core.calibration import (
+    CalibrationCurve,
+    calibration_curve,
+    format_calibration,
+    max_anticonservatism,
+)
+from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
+from repro.errors import ValidationError
+
+
+class TestCurveMechanics:
+    def test_uniform_sample_tracks_thresholds(self):
+        rng = np.random.default_rng(0)
+        ps = rng.random(50_000)
+        curve = calibration_curve(ps)
+        for t, emp in curve.rows():
+            assert emp == pytest.approx(t, abs=0.01)
+
+    def test_point_mass_at_one_is_conservative(self):
+        curve = calibration_curve(np.ones(100))
+        assert max_anticonservatism(curve) < 0.0
+
+    def test_point_mass_at_zero_is_anticonservative(self):
+        curve = calibration_curve(np.zeros(100))
+        assert max_anticonservatism(curve) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            calibration_curve([])
+        with pytest.raises(ValidationError):
+            calibration_curve([1.5])
+        with pytest.raises(ValidationError):
+            calibration_curve([0.5], thresholds=[0.0])
+
+    def test_format(self):
+        curve = CalibrationCurve((0.05,), (0.04,), 10)
+        text = format_calibration({"p1": curve})
+        assert "p1" in text and "0.05" in text
+
+
+class TestFTLTestsCalibrated:
+    """The FTL p-values are conservative under their respective nulls."""
+
+    def test_rejection_pvalue_conservative_on_true_pairs(
+        self, small_pair, fitted_models
+    ):
+        mr, _ma = fitted_models
+        p1s = []
+        for pid, qid in small_pair.truth.items():
+            profile = mutual_segment_profile(
+                small_pair.p_db[pid], small_pair.q_db[qid], mr.config
+            )
+            p1s.append(rejection_pvalue(profile, mr))
+        curve = calibration_curve(p1s, thresholds=(0.01, 0.05, 0.1))
+        # Allow modest sampling noise on 30 pairs.
+        assert max_anticonservatism(curve) < 0.12
+
+    def test_acceptance_pvalue_conservative_on_false_pairs(
+        self, small_pair, fitted_models
+    ):
+        _mr, ma = fitted_models
+        rng = np.random.default_rng(0)
+        p2s = []
+        q_ids = small_pair.q_db.ids()
+        for pid in list(small_pair.truth)[:15]:
+            for qid in rng.choice(len(q_ids), size=5, replace=False):
+                cand = q_ids[int(qid)]
+                if cand == small_pair.truth[pid]:
+                    continue
+                profile = mutual_segment_profile(
+                    small_pair.p_db[pid], small_pair.q_db[cand], ma.config
+                )
+                p2s.append(acceptance_pvalue(profile, ma))
+        curve = calibration_curve(p2s, thresholds=(0.01, 0.05, 0.1))
+        assert max_anticonservatism(curve) < 0.1

@@ -1,0 +1,154 @@
+"""Dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalog import (
+    CatalogEntry,
+    build_scenario,
+    catalog,
+    catalog_entry,
+)
+from repro.errors import ValidationError
+from repro.geo.units import days_to_seconds
+
+
+class TestCatalogContents:
+    def test_all_paper_configs_present(self):
+        names = set(catalog())
+        for letter in "ABCDEF":
+            assert f"S{letter}" in names
+            assert f"T{letter}" in names
+            assert f"S{letter}-mini" in names
+            assert f"T{letter}-mini" in names
+        assert {"FIG8A", "FIG8B", "FIG8A-mini", "FIG8B-mini"} <= names
+
+    def test_catalog_copy_isolated(self):
+        snapshot = catalog()
+        snapshot.clear()
+        assert len(catalog()) > 0
+
+    def test_lookup_known(self):
+        entry = catalog_entry("SA")
+        assert entry.protocol == "paired"
+        assert entry.duration_days == 31.0
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            catalog_entry("XX")
+
+    def test_s_series_rate_ordering(self):
+        rates = [catalog_entry(f"S{x}").rate_p_per_hour for x in "ABC"]
+        assert rates == sorted(rates)
+
+    def test_sd_sf_duration_ordering(self):
+        durations = [catalog_entry(f"S{x}").duration_days for x in "DEF"]
+        assert durations == sorted(durations)
+        assert all(d < 31 for d in durations)
+
+    def test_t_series_split_protocol(self):
+        for letter in "ABCDEF":
+            assert catalog_entry(f"T{letter}").protocol == "split"
+
+    def test_td_tf_trims(self):
+        trims = [catalog_entry(f"T{x}").trim_days for x in "DEF"]
+        assert trims == [2.0, 4.0, 6.0]
+
+
+class TestEntryValidation:
+    def test_paired_needs_rates(self):
+        with pytest.raises(ValidationError):
+            CatalogEntry(
+                name="x", protocol="paired", description="", n_agents=5,
+                duration_days=1.0,
+            )
+
+    def test_split_needs_dense_rate(self):
+        with pytest.raises(ValidationError):
+            CatalogEntry(
+                name="x", protocol="split", description="", n_agents=5,
+                duration_days=1.0,
+            )
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValidationError):
+            CatalogEntry(
+                name="x", protocol="magic", description="", n_agents=5,
+                duration_days=1.0,
+            )
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ValidationError):
+            CatalogEntry(
+                name="x", protocol="paired", description="", n_agents=1,
+                duration_days=1.0, rate_p_per_hour=1.0, rate_q_per_hour=1.0,
+            )
+
+
+class TestBuild:
+    def test_deterministic_without_rng(self):
+        a = build_scenario("SD-mini")
+        b = build_scenario("SD-mini")
+        assert a.p_db.total_records() == b.p_db.total_records()
+        assert list(a.truth) == list(b.truth)
+        first = next(iter(a.p_db))
+        assert np.allclose(first.ts, b.p_db[first.traj_id].ts)
+
+    def test_explicit_rng_varies(self):
+        a = build_scenario("SD-mini", np.random.default_rng(1))
+        b = build_scenario("SD-mini", np.random.default_rng(2))
+        assert a.p_db.total_records() != b.p_db.total_records()
+
+    def test_paired_build_shape(self):
+        pair = build_scenario("SD-mini")
+        entry = catalog_entry("SD-mini")
+        assert len(pair.p_db) <= entry.n_agents
+        assert len(pair.truth) > 0
+
+    def test_split_build_durations_trimmed(self):
+        pair = build_scenario("TD-mini")
+        limit = days_to_seconds(2.0)
+        for traj in pair.p_db:
+            assert traj.duration <= limit
+
+    def test_mini_record_scale_reasonable(self):
+        pair = build_scenario("SC-mini")
+        mean_p = np.mean([len(t) for t in pair.p_db])
+        # 0.55/h over 10 days ~ 132 records.
+        assert 100 < mean_p < 170
+
+    def test_road_variant_builds_and_links(self):
+        rng = np.random.default_rng(0)
+        pair = build_scenario("SB-road-mini")
+        assert len(pair.truth) > 0
+        from repro.config import FTLConfig
+        from repro.core.linker import FTLLinker
+
+        linker = FTLLinker(FTLConfig(), phi_r=0.2).fit(
+            pair.p_db, pair.q_db, rng
+        )
+        qids = pair.sample_queries(10, rng)
+        hits = sum(
+            1
+            for pid in qids
+            if linker.link(pair.p_db[pid]).contains(pair.truth[pid])
+        )
+        assert hits >= 6
+
+    def test_noise_spec_parsing_tower(self):
+        entry = catalog_entry("SA-mini")
+        tower_variant = CatalogEntry(
+            **{**entry.__dict__, "name": "tower-test", "noise_q": "tower",
+               "duration_days": 1.0, "n_agents": 3},
+        )
+        pair = tower_variant.build(np.random.default_rng(0))
+        assert len(pair.q_db) > 0
+
+    def test_bad_noise_spec(self):
+        entry = catalog_entry("SA-mini")
+        bad = CatalogEntry(
+            **{**entry.__dict__, "name": "bad", "noise_q": "gps:abc",
+               "duration_days": 1.0, "n_agents": 3},
+        )
+        with pytest.raises(ValidationError):
+            bad.build(np.random.default_rng(0))

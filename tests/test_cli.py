@@ -1,0 +1,106 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.version import __version__
+
+
+class TestDatasets:
+    def test_lists_catalog(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "SA" in out and "TF-mini" in out
+
+
+class TestTheory:
+    def test_prints_table(self, capsys):
+        assert main(["theory", "--lam-p", "0.5", "--lam-q", "2", "--max-x", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "E(X) exact" in out
+        assert out.count("\n") >= 7
+
+    def test_requires_rates(self):
+        with pytest.raises(SystemExit):
+            main(["theory", "--lam-p", "0.5"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "scenario"
+        assert main(["generate", "SD-mini", "--out", str(out_dir)]) == 0
+        assert (out_dir / "P.csv").exists()
+        assert (out_dir / "Q.csv").exists()
+        truth = json.loads((out_dir / "truth.json").read_text())
+        assert len(truth) > 0
+
+    def test_stats_prints_table1(self, capsys):
+        assert main(["stats", "SD-mini"]) == 0
+        out = capsys.readouterr().out
+        assert "mean of |P|" in out
+        assert "SD-mini" in out
+
+
+class TestDiagnose:
+    def test_prints_model_table(self, capsys):
+        assert main(["diagnose", "SD-mini", "--buckets", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "KL nats" in out
+        assert "discriminability" in out
+
+    def test_feasibility_section(self, capsys):
+        assert main(
+            ["diagnose", "SD-mini", "--lam-p", "0.5", "--lam-q", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "days to decisive" in out
+
+
+class TestHoldout:
+    def test_reports_generalisation(self, capsys):
+        assert main(["holdout", "SD-mini"]) == 0
+        out = capsys.readouterr().out
+        assert "generalisation gap" in out
+
+
+class TestSweepAndAssign:
+    def test_sweep_prints_curves(self, capsys):
+        assert main(["sweep", "SD-mini", "--queries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha-filter" in out
+        assert "naive-bayes" in out
+
+    def test_assign_reports_accuracy(self, capsys):
+        assert main(["assign", "SD-mini", "--method", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy over assigned" in out
+
+
+class TestLink:
+    def test_link_reports_metrics(self, capsys):
+        assert main(
+            ["link", "SD-mini", "--method", "naive-bayes", "--queries", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "perceptiveness" in out
+        assert "selectiveness" in out
+
+    def test_unknown_dataset_fails(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["link", "NOPE"])

@@ -1,0 +1,122 @@
+"""Compatibility (paper Definition 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FTLConfig
+from repro.core.compatibility import (
+    compatibility_many,
+    implied_speed,
+    incompatibility_many,
+    is_compatible,
+)
+from repro.core.records import Record
+
+
+@pytest.fixture
+def config():
+    return FTLConfig(vmax_kph=120.0)
+
+
+class TestImpliedSpeed:
+    def test_basic(self, config):
+        a = Record(0.0, 0.0, 0.0)
+        b = Record(100.0, 1000.0, 0.0)
+        assert implied_speed(a, b, config) == pytest.approx(10.0)
+
+    def test_zero_dt_nonzero_dist_infinite(self, config):
+        a = Record(0.0, 0.0, 0.0)
+        b = Record(0.0, 1.0, 0.0)
+        assert implied_speed(a, b, config) == float("inf")
+
+    def test_coincident_records_zero(self, config):
+        a = Record(0.0, 5.0, 5.0)
+        assert implied_speed(a, a, config) == 0.0
+
+    def test_symmetric(self, config):
+        a = Record(0.0, 0.0, 0.0)
+        b = Record(50.0, 400.0, 300.0)
+        assert implied_speed(a, b, config) == implied_speed(b, a, config)
+
+
+class TestIsCompatible:
+    def test_paper_example_incompatible(self, config):
+        # 70 km in 20 minutes at Vmax 120 kph -> incompatible (paper IV-B).
+        a = Record(0.0, 0.0, 0.0)
+        b = Record(20 * 60.0, 70_000.0, 0.0)
+        assert not is_compatible(a, b, config)
+
+    def test_at_threshold_compatible(self, config):
+        # Exactly Vmax: dist = vmax * dt.
+        dt = 60.0
+        a = Record(0.0, 0.0, 0.0)
+        b = Record(dt, config.vmax_mps * dt, 0.0)
+        assert is_compatible(a, b, config)
+
+    def test_slow_travel_compatible(self, config):
+        a = Record(0.0, 0.0, 0.0)
+        b = Record(3600.0, 10_000.0, 0.0)
+        assert is_compatible(a, b, config)
+
+    def test_zero_dt_same_point_compatible(self, config):
+        a = Record(5.0, 1.0, 2.0)
+        b = Record(5.0, 1.0, 2.0)
+        assert is_compatible(a, b, config)
+
+    def test_zero_dt_distinct_points_incompatible(self, config):
+        a = Record(5.0, 1.0, 2.0)
+        b = Record(5.0, 1.0, 3.0)
+        assert not is_compatible(a, b, config)
+
+    def test_higher_vmax_is_more_permissive(self):
+        a = Record(0.0, 0.0, 0.0)
+        b = Record(60.0, 3000.0, 0.0)  # 50 m/s = 180 kph
+        assert not is_compatible(a, b, FTLConfig(vmax_kph=120.0))
+        assert is_compatible(a, b, FTLConfig(vmax_kph=200.0))
+
+
+class TestVectorised:
+    def test_matches_scalar(self, config):
+        rng = np.random.default_rng(0)
+        dists = rng.uniform(0, 50_000, 100)
+        dts = rng.uniform(0, 3600, 100)
+        many = compatibility_many(dists, dts, config)
+        for dist, dt, got in zip(dists, dts, many):
+            a = Record(0.0, 0.0, 0.0)
+            b = Record(dt, dist, 0.0)
+            assert got == is_compatible(a, b, config)
+
+    def test_incompatibility_is_negation(self, config):
+        dists = np.array([0.0, 1e5])
+        dts = np.array([10.0, 10.0])
+        comp = compatibility_many(dists, dts, config)
+        incomp = incompatibility_many(dists, dts, config)
+        assert np.array_equal(comp, ~incomp)
+
+    @given(
+        st.floats(0, 1e6, allow_nan=False),
+        st.floats(0, 1e5, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_dt(self, dist, dt):
+        # If a segment is compatible at dt, it stays compatible at 2*dt.
+        config = FTLConfig()
+        if compatibility_many(np.array([dist]), np.array([dt]), config)[0]:
+            assert compatibility_many(
+                np.array([dist]), np.array([2 * dt]), config
+            )[0]
+
+    @given(
+        st.floats(0, 1e6, allow_nan=False),
+        st.floats(0.001, 1e5, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_dist(self, dist, dt):
+        # If incompatible at dist, still incompatible at 2*dist.
+        config = FTLConfig()
+        if not compatibility_many(np.array([dist]), np.array([dt]), config)[0]:
+            assert not compatibility_many(
+                np.array([2 * dist]), np.array([dt]), config
+            )[0]

@@ -1,0 +1,96 @@
+"""FTLConfig validation and bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG, FTLConfig, PB_BACKENDS
+from repro.errors import ValidationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        assert DEFAULT_CONFIG.vmax_kph == 120.0
+        assert DEFAULT_CONFIG.time_unit_s == 60.0
+        assert DEFAULT_CONFIG.horizon_s == 3600.0
+
+    def test_vmax_mps(self):
+        assert DEFAULT_CONFIG.vmax_mps == pytest.approx(120 / 3.6)
+
+    def test_n_buckets(self):
+        assert DEFAULT_CONFIG.n_buckets == 60
+
+    def test_n_buckets_rounds_up(self):
+        config = FTLConfig(time_unit_s=70.0, horizon_s=3600.0)
+        assert config.n_buckets == 52  # ceil(3600/70)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.vmax_kph = 10.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"vmax_kph": 0.0},
+            {"vmax_kph": -5.0},
+            {"time_unit_s": 0.0},
+            {"horizon_s": 30.0, "time_unit_s": 60.0},
+            {"metric": "nope"},
+            {"smoothing": -0.1},
+            {"min_bucket_count": -1},
+            {"max_acceptance_pairs": 0},
+            {"pb_backend": "magic"},
+            {"prob_floor": 0.0},
+            {"prob_floor": 0.7},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValidationError):
+            FTLConfig(**kwargs)
+
+    @pytest.mark.parametrize("backend", PB_BACKENDS)
+    def test_accepts_all_backends(self, backend):
+        assert FTLConfig(pb_backend=backend).pb_backend == backend
+
+    def test_haversine_metric_accepted(self):
+        assert FTLConfig(metric="haversine").metric == "haversine"
+
+
+class TestBucketing:
+    def test_bucket_of_rounds_to_nearest(self):
+        config = FTLConfig(time_unit_s=60.0)
+        assert config.bucket_of(0.0) == 0
+        assert config.bucket_of(29.0) == 0
+        assert config.bucket_of(31.0) == 1
+        assert config.bucket_of(60.0) == 1
+        assert config.bucket_of(95.0) == 2
+
+    def test_bucket_of_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            DEFAULT_CONFIG.bucket_of(-1.0)
+
+    def test_buckets_of_matches_scalar(self):
+        config = FTLConfig(time_unit_s=30.0)
+        dts = np.array([0.0, 10.0, 29.0, 31.0, 300.0, 7200.0])
+        vec = config.buckets_of(dts)
+        for dt, bucket in zip(dts, vec):
+            assert bucket == config.bucket_of(float(dt))
+
+    def test_buckets_of_dtype(self):
+        assert DEFAULT_CONFIG.buckets_of(np.array([1.0])).dtype == np.int64
+
+
+class TestWithUpdates:
+    def test_replaces_field(self):
+        updated = DEFAULT_CONFIG.with_updates(vmax_kph=140.0)
+        assert updated.vmax_kph == 140.0
+        assert updated.time_unit_s == DEFAULT_CONFIG.time_unit_s
+
+    def test_validates_replacement(self):
+        with pytest.raises(ValidationError):
+            DEFAULT_CONFIG.with_updates(vmax_kph=-1.0)
+
+    def test_original_untouched(self):
+        DEFAULT_CONFIG.with_updates(time_unit_s=30.0)
+        assert DEFAULT_CONFIG.time_unit_s == 60.0

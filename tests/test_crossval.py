@@ -1,0 +1,54 @@
+"""Held-out generalisation evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.errors import ValidationError
+from repro.pipeline.crossval import format_holdout, run_holdout
+
+
+class TestRunHoldout:
+    def test_models_generalise_on_synthetic(self, small_pair):
+        rng = np.random.default_rng(0)
+        result = run_holdout(small_pair, FTLConfig(), rng, test_fraction=0.3)
+        # Held-out users must still link well: the models capture city
+        # geometry + noise, not individual identities.
+        assert result.test_perceptiveness >= 0.6
+        assert abs(result.generalisation_gap) <= 0.35
+        assert result.n_test_queries >= 1
+        assert result.n_train_queries >= result.n_test_queries
+
+    def test_selectiveness_reported(self, small_pair):
+        rng = np.random.default_rng(1)
+        result = run_holdout(small_pair, FTLConfig(), rng)
+        assert 0.0 <= result.train_selectiveness <= 1.0
+        assert 0.0 <= result.test_selectiveness <= 1.0
+
+    def test_fraction_validation(self, small_pair):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            run_holdout(small_pair, FTLConfig(), rng, test_fraction=0.0)
+        with pytest.raises(ValidationError):
+            run_holdout(small_pair, FTLConfig(), rng, test_fraction=1.0)
+
+    def test_too_few_queries_rejected(self, small_pair):
+        from repro.synth.scenario import ScenarioPair
+
+        rng = np.random.default_rng(0)
+        tiny_truth = dict(list(small_pair.truth.items())[:2])
+        tiny = ScenarioPair(small_pair.p_db, small_pair.q_db, tiny_truth)
+        with pytest.raises(ValidationError):
+            run_holdout(tiny, FTLConfig(), rng)
+
+    def test_format(self, small_pair):
+        rng = np.random.default_rng(0)
+        result = run_holdout(small_pair, FTLConfig(), rng)
+        text = format_holdout(result)
+        assert "train" in text and "test" in text
+        assert "generalisation gap" in text
+
+    def test_deterministic_given_rng(self, small_pair):
+        a = run_holdout(small_pair, FTLConfig(), np.random.default_rng(7))
+        b = run_holdout(small_pair, FTLConfig(), np.random.default_rng(7))
+        assert a == b

@@ -1,0 +1,136 @@
+"""TrajectoryDatabase container."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+
+
+def make_traj(traj_id, n=5, start=0.0, gap=3600.0):
+    ts = start + gap * np.arange(n)
+    return Trajectory(ts, np.zeros(n), np.zeros(n), traj_id)
+
+
+@pytest.fixture
+def db() -> TrajectoryDatabase:
+    return TrajectoryDatabase([make_traj("a", 3), make_traj("b", 5)], name="test")
+
+
+class TestMutation:
+    def test_add_and_len(self, db):
+        db.add(make_traj("c"))
+        assert len(db) == 3
+
+    def test_duplicate_id_rejected(self, db):
+        with pytest.raises(ValidationError):
+            db.add(make_traj("a"))
+
+    def test_none_id_rejected(self, db):
+        with pytest.raises(ValidationError):
+            db.add(make_traj(None))
+
+    def test_remove(self, db):
+        removed = db.remove("a")
+        assert removed.traj_id == "a"
+        assert "a" not in db
+
+    def test_remove_missing(self, db):
+        with pytest.raises(ValidationError):
+            db.remove("zzz")
+
+
+class TestMappingProtocol:
+    def test_getitem(self, db):
+        assert db["b"].traj_id == "b"
+
+    def test_getitem_missing(self, db):
+        with pytest.raises(KeyError):
+            db["zzz"]
+
+    def test_get_default(self, db):
+        assert db.get("zzz") is None
+
+    def test_contains(self, db):
+        assert "a" in db and "zzz" not in db
+
+    def test_iteration_order(self, db):
+        assert [t.traj_id for t in db] == ["a", "b"]
+
+    def test_ids(self, db):
+        assert db.ids() == ["a", "b"]
+
+    def test_items(self, db):
+        assert dict(db.items())["a"].traj_id == "a"
+
+    def test_repr(self, db):
+        assert "n=2" in repr(db)
+
+
+class TestStatistics:
+    def test_total_records(self, db):
+        assert db.total_records() == 8
+
+    def test_stats_lengths(self, db):
+        stats = db.stats()
+        assert stats.n_trajectories == 2
+        assert stats.mean_length == 4.0
+        assert stats.std_length == 1.0
+
+    def test_stats_gaps_in_hours(self, db):
+        stats = db.stats()
+        assert stats.mean_gap_hours == pytest.approx(1.0)
+        assert stats.std_gap_hours == pytest.approx(0.0)
+
+    def test_stats_empty_db(self):
+        stats = TrajectoryDatabase().stats()
+        assert stats.n_trajectories == 0
+        assert stats.mean_length == 0.0
+
+    def test_stats_as_rows(self, db):
+        labels = [label for label, _v in db.stats().as_rows()]
+        assert "mean of |T|" in labels
+
+
+class TestTransforms:
+    def test_map(self, db):
+        halved = db.map(lambda t: t.thin(2))
+        assert len(halved["b"]) == 3
+
+    def test_map_drops_empty(self, db):
+        emptied = db.map(lambda t: t.slice_time(1e9, 2e9))
+        assert len(emptied) == 0
+
+    def test_downsample_preserves_name(self, db):
+        rng = np.random.default_rng(0)
+        out = db.downsample(0.9, rng)
+        assert out.name == "test"
+
+    def test_head_duration(self, db):
+        out = db.head_duration(3601.0)
+        assert len(out["b"]) == 2
+
+    def test_subset(self, db):
+        sub = db.subset(["b"])
+        assert sub.ids() == ["b"]
+
+    def test_subset_missing_raises(self, db):
+        with pytest.raises(KeyError):
+            db.subset(["zzz"])
+
+    def test_sample_ids(self, db):
+        rng = np.random.default_rng(0)
+        ids = db.sample_ids(2, rng)
+        assert sorted(ids) == ["a", "b"]
+
+    def test_sample_ids_distinct(self):
+        rng = np.random.default_rng(0)
+        db = TrajectoryDatabase([make_traj(i) for i in range(20)])
+        ids = db.sample_ids(10, rng)
+        assert len(set(ids)) == 10
+
+    def test_sample_too_many(self, db):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            db.sample_ids(5, rng)

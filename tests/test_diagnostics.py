@@ -1,0 +1,118 @@
+"""Model diagnostics and discriminability."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.diagnostics import (
+    _bernoulli_kl,
+    bucket_divergence,
+    discriminability,
+    format_model_table,
+    model_table,
+)
+from repro.core.models import ACCEPTANCE, REJECTION, BucketCounts, CompatibilityModel
+from repro.errors import ValidationError
+
+
+def model_with_probs(kind, probs, config, count=1000):
+    counts = BucketCounts.zeros(config.n_buckets)
+    counts.total[:] = count
+    probs = np.broadcast_to(np.asarray(probs), (config.n_buckets,))
+    counts.incompatible[:] = np.round(probs * count).astype(np.int64)
+    return CompatibilityModel(kind, counts, config)
+
+
+@pytest.fixture
+def config():
+    return FTLConfig(smoothing=0.0, min_bucket_count=1)
+
+
+class TestBernoulliKL:
+    def test_zero_when_equal(self):
+        assert _bernoulli_kl(0.3, 0.3) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_when_different(self):
+        assert _bernoulli_kl(0.1, 0.9) > 0
+
+    def test_hand_computed(self):
+        import math
+
+        p, q = 0.2, 0.5
+        expected = p * math.log(p / q) + (1 - p) * math.log((1 - p) / (1 - q))
+        assert _bernoulli_kl(p, q) == pytest.approx(expected)
+
+    def test_extreme_probs_clamped(self):
+        assert np.isfinite(_bernoulli_kl(0.0, 1.0))
+
+
+class TestBucketDivergence:
+    def test_identical_models_zero(self, config):
+        mr = model_with_probs(REJECTION, 0.3, config)
+        ma = model_with_probs(ACCEPTANCE, 0.3, config)
+        assert np.allclose(bucket_divergence(mr, ma), 0.0, atol=1e-12)
+
+    def test_separated_models_positive(self, config):
+        mr = model_with_probs(REJECTION, 0.02, config)
+        ma = model_with_probs(ACCEPTANCE, 0.8, config)
+        divergence = bucket_divergence(mr, ma)
+        assert np.all(divergence > 1.0)
+
+    def test_kind_validation(self, config):
+        mr = model_with_probs(REJECTION, 0.1, config)
+        ma = model_with_probs(ACCEPTANCE, 0.5, config)
+        with pytest.raises(ValidationError):
+            bucket_divergence(ma, mr)
+
+    def test_fitted_models_have_positive_divergence(self, fitted_models):
+        mr, ma = fitted_models
+        divergence = bucket_divergence(mr, ma)
+        # The informative low buckets must discriminate.
+        assert divergence[:10].mean() > 0.5
+
+
+class TestDiscriminability:
+    def test_default_weights(self, fitted_models):
+        mr, ma = fitted_models
+        value = discriminability(mr, ma)
+        assert value > 0.1  # clearly separable on the small scenario
+
+    def test_custom_weights(self, config):
+        mr = model_with_probs(REJECTION, 0.02, config)
+        ma = model_with_probs(ACCEPTANCE, 0.8, config)
+        weights = np.zeros(config.n_buckets)
+        weights[0] = 1.0
+        value = discriminability(mr, ma, gap_weights=weights)
+        assert value == pytest.approx(bucket_divergence(mr, ma)[0])
+
+    def test_weight_validation(self, config):
+        mr = model_with_probs(REJECTION, 0.02, config)
+        ma = model_with_probs(ACCEPTANCE, 0.8, config)
+        with pytest.raises(ValidationError):
+            discriminability(mr, ma, gap_weights=np.ones(3))
+        with pytest.raises(ValidationError):
+            discriminability(mr, ma, gap_weights=-np.ones(config.n_buckets))
+
+    def test_concentrating_weight_on_best_bucket_dominates(self, fitted_models):
+        mr, ma = fitted_models
+        divergence = bucket_divergence(mr, ma)
+        best = int(np.argmax(divergence))
+        weights = np.zeros(mr.n_buckets)
+        weights[best] = 1.0
+        assert discriminability(mr, ma, weights) >= discriminability(mr, ma)
+
+
+class TestModelTable:
+    def test_rows_and_format(self, fitted_models):
+        mr, ma = fitted_models
+        rows = model_table(mr, ma, max_buckets=10)
+        assert len(rows) == 10
+        assert rows[0].bucket == 0
+        assert rows[3].gap_seconds == 3 * mr.config.time_unit_s
+        text = format_model_table(rows)
+        assert "KL nats" in text
+        assert len(text.splitlines()) == 11
+
+    def test_full_table_length(self, fitted_models):
+        mr, ma = fitted_models
+        assert len(model_table(mr, ma)) == mr.n_buckets

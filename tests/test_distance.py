@@ -1,0 +1,114 @@
+"""Distance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.geo.distance import (
+    EARTH_RADIUS_M,
+    euclidean,
+    euclidean_many,
+    get_metric,
+    haversine,
+    haversine_many,
+    metric_names,
+)
+
+finite_coord = st.floats(-1e6, 1e6, allow_nan=False)
+lon = st.floats(-180.0, 180.0, allow_nan=False)
+lat = st.floats(-89.0, 89.0, allow_nan=False)
+
+
+class TestEuclidean:
+    def test_pythagorean_triple(self):
+        assert euclidean(0, 0, 3, 4) == 5.0
+
+    def test_zero_distance(self):
+        assert euclidean(7.5, -2.1, 7.5, -2.1) == 0.0
+
+    def test_vectorised_matches_scalar(self):
+        xs1 = np.array([0.0, 1.0, 2.0])
+        ys1 = np.array([0.0, 1.0, 2.0])
+        xs2 = np.array([3.0, 1.0, 5.0])
+        ys2 = np.array([4.0, 2.0, 6.0])
+        many = euclidean_many(xs1, ys1, xs2, ys2)
+        for i in range(3):
+            assert many[i] == pytest.approx(
+                euclidean(xs1[i], ys1[i], xs2[i], ys2[i])
+            )
+
+    @given(finite_coord, finite_coord, finite_coord, finite_coord)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, x1, y1, x2, y2):
+        assert euclidean(x1, y1, x2, y2) == euclidean(x2, y2, x1, y1)
+
+    @given(finite_coord, finite_coord, finite_coord, finite_coord)
+    @settings(max_examples=50, deadline=None)
+    def test_non_negative(self, x1, y1, x2, y2):
+        assert euclidean(x1, y1, x2, y2) >= 0.0
+
+    @given(
+        finite_coord, finite_coord, finite_coord,
+        finite_coord, finite_coord, finite_coord,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        d12 = euclidean(x1, y1, x2, y2)
+        d23 = euclidean(x2, y2, x3, y3)
+        d13 = euclidean(x1, y1, x3, y3)
+        assert d13 <= d12 + d23 + 1e-6
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine(103.8, 1.35, 103.8, 1.35) == 0.0
+
+    def test_equator_degree(self):
+        # One degree of longitude at the equator ~ 111.2 km.
+        d = haversine(0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(2 * np.pi * EARTH_RADIUS_M / 360.0, rel=1e-6)
+
+    def test_antipodal(self):
+        d = haversine(0.0, 0.0, 180.0, 0.0)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_M, rel=1e-6)
+
+    def test_known_city_pair(self):
+        # Singapore (103.85, 1.29) to Kuala Lumpur (101.69, 3.14): ~316 km.
+        d = haversine(103.85, 1.29, 101.69, 3.14)
+        assert 300_000 < d < 330_000
+
+    @given(lon, lat, lon, lat)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, lon1, lat1, lon2, lat2):
+        assert haversine(lon1, lat1, lon2, lat2) == pytest.approx(
+            haversine(lon2, lat2, lon1, lat1)
+        )
+
+    @given(lon, lat, lon, lat)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_half_circumference(self, lon1, lat1, lon2, lat2):
+        assert haversine(lon1, lat1, lon2, lat2) <= np.pi * EARTH_RADIUS_M * (1 + 1e-9)
+
+    def test_vectorised_matches_scalar(self):
+        lons = np.array([103.8, 0.0])
+        lats = np.array([1.35, 51.5])
+        d = haversine_many(lons, lats, lons + 0.1, lats + 0.1)
+        for i in range(2):
+            assert d[i] == pytest.approx(
+                haversine(lons[i], lats[i], lons[i] + 0.1, lats[i] + 0.1)
+            )
+
+
+class TestRegistry:
+    def test_known_metrics(self):
+        assert set(metric_names()) == {"euclidean", "haversine"}
+
+    def test_get_metric_returns_callable(self):
+        fn = get_metric("euclidean")
+        assert float(fn(0.0, 0.0, 3.0, 4.0)) == 5.0
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValidationError, match="unknown metric"):
+            get_metric("manhattan")

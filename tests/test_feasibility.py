@@ -1,0 +1,148 @@
+"""Section VI feasibility predictions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.models import ACCEPTANCE, REJECTION, BucketCounts, CompatibilityModel
+from repro.errors import ValidationError
+from repro.stats.feasibility import (
+    DECISIVE_EVIDENCE_NATS,
+    assess_feasibility,
+    informative_fraction,
+    informative_segments_per_day,
+    theoretical_gap_weights,
+)
+
+
+def model_with_prob(kind, prob, config):
+    counts = BucketCounts.zeros(config.n_buckets)
+    counts.total[:] = 1000
+    counts.incompatible[:] = int(round(prob * 1000))
+    return CompatibilityModel(kind, counts, config)
+
+
+@pytest.fixture
+def config():
+    return FTLConfig(smoothing=0.0, min_bucket_count=1)
+
+
+@pytest.fixture
+def models(config):
+    return (
+        model_with_prob(REJECTION, 0.02, config),
+        model_with_prob(ACCEPTANCE, 0.8, config),
+    )
+
+
+class TestInformativeFraction:
+    def test_exponential_formula(self):
+        lam_p, lam_q = 1e-4, 2e-4  # per second
+        h = 3600.0
+        expected = 1 - math.exp(-(lam_p + lam_q) * h)
+        assert informative_fraction(lam_p, lam_q, h) == pytest.approx(expected)
+
+    def test_monotone_in_horizon(self):
+        f1 = informative_fraction(1e-4, 1e-4, 600.0)
+        f2 = informative_fraction(1e-4, 1e-4, 3600.0)
+        assert f2 > f1
+
+    def test_bounds(self):
+        assert 0 < informative_fraction(1e-5, 1e-5, 60.0) < 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            informative_fraction(0.0, 1.0, 60.0)
+        with pytest.raises(ValidationError):
+            informative_fraction(1e-4, 1e-4, 0.0)
+
+
+class TestSegmentsPerDay:
+    def test_matches_simulation(self, rng):
+        from repro.stats.theory import simulate_mutual_segment_counts
+
+        lam_p_h, lam_q_h = 0.8, 0.4  # per hour
+        horizon = FTLConfig().horizon_s
+        predicted = informative_segments_per_day(lam_p_h, lam_q_h, horizon)
+        # Simulate in units of days.
+        lam_p_d, lam_q_d = lam_p_h * 24, lam_q_h * 24
+        sim = simulate_mutual_segment_counts(lam_p_d, lam_q_d, 2000, rng)
+        # All mutual segments, then thin to in-horizon analytically.
+        frac = informative_fraction(
+            lam_p_h / 3600, lam_q_h / 3600, horizon
+        )
+        assert predicted == pytest.approx(sim.mean() * frac, rel=0.1)
+
+    def test_increases_with_rates(self):
+        h = 3600.0
+        low = informative_segments_per_day(0.2, 0.2, h)
+        high = informative_segments_per_day(2.0, 2.0, h)
+        assert high > low
+
+
+class TestGapWeights:
+    def test_normalised(self, config):
+        weights = theoretical_gap_weights(0.8, 0.4, config)
+        assert weights.shape == (config.n_buckets,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights >= 0)
+
+    def test_decreasing_for_exponential(self, config):
+        weights = theoretical_gap_weights(0.8, 0.4, config)
+        # Ignore bucket 0 (half-width interval); from bucket 1 on the
+        # exponential density makes weights strictly decreasing.
+        assert np.all(np.diff(weights[1:]) <= 1e-15)
+
+    def test_higher_rates_concentrate_low_buckets(self, config):
+        slow = theoretical_gap_weights(0.2, 0.2, config)
+        fast = theoretical_gap_weights(5.0, 5.0, config)
+        assert fast[:5].sum() > slow[:5].sum()
+
+    def test_validation(self, config):
+        with pytest.raises(ValidationError):
+            theoretical_gap_weights(0.0, 0.0, config)
+
+
+class TestAssessFeasibility:
+    def test_report_fields(self, models):
+        mr, ma = models
+        report = assess_feasibility(0.8, 0.4, mr, ma)
+        assert report.informative_segments_per_day > 0
+        assert report.evidence_per_segment_nats > 0
+        assert report.evidence_per_day_nats == pytest.approx(
+            report.informative_segments_per_day
+            * report.evidence_per_segment_nats
+        )
+        assert report.days_to_decisive == pytest.approx(
+            DECISIVE_EVIDENCE_NATS / report.evidence_per_day_nats
+        )
+        assert "days to decisive" in report.summary()
+
+    def test_denser_services_need_fewer_days(self, models):
+        mr, ma = models
+        sparse = assess_feasibility(0.2, 0.1, mr, ma)
+        dense = assess_feasibility(2.0, 1.0, mr, ma)
+        assert dense.days_to_decisive < sparse.days_to_decisive
+
+    def test_indistinguishable_models_infeasible(self, config):
+        mr = model_with_prob(REJECTION, 0.5, config)
+        ma = model_with_prob(ACCEPTANCE, 0.5, config)
+        report = assess_feasibility(1.0, 1.0, mr, ma)
+        assert report.evidence_per_segment_nats == pytest.approx(0.0, abs=1e-9)
+        assert math.isinf(report.days_to_decisive)
+
+    def test_target_validation(self, models):
+        mr, ma = models
+        with pytest.raises(ValidationError):
+            assess_feasibility(1.0, 1.0, mr, ma, target_nats=0.0)
+
+    def test_prediction_consistent_with_linking(self, small_pair, fitted_models):
+        """The feasibility estimate should call the small scenario easy."""
+        mr, ma = fitted_models
+        # The small_pair services run at 0.8 and 0.4 events/hour.
+        report = assess_feasibility(0.8, 0.4, mr, ma)
+        # The scenario spans 5 days and links almost perfectly, so the
+        # predicted days-to-decisive must be of that order (not 100x).
+        assert report.days_to_decisive < 15.0

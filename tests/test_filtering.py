@@ -1,0 +1,150 @@
+"""(alpha1, alpha2)-filtering (paper Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.alignment import MutualSegmentProfile
+from repro.core.filtering import AlphaFilter, FilterDecision
+from repro.core.models import ACCEPTANCE, REJECTION, BucketCounts, CompatibilityModel
+from repro.errors import ValidationError
+
+
+def model_with_prob(kind, prob, config):
+    counts = BucketCounts.zeros(config.n_buckets)
+    counts.total[:] = 1000
+    counts.incompatible[:] = int(round(prob * 1000))
+    return CompatibilityModel(kind, counts, config)
+
+
+def profile(n, k, bucket=1):
+    return MutualSegmentProfile(
+        np.full(n, bucket, dtype=np.int64),
+        np.array([True] * k + [False] * (n - k), dtype=bool),
+    )
+
+
+@pytest.fixture
+def config():
+    return FTLConfig(smoothing=0.0, min_bucket_count=1)
+
+
+@pytest.fixture
+def matcher(config):
+    mr = model_with_prob(REJECTION, 0.02, config)
+    ma = model_with_prob(ACCEPTANCE, 0.8, config)
+    return AlphaFilter(mr, ma, alpha1=0.05, alpha2=0.05)
+
+
+class TestConstruction:
+    def test_alpha_bounds(self, config):
+        mr = model_with_prob(REJECTION, 0.02, config)
+        ma = model_with_prob(ACCEPTANCE, 0.8, config)
+        with pytest.raises(ValidationError):
+            AlphaFilter(mr, ma, alpha1=1.5)
+        with pytest.raises(ValidationError):
+            AlphaFilter(mr, ma, alpha2=-0.1)
+
+    def test_properties(self, matcher):
+        assert matcher.alpha1 == 0.05
+        assert matcher.alpha2 == 0.05
+
+
+class TestDecideProfile:
+    def test_same_person_accepted(self, matcher):
+        decision = matcher.decide_profile(profile(20, 0), candidate_id="c")
+        assert decision.accepted
+        assert decision.candidate_id == "c"
+        assert not decision.rejected_in_phase1
+        assert decision.p_rejection > 0.05
+        assert decision.p_acceptance < 0.05
+
+    def test_different_person_rejected_phase1(self, matcher):
+        decision = matcher.decide_profile(profile(20, 16))
+        assert not decision.accepted
+        assert decision.rejected_in_phase1
+        assert decision.p_acceptance is None
+
+    def test_ambiguous_survives_phase1_fails_phase2(self, config):
+        # Moderate incompatibility: passes rejection but not acceptance.
+        mr = model_with_prob(REJECTION, 0.3, config)
+        ma = model_with_prob(ACCEPTANCE, 0.5, config)
+        matcher = AlphaFilter(mr, ma, alpha1=0.05, alpha2=0.01)
+        decision = matcher.decide_profile(profile(20, 8))
+        assert not decision.accepted
+        assert not decision.rejected_in_phase1
+
+    def test_no_evidence_never_accepted(self, matcher):
+        decision = matcher.decide_profile(profile(0, 0))
+        assert not decision.accepted
+        assert decision.p_rejection == 1.0
+        assert decision.p_acceptance == 1.0
+
+    def test_counts_recorded(self, matcher):
+        decision = matcher.decide_profile(profile(15, 3))
+        assert decision.n_mutual == 15
+        assert decision.n_incompatible == 3
+
+
+class TestStrictnessMonotonicity:
+    """Paper: raising alpha1 or lowering alpha2 is stricter."""
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_alpha1_monotone(self, config, k):
+        mr = model_with_prob(REJECTION, 0.1, config)
+        ma = model_with_prob(ACCEPTANCE, 0.8, config)
+        prof = profile(20, k)
+        accepted_loose = AlphaFilter(mr, ma, 0.001, 0.2).decide_profile(prof).accepted
+        accepted_strict = AlphaFilter(mr, ma, 0.5, 0.2).decide_profile(prof).accepted
+        assert accepted_loose or not accepted_strict
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_alpha2_monotone(self, config, k):
+        mr = model_with_prob(REJECTION, 0.1, config)
+        ma = model_with_prob(ACCEPTANCE, 0.8, config)
+        prof = profile(20, k)
+        accepted_loose = AlphaFilter(mr, ma, 0.01, 0.5).decide_profile(prof).accepted
+        accepted_strict = AlphaFilter(mr, ma, 0.01, 0.001).decide_profile(prof).accepted
+        assert accepted_loose or not accepted_strict
+
+
+class TestQueryAPI:
+    def test_decide_on_trajectories(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        matcher = AlphaFilter(mr, ma, 0.01, 0.1)
+        pid = next(iter(small_pair.truth))
+        decision = matcher.decide(
+            small_pair.p_db[pid], small_pair.q_db[small_pair.truth[pid]]
+        )
+        assert isinstance(decision, FilterDecision)
+        assert decision.candidate_id == small_pair.truth[pid]
+
+    def test_query_returns_only_accepted(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        matcher = AlphaFilter(mr, ma, 0.01, 0.1)
+        pid = next(iter(small_pair.truth))
+        results = matcher.query(small_pair.p_db[pid], small_pair.q_db)
+        assert all(d.accepted for d in results)
+
+    def test_query_finds_true_match_mostly(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        matcher = AlphaFilter(mr, ma, 0.01, 0.2)
+        rng = np.random.default_rng(0)
+        hits = 0
+        qids = small_pair.sample_queries(15, rng)
+        for pid in qids:
+            results = matcher.query(small_pair.p_db[pid], small_pair.q_db)
+            if any(d.candidate_id == small_pair.truth[pid] for d in results):
+                hits += 1
+        assert hits >= 10  # most true matches survive both phases
+
+    def test_query_is_selective(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        matcher = AlphaFilter(mr, ma, 0.01, 0.1)
+        rng = np.random.default_rng(0)
+        total = 0
+        qids = small_pair.sample_queries(10, rng)
+        for pid in qids:
+            total += len(matcher.query(small_pair.p_db[pid], small_pair.q_db))
+        # far fewer than |Q| candidates per query on average
+        assert total / 10 < 0.2 * len(small_pair.q_db)

@@ -1,0 +1,116 @@
+"""Grid spatial index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.geo.grid import GridIndex
+
+
+@pytest.fixture
+def points() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.uniform(0, 1000, size=(200, 2))
+
+
+@pytest.fixture
+def index(points) -> GridIndex:
+    return GridIndex(points, cell_size=100.0)
+
+
+def brute_nearest(points: np.ndarray, x: float, y: float) -> tuple[int, float]:
+    d = np.hypot(points[:, 0] - x, points[:, 1] - y)
+    i = int(np.argmin(d))
+    return i, float(d[i])
+
+
+class TestConstruction:
+    def test_len(self, index, points):
+        assert len(index) == len(points)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            GridIndex(np.zeros((3, 3)), cell_size=1.0)
+
+    def test_bad_cell_size_rejected(self, points):
+        with pytest.raises(ValidationError):
+            GridIndex(points, cell_size=0.0)
+
+    def test_points_view_readonly(self, index):
+        with pytest.raises(ValueError):
+            index.points[0, 0] = 99.0
+
+
+class TestNearest:
+    def test_matches_brute_force(self, index, points):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            x, y = rng.uniform(-100, 1100, size=2)
+            got_i, got_d = index.nearest(x, y)
+            want_i, want_d = brute_nearest(points, x, y)
+            assert got_d == pytest.approx(want_d)
+            assert got_i == want_i
+
+    def test_exact_hit(self, index, points):
+        i, d = index.nearest(*points[17])
+        assert i == 17
+        assert d == 0.0
+
+    def test_far_query(self, index, points):
+        got_i, got_d = index.nearest(1e6, 1e6)
+        want_i, want_d = brute_nearest(points, 1e6, 1e6)
+        assert got_i == want_i
+
+    def test_empty_index_raises(self):
+        idx = GridIndex(np.zeros((0, 2)), cell_size=10.0)
+        with pytest.raises(ValidationError):
+            idx.nearest(0, 0)
+
+    def test_single_point(self):
+        idx = GridIndex(np.array([[5.0, 5.0]]), cell_size=1.0)
+        assert idx.nearest(100.0, 100.0)[0] == 0
+
+    @given(st.floats(-2000, 2000), st.floats(-2000, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_brute(self, x, y):
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0, 500, size=(40, 2))
+        idx = GridIndex(pts, cell_size=50.0)
+        got_i, got_d = idx.nearest(x, y)
+        _, want_d = brute_nearest(pts, x, y)
+        assert got_d == pytest.approx(want_d)
+
+
+class TestWithin:
+    def test_radius_query_matches_brute(self, index, points):
+        x, y, r = 500.0, 500.0, 150.0
+        got = set(index.within(x, y, r))
+        want = {
+            i
+            for i, (px, py) in enumerate(points)
+            if np.hypot(px - x, py - y) <= r
+        }
+        assert got == want
+
+    def test_zero_radius(self, index, points):
+        got = index.within(*points[5], 0.0)
+        assert 5 in got
+
+    def test_negative_radius_rejected(self, index):
+        with pytest.raises(ValidationError):
+            index.within(0, 0, -1.0)
+
+
+class TestNearestMany:
+    def test_matches_scalar(self, index, points):
+        xs = np.array([10.0, 500.0, 990.0])
+        ys = np.array([10.0, 500.0, 990.0])
+        got = index.nearest_many(xs, ys)
+        for i in range(3):
+            assert got[i] == index.nearest(xs[i], ys[i])[0]
+
+    def test_shape_mismatch_rejected(self, index):
+        with pytest.raises(ValidationError):
+            index.nearest_many(np.zeros(3), np.zeros(4))

@@ -1,0 +1,150 @@
+"""Rejection / acceptance p-values (paper Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.alignment import MutualSegmentProfile
+from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
+from repro.core.models import ACCEPTANCE, REJECTION, BucketCounts, CompatibilityModel
+from repro.errors import ValidationError
+
+
+def model_with_prob(kind, prob, config):
+    """A model whose every in-horizon bucket has the given probability."""
+    n = config.n_buckets
+    counts = BucketCounts.zeros(n)
+    counts.total[:] = 1000
+    counts.incompatible[:] = int(round(prob * 1000))
+    return CompatibilityModel(kind, counts, config)
+
+
+def profile(buckets, incompatible):
+    return MutualSegmentProfile(
+        np.asarray(buckets, dtype=np.int64), np.asarray(incompatible, dtype=bool)
+    )
+
+
+@pytest.fixture
+def config():
+    return FTLConfig(smoothing=0.0, min_bucket_count=1)
+
+
+@pytest.fixture
+def mr(config):
+    return model_with_prob(REJECTION, 0.02, config)
+
+
+@pytest.fixture
+def ma(config):
+    return model_with_prob(ACCEPTANCE, 0.8, config)
+
+
+class TestRejectionPvalue:
+    def test_no_evidence_gives_one(self, mr):
+        assert rejection_pvalue(profile([], []), mr) == 1.0
+
+    def test_consistent_observation_large_pvalue(self, mr):
+        # 20 segments, 0 incompatible, under p=0.02: very consistent.
+        p = profile([1] * 20, [False] * 20)
+        assert rejection_pvalue(p, mr) == 1.0
+
+    def test_inconsistent_observation_small_pvalue(self, mr):
+        # 20 segments, 15 incompatible, under p=0.02: essentially impossible.
+        p = profile([1] * 20, [True] * 15 + [False] * 5)
+        assert rejection_pvalue(p, mr) < 1e-10
+
+    def test_monotone_in_observed_count(self, mr):
+        pvals = []
+        for k in range(0, 11):
+            p = profile([1] * 10, [True] * k + [False] * (10 - k))
+            pvals.append(rejection_pvalue(p, mr))
+        assert all(a >= b for a, b in zip(pvals, pvals[1:]))
+
+    def test_beyond_horizon_segments_ignored(self, mr, config):
+        far_bucket = config.n_buckets + 5
+        p = profile([far_bucket] * 5, [False] * 5)
+        assert rejection_pvalue(p, mr) == 1.0
+
+    def test_wrong_model_kind_rejected(self, ma):
+        with pytest.raises(ValidationError):
+            rejection_pvalue(profile([1], [True]), ma)
+
+    def test_backend_override(self, mr):
+        p = profile([1] * 50, [True] * 3 + [False] * 47)
+        exact = rejection_pvalue(p, mr, backend="dp")
+        approx = rejection_pvalue(p, mr, backend="normal")
+        assert approx == pytest.approx(exact, abs=0.02)
+
+
+class TestAcceptancePvalue:
+    def test_no_evidence_gives_one(self, ma):
+        assert acceptance_pvalue(profile([], []), ma) == 1.0
+
+    def test_same_person_observation_small_pvalue(self, ma):
+        # 20 segments, 0 incompatible under p=0.8: lower tail tiny
+        # -> reject "different persons" -> accept.
+        p = profile([1] * 20, [False] * 20)
+        assert acceptance_pvalue(p, ma) < 1e-10
+
+    def test_different_person_observation_large_pvalue(self, ma):
+        p = profile([1] * 20, [True] * 18 + [False] * 2)
+        assert acceptance_pvalue(p, ma) > 0.5
+
+    def test_monotone_in_observed_count(self, ma):
+        pvals = []
+        for k in range(0, 11):
+            p = profile([1] * 10, [True] * k + [False] * (10 - k))
+            pvals.append(acceptance_pvalue(p, ma))
+        assert all(a <= b for a, b in zip(pvals, pvals[1:]))
+
+    def test_wrong_model_kind_rejected(self, mr):
+        with pytest.raises(ValidationError):
+            acceptance_pvalue(profile([1], [True]), mr)
+
+
+class TestJointBehaviour:
+    """The two tests together separate same- from different-person pairs."""
+
+    def test_same_person_pattern(self, mr, ma):
+        p = profile([0, 1, 2, 3] * 5, [False] * 20)
+        assert rejection_pvalue(p, mr) > 0.5
+        assert acceptance_pvalue(p, ma) < 0.001
+
+    def test_different_person_pattern(self, mr, ma):
+        p = profile([0, 1, 2, 3] * 5, [True] * 16 + [False] * 4)
+        assert rejection_pvalue(p, mr) < 0.001
+        assert acceptance_pvalue(p, ma) > 0.1
+
+    def test_ranking_score_orders_correctly(self, mr, ma):
+        same = profile([1] * 15, [False] * 15)
+        diff = profile([1] * 15, [True] * 12 + [False] * 3)
+        score_same = rejection_pvalue(same, mr) * (1 - acceptance_pvalue(same, ma))
+        score_diff = rejection_pvalue(diff, mr) * (1 - acceptance_pvalue(diff, ma))
+        assert score_same > score_diff
+
+    def test_fitted_models_separate_real_pairs(
+        self, small_pair, fitted_models, config
+    ):
+        from repro.core.alignment import mutual_segment_profile
+
+        mr, ma = fitted_models
+        cfg = mr.config
+        pid = next(iter(small_pair.truth))
+        qid = small_pair.truth[pid]
+        other_qid = next(
+            q for q in small_pair.q_db.ids() if q != qid
+        )
+        true_prof = mutual_segment_profile(
+            small_pair.p_db[pid], small_pair.q_db[qid], cfg
+        )
+        false_prof = mutual_segment_profile(
+            small_pair.p_db[pid], small_pair.q_db[other_qid], cfg
+        )
+        score_true = rejection_pvalue(true_prof, mr) * (
+            1 - acceptance_pvalue(true_prof, ma)
+        )
+        score_false = rejection_pvalue(false_prof, mr) * (
+            1 - acceptance_pvalue(false_prof, ma)
+        )
+        assert score_true > score_false

@@ -1,0 +1,138 @@
+"""End-to-end integration: generate -> persist -> fit -> link -> evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.linker import FTLLinker
+from repro.core.metrics import perceptiveness, selectiveness
+from repro.core.models import CompatibilityModel
+from repro.datasets.catalog import build_scenario
+from repro.geo.units import days_to_seconds
+from repro.io.csv_io import read_trajectories_csv, write_trajectories_csv
+from repro.io.jsonl_io import load_model_json, save_model_json
+from repro.io.sqlite_store import SQLiteTrajectoryStore
+from repro.synth.city import CityModel
+from repro.synth.noise import TowerSnapNoise, GaussianNoise
+from repro.synth.observation import ObservationService
+from repro.synth.population import generate_population
+from repro.synth.scenario import make_paired_databases
+
+
+class TestFullWorkflow:
+    def test_csv_round_trip_preserves_linking(self, small_pair, tmp_path):
+        """Linking quality is unchanged after a CSV round trip."""
+        rng = np.random.default_rng(0)
+        write_trajectories_csv(small_pair.p_db, tmp_path / "p.csv")
+        write_trajectories_csv(small_pair.q_db, tmp_path / "q.csv")
+        p_db = read_trajectories_csv(tmp_path / "p.csv", name="P")
+        q_db = read_trajectories_csv(tmp_path / "q.csv", name="Q")
+
+        linker = FTLLinker(FTLConfig(), phi_r=0.1).fit(p_db, q_db, rng)
+        qids = [str(qid) for qid in small_pair.sample_queries(10, rng)]
+        hits = sum(
+            1
+            for pid in qids
+            if linker.link(p_db[pid]).contains(str(small_pair.truth[pid]))
+        )
+        assert hits >= 7
+
+    def test_sqlite_round_trip_preserves_linking(self, small_pair, tmp_path):
+        rng = np.random.default_rng(0)
+        with SQLiteTrajectoryStore(tmp_path / "s.db") as store:
+            store.save(small_pair.p_db, "P")
+            store.save(small_pair.q_db, "Q")
+            p_db = store.load("P")
+            q_db = store.load("Q")
+        linker = FTLLinker(FTLConfig(), phi_r=0.1).fit(p_db, q_db, rng)
+        pid = str(next(iter(small_pair.truth)))
+        result = linker.link(p_db[pid])
+        assert result.contains(str(small_pair.truth[pid]))
+
+    def test_model_cache_workflow(self, small_pair, tmp_path):
+        """Fit once, save, reload, link with the loaded models."""
+        rng = np.random.default_rng(0)
+        config = FTLConfig()
+        mr = CompatibilityModel.fit_rejection(
+            [small_pair.p_db, small_pair.q_db], config
+        )
+        ma = CompatibilityModel.fit_acceptance(
+            [small_pair.p_db, small_pair.q_db], config, rng
+        )
+        save_model_json(mr, tmp_path / "mr.json")
+        save_model_json(ma, tmp_path / "ma.json")
+
+        linker = FTLLinker(config, phi_r=0.1).with_models(
+            load_model_json(tmp_path / "mr.json"),
+            load_model_json(tmp_path / "ma.json"),
+            small_pair.q_db,
+        )
+        qids = small_pair.sample_queries(8, np.random.default_rng(1))
+        hits = sum(
+            1
+            for pid in qids
+            if linker.link(small_pair.p_db[pid]).contains(small_pair.truth[pid])
+        )
+        assert hits >= 5
+
+
+class TestCdrCommuterScenario:
+    """The paper's motivating setting: anonymous transit vs eponymous CDR."""
+
+    def test_tower_noise_linking_works(self):
+        rng = np.random.default_rng(8)
+        city = CityModel.generate(rng)
+        agents = generate_population(
+            city, 25, days_to_seconds(10), rng, mobility="commuter"
+        )
+        cdr = ObservationService(
+            "CDR", rate_per_hour=0.9, noise=TowerSnapNoise(city), day_fraction=0.9
+        )
+        transit = ObservationService(
+            "transit", rate_per_hour=0.25, noise=GaussianNoise(100.0),
+            day_fraction=0.95,
+        )
+        pair = make_paired_databases(agents, transit, cdr, rng)
+        linker = FTLLinker(FTLConfig(), phi_r=0.2).fit(pair.p_db, pair.q_db, rng)
+        results = {}
+        qids = pair.sample_queries(min(15, len(pair.truth)), rng)
+        for pid in qids:
+            results[pid] = linker.link(pair.p_db[pid]).candidate_ids()
+        perc = perceptiveness(results, pair.truth)
+        sel = selectiveness(results, len(pair.q_db))
+        # Commuters are harder than taxis (they sit still most of the day),
+        # but linking must still clearly beat the random-guess baseline.
+        assert perc >= 0.4
+        assert sel < 0.5
+
+
+class TestCatalogEndToEnd:
+    @pytest.mark.parametrize("name", ["SD-mini", "TD-mini"])
+    def test_catalog_scenarios_link(self, name):
+        rng = np.random.default_rng(0)
+        pair = build_scenario(name)
+        linker = FTLLinker(FTLConfig(), phi_r=0.3).fit(pair.p_db, pair.q_db, rng)
+        qids = pair.sample_queries(min(10, len(pair.truth)), rng)
+        results = {
+            pid: linker.link(pair.p_db[pid]).candidate_ids() for pid in qids
+        }
+        # Sparse mini configs are intentionally hard; require clear
+        # superiority over chance, not perfection.
+        assert perceptiveness(results, pair.truth) >= 0.2
+        assert selectiveness(results, len(pair.q_db)) < 0.2
+
+    def test_rate_ordering_sc_beats_sa(self):
+        """Fig. 5(a) trend: higher sampling rate -> better perceptiveness."""
+        rng = np.random.default_rng(0)
+        outcomes = {}
+        for name in ("SA-mini", "SC-mini"):
+            pair = build_scenario(name)
+            linker = FTLLinker(FTLConfig(), phi_r=0.3).fit(
+                pair.p_db, pair.q_db, rng
+            )
+            qids = pair.sample_queries(25, np.random.default_rng(1))
+            results = {
+                pid: linker.link(pair.p_db[pid]).candidate_ids() for pid in qids
+            }
+            outcomes[name] = perceptiveness(results, pair.truth)
+        assert outcomes["SC-mini"] >= outcomes["SA-mini"]

@@ -1,0 +1,134 @@
+"""CSV / JSONL / model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import DataFormatError
+from repro.io.csv_io import read_trajectories_csv, write_trajectories_csv
+from repro.io.jsonl_io import (
+    load_model_json,
+    read_trajectories_jsonl,
+    save_model_json,
+    write_trajectories_jsonl,
+)
+
+
+@pytest.fixture
+def db() -> TrajectoryDatabase:
+    rng = np.random.default_rng(0)
+    trajs = []
+    for i in range(4):
+        n = 10 + i
+        ts = np.sort(rng.uniform(0, 1e5, n))
+        trajs.append(
+            Trajectory(ts, rng.uniform(0, 1e4, n), rng.uniform(0, 1e4, n), f"t{i}")
+        )
+    return TrajectoryDatabase(trajs, name="demo")
+
+
+def assert_dbs_equal(a: TrajectoryDatabase, b: TrajectoryDatabase) -> None:
+    assert sorted(map(str, a.ids())) == sorted(map(str, b.ids()))
+    for traj in a:
+        other = b[str(traj.traj_id)]
+        assert np.allclose(traj.ts, other.ts)
+        assert np.allclose(traj.xs, other.xs)
+        assert np.allclose(traj.ys, other.ys)
+
+
+class TestCsv:
+    def test_round_trip(self, db, tmp_path):
+        path = tmp_path / "db.csv"
+        rows = write_trajectories_csv(db, path)
+        assert rows == db.total_records()
+        loaded = read_trajectories_csv(path, name="demo")
+        assert_dbs_equal(db, loaded)
+        assert loaded.name == "demo"
+
+    def test_exact_float_round_trip(self, db, tmp_path):
+        path = tmp_path / "db.csv"
+        write_trajectories_csv(db, path)
+        loaded = read_trajectories_csv(path)
+        original = db["t0"]
+        assert np.array_equal(loaded["t0"].xs, original.xs)
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,time\n1,2\n")
+        with pytest.raises(DataFormatError, match="missing required columns"):
+            read_trajectories_csv(path)
+
+    def test_bad_record_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("traj_id,t,x,y\na,1.0,2.0,3.0\na,oops,2.0,3.0\n")
+        with pytest.raises(DataFormatError, match=":3"):
+            read_trajectories_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataFormatError):
+            read_trajectories_csv(path)
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "extra.csv"
+        path.write_text("traj_id,t,x,y,speed\na,1.0,2.0,3.0,99\n")
+        loaded = read_trajectories_csv(path)
+        assert len(loaded["a"]) == 1
+
+    def test_unsorted_rows_sorted_on_read(self, tmp_path):
+        path = tmp_path / "unsorted.csv"
+        path.write_text("traj_id,t,x,y\na,5.0,1.0,0.0\na,1.0,2.0,0.0\n")
+        loaded = read_trajectories_csv(path)
+        assert list(loaded["a"].ts) == [1.0, 5.0]
+
+
+class TestJsonl:
+    def test_round_trip(self, db, tmp_path):
+        path = tmp_path / "db.jsonl"
+        lines = write_trajectories_jsonl(db, path)
+        assert lines == len(db)
+        loaded = read_trajectories_jsonl(path)
+        assert_dbs_equal(db, loaded)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "db.jsonl"
+        path.write_text(
+            '{"traj_id": "a", "t": [1.0], "x": [2.0], "y": [3.0]}\n\n'
+        )
+        loaded = read_trajectories_jsonl(path)
+        assert len(loaded) == 1
+
+    def test_bad_json_reported(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(DataFormatError, match=":1"):
+            read_trajectories_jsonl(path)
+
+    def test_missing_key_reported(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"traj_id": "a", "t": [1.0]}\n')
+        with pytest.raises(DataFormatError):
+            read_trajectories_jsonl(path)
+
+
+class TestModelPersistence:
+    def test_round_trip(self, fitted_models, tmp_path):
+        mr, ma = fitted_models
+        for model, name in ((mr, "mr.json"), (ma, "ma.json")):
+            path = tmp_path / name
+            save_model_json(model, path)
+            loaded = load_model_json(path)
+            assert loaded.kind == model.kind
+            buckets = np.arange(model.n_buckets)
+            assert np.allclose(
+                loaded.probs_for(buckets), model.probs_for(buckets)
+            )
+            assert loaded.config == model.config
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        with pytest.raises(DataFormatError):
+            load_model_json(path)

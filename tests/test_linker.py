@@ -1,0 +1,107 @@
+"""The FTLLinker facade."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.linker import FTLLinker, LinkResult
+from repro.errors import NotFittedError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def linker(small_pair):
+    rng = np.random.default_rng(0)
+    return FTLLinker(
+        FTLConfig(), alpha1=0.01, alpha2=0.1, phi_r=0.05
+    ).fit(small_pair.p_db, small_pair.q_db, rng)
+
+
+class TestLifecycle:
+    def test_unfitted_raises(self, small_pair):
+        fresh = FTLLinker(FTLConfig())
+        pid = next(iter(small_pair.truth))
+        with pytest.raises(NotFittedError):
+            fresh.link(small_pair.p_db[pid])
+        with pytest.raises(NotFittedError):
+            _ = fresh.rejection_model
+
+    def test_fit_returns_self(self, small_pair):
+        rng = np.random.default_rng(0)
+        linker = FTLLinker(FTLConfig())
+        assert linker.fit(small_pair.p_db, small_pair.q_db, rng) is linker
+
+    def test_with_models(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        linker = FTLLinker(FTLConfig()).with_models(mr, ma, small_pair.q_db)
+        pid = next(iter(small_pair.truth))
+        result = linker.link(small_pair.p_db[pid])
+        assert isinstance(result, LinkResult)
+
+    def test_models_accessible(self, linker):
+        assert linker.rejection_model.kind == "rejection"
+        assert linker.acceptance_model.kind == "acceptance"
+
+
+class TestLinking:
+    def test_unknown_method_rejected(self, linker, small_pair):
+        pid = next(iter(small_pair.truth))
+        with pytest.raises(ValidationError):
+            linker.link(small_pair.p_db[pid], method="magic")
+
+    @pytest.mark.parametrize("method", ["naive-bayes", "alpha-filter"])
+    def test_result_structure(self, linker, small_pair, method):
+        pid = next(iter(small_pair.truth))
+        result = linker.link(small_pair.p_db[pid], method=method)
+        assert result.query_id == pid
+        assert result.method == method
+        for candidate in result.candidates:
+            assert 0.0 <= candidate.score <= 1.0
+            assert candidate.candidate_id in small_pair.q_db
+
+    @pytest.mark.parametrize("method", ["naive-bayes", "alpha-filter"])
+    def test_candidates_sorted_by_score(self, linker, small_pair, method):
+        pid = next(iter(small_pair.truth))
+        result = linker.link(small_pair.p_db[pid], method=method)
+        scores = [c.score for c in result.candidates]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_finds_true_matches(self, linker, small_pair):
+        rng = np.random.default_rng(1)
+        qids = small_pair.sample_queries(15, rng)
+        hits = sum(
+            1
+            for pid in qids
+            if linker.link(small_pair.p_db[pid]).contains(small_pair.truth[pid])
+        )
+        assert hits >= 11
+
+    def test_candidate_pool_override(self, linker, small_pair):
+        pid = next(iter(small_pair.truth))
+        qid = small_pair.truth[pid]
+        restricted = [small_pair.q_db[qid]]
+        result = linker.link(small_pair.p_db[pid], candidates=restricted)
+        assert result.candidate_ids() == [qid]
+
+    def test_result_helpers(self, linker, small_pair):
+        pid = next(iter(small_pair.truth))
+        result = linker.link(small_pair.p_db[pid])
+        assert len(result) == len(result.candidate_ids())
+        if result.candidates:
+            assert result.contains(result.candidates[0].candidate_id)
+        assert not result.contains("definitely-not-a-candidate")
+
+
+class TestEnrichment:
+    def test_enrich_merges_records(self, linker, small_pair):
+        pid = next(iter(small_pair.truth))
+        qid = small_pair.truth[pid]
+        query = small_pair.p_db[pid]
+        merged = linker.enrich(query, qid)
+        assert len(merged) == len(query) + len(small_pair.q_db[qid])
+        assert np.all(np.diff(merged.ts) >= 0)
+
+    def test_enrich_id_combines(self, linker, small_pair):
+        pid = next(iter(small_pair.truth))
+        qid = small_pair.truth[pid]
+        merged = linker.enrich(small_pair.p_db[pid], qid)
+        assert merged.traj_id == (pid, qid)

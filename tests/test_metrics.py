@@ -1,0 +1,119 @@
+"""Perceptiveness / selectiveness / ranking metrics (paper Defs. 1-2)."""
+
+import pytest
+
+from repro.core.metrics import (
+    hits_within_topk,
+    perceptiveness,
+    precision_at_k,
+    recall_curve,
+    selectiveness,
+)
+from repro.errors import ValidationError
+
+TRUTH = {"p1": "q1", "p2": "q2", "p3": "q3", "p4": "q4"}
+
+
+class TestPerceptiveness:
+    def test_all_hit(self):
+        results = {"p1": ["q1"], "p2": ["q9", "q2"]}
+        assert perceptiveness(results, TRUTH) == 1.0
+
+    def test_partial(self):
+        results = {"p1": ["q1"], "p2": ["q9"], "p3": [], "p4": ["q4", "q1"]}
+        assert perceptiveness(results, TRUTH) == 0.5
+
+    def test_none_hit(self):
+        assert perceptiveness({"p1": ["q9"]}, TRUTH) == 0.0
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValidationError):
+            perceptiveness({}, TRUTH)
+
+    def test_missing_truth_rejected(self):
+        with pytest.raises(ValidationError):
+            perceptiveness({"unknown": ["q1"]}, TRUTH)
+
+
+class TestSelectiveness:
+    def test_basic(self):
+        results = {"p1": ["a", "b"], "p2": ["c"]}
+        # (2 + 1) / (2 queries * 10 candidates)
+        assert selectiveness(results, 10) == pytest.approx(0.15)
+
+    def test_empty_sets(self):
+        assert selectiveness({"p1": [], "p2": []}, 10) == 0.0
+
+    def test_returning_everything_is_one(self):
+        results = {"p1": list(range(10))}
+        assert selectiveness(results, 10) == 1.0
+
+    def test_bad_database_size(self):
+        with pytest.raises(ValidationError):
+            selectiveness({"p1": []}, 0)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValidationError):
+            selectiveness({}, 10)
+
+
+class TestPrecisionAtK:
+    def test_rank_order_matters(self):
+        results = {"p1": ["q9", "q1"], "p2": ["q2", "q8"]}
+        assert precision_at_k(results, TRUTH, 1) == 0.5
+        assert precision_at_k(results, TRUTH, 2) == 1.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValidationError):
+            precision_at_k({"p1": ["q1"]}, TRUTH, 0)
+
+    def test_k_beyond_list(self):
+        assert precision_at_k({"p1": ["q9"]}, TRUTH, 100) == 0.0
+
+
+class TestHitsWithinTopk:
+    def test_counts_queries_not_pairs(self):
+        scored = [
+            ("p1", "q1", 0.9),   # true, rank 1
+            ("p1", "q7", 0.8),   # false
+            ("p2", "q2", 0.7),   # true, rank 3
+            ("p3", "q9", 0.6),   # false
+            ("p3", "q3", 0.5),   # true, rank 5
+        ]
+        assert hits_within_topk(scored, TRUTH, [1, 3, 5]) == [1, 2, 3]
+
+    def test_zero_k(self):
+        assert hits_within_topk([("p1", "q1", 1.0)], TRUTH, [0]) == [0]
+
+    def test_k_beyond_pool(self):
+        scored = [("p1", "q1", 1.0)]
+        assert hits_within_topk(scored, TRUTH, [10]) == [1]
+
+    def test_duplicate_query_counted_once(self):
+        scored = [("p1", "q1", 0.9), ("p1", "q1", 0.8)]
+        assert hits_within_topk(scored, TRUTH, [2]) == [1]
+
+    def test_non_decreasing_ks_required(self):
+        with pytest.raises(ValidationError):
+            hits_within_topk([("p1", "q1", 1.0)], TRUTH, [5, 1])
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValidationError):
+            hits_within_topk([], TRUTH, [-1])
+
+    def test_sorted_by_score_descending(self):
+        # Lower-scored true match only appears at larger k.
+        scored = [("p1", "q1", 0.1), ("p2", "q9", 0.9)]
+        assert hits_within_topk(scored, TRUTH, [1, 2]) == [0, 1]
+
+
+class TestRecallCurve:
+    def test_monotone(self):
+        results = {
+            "p1": ["q9", "q1", "q8"],
+            "p2": ["q2"],
+            "p3": ["q7", "q6", "q3"],
+        }
+        curve = recall_curve(results, TRUTH, [1, 2, 3])
+        assert curve == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+        assert all(a <= b for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,143 @@
+"""Ground-truth mobility paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.units import days_to_seconds, kph_to_mps
+from repro.synth.city import CityModel
+from repro.synth.mobility import (
+    GroundTruthPath,
+    build_commuter_path,
+    build_taxi_path,
+)
+
+
+@pytest.fixture(scope="module")
+def module_city():
+    return CityModel.generate(np.random.default_rng(42))
+
+
+class TestGroundTruthPath:
+    def test_construction_validation(self):
+        with pytest.raises(ValidationError):
+            GroundTruthPath(np.array([0.0]), np.array([0.0]), np.array([0.0]))
+        with pytest.raises(ValidationError):
+            GroundTruthPath(
+                np.array([1.0, 0.0]), np.zeros(2), np.zeros(2)
+            )
+        with pytest.raises(ValidationError):
+            GroundTruthPath(np.zeros(3), np.zeros(2), np.zeros(3))
+
+    def test_interpolation_midpoint(self):
+        path = GroundTruthPath(
+            np.array([0.0, 100.0]), np.array([0.0, 50.0]), np.array([0.0, 100.0])
+        )
+        xs, ys = path.position_at(np.array([50.0]))
+        assert xs[0] == 25.0 and ys[0] == 50.0
+
+    def test_clamps_outside_window(self):
+        path = GroundTruthPath(
+            np.array([10.0, 20.0]), np.array([1.0, 2.0]), np.array([0.0, 0.0])
+        )
+        xs, _ = path.position_at(np.array([0.0, 100.0]))
+        assert xs[0] == 1.0 and xs[1] == 2.0
+
+    def test_max_speed(self):
+        path = GroundTruthPath(
+            np.array([0.0, 10.0, 20.0]),
+            np.array([0.0, 100.0, 100.0]),
+            np.array([0.0, 0.0, 0.0]),
+        )
+        assert path.max_speed_mps() == pytest.approx(10.0)
+
+    def test_max_speed_all_dwell(self):
+        path = GroundTruthPath(
+            np.array([0.0, 10.0]), np.array([5.0, 5.0]), np.array([1.0, 1.0])
+        )
+        assert path.max_speed_mps() == 0.0
+
+    def test_waypoints_copies(self):
+        path = GroundTruthPath(
+            np.array([0.0, 1.0]), np.array([0.0, 1.0]), np.array([0.0, 1.0])
+        )
+        ts, _xs, _ys = path.waypoints
+        ts[0] = 99.0
+        assert path.start_time == 0.0
+
+
+class TestTaxiPath:
+    def test_covers_duration(self, module_city, rng):
+        duration = days_to_seconds(1)
+        path = build_taxi_path(module_city, duration, rng)
+        assert path.start_time == 0.0
+        assert path.end_time >= duration
+
+    def test_respects_speed_bound(self, module_city, rng):
+        path = build_taxi_path(
+            module_city, days_to_seconds(2), rng,
+            speed_low_kph=25.0, speed_high_kph=70.0,
+        )
+        assert path.max_speed_mps() <= kph_to_mps(70.0) + 1e-9
+
+    def test_stays_in_city(self, module_city, rng):
+        path = build_taxi_path(module_city, days_to_seconds(1), rng)
+        times = np.linspace(0, days_to_seconds(1), 500)
+        xs, ys = path.position_at(times)
+        assert module_city.bbox.contains_many(xs, ys).all()
+
+    def test_start_time_offset(self, module_city, rng):
+        path = build_taxi_path(module_city, 3600.0, rng, start_time=500.0)
+        assert path.start_time == 500.0
+
+    def test_validation(self, module_city, rng):
+        with pytest.raises(ValidationError):
+            build_taxi_path(module_city, 0.0, rng)
+        with pytest.raises(ValidationError):
+            build_taxi_path(module_city, 100.0, rng, speed_low_kph=80.0,
+                            speed_high_kph=20.0)
+
+
+class TestCommuterPath:
+    def test_covers_duration(self, module_city, rng):
+        duration = days_to_seconds(3)
+        path = build_commuter_path(module_city, duration, rng)
+        assert path.end_time >= duration
+
+    def test_respects_speed_bound(self, module_city, rng):
+        path = build_commuter_path(
+            module_city, days_to_seconds(3), rng,
+            speed_low_kph=20.0, speed_high_kph=60.0,
+        )
+        assert path.max_speed_mps() <= kph_to_mps(60.0) + 1e-9
+
+    def test_overnight_at_home(self, module_city, rng):
+        path = build_commuter_path(
+            module_city, days_to_seconds(2), rng, errand_probability=0.0
+        )
+        # 3 AM positions on both nights should coincide (home).
+        xs, ys = path.position_at(
+            np.array([3 * 3600.0, 27 * 3600.0])
+        )
+        assert xs[0] == pytest.approx(xs[1], abs=1.0)
+        assert ys[0] == pytest.approx(ys[1], abs=1.0)
+
+    def test_midday_away_from_home(self, module_city, rng):
+        # With home != work the 1 PM location differs from 3 AM (home).
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            path = build_commuter_path(
+                module_city, days_to_seconds(1), local, errand_probability=0.0
+            )
+            (x_night, x_noon), (y_night, y_noon) = path.position_at(
+                np.array([3 * 3600.0, 13 * 3600.0])
+            )
+            if abs(x_night - x_noon) + abs(y_night - y_noon) > 100:
+                return  # found an agent whose home and work differ
+        pytest.fail("commuter never left home across 5 seeds")
+
+    def test_validation(self, module_city, rng):
+        with pytest.raises(ValidationError):
+            build_commuter_path(module_city, -1.0, rng)
+        with pytest.raises(ValidationError):
+            build_commuter_path(module_city, 100.0, rng, errand_probability=1.5)

@@ -1,0 +1,243 @@
+"""Rejection/acceptance model fitting (paper Algorithms 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.database import TrajectoryDatabase
+from repro.core.models import (
+    ACCEPTANCE,
+    REJECTION,
+    BucketCounts,
+    CompatibilityModel,
+    _sample_distinct_pairs,
+    require_fitted_pair,
+)
+from repro.core.trajectory import Trajectory
+from repro.errors import NotFittedError, ValidationError
+
+
+def slow_traj(traj_id, n=10, gap=120.0, step=100.0):
+    """A trajectory moving well below Vmax (all segments compatible)."""
+    ts = gap * np.arange(n)
+    xs = step * np.arange(n)
+    return Trajectory(ts, xs, np.zeros(n), traj_id)
+
+
+def fast_traj(traj_id, n=10, gap=60.0, step=50_000.0):
+    """A trajectory 'teleporting' 50 km/minute (all segments incompatible)."""
+    ts = gap * np.arange(n)
+    xs = step * np.arange(n)
+    return Trajectory(ts, xs, np.zeros(n), traj_id)
+
+
+@pytest.fixture
+def config():
+    return FTLConfig(smoothing=0.0, min_bucket_count=1)
+
+
+class TestBucketCounts:
+    def test_zeros(self):
+        counts = BucketCounts.zeros(5)
+        assert counts.n_segments == 0
+
+    def test_accumulate(self):
+        counts = BucketCounts.zeros(5)
+        counts.accumulate(np.array([0, 0, 2]), np.array([True, False, True]))
+        assert counts.total.tolist() == [2, 0, 1, 0, 0]
+        assert counts.incompatible.tolist() == [1, 0, 1, 0, 0]
+
+    def test_accumulate_ignores_beyond_horizon(self):
+        counts = BucketCounts.zeros(3)
+        counts.accumulate(np.array([1, 99]), np.array([False, True]))
+        assert counts.n_segments == 1
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            BucketCounts(np.array([1]), np.array([2]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            BucketCounts(np.zeros(2, dtype=np.int64), np.zeros(3, dtype=np.int64))
+
+
+class TestFitRejection:
+    def test_slow_trajectories_give_low_probs(self, config):
+        db = TrajectoryDatabase([slow_traj(i) for i in range(5)])
+        model = CompatibilityModel.fit_rejection([db], config)
+        assert model.kind == REJECTION
+        assert model.prob(2) == 0.0  # gap=120s -> bucket 2, all compatible
+
+    def test_fast_trajectories_give_high_probs(self, config):
+        db = TrajectoryDatabase([fast_traj(i) for i in range(5)])
+        model = CompatibilityModel.fit_rejection([db], config)
+        assert model.prob(1) == 1.0  # gap=60s -> bucket 1, all incompatible
+
+    def test_pools_across_databases(self, config):
+        db1 = TrajectoryDatabase([slow_traj("a")])
+        db2 = TrajectoryDatabase([slow_traj("b")])
+        model = CompatibilityModel.fit_rejection([db1, db2], config)
+        assert model.counts.n_segments == 18
+
+    def test_empty_input_rejected(self, config):
+        with pytest.raises(ValidationError):
+            CompatibilityModel.fit_rejection([TrajectoryDatabase()], config)
+
+    def test_segment_count_matches(self, config):
+        db = TrajectoryDatabase([slow_traj("a", n=7)])
+        model = CompatibilityModel.fit_rejection([db], config)
+        assert model.n_segments == 6
+
+
+class TestFitAcceptance:
+    def test_kind(self, config, rng):
+        db = TrajectoryDatabase([slow_traj(i, gap=600.0) for i in range(6)])
+        model = CompatibilityModel.fit_acceptance([db], config, rng)
+        assert model.kind == ACCEPTANCE
+
+    def test_needs_two_trajectories(self, config, rng):
+        db = TrajectoryDatabase([slow_traj("only")])
+        with pytest.raises(ValidationError):
+            CompatibilityModel.fit_acceptance([db], config, rng)
+
+    def test_max_pairs_caps_work(self, config, rng):
+        db = TrajectoryDatabase([slow_traj(i) for i in range(20)])
+        small = CompatibilityModel.fit_acceptance([db], config, rng, max_pairs=3)
+        assert small.n_segments > 0
+
+    def test_bad_max_pairs(self, config, rng):
+        db = TrajectoryDatabase([slow_traj(i) for i in range(3)])
+        with pytest.raises(ValidationError):
+            CompatibilityModel.fit_acceptance([db], config, rng, max_pairs=0)
+
+    def test_distant_trajectories_yield_incompatible_buckets(self, config, rng):
+        # Two agents parked 40 km apart: every small-gap mutual segment
+        # is incompatible.
+        a = Trajectory(60.0 * np.arange(10), np.zeros(10), np.zeros(10), "a")
+        b = Trajectory(
+            60.0 * np.arange(10) + 30.0,
+            np.full(10, 40_000.0),
+            np.zeros(10),
+            "b",
+        )
+        db = TrajectoryDatabase([a, b])
+        model = CompatibilityModel.fit_acceptance([db], config, rng)
+        assert model.prob(0) == 1.0  # 30 s gaps -> bucket 0 or 1
+        assert model.prob(1) == 1.0
+
+
+class TestSampleDistinctPairs:
+    def test_enumerates_when_small(self):
+        rng = np.random.default_rng(0)
+        pairs = _sample_distinct_pairs(4, 100, rng)
+        assert len(pairs) == 6
+        assert all(i < j for i, j in pairs)
+
+    def test_samples_when_large(self):
+        rng = np.random.default_rng(0)
+        pairs = _sample_distinct_pairs(100, 25, rng)
+        assert len(pairs) == 25
+        assert len(set(pairs)) == 25
+        assert all(i != j for i, j in pairs)
+
+
+class TestLookup:
+    @pytest.fixture
+    def model(self, config):
+        db = TrajectoryDatabase([slow_traj(i) for i in range(4)])
+        return CompatibilityModel.fit_rejection([db], config)
+
+    def test_beyond_horizon_is_zero(self, model):
+        assert model.prob(model.n_buckets) == 0.0
+        assert model.prob(10**6) == 0.0
+
+    def test_negative_bucket_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.prob(-1)
+
+    def test_probs_for_matches_scalar(self, model):
+        buckets = np.array([0, 1, 2, 59, 60, 1000])
+        vec = model.probs_for(buckets)
+        for b, v in zip(buckets, vec):
+            assert v == model.prob(int(b))
+
+    def test_empirical_rate_unobserved_nan(self, model):
+        assert np.isnan(model.empirical_rate(55))
+
+    def test_empirical_rate_out_of_range(self, model):
+        with pytest.raises(ValidationError):
+            model.empirical_rate(1000)
+
+    def test_repr(self, model):
+        assert "rejection" in repr(model)
+
+
+class TestSmoothing:
+    def test_jeffreys_keeps_probs_interior(self, rng):
+        config = FTLConfig(smoothing=0.5, min_bucket_count=1)
+        db = TrajectoryDatabase([slow_traj(i) for i in range(4)])
+        model = CompatibilityModel.fit_rejection([db], config)
+        observed = model.prob(2)
+        assert 0.0 < observed < 1.0  # never exactly 0 despite 0 incompat
+
+    def test_interpolation_fills_gaps(self):
+        # Data only in buckets 1 and 5; bucket 3 gets interpolated.
+        config = FTLConfig(smoothing=0.0, min_bucket_count=1)
+        counts = BucketCounts.zeros(config.n_buckets)
+        counts.total[1], counts.incompatible[1] = 10, 10
+        counts.total[5], counts.incompatible[5] = 10, 0
+        model = CompatibilityModel(REJECTION, counts, config)
+        assert model.prob(3) == pytest.approx(0.5)
+
+    def test_edge_extrapolation_constant(self):
+        config = FTLConfig(smoothing=0.0, min_bucket_count=1)
+        counts = BucketCounts.zeros(config.n_buckets)
+        counts.total[5], counts.incompatible[5] = 10, 4
+        model = CompatibilityModel(REJECTION, counts, config)
+        assert model.prob(0) == pytest.approx(0.4)
+        assert model.prob(50) == pytest.approx(0.4)
+
+
+class TestSerialisation:
+    def test_round_trip(self, fitted_models):
+        mr, _ma = fitted_models
+        clone = CompatibilityModel.from_dict(mr.to_dict())
+        assert clone.kind == mr.kind
+        buckets = np.arange(clone.n_buckets)
+        assert np.allclose(clone.probs_for(buckets), mr.probs_for(buckets))
+
+    def test_malformed_payload(self):
+        with pytest.raises(ValidationError):
+            CompatibilityModel.from_dict({"kind": "rejection"})
+
+
+class TestRequireFittedPair:
+    def test_accepts_valid_pair(self, fitted_models):
+        mr, ma = fitted_models
+        assert require_fitted_pair(mr, ma) == (mr, ma)
+
+    def test_rejects_none(self, fitted_models):
+        mr, _ma = fitted_models
+        with pytest.raises(NotFittedError):
+            require_fitted_pair(mr, None)
+
+    def test_rejects_swapped_kinds(self, fitted_models):
+        mr, ma = fitted_models
+        with pytest.raises(ValidationError):
+            require_fitted_pair(ma, mr)
+
+    def test_rejects_mismatched_configs(self, fitted_models, rng):
+        mr, _ma = fitted_models
+        other_config = FTLConfig(time_unit_s=30.0)
+        db = TrajectoryDatabase([slow_traj(i, gap=600.0) for i in range(4)])
+        other_ma = CompatibilityModel.fit_acceptance([db], other_config, rng)
+        with pytest.raises(ValidationError):
+            require_fitted_pair(mr, other_ma)
+
+    def test_constructor_validates_kind(self, config):
+        with pytest.raises(ValidationError):
+            CompatibilityModel("bogus", BucketCounts.zeros(config.n_buckets), config)
+
+    def test_constructor_validates_bucket_count(self, config):
+        with pytest.raises(ValidationError):
+            CompatibilityModel(REJECTION, BucketCounts.zeros(3), config)

@@ -1,0 +1,134 @@
+"""Multi-source chaining across three databases."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.multisource import (
+    IdentityChain,
+    chain_accuracy,
+    chain_assignments,
+    enrich_chain,
+    link_chain,
+)
+from repro.errors import ValidationError
+from repro.geo.units import days_to_seconds
+from repro.synth.city import CityModel
+from repro.synth.noise import GaussianNoise
+from repro.synth.observation import ObservationService
+from repro.synth.population import generate_population
+
+
+class TestChainAssignments:
+    def test_composes_two_hops(self):
+        hop1 = {"a1": "b1", "a2": "b2"}
+        hop2 = {"b1": "c1", "b2": "c2"}
+        chains = chain_assignments([hop1, hop2])
+        assert sorted(c.ids for c in chains) == [
+            ("a1", "b1", "c1"),
+            ("a2", "b2", "c2"),
+        ]
+
+    def test_broken_hop_drops_chain(self):
+        hop1 = {"a1": "b1", "a2": "b2"}
+        hop2 = {"b1": "c1"}  # b2 unmatched
+        chains = chain_assignments([hop1, hop2])
+        assert [c.ids for c in chains] == [("a1", "b1", "c1")]
+
+    def test_single_hop(self):
+        chains = chain_assignments([{"a": "b"}])
+        assert chains[0].ids == ("a", "b")
+        assert chains[0].head == "a"
+        assert chains[0].tail == "b"
+
+    def test_empty_hops_rejected(self):
+        with pytest.raises(ValidationError):
+            chain_assignments([])
+
+
+class TestChainAccuracy:
+    def test_all_correct(self):
+        chains = [IdentityChain(("a", "b", "c"))]
+        truths = [{"a": "b"}, {"b": "c"}]
+        assert chain_accuracy(chains, truths) == 1.0
+
+    def test_partial(self):
+        chains = [
+            IdentityChain(("a1", "b1", "c1")),
+            IdentityChain(("a2", "b9", "c9")),
+        ]
+        truths = [{"a1": "b1", "a2": "b2"}, {"b1": "c1"}]
+        assert chain_accuracy(chains, truths) == 0.5
+
+    def test_empty_chains(self):
+        assert chain_accuracy([], [{"a": "b"}]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            chain_accuracy([IdentityChain(("a", "b"))], [{"a": "b"}, {"b": "c"}])
+
+
+@pytest.fixture(scope="module")
+def three_source_scenario():
+    """Three services observing the same 15 agents."""
+    rng = np.random.default_rng(33)
+    city = CityModel.generate(rng)
+    agents = generate_population(city, 15, days_to_seconds(6), rng)
+    from repro.core.database import TrajectoryDatabase
+
+    services = [
+        ObservationService("transit", 0.6, GaussianNoise(60.0)),
+        ObservationService("cdr", 0.9, GaussianNoise(120.0)),
+        ObservationService("bank", 0.3, GaussianNoise(40.0)),
+    ]
+    databases = []
+    truths: list[dict] = [{}, {}]
+    prefixes = ["A", "B", "C"]
+    observed = {
+        prefix: TrajectoryDatabase(name=svc.name)
+        for prefix, svc in zip(prefixes, services)
+    }
+    for agent in agents:
+        for prefix, svc in zip(prefixes, services):
+            traj = svc.observe(agent.path, rng, traj_id=f"{prefix}{agent.agent_id}")
+            if len(traj) >= 2:
+                observed[prefix].add(traj)
+    for agent in agents:
+        a, b, c = (f"A{agent.agent_id}", f"B{agent.agent_id}",
+                   f"C{agent.agent_id}")
+        if a in observed["A"] and b in observed["B"]:
+            truths[0][a] = b
+        if b in observed["B"] and c in observed["C"]:
+            truths[1][b] = c
+    return [observed[p] for p in prefixes], truths
+
+
+class TestLinkChain:
+    def test_end_to_end_chaining(self, three_source_scenario):
+        databases, truths = three_source_scenario
+        rng = np.random.default_rng(0)
+        chains = link_chain(databases, FTLConfig(), rng)
+        assert len(chains) >= 0.5 * len(databases[0])
+        assert chain_accuracy(chains, truths) >= 0.7
+
+    def test_requires_two_databases(self, three_source_scenario):
+        databases, _truths = three_source_scenario
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            link_chain(databases[:1], FTLConfig(), rng)
+
+    def test_enrich_chain_merges_all_sources(self, three_source_scenario):
+        databases, truths = three_source_scenario
+        rng = np.random.default_rng(0)
+        chains = link_chain(databases, FTLConfig(), rng)
+        chain = chains[0]
+        merged = enrich_chain(chain, databases)
+        expected = sum(len(db[tid]) for tid, db in zip(chain.ids, databases))
+        assert len(merged) == expected
+        assert np.all(np.diff(merged.ts) >= 0)
+        assert merged.traj_id == chain.ids
+
+    def test_enrich_length_mismatch(self, three_source_scenario):
+        databases, _truths = three_source_scenario
+        with pytest.raises(ValidationError):
+            enrich_chain(IdentityChain(("A0", "B0")), databases)

@@ -1,0 +1,182 @@
+"""Observation services and noise models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.units import SECONDS_PER_DAY, days_to_seconds
+from repro.synth.city import CityModel
+from repro.synth.mobility import build_taxi_path
+from repro.synth.noise import GaussianNoise, NoNoise, TowerSnapNoise
+from repro.synth.observation import ObservationService
+
+
+@pytest.fixture(scope="module")
+def module_city():
+    return CityModel.generate(np.random.default_rng(5))
+
+
+@pytest.fixture(scope="module")
+def path(module_city):
+    return build_taxi_path(module_city, days_to_seconds(3),
+                           np.random.default_rng(6))
+
+
+class TestNoiseModels:
+    def test_no_noise_identity(self, rng):
+        xs = np.array([1.0, 2.0])
+        ys = np.array([3.0, 4.0])
+        out_x, out_y = NoNoise().apply(xs, ys, rng)
+        assert np.array_equal(out_x, xs)
+        assert np.array_equal(out_y, ys)
+
+    def test_gaussian_statistics(self, rng):
+        noise = GaussianNoise(100.0)
+        xs = np.zeros(20_000)
+        out_x, out_y = noise.apply(xs, xs, rng)
+        assert out_x.std() == pytest.approx(100.0, rel=0.05)
+        assert out_x.mean() == pytest.approx(0.0, abs=3.0)
+
+    def test_gaussian_zero_sigma_identity(self, rng):
+        noise = GaussianNoise(0.0)
+        xs = np.array([5.0])
+        out_x, _ = noise.apply(xs, xs, rng)
+        assert out_x[0] == 5.0
+
+    def test_gaussian_negative_sigma_rejected(self):
+        with pytest.raises(ValidationError):
+            GaussianNoise(-1.0)
+
+    def test_tower_snap_returns_towers(self, module_city, rng):
+        noise = TowerSnapNoise(module_city)
+        xs = np.array([10_000.0, 20_000.0])
+        ys = np.array([5_000.0, 12_000.0])
+        out_x, out_y = noise.apply(xs, ys, rng)
+        towers = module_city.towers
+        for x, y in zip(out_x, out_y):
+            assert (np.isclose(towers[:, 0], x) & np.isclose(towers[:, 1], y)).any()
+
+    def test_tower_snap_empty(self, module_city, rng):
+        noise = TowerSnapNoise(module_city)
+        out_x, out_y = noise.apply(np.array([]), np.array([]), rng)
+        assert out_x.size == 0
+
+    def test_reprs(self, module_city):
+        assert "NoNoise" in repr(NoNoise())
+        assert "80" in repr(GaussianNoise(80.0))
+        assert "Tower" in repr(TowerSnapNoise(module_city))
+
+
+class TestObservationService:
+    def test_observe_produces_sorted_trajectory(self, path, rng):
+        service = ObservationService("svc", rate_per_hour=2.0)
+        traj = service.observe(path, rng, traj_id="t")
+        assert traj.traj_id == "t"
+        assert np.all(np.diff(traj.ts) >= 0)
+
+    def test_record_count_matches_rate(self, path, rng):
+        service = ObservationService("svc", rate_per_hour=1.0)
+        counts = [len(service.observe(path, rng)) for _ in range(60)]
+        assert np.mean(counts) == pytest.approx(72.0, rel=0.15)  # 3 days * 24
+
+    def test_noiseless_points_on_path(self, path, rng):
+        service = ObservationService("svc", rate_per_hour=2.0, noise=NoNoise())
+        traj = service.observe(path, rng)
+        xs, ys = path.position_at(traj.ts)
+        assert np.allclose(traj.xs, xs)
+        assert np.allclose(traj.ys, ys)
+
+    def test_gaussian_noise_applied(self, path, rng):
+        service = ObservationService(
+            "svc", rate_per_hour=10.0, noise=GaussianNoise(200.0)
+        )
+        traj = service.observe(path, rng)
+        xs, _ys = path.position_at(traj.ts)
+        deviation = np.abs(traj.xs - xs)
+        assert deviation.mean() > 50.0
+
+    def test_day_fraction_concentrates_daytime(self, path):
+        rng = np.random.default_rng(0)
+        service = ObservationService(
+            "svc", rate_per_hour=4.0, day_fraction=0.95
+        )
+        traj = service.observe(path, rng)
+        hours = (traj.ts % SECONDS_PER_DAY) / 3600.0
+        day_share = ((hours >= 7) & (hours < 23)).mean()
+        assert day_share > 0.85
+
+    def test_day_fraction_preserves_mean_rate(self, path):
+        rng = np.random.default_rng(0)
+        flat = ObservationService("a", rate_per_hour=2.0)
+        diurnal = ObservationService("b", rate_per_hour=2.0, day_fraction=0.9)
+        n_flat = np.mean([len(flat.observe(path, rng)) for _ in range(40)])
+        n_diurnal = np.mean([len(diurnal.observe(path, rng)) for _ in range(40)])
+        assert n_diurnal == pytest.approx(n_flat, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ObservationService("svc", rate_per_hour=0.0)
+        with pytest.raises(ValidationError):
+            ObservationService("svc", rate_per_hour=1.0, day_fraction=0.0)
+        with pytest.raises(ValidationError):
+            ObservationService("svc", rate_per_hour=1.0, day_fraction=1.5)
+        with pytest.raises(ValidationError):
+            ObservationService("svc", rate_per_hour=1.0, burst_mean=0.5)
+        with pytest.raises(ValidationError):
+            ObservationService("svc", rate_per_hour=1.0, burst_span_s=0.0)
+        with pytest.raises(ValidationError):
+            ObservationService("svc", rate_per_hour=1.0, rate_dispersion=-1.0)
+
+
+class TestBurstyAccess:
+    def test_mean_rate_preserved(self, path):
+        rng = np.random.default_rng(0)
+        bursty = ObservationService("b", rate_per_hour=2.0, burst_mean=4.0)
+        counts = [len(bursty.observe(path, rng)) for _ in range(120)]
+        assert np.mean(counts) == pytest.approx(144.0, rel=0.15)  # 3d * 48
+
+    def test_events_are_clustered(self, path):
+        rng = np.random.default_rng(1)
+        bursty = ObservationService(
+            "b", rate_per_hour=2.0, burst_mean=5.0, burst_span_s=60.0
+        )
+        plain = ObservationService("p", rate_per_hour=2.0)
+        gaps_b = np.concatenate(
+            [bursty.observe(path, rng).gaps() for _ in range(20)]
+        )
+        gaps_p = np.concatenate(
+            [plain.observe(path, rng).gaps() for _ in range(20)]
+        )
+        # Burstiness: many more tiny gaps than a Poisson stream has.
+        assert (gaps_b < 120.0).mean() > 2 * (gaps_p < 120.0).mean()
+
+    def test_times_sorted_and_in_window(self, path):
+        rng = np.random.default_rng(2)
+        bursty = ObservationService("b", rate_per_hour=3.0, burst_mean=3.0)
+        traj = bursty.observe(path, rng)
+        assert np.all(np.diff(traj.ts) >= 0)
+        assert traj.ts.min() >= path.start_time
+        assert traj.ts.max() < path.end_time
+
+
+class TestHeterogeneousRates:
+    def test_dispersion_widens_count_distribution(self, path):
+        rng = np.random.default_rng(3)
+        uniform = ObservationService("u", rate_per_hour=2.0)
+        dispersed = ObservationService(
+            "d", rate_per_hour=2.0, rate_dispersion=1.0
+        )
+        n_uniform = np.array(
+            [len(uniform.observe(path, rng)) for _ in range(150)]
+        )
+        n_dispersed = np.array(
+            [len(dispersed.observe(path, rng)) for _ in range(150)]
+        )
+        assert n_dispersed.std() > 1.5 * n_uniform.std()
+        assert n_dispersed.mean() == pytest.approx(n_uniform.mean(), rel=0.25)
+
+    def test_properties_and_repr(self):
+        service = ObservationService("svc", rate_per_hour=2.5)
+        assert service.name == "svc"
+        assert service.rate_per_hour == pytest.approx(2.5)
+        assert "svc" in repr(service)

@@ -1,0 +1,78 @@
+"""Parallel query linking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel import link_queries_parallel
+
+
+@pytest.fixture(scope="module")
+def query_set(small_pair):
+    rng = np.random.default_rng(0)
+    ids = small_pair.sample_queries(8, rng)
+    return [small_pair.p_db[pid] for pid in ids]
+
+
+class TestSequentialPath:
+    def test_n_workers_one(self, small_pair, fitted_models, query_set):
+        mr, ma = fitted_models
+        results = link_queries_parallel(
+            query_set, mr, ma, small_pair.q_db, n_workers=1, phi_r=0.1
+        )
+        assert len(results) == len(query_set)
+        for query, result in zip(query_set, results):
+            assert result.query_id == query.traj_id
+
+    def test_empty_queries_rejected(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        with pytest.raises(ValidationError):
+            link_queries_parallel([], mr, ma, small_pair.q_db)
+
+    def test_bad_workers_rejected(self, small_pair, fitted_models, query_set):
+        mr, ma = fitted_models
+        with pytest.raises(ValidationError):
+            link_queries_parallel(
+                query_set, mr, ma, small_pair.q_db, n_workers=0
+            )
+        with pytest.raises(ValidationError):
+            link_queries_parallel(
+                query_set, mr, ma, small_pair.q_db, chunksize=0
+            )
+
+
+class TestParallelPath:
+    def test_matches_sequential(self, small_pair, fitted_models, query_set):
+        mr, ma = fitted_models
+        sequential = link_queries_parallel(
+            query_set, mr, ma, small_pair.q_db, n_workers=1, phi_r=0.1
+        )
+        parallel = link_queries_parallel(
+            query_set, mr, ma, small_pair.q_db, n_workers=2, phi_r=0.1,
+            chunksize=2,
+        )
+        assert len(parallel) == len(sequential)
+        for seq, par in zip(sequential, parallel):
+            assert seq.query_id == par.query_id
+            assert seq.candidate_ids() == par.candidate_ids()
+            for a, b in zip(seq.candidates, par.candidates):
+                assert a.score == pytest.approx(b.score)
+
+    def test_alpha_filter_method(self, small_pair, fitted_models, query_set):
+        mr, ma = fitted_models
+        results = link_queries_parallel(
+            query_set[:4], mr, ma, small_pair.q_db, n_workers=2,
+            method="alpha-filter", alpha1=0.01, alpha2=0.1,
+        )
+        assert all(r.method == "alpha-filter" for r in results)
+
+    def test_finds_true_matches(self, small_pair, fitted_models, query_set):
+        mr, ma = fitted_models
+        truth = small_pair.truth
+        results = link_queries_parallel(
+            query_set, mr, ma, small_pair.q_db, n_workers=2, phi_r=0.1
+        )
+        hits = sum(
+            1 for r in results if r.contains(truth[r.query_id])
+        )
+        assert hits >= len(query_set) - 2

@@ -1,0 +1,89 @@
+"""Top-level pipeline entry points (the functions the benches call)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.errors import ValidationError
+from repro.pipeline.ranking_eval import run_ranking_eval
+from repro.pipeline.runtime_eval import run_runtime_eval
+from repro.pipeline.tradeoff import run_tradeoff
+
+
+@pytest.fixture(scope="module")
+def pair():
+    from repro.datasets import build_scenario
+
+    return build_scenario("SD-mini")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FTLConfig()
+
+
+class TestRunTradeoff:
+    def test_produces_both_curves(self, pair, config):
+        rng = np.random.default_rng(0)
+        curves = run_tradeoff(pair, config, rng, n_queries=8)
+        assert set(curves) == {"alpha-filter", "naive-bayes"}
+        for points in curves.values():
+            for point in points:
+                assert 0.0 <= point.perceptiveness <= 1.0
+                assert 0.0 <= point.selectiveness <= 1.0
+
+    def test_caps_queries_at_truth_size(self, pair, config):
+        rng = np.random.default_rng(0)
+        curves = run_tradeoff(pair, config, rng, n_queries=10**6)
+        assert curves["naive-bayes"]  # ran without raising
+
+    def test_custom_ladders(self, pair, config):
+        rng = np.random.default_rng(0)
+        curves = run_tradeoff(
+            pair, config, rng, n_queries=5,
+            alpha_ladder=[(0.05, 0.05)], phi_ladder=[0.1],
+        )
+        assert len(curves["alpha-filter"]) == 1
+        assert len(curves["naive-bayes"]) == 1
+
+    def test_invalid_queries(self, pair, config):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            run_tradeoff(pair, config, rng, n_queries=0)
+
+
+class TestRunRankingEval:
+    def test_default_ks(self, pair, config):
+        rng = np.random.default_rng(0)
+        curves = run_ranking_eval(pair, config, rng, n_queries=10)
+        for curve in curves.values():
+            assert curve.ks == tuple(sorted(curve.ks))
+            assert len(curve.hits) == len(curve.ks)
+
+    def test_explicit_ks(self, pair, config):
+        rng = np.random.default_rng(0)
+        curves = run_ranking_eval(
+            pair, config, rng, n_queries=8, ks=[1, 4, 8]
+        )
+        assert curves["naive-bayes"].ks == (1, 4, 8)
+
+    def test_invalid_queries(self, pair, config):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            run_ranking_eval(pair, config, rng, n_queries=-1)
+
+
+class TestRunRuntimeEval:
+    def test_custom_params(self, pair, config):
+        rng = np.random.default_rng(0)
+        result = run_runtime_eval(
+            pair, config, rng, n_queries=3, dataset="x",
+            alpha=(0.01, 0.1), phi_r=0.2,
+        )
+        assert result.n_queries == 3
+        assert result.alpha_filter_s > 0
+
+    def test_invalid_queries(self, pair, config):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            run_runtime_eval(pair, config, rng, n_queries=0)

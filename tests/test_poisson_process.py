@@ -1,0 +1,106 @@
+"""Poisson process samplers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stats.poisson_process import (
+    count_label_changes,
+    merge_processes,
+    sample_inhomogeneous_poisson,
+    sample_poisson_process,
+)
+
+
+class TestHomogeneous:
+    def test_sorted_and_in_window(self, rng):
+        times = sample_poisson_process(2.0, 100.0, rng, start=50.0)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all((times >= 50.0) & (times < 150.0))
+
+    def test_mean_count(self, rng):
+        counts = [
+            sample_poisson_process(3.0, 10.0, rng).size for _ in range(300)
+        ]
+        assert np.mean(counts) == pytest.approx(30.0, rel=0.1)
+
+    def test_zero_rate(self, rng):
+        assert sample_poisson_process(0.0, 100.0, rng).size == 0
+
+    def test_zero_duration(self, rng):
+        assert sample_poisson_process(5.0, 0.0, rng).size == 0
+
+    def test_negative_inputs_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sample_poisson_process(-1.0, 1.0, rng)
+        with pytest.raises(ValidationError):
+            sample_poisson_process(1.0, -1.0, rng)
+
+    def test_interarrival_times_exponential(self, rng):
+        times = sample_poisson_process(5.0, 2000.0, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(0.2, rel=0.1)
+
+
+class TestInhomogeneous:
+    def test_constant_rate_matches_homogeneous(self, rng):
+        counts = [
+            sample_inhomogeneous_poisson(
+                lambda t: np.full_like(t, 2.0), 2.0, 50.0, rng
+            ).size
+            for _ in range(200)
+        ]
+        assert np.mean(counts) == pytest.approx(100.0, rel=0.1)
+
+    def test_zero_rate_function(self, rng):
+        times = sample_inhomogeneous_poisson(
+            lambda t: np.zeros_like(t), 5.0, 100.0, rng
+        )
+        assert times.size == 0
+
+    def test_step_profile_concentrates_mass(self, rng):
+        def rate_fn(t):
+            return np.where(np.asarray(t) < 50.0, 4.0, 0.0)
+
+        times = sample_inhomogeneous_poisson(rate_fn, 4.0, 100.0, rng)
+        assert np.all(times < 50.0)
+
+    def test_rate_above_max_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sample_inhomogeneous_poisson(
+                lambda t: np.full_like(t, 10.0), 2.0, 100.0, rng
+            )
+
+    def test_negative_max_rate_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sample_inhomogeneous_poisson(lambda t: t, -1.0, 10.0, rng)
+
+
+class TestMerge:
+    def test_merged_sorted(self):
+        times, labels = merge_processes(
+            np.array([1.0, 3.0]), np.array([2.0, 4.0])
+        )
+        assert list(times) == [1.0, 2.0, 3.0, 4.0]
+        assert list(labels) == [0, 1, 0, 1]
+
+    def test_tie_keeps_first_process_first(self):
+        _times, labels = merge_processes(np.array([5.0]), np.array([5.0]))
+        assert list(labels) == [0, 1]
+
+    def test_empty_sides(self):
+        times, labels = merge_processes(np.array([]), np.array([1.0]))
+        assert list(times) == [1.0]
+        assert list(labels) == [1]
+
+
+class TestLabelChanges:
+    def test_counts(self):
+        assert count_label_changes(np.array([0, 1, 1, 0, 1])) == 3
+
+    def test_no_changes(self):
+        assert count_label_changes(np.array([0, 0, 0])) == 0
+
+    def test_short_sequences(self):
+        assert count_label_changes(np.array([0])) == 0
+        assert count_label_changes(np.array([])) == 0

@@ -1,0 +1,90 @@
+"""Fig. 8 precision harness (small-scale)."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+from repro.pipeline.precision_eval import (
+    BASELINE_NAMES,
+    evaluate_at_rate,
+    format_precision,
+    run_precision_comparison,
+)
+from repro.synth.scenario import make_split_databases
+
+
+@pytest.fixture(scope="module")
+def split_pair():
+    """A tiny dense split scenario (12 agents, ~240 points each)."""
+    rng = np.random.default_rng(21)
+    trajs = []
+    for i in range(12):
+        n = 240
+        ts = np.sort(rng.uniform(0, 2 * 86400.0, n))
+        # A slow random walk (speed-bounded on average) per agent.
+        xs = 20_000 + np.cumsum(rng.normal(0, 60, n))
+        ys = 12_000 + np.cumsum(rng.normal(0, 60, n))
+        trajs.append(Trajectory(ts, xs, ys, i))
+    return make_split_databases(trajs, rng)
+
+
+class TestEvaluateAtRate:
+    def test_all_methods_reported(self, split_pair):
+        rng = np.random.default_rng(0)
+        qids = split_pair.sample_queries(5, rng)
+        result = evaluate_at_rate(
+            split_pair, 1.0, qids, FTLConfig(), rng, max_points=40
+        )
+        assert set(result.precision) == {"FTL", *BASELINE_NAMES}
+        for value in result.precision.values():
+            assert 0.0 <= value <= 1.0
+        assert result.n_queries == 5
+
+    def test_dense_data_ftl_high(self, split_pair):
+        rng = np.random.default_rng(0)
+        qids = split_pair.sample_queries(6, rng)
+        result = evaluate_at_rate(
+            split_pair, 1.0, qids, FTLConfig(), rng, max_points=40
+        )
+        assert result.precision["FTL"] >= 0.5
+
+    def test_invalid_rate(self, split_pair):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            evaluate_at_rate(split_pair, 0.0, ["P0"], FTLConfig(), rng)
+
+    def test_too_sparse_raises(self, split_pair):
+        rng = np.random.default_rng(0)
+        qids = split_pair.sample_queries(3, rng)
+        with pytest.raises(ValidationError, match="too sparse"):
+            evaluate_at_rate(
+                split_pair, 0.001, qids, FTLConfig(), rng, max_points=40
+            )
+
+
+class TestSweep:
+    def test_runs_grid(self, split_pair):
+        rng = np.random.default_rng(0)
+        results = run_precision_comparison(
+            split_pair, FTLConfig(), rng, rates=(1.0, 0.5),
+            n_queries=4, max_points=40,
+        )
+        assert [r.rate for r in results] == [1.0, 0.5]
+
+    def test_bad_n_queries(self, split_pair):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            run_precision_comparison(
+                split_pair, FTLConfig(), rng, n_queries=0
+            )
+
+    def test_format(self, split_pair):
+        rng = np.random.default_rng(0)
+        results = run_precision_comparison(
+            split_pair, FTLConfig(), rng, rates=(1.0,),
+            n_queries=3, max_points=40,
+        )
+        text = format_precision(results)
+        assert "FTL" in text and "DTW" in text and "1.00" in text

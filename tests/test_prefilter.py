@@ -1,0 +1,167 @@
+"""Candidate pre-filters."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.linker import FTLLinker
+from repro.core.prefilter import (
+    MutualSegmentCountPrefilter,
+    NullPrefilter,
+    SpatialOverlapPrefilter,
+    TimeOverlapPrefilter,
+)
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+
+
+def traj(ts, traj_id=None):
+    n = len(ts)
+    return Trajectory(ts, np.zeros(n), np.zeros(n), traj_id)
+
+
+class TestNullPrefilter:
+    def test_keeps_everything(self):
+        pf = NullPrefilter()
+        assert pf.keep(traj([0.0]), traj([1e9]))
+
+
+class TestTimeOverlap:
+    def test_overlapping_kept(self):
+        pf = TimeOverlapPrefilter(min_overlap_s=50.0)
+        assert pf.keep(traj([0.0, 100.0]), traj([40.0, 140.0]))
+
+    def test_short_overlap_dropped(self):
+        pf = TimeOverlapPrefilter(min_overlap_s=100.0)
+        assert not pf.keep(traj([0.0, 100.0]), traj([90.0, 300.0]))
+
+    def test_disjoint_dropped(self):
+        pf = TimeOverlapPrefilter(min_overlap_s=0.0)
+        assert not pf.keep(traj([0.0, 10.0]), traj([100.0, 200.0]))
+
+    def test_empty_dropped(self):
+        pf = TimeOverlapPrefilter(min_overlap_s=0.0)
+        assert not pf.keep(traj([]), traj([0.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TimeOverlapPrefilter(-1.0)
+
+
+class TestSpatialOverlap:
+    def _traj_at(self, x, y, n=3):
+        return Trajectory(
+            60.0 * np.arange(n),
+            np.full(n, float(x)),
+            np.full(n, float(y)),
+        )
+
+    def test_nearby_kept(self):
+        pf = SpatialOverlapPrefilter(margin_m=1000.0)
+        assert pf.keep(self._traj_at(0, 0), self._traj_at(500, 0))
+
+    def test_far_apart_dropped(self):
+        pf = SpatialOverlapPrefilter(margin_m=1000.0)
+        assert not pf.keep(self._traj_at(0, 0), self._traj_at(50_000, 0))
+
+    def test_overlapping_boxes_kept(self):
+        pf = SpatialOverlapPrefilter(margin_m=0.0)
+        a = Trajectory([0.0, 60.0], [0.0, 100.0], [0.0, 100.0])
+        b = Trajectory([0.0, 60.0], [50.0, 150.0], [50.0, 150.0])
+        assert pf.keep(a, b)
+
+    def test_diagonal_gap_measured(self):
+        pf = SpatialOverlapPrefilter(margin_m=1400.0)
+        # Boxes separated by 1000 m in x and 1000 m in y: gap ~1414 m.
+        assert not pf.keep(self._traj_at(0, 0), self._traj_at(1000, 1000))
+        assert SpatialOverlapPrefilter(1500.0).keep(
+            self._traj_at(0, 0), self._traj_at(1000, 1000)
+        )
+
+    def test_empty_dropped(self):
+        pf = SpatialOverlapPrefilter()
+        assert not pf.keep(traj([]), self._traj_at(0, 0))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SpatialOverlapPrefilter(-1.0)
+
+
+class TestMutualSegmentCount:
+    def test_interleaved_kept(self):
+        config = FTLConfig()
+        pf = MutualSegmentCountPrefilter(config, min_segments=3)
+        p = traj([0.0, 120.0, 240.0])
+        q = traj([60.0, 180.0, 300.0])
+        assert pf.keep(p, q)  # alternating -> 5 in-horizon mutual segments
+
+    def test_disjoint_windows_dropped(self):
+        config = FTLConfig(horizon_s=3600.0)
+        pf = MutualSegmentCountPrefilter(config, min_segments=1)
+        p = traj([0.0, 60.0])
+        q = traj([1e6, 1e6 + 60.0])  # junction gap far beyond horizon
+        assert not pf.keep(p, q)
+
+    def test_threshold_respected(self):
+        config = FTLConfig()
+        p = traj([0.0])
+        q = traj([60.0])
+        assert MutualSegmentCountPrefilter(config, 1).keep(p, q)
+        assert not MutualSegmentCountPrefilter(config, 2).keep(p, q)
+
+    def test_empty_dropped(self):
+        pf = MutualSegmentCountPrefilter(FTLConfig())
+        assert not pf.keep(traj([]), traj([1.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            MutualSegmentCountPrefilter(FTLConfig(), min_segments=0)
+
+    def test_matches_profile_count(self, small_pair):
+        """The fast count agrees with the full profile extraction."""
+        from repro.core.alignment import mutual_segment_profile
+
+        config = FTLConfig()
+        trajs = list(small_pair.p_db)[:4] + list(small_pair.q_db)[:4]
+        for i in range(0, len(trajs) - 1, 2):
+            p, q = trajs[i], trajs[i + 1]
+            profile = mutual_segment_profile(p, q, config)
+            in_horizon = int(
+                np.count_nonzero(profile.buckets * config.time_unit_s
+                                 < config.horizon_s)
+            )
+            threshold_pf = MutualSegmentCountPrefilter(config, max(in_horizon, 1))
+            if in_horizon >= 1:
+                assert threshold_pf.keep(p, q) or in_horizon == 0
+
+
+class TestLinkerIntegration:
+    def test_prefiltered_results_subset(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        rng = np.random.default_rng(0)
+        base = FTLLinker(mr.config, phi_r=0.1).with_models(
+            mr, ma, small_pair.q_db
+        )
+        filtered = FTLLinker(
+            mr.config, phi_r=0.1,
+            prefilter=MutualSegmentCountPrefilter(mr.config, 2),
+        ).with_models(mr, ma, small_pair.q_db)
+        for pid in small_pair.sample_queries(8, rng):
+            all_ids = set(base.link(small_pair.p_db[pid]).candidate_ids())
+            kept_ids = set(filtered.link(small_pair.p_db[pid]).candidate_ids())
+            assert kept_ids <= all_ids
+
+    def test_prefilter_keeps_perceptiveness(self, small_pair, fitted_models):
+        # The conservative overlap prefilter must not lose true matches
+        # on this fully-overlapping scenario.
+        mr, ma = fitted_models
+        rng = np.random.default_rng(1)
+        linker = FTLLinker(
+            mr.config, phi_r=0.1, prefilter=TimeOverlapPrefilter(3600.0)
+        ).with_models(mr, ma, small_pair.q_db)
+        hits = 0
+        qids = small_pair.sample_queries(12, rng)
+        for pid in qids:
+            if linker.link(small_pair.p_db[pid]).contains(small_pair.truth[pid]):
+                hits += 1
+        assert hits >= 8

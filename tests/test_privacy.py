@@ -1,0 +1,157 @@
+"""Privacy defenses and the linkability/utility sweep."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+from repro.privacy.defenses import (
+    GaussianPerturbation,
+    RecordSuppression,
+    SpatialCloaking,
+    TemporalCloaking,
+)
+from repro.privacy.evaluation import (
+    evaluate_defense_sweep,
+    format_defense_sweep,
+)
+
+
+@pytest.fixture
+def traj():
+    rng = np.random.default_rng(0)
+    n = 200
+    ts = np.sort(rng.uniform(0, 86400.0, n))
+    return Trajectory(ts, rng.uniform(0, 10_000, n), rng.uniform(0, 10_000, n), "t")
+
+
+class TestTemporalCloaking:
+    def test_rounds_down_to_window(self, traj, rng):
+        defended = TemporalCloaking(900.0).apply(traj, rng)
+        assert np.all(defended.ts % 900.0 == 0)
+        assert np.all(defended.ts <= traj.ts)
+        assert np.all(traj.ts - defended.ts < 900.0)
+
+    def test_preserves_locations(self, traj, rng):
+        defended = TemporalCloaking(900.0).apply(traj, rng)
+        # Order may change only among ties; sets of coordinates agree.
+        assert sorted(defended.xs) == sorted(traj.xs)
+
+    def test_distortions(self):
+        defense = TemporalCloaking(600.0)
+        assert defense.temporal_distortion_s() == 300.0
+        assert defense.spatial_distortion_m() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TemporalCloaking(0.0)
+
+
+class TestSpatialCloaking:
+    def test_snaps_to_cell_centres(self, traj, rng):
+        defended = SpatialCloaking(1000.0).apply(traj, rng)
+        assert np.all((defended.xs - 500.0) % 1000.0 == 0)
+        assert np.all(np.abs(defended.xs - traj.xs) <= 500.0)
+
+    def test_preserves_timestamps(self, traj, rng):
+        defended = SpatialCloaking(1000.0).apply(traj, rng)
+        assert np.array_equal(defended.ts, traj.ts)
+
+    def test_distortion_formula(self, rng):
+        cell = 2000.0
+        defense = SpatialCloaking(cell)
+        n = 50_000
+        xs = rng.uniform(0, cell, n)
+        ys = rng.uniform(0, cell, n)
+        observed = np.hypot(xs - cell / 2, ys - cell / 2).mean()
+        assert defense.spatial_distortion_m() == pytest.approx(observed, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SpatialCloaking(-5.0)
+
+
+class TestGaussianPerturbation:
+    def test_moves_points(self, traj, rng):
+        defended = GaussianPerturbation(100.0).apply(traj, rng)
+        assert not np.array_equal(defended.xs, traj.xs)
+        assert np.array_equal(defended.ts, traj.ts)
+
+    def test_zero_sigma_identity(self, traj, rng):
+        assert GaussianPerturbation(0.0).apply(traj, rng) is traj
+
+    def test_distortion_is_rayleigh_mean(self, traj):
+        rng = np.random.default_rng(1)
+        defense = GaussianPerturbation(200.0)
+        defended = defense.apply(traj, rng)
+        observed = np.hypot(defended.xs - traj.xs, defended.ys - traj.ys).mean()
+        assert defense.spatial_distortion_m() == pytest.approx(observed, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            GaussianPerturbation(-1.0)
+
+
+class TestRecordSuppression:
+    def test_drops_expected_fraction(self, traj):
+        rng = np.random.default_rng(2)
+        defense = RecordSuppression(0.5)
+        kept = len(defense.apply(traj, rng))
+        assert 0.35 * len(traj) < kept < 0.65 * len(traj)
+
+    def test_zero_rate_identity(self, traj, rng):
+        assert len(RecordSuppression(0.0).apply(traj, rng)) == len(traj)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RecordSuppression(1.0)
+        with pytest.raises(ValidationError):
+            RecordSuppression(-0.1)
+
+
+class TestDefenseSweep:
+    def test_baseline_first(self, small_pair, rng):
+        points = evaluate_defense_sweep(
+            small_pair, [TemporalCloaking(1800.0)], FTLConfig(), rng,
+            n_queries=10,
+        )
+        assert points[0].defense == "none"
+        assert points[0].strength == 0.0
+        assert len(points) == 2
+
+    def test_temporal_cloaking_reduces_linkability(self, small_pair, rng):
+        points = evaluate_defense_sweep(
+            small_pair,
+            [TemporalCloaking(1800.0), TemporalCloaking(7200.0)],
+            FTLConfig(), rng, n_queries=15,
+        )
+        baseline = points[0].linkability
+        strongest = points[-1].linkability
+        assert strongest <= baseline
+        assert strongest <= 0.5  # 2-hour cloaking cripples FTL
+
+    def test_suppression_reduces_linkability(self, small_pair, rng):
+        points = evaluate_defense_sweep(
+            small_pair, [RecordSuppression(0.9)], FTLConfig(), rng,
+            n_queries=15,
+        )
+        assert points[1].linkability <= points[0].linkability
+
+    def test_validation(self, small_pair, rng):
+        with pytest.raises(ValidationError):
+            evaluate_defense_sweep(small_pair, [], FTLConfig(), rng)
+        with pytest.raises(ValidationError):
+            evaluate_defense_sweep(
+                small_pair, [TemporalCloaking(60.0)], FTLConfig(), rng,
+                n_queries=0,
+            )
+
+    def test_format(self, small_pair, rng):
+        points = evaluate_defense_sweep(
+            small_pair, [SpatialCloaking(1000.0)], FTLConfig(), rng,
+            n_queries=5,
+        )
+        text = format_defense_sweep(points)
+        assert "linkability" in text
+        assert "SpatialCloaking" in text

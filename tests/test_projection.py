@@ -1,0 +1,99 @@
+"""Local planar projection."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+from repro.geo.distance import haversine
+from repro.geo.projection import LocalProjection, projection_for_databases
+
+SINGAPORE = LocalProjection(lon0=103.85, lat0=1.29)
+
+
+class TestPointTransforms:
+    def test_centre_maps_to_origin(self):
+        x, y = SINGAPORE.to_plane(np.array([103.85]), np.array([1.29]))
+        assert x[0] == pytest.approx(0.0, abs=1e-9)
+        assert y[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        lons = 103.85 + rng.uniform(-0.2, 0.2, 100)
+        lats = 1.29 + rng.uniform(-0.1, 0.1, 100)
+        x, y = SINGAPORE.to_plane(lons, lats)
+        back_lon, back_lat = SINGAPORE.to_lonlat(x, y)
+        assert np.allclose(back_lon, lons, atol=1e-12)
+        assert np.allclose(back_lat, lats, atol=1e-12)
+
+    def test_planar_distance_matches_haversine_city_scale(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            lon1, lon2 = 103.85 + rng.uniform(-0.2, 0.2, 2)
+            lat1, lat2 = 1.29 + rng.uniform(-0.1, 0.1, 2)
+            x, y = SINGAPORE.to_plane(
+                np.array([lon1, lon2]), np.array([lat1, lat2])
+            )
+            planar = float(np.hypot(x[1] - x[0], y[1] - y[0]))
+            true = haversine(lon1, lat1, lon2, lat2)
+            assert planar == pytest.approx(true, rel=5e-3)
+
+    def test_axes_orientation(self):
+        # East increases x; north increases y.
+        x_east, _ = SINGAPORE.to_plane(np.array([103.95]), np.array([1.29]))
+        _, y_north = SINGAPORE.to_plane(np.array([103.85]), np.array([1.39]))
+        assert x_east[0] > 0
+        assert y_north[0] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LocalProjection(lon0=200.0, lat0=0.0)
+        with pytest.raises(ValidationError):
+            LocalProjection(lon0=0.0, lat0=89.5)
+
+
+class TestCenteredOn:
+    def test_centroid(self):
+        proj = LocalProjection.centered_on(
+            np.array([100.0, 102.0]), np.array([1.0, 3.0])
+        )
+        assert proj.lon0 == 101.0
+        assert proj.lat0 == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            LocalProjection.centered_on(np.array([]), np.array([]))
+
+
+class TestTrajectoryTransforms:
+    @pytest.fixture
+    def lonlat_traj(self):
+        rng = np.random.default_rng(2)
+        n = 30
+        ts = np.sort(rng.uniform(0, 1e4, n))
+        lons = 103.85 + rng.uniform(-0.1, 0.1, n)
+        lats = 1.29 + rng.uniform(-0.05, 0.05, n)
+        return Trajectory(ts, lons, lats, "gps")
+
+    def test_project_unproject_round_trip(self, lonlat_traj):
+        planar = SINGAPORE.project_trajectory(lonlat_traj)
+        back = SINGAPORE.unproject_trajectory(planar)
+        assert np.allclose(back.xs, lonlat_traj.xs, atol=1e-10)
+        assert np.allclose(back.ys, lonlat_traj.ys, atol=1e-10)
+        assert np.array_equal(back.ts, lonlat_traj.ts)
+
+    def test_project_db(self, lonlat_traj):
+        db = TrajectoryDatabase([lonlat_traj], name="gps")
+        planar = SINGAPORE.project_db(db)
+        assert len(planar) == 1
+        assert planar.name == "gps"
+
+    def test_projection_for_databases(self, lonlat_traj):
+        db = TrajectoryDatabase([lonlat_traj])
+        proj = projection_for_databases(db)
+        assert proj.lon0 == pytest.approx(float(np.mean(lonlat_traj.xs)))
+
+    def test_projection_for_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            projection_for_databases(TrajectoryDatabase())

@@ -1,0 +1,94 @@
+"""Candidate ranking (paper Section V, Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import MutualSegmentProfile, mutual_segment_profile
+from repro.core.ranking import rank_candidates, score_candidate, top_k
+from repro.errors import ValidationError
+
+
+def profile(n, k):
+    return MutualSegmentProfile(
+        np.full(n, 1, dtype=np.int64),
+        np.array([True] * k + [False] * (n - k), dtype=bool),
+    )
+
+
+class TestScoreCandidate:
+    def test_score_is_eq2(self, fitted_models):
+        mr, ma = fitted_models
+        scored = score_candidate(profile(15, 0), mr, ma)
+        assert scored.score == pytest.approx(
+            scored.p_rejection * (1 - scored.p_acceptance)
+        )
+
+    def test_score_in_unit_interval(self, fitted_models):
+        mr, ma = fitted_models
+        for k in range(0, 16, 5):
+            scored = score_candidate(profile(15, k), mr, ma)
+            assert 0.0 <= scored.score <= 1.0
+
+    def test_compatible_scores_higher(self, fitted_models):
+        mr, ma = fitted_models
+        good = score_candidate(profile(15, 0), mr, ma).score
+        bad = score_candidate(profile(15, 12), mr, ma).score
+        assert good > bad
+
+    def test_model_kinds_validated(self, fitted_models):
+        mr, ma = fitted_models
+        with pytest.raises(ValidationError):
+            score_candidate(profile(5, 0), ma, mr)
+
+
+class TestRankCandidates:
+    def test_true_match_ranks_first_usually(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        rng = np.random.default_rng(0)
+        qids = small_pair.sample_queries(10, rng)
+        top1_hits = 0
+        for pid in qids:
+            ranked = rank_candidates(
+                small_pair.p_db[pid], small_pair.q_db, mr, ma
+            )
+            if ranked[0].candidate_id == small_pair.truth[pid]:
+                top1_hits += 1
+        assert top1_hits >= 7
+
+    def test_scores_non_increasing(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        pid = next(iter(small_pair.truth))
+        ranked = rank_candidates(small_pair.p_db[pid], small_pair.q_db, mr, ma)
+        scores = [c.score for c in ranked]
+        assert all(a >= b for a, b in zip(scores, scores[1:]))
+
+    def test_all_candidates_scored(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        pid = next(iter(small_pair.truth))
+        ranked = rank_candidates(small_pair.p_db[pid], small_pair.q_db, mr, ma)
+        assert len(ranked) == len(small_pair.q_db)
+
+    def test_true_match_beats_median(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        pid = next(iter(small_pair.truth))
+        ranked = rank_candidates(small_pair.p_db[pid], small_pair.q_db, mr, ma)
+        position = next(
+            i for i, c in enumerate(ranked)
+            if c.candidate_id == small_pair.truth[pid]
+        )
+        assert position < len(ranked) // 2
+
+
+class TestTopK:
+    def test_prefix(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        pid = next(iter(small_pair.truth))
+        ranked = rank_candidates(small_pair.p_db[pid], small_pair.q_db, mr, ma)
+        assert top_k(ranked, 3) == list(ranked[:3])
+
+    def test_k_larger_than_list(self):
+        assert top_k([], 5) == []
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            top_k([], -1)

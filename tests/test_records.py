@@ -1,0 +1,66 @@
+"""Record data model."""
+
+import math
+
+import pytest
+
+from repro.core.records import Record, timediff
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_fields(self):
+        r = Record(10.0, 1.0, 2.0)
+        assert (r.t, r.x, r.y) == (10.0, 1.0, 2.0)
+
+    def test_location(self):
+        assert Record(0.0, 3.0, 4.0).location == (3.0, 4.0)
+
+    def test_frozen(self):
+        r = Record(0.0, 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            r.t = 5.0
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_nonfinite_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            Record(bad, 0.0, 0.0)
+        with pytest.raises(ValidationError):
+            Record(0.0, bad, 0.0)
+        with pytest.raises(ValidationError):
+            Record(0.0, 0.0, bad)
+
+    def test_non_number_rejected(self):
+        with pytest.raises(ValidationError):
+            Record("0", 0.0, 0.0)
+
+
+class TestOrdering:
+    def test_orders_by_time(self):
+        assert Record(1.0, 9.0, 9.0) < Record(2.0, 0.0, 0.0)
+
+    def test_sorting_gives_time_order(self):
+        records = [Record(3.0, 0, 0), Record(1.0, 0, 0), Record(2.0, 0, 0)]
+        assert [r.t for r in sorted(records)] == [1.0, 2.0, 3.0]
+
+    def test_equality(self):
+        assert Record(1.0, 2.0, 3.0) == Record(1.0, 2.0, 3.0)
+        assert Record(1.0, 2.0, 3.0) != Record(1.0, 2.0, 4.0)
+
+    def test_hashable(self):
+        assert len({Record(1.0, 2.0, 3.0), Record(1.0, 2.0, 3.0)}) == 1
+
+
+class TestOperations:
+    def test_time_shifted(self):
+        r = Record(10.0, 1.0, 2.0).time_shifted(5.0)
+        assert r.t == 15.0 and r.x == 1.0
+
+    def test_timediff_absolute(self):
+        a, b = Record(10.0, 0, 0), Record(4.0, 0, 0)
+        assert timediff(a, b) == 6.0
+        assert timediff(b, a) == 6.0
+
+    def test_timediff_zero(self):
+        r = Record(10.0, 0, 0)
+        assert timediff(r, r) == 0.0

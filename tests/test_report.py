@@ -1,0 +1,82 @@
+"""One-command reproduction report."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.pipeline.report import ReportSpec, generate_report, write_report
+
+TINY = ReportSpec(datasets=("SD-mini",), n_queries=5)
+
+
+class TestSpec:
+    def test_defaults_valid(self):
+        spec = ReportSpec()
+        assert len(spec.datasets) == 6
+
+    def test_empty_datasets_rejected(self):
+        with pytest.raises(ValidationError):
+            ReportSpec(datasets=())
+
+    def test_bad_queries_rejected(self):
+        with pytest.raises(ValidationError):
+            ReportSpec(n_queries=0)
+
+
+class TestGenerate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(TINY)
+
+    def test_contains_all_sections(self, report):
+        assert "# FTL reproduction report" in report
+        assert "Table I" in report
+        assert "Fig. 5" in report
+        assert "Fig. 6" in report
+        assert "Fig. 7" in report
+        assert "Score separation" in report
+
+    def test_dataset_mentioned(self, report):
+        assert "SD-mini" in report
+
+    def test_tradeoff_rows_present(self, report):
+        assert "naive-bayes" in report
+        assert "phi_r" in report
+
+    def test_operating_point_cis_present(self, report):
+        assert "Reference operating point" in report
+        assert "bootstrap" in report
+        assert "@ 95%" in report
+
+    def test_sections_can_be_disabled(self):
+        spec = ReportSpec(
+            datasets=("SD-mini",),
+            n_queries=3,
+            include_table1=False,
+            include_ranking=False,
+            include_runtime=False,
+            include_separation=False,
+        )
+        report = generate_report(spec)
+        assert "Table I" not in report
+        assert "Fig. 6" not in report
+        assert "Fig. 5" in report
+
+
+class TestWrite:
+    def test_writes_file(self, tmp_path):
+        out = write_report(tmp_path / "sub" / "report.md", TINY)
+        assert out.exists()
+        assert out.read_text().startswith("# FTL reproduction report")
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(
+            ["report", "--out", str(out), "--datasets", "SD-mini",
+             "--queries", "4"]
+        ) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

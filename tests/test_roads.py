@@ -1,0 +1,174 @@
+"""Road-network mobility."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.units import days_to_seconds, kph_to_mps
+from repro.synth.city import CityModel
+from repro.synth.roads import (
+    build_road_network,
+    build_road_taxi_path,
+    detour_ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def module_city():
+    return CityModel.generate(
+        np.random.default_rng(5), width_m=15_000, height_m=10_000
+    )
+
+
+@pytest.fixture(scope="module")
+def network(module_city):
+    return build_road_network(
+        module_city, np.random.default_rng(6), spacing_m=1_500.0
+    )
+
+
+class TestBuildNetwork:
+    def test_connected(self, network):
+        assert nx.is_connected(network.graph)
+
+    def test_nodes_cover_city(self, module_city, network):
+        bbox = module_city.bbox
+        assert bbox.contains_many(
+            network.node_positions[:, 0], network.node_positions[:, 1]
+        ).all()
+
+    def test_edge_lengths_match_geometry(self, network):
+        for a, b, data in network.graph.edges(data=True):
+            ax, ay = network.node_positions[a]
+            bx, by = network.node_positions[b]
+            assert data["length"] == pytest.approx(
+                float(np.hypot(bx - ax, by - ay))
+            )
+
+    def test_removal_respects_connectivity(self, module_city):
+        rng = np.random.default_rng(7)
+        network = build_road_network(
+            module_city, rng, spacing_m=1_500.0, removal_fraction=0.3
+        )
+        assert nx.is_connected(network.graph)
+
+    def test_nearest_node(self, network):
+        node = network.nearest_node(0.0, 0.0)
+        x, y = network.node_positions[node]
+        dists = np.hypot(
+            network.node_positions[:, 0], network.node_positions[:, 1]
+        )
+        assert np.hypot(x, y) == pytest.approx(float(dists.min()))
+
+    def test_validation(self, module_city):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            build_road_network(module_city, rng, spacing_m=0.0)
+        with pytest.raises(ValidationError):
+            build_road_network(module_city, rng, jitter_fraction=0.7)
+        with pytest.raises(ValidationError):
+            build_road_network(module_city, rng, removal_fraction=1.0)
+
+
+class TestShortestPaths:
+    def test_path_endpoints(self, network):
+        nodes = network.shortest_path_nodes(0, network.n_nodes - 1)
+        assert nodes[0] == 0
+        assert nodes[-1] == network.n_nodes - 1
+
+    def test_path_length_at_least_straight_line(self, network):
+        rng = np.random.default_rng(8)
+        for _ in range(10):
+            a, b = rng.integers(0, network.n_nodes, 2)
+            if a == b:
+                continue
+            nodes = network.shortest_path_nodes(int(a), int(b))
+            road = network.path_length_m(nodes)
+            ax, ay = network.node_positions[a]
+            bx, by = network.node_positions[b]
+            straight = float(np.hypot(bx - ax, by - ay))
+            assert road >= straight - 1e-6
+
+    def test_detour_ratio_reasonable(self, network):
+        rng = np.random.default_rng(9)
+        ratio = detour_ratio(network, rng, n_samples=30)
+        assert 1.0 <= ratio < 2.0
+
+    def test_detour_validation(self, network):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            detour_ratio(network, rng, n_samples=0)
+
+
+class TestRoadTaxiPath:
+    def test_covers_duration(self, module_city, network):
+        rng = np.random.default_rng(10)
+        path = build_road_taxi_path(
+            module_city, network, days_to_seconds(1), rng
+        )
+        assert path.end_time >= days_to_seconds(1)
+
+    def test_respects_speed_bound(self, module_city, network):
+        rng = np.random.default_rng(11)
+        path = build_road_taxi_path(
+            module_city, network, days_to_seconds(1), rng,
+            speed_low_kph=25.0, speed_high_kph=70.0,
+        )
+        assert path.max_speed_mps() <= kph_to_mps(70.0) + 1e-9
+
+    def test_waypoints_are_road_nodes(self, module_city, network):
+        rng = np.random.default_rng(12)
+        path = build_road_taxi_path(
+            module_city, network, days_to_seconds(0.5), rng, dwell_max_s=0.1
+        )
+        _ts, xs, ys = path.waypoints
+        node_set = {tuple(p) for p in np.round(network.node_positions, 6)}
+        on_road = sum(
+            1 for x, y in zip(np.round(xs, 6), np.round(ys, 6))
+            if (x, y) in node_set
+        )
+        assert on_road / len(xs) > 0.95
+
+    def test_linkable_end_to_end(self, module_city, network):
+        """Road-constrained agents still link across two services."""
+        from repro.config import FTLConfig
+        from repro.core.linker import FTLLinker
+        from repro.synth.noise import GaussianNoise
+        from repro.synth.observation import ObservationService
+        from repro.synth.population import Agent
+        from repro.synth.scenario import make_paired_databases
+
+        rng = np.random.default_rng(13)
+        agents = [
+            Agent(i, build_road_taxi_path(
+                module_city, network, days_to_seconds(5), rng
+            ))
+            for i in range(15)
+        ]
+        pair = make_paired_databases(
+            agents,
+            ObservationService("P", 0.8, GaussianNoise(50.0)),
+            ObservationService("Q", 0.4, GaussianNoise(50.0)),
+            rng,
+        )
+        linker = FTLLinker(FTLConfig(), phi_r=0.1).fit(
+            pair.p_db, pair.q_db, rng
+        )
+        qids = pair.sample_queries(10, rng)
+        hits = sum(
+            1
+            for pid in qids
+            if linker.link(pair.p_db[pid]).contains(pair.truth[pid])
+        )
+        assert hits >= 7
+
+    def test_validation(self, module_city, network):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            build_road_taxi_path(module_city, network, 0.0, rng)
+        with pytest.raises(ValidationError):
+            build_road_taxi_path(
+                module_city, network, 100.0, rng,
+                speed_low_kph=90.0, speed_high_kph=50.0,
+            )

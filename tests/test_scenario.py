@@ -1,0 +1,188 @@
+"""Scenario builders and sparsity transforms."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+from repro.geo.units import days_to_seconds
+from repro.synth.city import CityModel
+from repro.synth.downsample import downsample_pair, trim_pair
+from repro.synth.noise import GaussianNoise
+from repro.synth.observation import ObservationService
+from repro.synth.population import Agent, generate_population
+from repro.synth.scenario import make_paired_databases, make_split_databases
+
+
+@pytest.fixture(scope="module")
+def module_city():
+    return CityModel.generate(np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def agents(module_city):
+    return generate_population(
+        module_city, 12, days_to_seconds(3), np.random.default_rng(4)
+    )
+
+
+class TestPopulation:
+    def test_agent_ids_sequential(self, agents):
+        assert [a.agent_id for a in agents] == list(range(12))
+
+    def test_paths_cover_duration(self, agents):
+        assert all(a.path.end_time >= days_to_seconds(3) for a in agents)
+
+    def test_commuter_style(self, module_city, rng):
+        pop = generate_population(
+            module_city, 3, days_to_seconds(1), rng, mobility="commuter"
+        )
+        assert len(pop) == 3
+
+    def test_unknown_style_rejected(self, module_city, rng):
+        with pytest.raises(ValidationError):
+            generate_population(module_city, 3, 100.0, rng, mobility="teleport")
+
+    def test_zero_agents_rejected(self, module_city, rng):
+        with pytest.raises(ValidationError):
+            generate_population(module_city, 0, 100.0, rng)
+
+
+class TestPairedDatabases:
+    def test_structure(self, agents, rng):
+        pair = make_paired_databases(
+            agents,
+            ObservationService("P", 2.0, GaussianNoise(50.0)),
+            ObservationService("Q", 1.0, GaussianNoise(50.0)),
+            rng,
+        )
+        assert pair.p_db.name == "P"
+        assert pair.q_db.name == "Q"
+        assert set(pair.truth) <= {f"P{a.agent_id}" for a in agents}
+        for pid, qid in pair.truth.items():
+            assert pid in pair.p_db and qid in pair.q_db
+
+    def test_ids_prefixed(self, agents, rng):
+        pair = make_paired_databases(
+            agents,
+            ObservationService("P", 2.0),
+            ObservationService("Q", 2.0),
+            rng,
+        )
+        assert all(str(t.traj_id).startswith("P") for t in pair.p_db)
+        assert all(str(t.traj_id).startswith("Q") for t in pair.q_db)
+
+    def test_truth_requires_min_records(self, agents, rng):
+        pair = make_paired_databases(
+            agents,
+            ObservationService("P", 2.0),
+            ObservationService("Q", 2.0),
+            rng,
+            min_records=10_000,
+        )
+        assert len(pair.truth) == 0
+
+    def test_empty_agents_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            make_paired_databases(
+                [], ObservationService("P", 1.0), ObservationService("Q", 1.0), rng
+            )
+
+    def test_matched_query_ids(self, agents, rng):
+        pair = make_paired_databases(
+            agents,
+            ObservationService("P", 2.0),
+            ObservationService("Q", 2.0),
+            rng,
+        )
+        assert set(pair.matched_query_ids()) == set(pair.truth)
+
+    def test_sample_queries(self, agents, rng):
+        pair = make_paired_databases(
+            agents,
+            ObservationService("P", 2.0),
+            ObservationService("Q", 2.0),
+            rng,
+        )
+        sampled = pair.sample_queries(5, rng)
+        assert len(set(sampled)) == 5
+        with pytest.raises(ValidationError):
+            pair.sample_queries(10_000, rng)
+
+
+class TestSplitDatabases:
+    @pytest.fixture
+    def dense_trajs(self):
+        rng = np.random.default_rng(9)
+        trajs = []
+        for i in range(8):
+            n = 200
+            ts = np.sort(rng.uniform(0, 1e5, n))
+            trajs.append(Trajectory(ts, rng.uniform(0, 1e4, n),
+                                    rng.uniform(0, 1e4, n), i))
+        return trajs
+
+    def test_records_partitioned(self, dense_trajs, rng):
+        pair = make_split_databases(dense_trajs, rng)
+        for traj in dense_trajs:
+            p = pair.p_db.get(f"P{traj.traj_id}")
+            q = pair.q_db.get(f"Q{traj.traj_id}")
+            total = (0 if p is None else len(p)) + (0 if q is None else len(q))
+            assert total == len(traj)
+
+    def test_split_probability_biases(self, dense_trajs, rng):
+        pair = make_split_databases(dense_trajs, rng, split_probability=0.9)
+        p_total = pair.p_db.total_records()
+        q_total = pair.q_db.total_records()
+        assert p_total > 4 * q_total
+
+    def test_truth_mapping(self, dense_trajs, rng):
+        pair = make_split_databases(dense_trajs, rng)
+        assert pair.truth["P3"] == "Q3"
+
+    def test_invalid_probability(self, dense_trajs, rng):
+        with pytest.raises(ValidationError):
+            make_split_databases(dense_trajs, rng, split_probability=0.0)
+        with pytest.raises(ValidationError):
+            make_split_databases(dense_trajs, rng, split_probability=1.0)
+
+    def test_empty_input_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            make_split_databases([], rng)
+
+
+class TestDownsamplePair:
+    @pytest.fixture
+    def pair(self, agents, rng):
+        return make_paired_databases(
+            agents,
+            ObservationService("P", 4.0),
+            ObservationService("Q", 4.0),
+            rng,
+        )
+
+    def test_shrinks_databases(self, pair, rng):
+        thinned = downsample_pair(pair, 0.3, 0.3, rng)
+        assert thinned.p_db.total_records() < pair.p_db.total_records()
+        assert thinned.q_db.total_records() < pair.q_db.total_records()
+
+    def test_truth_filtered(self, pair, rng):
+        thinned = downsample_pair(pair, 0.05, 0.05, rng, min_records=3)
+        for pid, qid in thinned.truth.items():
+            assert len(thinned.p_db[pid]) >= 3
+            assert len(thinned.q_db[qid]) >= 3
+
+    def test_rate_validation(self, pair, rng):
+        with pytest.raises(ValidationError):
+            downsample_pair(pair, 0.0, 0.5, rng)
+        with pytest.raises(ValidationError):
+            downsample_pair(pair, 0.5, 1.2, rng)
+
+    def test_trim_pair_bounds_duration(self, pair):
+        trimmed = trim_pair(pair, days_to_seconds(1))
+        for traj in trimmed.p_db:
+            assert traj.duration <= days_to_seconds(1)
+
+    def test_trim_validation(self, pair):
+        with pytest.raises(ValidationError):
+            trim_pair(pair, 0.0)

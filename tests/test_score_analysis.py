@@ -1,0 +1,77 @@
+"""Score-distribution analysis (AUC, separation)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.config import FTLConfig
+from repro.errors import ValidationError
+from repro.pipeline.experiment import collect_evidence, fit_model_pair
+from repro.pipeline.score_analysis import (
+    auc_from_scores,
+    format_separation,
+    separation_from_evidence,
+)
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert auc_from_scores(np.array([3.0, 4.0]), np.array([1.0, 2.0])) == 1.0
+
+    def test_perfectly_wrong(self):
+        assert auc_from_scores(np.array([1.0]), np.array([2.0, 3.0])) == 0.0
+
+    def test_chance(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 3000)
+        b = rng.normal(0, 1, 3000)
+        assert auc_from_scores(a, b) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_give_half_credit(self):
+        assert auc_from_scores(np.array([1.0]), np.array([1.0])) == 0.5
+
+    def test_matches_scipy_mannwhitney(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(1, 1, 80)
+        b = rng.normal(0, 1, 120)
+        u_stat, _p = sps.mannwhitneyu(a, b, alternative="two-sided")
+        expected = u_stat / (len(a) * len(b))
+        assert auc_from_scores(a, b) == pytest.approx(expected, abs=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            auc_from_scores(np.array([]), np.array([1.0]))
+
+
+class TestSeparation:
+    @pytest.fixture(scope="class")
+    def evidence(self, small_pair):
+        rng = np.random.default_rng(0)
+        config = FTLConfig()
+        mr, ma = fit_model_pair(small_pair, config, rng)
+        qids = small_pair.sample_queries(10, rng)
+        return small_pair, collect_evidence(small_pair, qids, mr, ma)
+
+    def test_eq2_scores_separate_well(self, evidence):
+        pair, ev = evidence
+        sep = separation_from_evidence(ev, pair.truth, statistic="score")
+        assert sep.auc > 0.9
+        assert sep.medians_ordered
+        assert sep.n_true == 10
+        assert sep.n_false == 10 * (len(pair.q_db) - 1)
+
+    def test_llr_separates_well(self, evidence):
+        pair, ev = evidence
+        sep = separation_from_evidence(ev, pair.truth, statistic="llr")
+        assert sep.auc > 0.9
+
+    def test_unknown_statistic(self, evidence):
+        pair, ev = evidence
+        with pytest.raises(ValidationError):
+            separation_from_evidence(ev, pair.truth, statistic="magic")
+
+    def test_format(self, evidence):
+        pair, ev = evidence
+        sep = separation_from_evidence(ev, pair.truth)
+        text = format_separation({"small": sep})
+        assert "AUC" in text and "small" in text

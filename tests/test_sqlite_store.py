@@ -1,0 +1,113 @@
+"""SQLite trajectory store."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import DataFormatError, ValidationError
+from repro.io.sqlite_store import SQLiteTrajectoryStore
+
+
+@pytest.fixture
+def db() -> TrajectoryDatabase:
+    rng = np.random.default_rng(0)
+    trajs = []
+    for i in range(3):
+        n = 20
+        ts = np.sort(rng.uniform(0, 1000.0, n))
+        trajs.append(
+            Trajectory(ts, rng.uniform(0, 100, n), rng.uniform(0, 100, n), f"t{i}")
+        )
+    return TrajectoryDatabase(trajs, name="demo")
+
+
+@pytest.fixture
+def store():
+    with SQLiteTrajectoryStore(":memory:") as s:
+        yield s
+
+
+class TestSaveLoad:
+    def test_round_trip(self, store, db):
+        n_points = store.save(db, "demo")
+        assert n_points == db.total_records()
+        loaded = store.load("demo")
+        assert sorted(map(str, loaded.ids())) == sorted(map(str, db.ids()))
+        for traj in db:
+            other = loaded[str(traj.traj_id)]
+            assert np.allclose(traj.ts, other.ts)
+            assert np.allclose(traj.xs, other.xs)
+
+    def test_multiple_databases(self, store, db):
+        store.save(db, "one")
+        store.save(db, "two")
+        assert store.names() == ["one", "two"]
+
+    def test_duplicate_name_rejected(self, store, db):
+        store.save(db, "demo")
+        with pytest.raises(ValidationError):
+            store.save(db, "demo")
+
+    def test_replace(self, store, db):
+        store.save(db, "demo")
+        smaller = TrajectoryDatabase([db["t0"]])
+        store.save(smaller, "demo", replace=True)
+        assert len(store.load("demo")) == 1
+
+    def test_empty_name_rejected(self, store, db):
+        with pytest.raises(ValidationError):
+            store.save(db, "")
+
+    def test_missing_database(self, store):
+        with pytest.raises(DataFormatError):
+            store.load("ghost")
+
+    def test_count_points(self, store, db):
+        store.save(db, "demo")
+        assert store.count_points("demo") == db.total_records()
+
+
+class TestTimeWindow:
+    def test_window_filters_records(self, store, db):
+        store.save(db, "demo")
+        windowed = store.load("demo", start_t=200.0, end_t=400.0)
+        for traj in windowed:
+            assert np.all((traj.ts >= 200.0) & (traj.ts < 400.0))
+
+    def test_window_drops_empty_trajectories(self, store, db):
+        store.save(db, "demo")
+        assert len(store.load("demo", start_t=1e9)) == 0
+
+
+class TestDelete:
+    def test_delete_removes(self, store, db):
+        store.save(db, "demo")
+        store.delete("demo")
+        assert store.names() == []
+
+    def test_delete_missing_raises(self, store):
+        with pytest.raises(ValidationError):
+            store.delete("ghost")
+
+    def test_delete_cascades_points(self, store, db):
+        store.save(db, "demo")
+        store.delete("demo")
+        store.save(db, "demo")
+        assert store.count_points("demo") == db.total_records()
+
+
+class TestFileBacked:
+    def test_persists_across_connections(self, db, tmp_path):
+        path = tmp_path / "store.db"
+        with SQLiteTrajectoryStore(path) as store:
+            store.save(db, "demo")
+        with SQLiteTrajectoryStore(path) as store:
+            assert store.names() == ["demo"]
+            assert store.count_points("demo") == db.total_records()
+
+    def test_iter_trajectories(self, db, tmp_path):
+        with SQLiteTrajectoryStore(tmp_path / "s.db") as store:
+            store.save(db, "demo")
+            ids = [t.traj_id for t in store.iter_trajectories("demo")]
+        assert sorted(ids) == ["t0", "t1", "t2"]

@@ -1,0 +1,236 @@
+"""Streaming/incremental linking: equivalence with the batch path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FTLConfig
+from repro.core.alignment import mutual_segment_profile
+from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
+from repro.core.naive_bayes import NaiveBayesMatcher
+from repro.core.records import Record
+from repro.core.streaming import (
+    SOURCE_P,
+    SOURCE_Q,
+    StreamingLinker,
+    StreamingPairEvidence,
+)
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+
+
+def random_traj(rng, n, traj_id=None, span=2e4, extent=3e4):
+    ts = np.sort(rng.uniform(0, span, n))
+    return Trajectory(ts, rng.uniform(0, extent, n), rng.uniform(0, extent, n),
+                      traj_id)
+
+
+@pytest.fixture
+def config():
+    return FTLConfig()
+
+
+class TestStreamingPairEvidence:
+    def test_matches_batch_profile_counts(self, config):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            p = random_traj(rng, 20)
+            q = random_traj(rng, 15)
+            evidence = StreamingPairEvidence(config)
+            evidence.extend(p, SOURCE_P)
+            evidence.extend(q, SOURCE_Q)
+            batch = mutual_segment_profile(p, q, config).within_horizon(
+                config.n_buckets
+            )
+            assert evidence.n_mutual == batch.n_total
+            assert evidence.n_incompatible == batch.n_incompatible
+
+    def test_interleaved_insertion_order_invariant(self, config):
+        rng = np.random.default_rng(1)
+        p = random_traj(rng, 12)
+        q = random_traj(rng, 12)
+        in_order = StreamingPairEvidence(config)
+        in_order.extend(p, SOURCE_P)
+        in_order.extend(q, SOURCE_Q)
+        shuffled = StreamingPairEvidence(config)
+        records = [(r, SOURCE_P) for r in p] + [(r, SOURCE_Q) for r in q]
+        rng.shuffle(records)
+        for record, source in records:
+            shuffled.insert(record, source)
+        assert np.array_equal(
+            in_order.bucket_counts(), shuffled.bucket_counts()
+        )
+
+    def test_empty_state(self, config):
+        evidence = StreamingPairEvidence(config)
+        assert evidence.n_records == 0
+        assert evidence.n_mutual == 0
+        assert evidence.n_incompatible == 0
+
+    def test_single_record(self, config):
+        evidence = StreamingPairEvidence(config)
+        evidence.insert(Record(0.0, 1.0, 2.0), SOURCE_P)
+        assert evidence.n_records == 1
+        assert evidence.n_mutual == 0
+
+    def test_bad_source_rejected(self, config):
+        evidence = StreamingPairEvidence(config)
+        with pytest.raises(ValidationError):
+            evidence.insert(Record(0.0, 0.0, 0.0), 7)
+
+    def test_pvalues_match_batch(self, config, fitted_models):
+        mr, ma = fitted_models
+        rng = np.random.default_rng(2)
+        p = random_traj(rng, 25)
+        q = random_traj(rng, 20)
+        evidence = StreamingPairEvidence(config)
+        evidence.extend(p, SOURCE_P)
+        evidence.extend(q, SOURCE_Q)
+        profile = mutual_segment_profile(p, q, config)
+        assert evidence.rejection_pvalue(mr) == pytest.approx(
+            rejection_pvalue(profile, mr), abs=1e-12
+        )
+        assert evidence.acceptance_pvalue(ma) == pytest.approx(
+            acceptance_pvalue(profile, ma), abs=1e-12
+        )
+
+    def test_llr_matches_batch_nb(self, config, fitted_models):
+        mr, ma = fitted_models
+        rng = np.random.default_rng(3)
+        p = random_traj(rng, 18)
+        q = random_traj(rng, 22)
+        evidence = StreamingPairEvidence(config)
+        evidence.extend(p, SOURCE_P)
+        evidence.extend(q, SOURCE_Q)
+        matcher = NaiveBayesMatcher(mr, ma, phi_r=0.05)
+        batch = matcher.decide(p.with_id("p"), q.with_id("q"))
+        batch_llr = (
+            batch.log_likelihood_rejection - batch.log_likelihood_acceptance
+        )
+        assert evidence.log_likelihood_ratio(mr, ma) == pytest.approx(
+            batch_llr, abs=1e-9
+        )
+
+    def test_expire_before_matches_fresh_build(self, config):
+        rng = np.random.default_rng(5)
+        p = random_traj(rng, 20)
+        q = random_traj(rng, 20)
+        evidence = StreamingPairEvidence(config)
+        evidence.extend(p, SOURCE_P)
+        evidence.extend(q, SOURCE_Q)
+        cutoff = 1e4
+        removed = evidence.expire_before(cutoff)
+        assert removed > 0
+
+        fresh = StreamingPairEvidence(config)
+        fresh.extend(p.slice_time(cutoff, np.inf), SOURCE_P)
+        fresh.extend(q.slice_time(cutoff, np.inf), SOURCE_Q)
+        assert np.array_equal(evidence.bucket_counts(), fresh.bucket_counts())
+        assert evidence.n_records == fresh.n_records
+
+    def test_expire_everything(self, config):
+        rng = np.random.default_rng(6)
+        evidence = StreamingPairEvidence(config)
+        evidence.extend(random_traj(rng, 10), SOURCE_P)
+        assert evidence.expire_before(1e18) == 10
+        assert evidence.n_records == 0
+        assert evidence.n_mutual == 0
+
+    def test_expire_noop_on_old_cutoff(self, config):
+        rng = np.random.default_rng(7)
+        evidence = StreamingPairEvidence(config)
+        evidence.extend(random_traj(rng, 10), SOURCE_P)
+        assert evidence.expire_before(-1.0) == 0
+        assert evidence.n_records == 10
+
+    @given(st.integers(0, 2**31), st.integers(2, 15), st.integers(2, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_property_counts_match_batch(self, seed, n_p, n_q):
+        config = FTLConfig()
+        rng = np.random.default_rng(seed)
+        p = random_traj(rng, n_p)
+        q = random_traj(rng, n_q)
+        evidence = StreamingPairEvidence(config)
+        evidence.extend(p, SOURCE_P)
+        evidence.extend(q, SOURCE_Q)
+        batch = mutual_segment_profile(p, q, config).within_horizon(
+            config.n_buckets
+        )
+        assert evidence.n_mutual == batch.n_total
+        assert evidence.n_incompatible == batch.n_incompatible
+
+
+class TestStreamingLinker:
+    @pytest.fixture
+    def setup(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        linker = StreamingLinker(mr, ma, phi_r=0.1)
+        pid = next(iter(small_pair.truth))
+        qid = small_pair.truth[pid]
+        return small_pair, linker, pid, qid
+
+    def test_streaming_equals_batch_decision(self, setup, fitted_models):
+        pair, linker, pid, qid = setup
+        mr, ma = fitted_models
+        other = next(c for c in pair.q_db.ids() if c != qid)
+        linker.add_candidate(qid)
+        linker.add_candidate(other)
+        for record in pair.p_db[pid]:
+            linker.observe_query(record)
+        for record in pair.q_db[qid]:
+            linker.observe_candidate(qid, record)
+        for record in pair.q_db[other]:
+            linker.observe_candidate(other, record)
+
+        matcher = NaiveBayesMatcher(mr, ma, phi_r=0.1)
+        for cid in (qid, other):
+            stream = linker.decision(cid)
+            batch = matcher.decide(pair.p_db[pid], pair.q_db[cid])
+            assert stream.same_person == batch.same_person
+            assert stream.log_posterior_ratio == pytest.approx(
+                batch.log_posterior_ratio, abs=1e-9
+            )
+
+    def test_true_match_emerges(self, setup):
+        pair, linker, pid, qid = setup
+        linker.add_candidate(qid)
+        # Interleave arrivals in time order (a realistic feed).
+        events = [(r.t, r, "P") for r in pair.p_db[pid]] + [
+            (r.t, r, "Q") for r in pair.q_db[qid]
+        ]
+        events.sort(key=lambda item: item[0])
+        for _t, record, side in events:
+            if side == "P":
+                linker.observe_query(record)
+            else:
+                linker.observe_candidate(qid, record)
+        assert linker.decision(qid).same_person
+        assert [d.candidate_id for d in linker.matches()] == [qid]
+
+    def test_late_candidate_registration_replays_query(self, setup):
+        pair, linker, pid, qid = setup
+        for record in pair.p_db[pid]:
+            linker.observe_query(record)
+        linker.add_candidate(qid)  # after the query stream
+        for record in pair.q_db[qid]:
+            linker.observe_candidate(qid, record)
+        assert linker.decision(qid).same_person
+
+    def test_unknown_candidate_rejected(self, setup):
+        _pair, linker, _pid, _qid = setup
+        with pytest.raises(ValidationError):
+            linker.observe_candidate("ghost", Record(0.0, 0.0, 0.0))
+        with pytest.raises(ValidationError):
+            linker.decision("ghost")
+
+    def test_duplicate_candidate_rejected(self, setup):
+        _pair, linker, _pid, qid = setup
+        linker.add_candidate(qid)
+        with pytest.raises(ValidationError):
+            linker.add_candidate(qid)
+
+    def test_phi_validation(self, fitted_models):
+        mr, ma = fitted_models
+        with pytest.raises(ValidationError):
+            StreamingLinker(mr, ma, phi_r=0.0)

@@ -1,0 +1,107 @@
+"""City model, POIs and towers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.bbox import BoundingBox
+from repro.synth.city import CityModel
+from repro.synth.pois import generate_pois, generate_tower_grid
+
+
+class TestPois:
+    def test_count_and_bounds(self, rng):
+        bbox = BoundingBox.from_size(10_000, 5_000)
+        pois = generate_pois(bbox, 50, rng)
+        assert pois.shape == (50, 2)
+        assert bbox.contains_many(pois[:, 0], pois[:, 1]).all()
+
+    def test_clustering_reduces_spread(self, rng):
+        # A single tight cluster is far more concentrated than uniform.
+        bbox = BoundingBox.from_size(100_000, 100_000)
+        clustered = generate_pois(bbox, 300, rng, n_clusters=1,
+                                  cluster_std_fraction=0.01)
+        uniform = bbox.sample(rng, 300)
+        assert clustered.std(axis=0).mean() < uniform.std(axis=0).mean()
+
+    def test_validation(self, rng):
+        bbox = BoundingBox.from_size(100, 100)
+        with pytest.raises(ValidationError):
+            generate_pois(bbox, 0, rng)
+        with pytest.raises(ValidationError):
+            generate_pois(bbox, 5, rng, n_clusters=0)
+        with pytest.raises(ValidationError):
+            generate_pois(bbox, 5, rng, cluster_std_fraction=2.0)
+
+
+class TestTowerGrid:
+    def test_covers_box(self, rng):
+        bbox = BoundingBox.from_size(10_000, 10_000)
+        towers = generate_tower_grid(bbox, 1000.0, rng)
+        assert towers.shape[0] == 100
+        assert bbox.contains_many(towers[:, 0], towers[:, 1]).all()
+
+    def test_no_jitter_regular(self, rng):
+        bbox = BoundingBox.from_size(4000, 4000)
+        towers = generate_tower_grid(bbox, 2000.0, rng, jitter_fraction=0.0)
+        xs = sorted(set(towers[:, 0]))
+        assert xs == [1000.0, 3000.0]
+
+    def test_validation(self, rng):
+        bbox = BoundingBox.from_size(100, 100)
+        with pytest.raises(ValidationError):
+            generate_tower_grid(bbox, 0.0, rng)
+        with pytest.raises(ValidationError):
+            generate_tower_grid(bbox, 10.0, rng, jitter_fraction=0.6)
+
+
+class TestCityModel:
+    def test_generate_defaults(self, rng):
+        city = CityModel.generate(rng)
+        assert city.n_pois == 120
+        assert city.bbox.width == 45_000.0
+        assert city.diameter_m == pytest.approx(np.hypot(45_000, 25_000))
+
+    def test_random_poi_is_a_poi(self, rng):
+        city = CityModel.generate(rng, n_pois=10)
+        poi = city.random_poi(rng)
+        match = np.isclose(city.pois[:, 0], poi[0]) & np.isclose(
+            city.pois[:, 1], poi[1]
+        )
+        assert match.any()
+
+    def test_random_poi_indices(self, rng):
+        city = CityModel.generate(rng, n_pois=10)
+        idx = city.random_poi_indices(rng, 100)
+        assert idx.shape == (100,)
+        assert idx.min() >= 0 and idx.max() < 10
+
+    def test_nearest_tower_is_nearest(self, rng):
+        city = CityModel.generate(rng, width_m=10_000, height_m=10_000,
+                                  tower_spacing_m=2_000)
+        x, y = 3333.0, 7777.0
+        got = city.nearest_tower(np.array([x]), np.array([y]))[0]
+        dists = np.hypot(city.towers[:, 0] - x, city.towers[:, 1] - y)
+        best = city.towers[np.argmin(dists)]
+        assert np.allclose(got, best)
+
+    def test_min_horizon(self, rng):
+        city = CityModel.generate(rng)
+        vmax = 120 / 3.6
+        assert city.min_horizon_s(vmax) == pytest.approx(city.diameter_m / vmax)
+        with pytest.raises(ValidationError):
+            city.min_horizon_s(0.0)
+
+    def test_default_horizon_covers_city(self, rng):
+        # The library default (3600 s at 120 kph = 120 km reach) exceeds
+        # the default city diameter, so beyond-horizon segments are
+        # always compatible, as the models assume.
+        city = CityModel.generate(rng)
+        assert city.min_horizon_s(120 / 3.6) < 3600.0
+
+    def test_constructor_validation(self, rng):
+        bbox = BoundingBox.from_size(100, 100)
+        with pytest.raises(ValidationError):
+            CityModel(bbox, np.zeros((1, 2)), np.zeros((1, 2)))  # <2 POIs
+        with pytest.raises(ValidationError):
+            CityModel(bbox, np.zeros((5, 2)), np.zeros((0, 2)))  # no towers

@@ -1,0 +1,178 @@
+"""Section VI theory: mutual-segment count and length distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import ValidationError
+from repro.stats.theory import (
+    expected_mutual_segments,
+    expected_mutual_segments_approx,
+    mutual_segment_count_pmf,
+    mutual_segment_count_pmf_poisson,
+    mutual_segment_length_pdf,
+    poisson_pmf,
+    simulate_mutual_segment_counts,
+    simulate_mutual_segment_lengths,
+)
+
+
+class TestExpectation:
+    def test_closed_form_components(self):
+        lam_p, lam_q = 0.5, 2.0
+        total = lam_p + lam_q
+        lead = 2 * lam_p * lam_q / total
+        corr = (1 - math.exp(-total)) * 2 * lam_p * lam_q / total**2
+        assert expected_mutual_segments(lam_p, lam_q) == pytest.approx(lead - corr)
+
+    def test_symmetric(self):
+        assert expected_mutual_segments(1.0, 3.0) == pytest.approx(
+            expected_mutual_segments(3.0, 1.0)
+        )
+
+    def test_approx_exceeds_exact(self):
+        # E^(X) = E(X) + eps with eps in (0, 0.5) (paper Section VI).
+        for lam_p, lam_q in [(0.5, 2.0), (4.0, 10.0), (1.0, 1.0)]:
+            exact = expected_mutual_segments(lam_p, lam_q)
+            approx = expected_mutual_segments_approx(lam_p, lam_q)
+            assert 0.0 < approx - exact < 0.5
+
+    def test_corollary61_bound(self):
+        # Number of mutual segments bounded by 2 * min(lam_p, lam_q).
+        for lam_p, lam_q in [(0.5, 2.0), (4.0, 10.0), (2.0, 2.0)]:
+            approx = expected_mutual_segments_approx(lam_p, lam_q)
+            assert approx <= 2 * min(lam_p, lam_q) + 1e-12
+
+    def test_limit_large_lam_q(self):
+        # lim_{lam_q -> inf} E(X) = 2 lam_p.
+        assert expected_mutual_segments_approx(1.0, 1e9) == pytest.approx(
+            2.0, rel=1e-6
+        )
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValidationError):
+            expected_mutual_segments(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            expected_mutual_segments_approx(1.0, -2.0)
+
+
+class TestPoissonPmf:
+    def test_matches_scipy(self):
+        ks = np.arange(12)
+        assert np.allclose(poisson_pmf(3.3, ks), sps.poisson.pmf(ks, 3.3))
+
+    def test_zero_lambda(self):
+        assert list(poisson_pmf(0.0, np.array([0, 1, 2]))) == [1.0, 0.0, 0.0]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValidationError):
+            poisson_pmf(1.0, np.array([-1]))
+
+
+class TestExactPmf:
+    @pytest.mark.parametrize("lam_p,lam_q", [(0.5, 2.0), (4.0, 10.0), (1.0, 1.0)])
+    def test_sums_to_one(self, lam_p, lam_q):
+        max_x = int(4 * (lam_p + lam_q)) + 20
+        fx = mutual_segment_count_pmf(lam_p, lam_q, max_x)
+        assert fx.sum() == pytest.approx(1.0, abs=1e-8)
+
+    @pytest.mark.parametrize("lam_p,lam_q", [(0.5, 2.0), (4.0, 10.0)])
+    def test_mean_matches_closed_form(self, lam_p, lam_q):
+        max_x = int(6 * (lam_p + lam_q)) + 30
+        fx = mutual_segment_count_pmf(lam_p, lam_q, max_x)
+        mean = (fx * np.arange(max_x + 1)).sum()
+        assert mean == pytest.approx(
+            expected_mutual_segments(lam_p, lam_q), abs=1e-6
+        )
+
+    def test_paper_x0_closed_form(self):
+        # fX(0) = e^{-lam_p} + e^{-lam_q} - e^{-(lam_p+lam_q)}.
+        lam_p, lam_q = 0.5, 2.0
+        fx = mutual_segment_count_pmf(lam_p, lam_q, 5)
+        expected = (
+            math.exp(-lam_p) + math.exp(-lam_q) - math.exp(-(lam_p + lam_q))
+        )
+        assert fx[0] == pytest.approx(expected, abs=1e-10)
+
+    def test_symmetric_in_rates(self):
+        a = mutual_segment_count_pmf(0.7, 2.5, 10)
+        b = mutual_segment_count_pmf(2.5, 0.7, 10)
+        assert np.allclose(a, b)
+
+    def test_matches_simulation(self, rng):
+        lam_p, lam_q = 0.5, 2.0
+        sim = simulate_mutual_segment_counts(lam_p, lam_q, 30_000, rng)
+        fx = mutual_segment_count_pmf(lam_p, lam_q, 8)
+        for x in range(5):
+            empirical = (sim == x).mean()
+            assert empirical == pytest.approx(fx[x], abs=0.01)
+
+    def test_bad_max_x(self):
+        with pytest.raises(ValidationError):
+            mutual_segment_count_pmf(1.0, 1.0, -1)
+
+
+class TestPoissonApproximation:
+    def test_is_poisson_of_approx_mean(self):
+        lam_p, lam_q = 4.0, 10.0
+        approx = mutual_segment_count_pmf_poisson(lam_p, lam_q, 15)
+        mean = expected_mutual_segments_approx(lam_p, lam_q)
+        assert np.allclose(approx, sps.poisson.pmf(np.arange(16), mean))
+
+    def test_close_to_exact_for_large_rates(self):
+        # Fig. 4(b): the bias shrinks as the rates grow.
+        fx = mutual_segment_count_pmf(4.0, 10.0, 20)
+        approx = mutual_segment_count_pmf_poisson(4.0, 10.0, 20)
+        assert np.abs(fx - approx).max() < 0.08
+
+    def test_bias_direction(self):
+        # f^X is right-biased: its mean exceeds the exact mean.
+        lam_p, lam_q = 0.5, 2.0
+        assert expected_mutual_segments_approx(
+            lam_p, lam_q
+        ) > expected_mutual_segments(lam_p, lam_q)
+
+
+class TestLengthDistribution:
+    def test_pdf_is_exponential(self):
+        ys = np.linspace(0, 3, 50)
+        pdf = mutual_segment_length_pdf(0.5, 2.0, ys)
+        assert np.allclose(pdf, sps.expon.pdf(ys, scale=1 / 2.5))
+
+    def test_corollary62_mean(self, rng):
+        lam_p, lam_q = 1.0, 2.0
+        lengths = simulate_mutual_segment_lengths(lam_p, lam_q, 5000.0, rng)
+        assert lengths.mean() == pytest.approx(1 / (lam_p + lam_q), rel=0.05)
+
+    def test_simulated_lengths_fit_exponential(self, rng):
+        lam_p, lam_q = 0.5, 2.0
+        lengths = simulate_mutual_segment_lengths(lam_p, lam_q, 20_000.0, rng)
+        _stat, pvalue = sps.kstest(lengths, "expon", args=(0, 1 / 2.5))
+        assert pvalue > 0.001
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            mutual_segment_length_pdf(1.0, 1.0, np.array([-0.1]))
+
+
+class TestSimulators:
+    def test_count_simulation_size(self, rng):
+        sim = simulate_mutual_segment_counts(1.0, 1.0, 17, rng)
+        assert sim.shape == (17,)
+        assert sim.dtype == np.int64
+
+    def test_zero_units(self, rng):
+        assert simulate_mutual_segment_counts(1.0, 1.0, 0, rng).size == 0
+
+    def test_negative_units_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            simulate_mutual_segment_counts(1.0, 1.0, -1, rng)
+
+    def test_sim_mean_matches_theory(self, rng):
+        lam_p, lam_q = 2.0, 3.0
+        sim = simulate_mutual_segment_counts(lam_p, lam_q, 20_000, rng)
+        assert sim.mean() == pytest.approx(
+            expected_mutual_segments(lam_p, lam_q), rel=0.05
+        )

@@ -1,0 +1,212 @@
+"""Trajectory data structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import Record
+from repro.core.trajectory import Trajectory
+from repro.errors import (
+    EmptyTrajectoryError,
+    UnsortedRecordsError,
+    ValidationError,
+)
+
+
+@pytest.fixture
+def traj() -> Trajectory:
+    return Trajectory(
+        [0.0, 60.0, 120.0, 300.0],
+        [0.0, 100.0, 200.0, 500.0],
+        [0.0, 0.0, 50.0, 100.0],
+        "t1",
+    )
+
+
+class TestConstruction:
+    def test_basic(self, traj):
+        assert len(traj) == 4
+        assert traj.traj_id == "t1"
+
+    def test_empty(self):
+        t = Trajectory.empty("e")
+        assert len(t) == 0
+        assert t.duration == 0.0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(UnsortedRecordsError):
+            Trajectory([2.0, 1.0], [0, 0], [0, 0])
+
+    def test_sort_flag(self):
+        t = Trajectory([2.0, 1.0], [20.0, 10.0], [0, 0], sort=True)
+        assert list(t.ts) == [1.0, 2.0]
+        assert list(t.xs) == [10.0, 20.0]
+
+    def test_sort_is_stable_for_ties(self):
+        t = Trajectory([1.0, 1.0], [5.0, 6.0], [0, 0], sort=True)
+        assert list(t.xs) == [5.0, 6.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Trajectory([1.0, 2.0], [0.0], [0.0, 0.0])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValidationError):
+            Trajectory([np.nan], [0.0], [0.0])
+        with pytest.raises(ValidationError):
+            Trajectory([0.0], [np.inf], [0.0])
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValidationError):
+            Trajectory(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_from_records(self):
+        t = Trajectory.from_records(
+            [Record(1.0, 10.0, 20.0), Record(2.0, 30.0, 40.0)], "r"
+        )
+        assert len(t) == 2
+        assert t[1] == Record(2.0, 30.0, 40.0)
+
+    def test_from_records_sorts(self):
+        t = Trajectory.from_records(
+            [Record(2.0, 0, 0), Record(1.0, 0, 0)], sort=True
+        )
+        assert t.start_time == 1.0
+
+
+class TestProtocol:
+    def test_iter_yields_records(self, traj):
+        records = list(traj)
+        assert records[0] == Record(0.0, 0.0, 0.0)
+        assert records[-1] == Record(300.0, 500.0, 100.0)
+
+    def test_getitem(self, traj):
+        assert traj[2] == Record(120.0, 200.0, 50.0)
+
+    def test_negative_index(self, traj):
+        assert traj[-1].t == 300.0
+
+    def test_equality(self, traj):
+        same = Trajectory(traj.ts, traj.xs, traj.ys, "t1")
+        assert traj == same
+        assert traj != same.with_id("other")
+
+    def test_repr_contains_id(self, traj):
+        assert "t1" in repr(traj)
+
+    def test_columns_readonly(self, traj):
+        with pytest.raises(ValueError):
+            traj.ts[0] = 99.0
+
+
+class TestStatistics:
+    def test_start_end_duration(self, traj):
+        assert traj.start_time == 0.0
+        assert traj.end_time == 300.0
+        assert traj.duration == 300.0
+
+    def test_empty_stats_raise(self):
+        t = Trajectory.empty()
+        with pytest.raises(EmptyTrajectoryError):
+            _ = t.start_time
+
+    def test_gaps(self, traj):
+        assert list(traj.gaps()) == [60.0, 60.0, 180.0]
+
+    def test_mean_gap(self, traj):
+        assert traj.mean_gap() == pytest.approx(100.0)
+
+    def test_single_record_gap(self):
+        t = Trajectory([1.0], [0.0], [0.0])
+        assert t.gaps().size == 0
+        assert t.mean_gap() == 0.0
+        assert t.duration == 0.0
+
+
+class TestTransforms:
+    def test_slice_time(self, traj):
+        sliced = traj.slice_time(60.0, 300.0)
+        assert list(sliced.ts) == [60.0, 120.0]
+
+    def test_slice_time_bad_interval(self, traj):
+        with pytest.raises(ValidationError):
+            traj.slice_time(100.0, 50.0)
+
+    def test_head_duration(self, traj):
+        head = traj.head_duration(121.0)
+        assert len(head) == 3
+
+    def test_head_duration_empty(self):
+        t = Trajectory.empty()
+        assert len(t.head_duration(10.0)) == 0
+
+    def test_downsample_rate_one_is_identity(self, traj):
+        rng = np.random.default_rng(0)
+        assert traj.downsample(1.0, rng) is traj
+
+    def test_downsample_rate_zero_empties(self, traj):
+        rng = np.random.default_rng(0)
+        assert len(traj.downsample(0.0, rng)) == 0
+
+    def test_downsample_bad_rate(self, traj):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            traj.downsample(1.5, rng)
+
+    def test_downsample_expected_count(self):
+        rng = np.random.default_rng(5)
+        n = 10_000
+        t = Trajectory(np.arange(n, dtype=float), np.zeros(n), np.zeros(n))
+        kept = len(t.downsample(0.3, rng))
+        assert 0.27 * n < kept < 0.33 * n
+
+    def test_thin(self, traj):
+        thinned = traj.thin(2)
+        assert list(thinned.ts) == [0.0, 120.0]
+
+    def test_thin_bad(self, traj):
+        with pytest.raises(ValidationError):
+            traj.thin(0)
+
+    def test_time_shifted(self, traj):
+        shifted = traj.time_shifted(100.0)
+        assert shifted.start_time == 100.0
+        assert len(shifted) == len(traj)
+
+    def test_concat_interleaves(self):
+        a = Trajectory([0.0, 100.0], [0, 0], [0, 0], "a")
+        b = Trajectory([50.0, 150.0], [1, 1], [1, 1], "b")
+        merged = a.concat(b, traj_id="ab")
+        assert list(merged.ts) == [0.0, 50.0, 100.0, 150.0]
+        assert merged.traj_id == "ab"
+
+    def test_with_id(self, traj):
+        assert traj.with_id(42).traj_id == 42
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=50)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_construction_always_time_ordered(self, times):
+        n = len(times)
+        t = Trajectory(times, np.zeros(n), np.zeros(n), sort=True)
+        assert np.all(np.diff(t.ts) >= 0)
+
+    @given(
+        st.integers(1, 40),
+        st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_downsample_never_grows(self, n, rate):
+        rng = np.random.default_rng(0)
+        t = Trajectory(np.arange(n, dtype=float), np.zeros(n), np.zeros(n))
+        assert len(t.downsample(rate, rng)) <= n
+
+    @given(st.integers(1, 30), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_thin_length(self, n, k):
+        t = Trajectory(np.arange(n, dtype=float), np.zeros(n), np.zeros(n))
+        assert len(t.thin(k)) == int(np.ceil(n / k))

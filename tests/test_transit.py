@@ -1,0 +1,187 @@
+"""Transit lines and commuting-card taps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.units import days_to_seconds, kph_to_mps
+from repro.synth.city import CityModel
+from repro.synth.noise import GaussianNoise
+from repro.synth.observation import ObservationService
+from repro.synth.roads import build_road_network
+from repro.synth.transit import (
+    TransitRoute,
+    TransitSystem,
+    build_transit_commuter,
+    build_transit_system,
+    make_transit_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def module_city():
+    return CityModel.generate(
+        np.random.default_rng(1), width_m=20_000, height_m=12_000
+    )
+
+
+@pytest.fixture(scope="module")
+def network(module_city):
+    return build_road_network(module_city, np.random.default_rng(2))
+
+
+@pytest.fixture(scope="module")
+def transit(network):
+    return build_transit_system(
+        network, np.random.default_rng(3), n_routes=5, min_stops=5
+    )
+
+
+class TestBuildSystem:
+    def test_route_count_and_stops(self, transit):
+        assert len(transit) == 5
+        assert all(r.n_stops >= 5 for r in transit.routes)
+
+    def test_stops_are_road_nodes(self, transit, network):
+        node_set = {tuple(p) for p in np.round(network.node_positions, 6)}
+        for route in transit.routes:
+            for stop in np.round(route.stops, 6):
+                assert tuple(stop) in node_set
+
+    def test_leg_times_match_geometry(self, transit):
+        speed = kph_to_mps(35.0)
+        for route in transit.routes:
+            leg_m = np.hypot(
+                np.diff(route.stops[:, 0]), np.diff(route.stops[:, 1])
+            )
+            assert np.allclose(route.leg_seconds, leg_m / speed)
+
+    def test_validation(self, network):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            build_transit_system(network, rng, n_routes=0)
+        with pytest.raises(ValidationError):
+            build_transit_system(network, rng, min_stops=1)
+        with pytest.raises(ValidationError):
+            build_transit_system(network, rng, headway_s=0.0)
+
+    def test_system_requires_routes(self):
+        with pytest.raises(ValidationError):
+            TransitSystem([])
+
+    def test_route_lookup(self, transit):
+        assert transit.route(0).route_id == 0
+        with pytest.raises(ValidationError):
+            transit.route(99)
+
+
+class TestTimetable:
+    @pytest.fixture
+    def route(self):
+        stops = np.array([[0.0, 0.0], [1000.0, 0.0], [2000.0, 0.0]])
+        return TransitRoute(
+            route_id=0,
+            stops=stops,
+            leg_seconds=np.array([100.0, 100.0]),
+            headway_s=600.0,
+            phase_s=60.0,
+        )
+
+    def test_first_departure(self, route):
+        assert route.departure_after(0, 0.0) == 60.0
+
+    def test_headway_grid(self, route):
+        assert route.departure_after(0, 61.0) == 660.0
+        assert route.departure_after(0, 660.0) == 660.0
+
+    def test_downstream_offset(self, route):
+        # Stop 1 is 100 s downstream of the first stop.
+        assert route.departure_after(1, 0.0) == 160.0
+
+    def test_nearest_stop(self, route):
+        assert route.nearest_stop(900.0, 10.0) == 1
+
+    def test_ride_times(self, route):
+        assert list(route.ride_times(0, 2)) == [0.0, 100.0, 200.0]
+        with pytest.raises(ValidationError):
+            route.ride_times(2, 1)
+
+    def test_departure_validation(self, route):
+        with pytest.raises(ValidationError):
+            route.departure_after(9, 0.0)
+
+
+class TestCommuter:
+    @pytest.fixture(scope="class")
+    def commute(self, module_city, transit):
+        return build_transit_commuter(
+            module_city, transit, days_to_seconds(5), np.random.default_rng(4)
+        )
+
+    def test_path_monotone(self, commute):
+        ts, _xs, _ys = commute.path.waypoints
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_speed_bounded_by_bus(self, commute):
+        assert commute.path.max_speed_mps() <= kph_to_mps(35.0) + 1e-6
+
+    def test_taps_roughly_four_per_day(self, commute):
+        # Two trips x (board + alight) per weekday.
+        per_day = len(commute.taps) / 5
+        assert 2.0 <= per_day <= 5.0
+
+    def test_taps_lie_on_path(self, commute):
+        for tap in commute.taps:
+            xs, ys = commute.path.position_at(np.array([tap.t]))
+            dist = float(np.hypot(xs[0] - tap.x, ys[0] - tap.y))
+            assert dist < 1.0  # tapping exactly at the stop
+
+    def test_tap_trajectory(self, commute):
+        traj = commute.tap_trajectory("card1")
+        assert traj.traj_id == "card1"
+        assert len(traj) == len(commute.taps)
+
+    def test_no_alight_taps_option(self, module_city, transit):
+        commute = build_transit_commuter(
+            module_city, transit, days_to_seconds(3),
+            np.random.default_rng(5), tap_on_alight=False,
+        )
+        # Only boarding taps: about two per day.
+        assert len(commute.taps) <= 3 * 3
+
+    def test_validation(self, module_city, transit):
+        with pytest.raises(ValidationError):
+            build_transit_commuter(
+                module_city, transit, 0.0, np.random.default_rng(0)
+            )
+
+
+class TestScenario:
+    def test_links_end_to_end(self, module_city, transit):
+        from repro.config import FTLConfig
+        from repro.core.linker import FTLLinker
+
+        rng = np.random.default_rng(6)
+        cdr = ObservationService("CDR", 1.0, GaussianNoise(150.0))
+        pair = make_transit_scenario(
+            module_city, transit, 18, days_to_seconds(8), rng, cdr
+        )
+        assert pair.p_db.name == "card-taps"
+        linker = FTLLinker(FTLConfig(), phi_r=0.2).fit(
+            pair.p_db, pair.q_db, rng
+        )
+        qids = pair.sample_queries(min(12, len(pair.truth)), rng)
+        hits = sum(
+            1
+            for pid in qids
+            if linker.link(pair.p_db[pid]).contains(pair.truth[pid])
+        )
+        assert hits >= 8
+
+    def test_validation(self, module_city, transit):
+        rng = np.random.default_rng(0)
+        cdr = ObservationService("CDR", 1.0)
+        with pytest.raises(ValidationError):
+            make_transit_scenario(
+                module_city, transit, 0, days_to_seconds(1), rng, cdr
+            )

@@ -1,0 +1,71 @@
+"""Unit conversions."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo import units
+
+
+class TestSpeedConversions:
+    def test_kph_to_mps_known_value(self):
+        assert units.kph_to_mps(36.0) == pytest.approx(10.0)
+
+    def test_mps_to_kph_known_value(self):
+        assert units.mps_to_kph(10.0) == pytest.approx(36.0)
+
+    def test_round_trip(self):
+        assert units.mps_to_kph(units.kph_to_mps(123.4)) == pytest.approx(123.4)
+
+    def test_vmax_120kph(self):
+        # The paper's taxi Vmax: 120 kph = 33.33 m/s.
+        assert units.kph_to_mps(120.0) == pytest.approx(33.3333, abs=1e-3)
+
+    def test_zero(self):
+        assert units.kph_to_mps(0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("-inf")])
+    def test_rejects_bad_input(self, bad):
+        with pytest.raises(ValidationError):
+            units.kph_to_mps(bad)
+
+
+class TestDistanceConversions:
+    def test_km_to_m(self):
+        assert units.km_to_m(1.5) == 1500.0
+
+    def test_m_to_km(self):
+        assert units.m_to_km(2500.0) == 2.5
+
+    def test_round_trip(self):
+        assert units.m_to_km(units.km_to_m(7.7)) == pytest.approx(7.7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            units.km_to_m(-3.0)
+
+
+class TestTimeConversions:
+    def test_minutes(self):
+        assert units.minutes_to_seconds(2.0) == 120.0
+
+    def test_hours(self):
+        assert units.hours_to_seconds(1.5) == 5400.0
+
+    def test_days(self):
+        assert units.days_to_seconds(2.0) == 172800.0
+
+    def test_seconds_to_hours(self):
+        assert units.seconds_to_hours(7200.0) == 2.0
+
+    def test_seconds_to_days(self):
+        assert units.seconds_to_days(86400.0) == 1.0
+
+    def test_constants_consistent(self):
+        assert units.SECONDS_PER_DAY == 24 * units.SECONDS_PER_HOUR
+        assert units.SECONDS_PER_HOUR == 60 * units.SECONDS_PER_MINUTE
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            units.hours_to_seconds(math.nan)

@@ -1,0 +1,98 @@
+"""Learning Vmax from data."""
+
+import numpy as np
+import pytest
+
+from repro.config import FTLConfig
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.core.vmax import VmaxEstimate, learn_vmax
+from repro.errors import ValidationError
+from repro.geo.units import kph_to_mps
+
+
+def constant_speed_db(speed_kph, n_traj=5, n_rec=50, gap_s=300.0):
+    """Trajectories moving at exactly the given speed."""
+    step = kph_to_mps(speed_kph) * gap_s
+    trajs = []
+    for i in range(n_traj):
+        ts = gap_s * np.arange(n_rec)
+        xs = step * np.arange(n_rec)
+        trajs.append(Trajectory(ts, xs, np.zeros(n_rec), i))
+    return TrajectoryDatabase(trajs)
+
+
+class TestLearnVmax:
+    def test_constant_speed_recovered(self):
+        db = constant_speed_db(60.0)
+        estimate = learn_vmax([db], margin=1.0)
+        assert estimate.quantile_kph == pytest.approx(60.0, rel=1e-6)
+        assert estimate.vmax_kph == pytest.approx(60.0, rel=1e-6)
+
+    def test_margin_inflates(self):
+        db = constant_speed_db(60.0)
+        estimate = learn_vmax([db], margin=2.0)
+        assert estimate.vmax_kph == pytest.approx(120.0, rel=1e-6)
+
+    def test_quantile_robust_to_outliers(self):
+        db = constant_speed_db(50.0, n_traj=10, n_rec=100)
+        # One teleporting glitch record in one trajectory.
+        glitch = Trajectory(
+            [0.0, 300.0], [0.0, 5e6], [0.0, 0.0], "glitch"
+        )
+        db.add(glitch)
+        estimate = learn_vmax([db], quantile=0.99, margin=1.0)
+        assert estimate.quantile_kph < 100.0  # glitch did not dominate
+
+    def test_short_gaps_excluded(self):
+        # Noise spike over a 1-second gap must not inflate the estimate.
+        spike = Trajectory([0.0, 1.0, 301.0], [0.0, 500.0, 600.0],
+                           [0.0, 0.0, 0.0], "s")
+        db = constant_speed_db(40.0)
+        db.add(spike)
+        estimate = learn_vmax([db], min_gap_s=120.0, margin=1.0)
+        assert estimate.quantile_kph < 60.0
+
+    def test_counts_segments(self):
+        db = constant_speed_db(60.0, n_traj=3, n_rec=10)
+        estimate = learn_vmax([db])
+        assert estimate.n_segments == 27
+
+    def test_pools_across_databases(self):
+        slow = constant_speed_db(30.0)
+        fast = constant_speed_db(90.0)
+        estimate = learn_vmax([slow, fast], quantile=0.99, margin=1.0)
+        assert estimate.quantile_kph == pytest.approx(90.0, rel=1e-3)
+
+    def test_learned_cap_covers_synthetic_movement(self, small_pair):
+        # The simulator drives taxis at <= 70 kph; the learnt loose cap
+        # must cover that but not be absurd.
+        estimate = learn_vmax([small_pair.p_db, small_pair.q_db])
+        assert 40.0 < estimate.vmax_kph < 400.0
+
+    def test_as_config(self):
+        db = constant_speed_db(60.0)
+        estimate = learn_vmax([db], margin=1.5)
+        config = estimate.as_config(FTLConfig(time_unit_s=30.0))
+        assert config.vmax_kph == pytest.approx(90.0, rel=1e-6)
+        assert config.time_unit_s == 30.0
+
+    def test_validation(self):
+        db = constant_speed_db(60.0)
+        with pytest.raises(ValidationError):
+            learn_vmax([db], quantile=0.3)
+        with pytest.raises(ValidationError):
+            learn_vmax([db], margin=0.5)
+        with pytest.raises(ValidationError):
+            learn_vmax([db], min_gap_s=-1.0)
+
+    def test_no_data_rejected(self):
+        empty = TrajectoryDatabase()
+        with pytest.raises(ValidationError):
+            learn_vmax([empty])
+
+    def test_stationary_data_rejected(self):
+        n = 10
+        still = Trajectory(300.0 * np.arange(n), np.zeros(n), np.zeros(n), "x")
+        with pytest.raises(ValidationError):
+            learn_vmax([TrajectoryDatabase([still])])
