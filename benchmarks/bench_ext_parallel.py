@@ -11,7 +11,7 @@ import time
 import numpy as np
 
 from benchmarks.conftest import cached_scenario, print_header, scale_name
-from repro.core.linker import FTLLinker
+from repro.core.linker import FTLLinker, LinkOptions
 from repro.core.prefilter import MutualSegmentCountPrefilter
 from repro.parallel import link_queries_parallel
 from repro.pipeline.experiment import fit_model_pair
@@ -28,7 +28,8 @@ def test_parallel_scaling(benchmark, config):
     for workers in (1, 2, 4):
         start = time.perf_counter()
         results = link_queries_parallel(
-            queries, mr, ma, pair.q_db, n_workers=workers, phi_r=0.1
+            queries, mr, ma, pair.q_db, n_workers=workers,
+            options=LinkOptions(phi_r=0.1),
         )
         timings[workers] = time.perf_counter() - start
         assert len(results) == len(queries)
@@ -36,7 +37,7 @@ def test_parallel_scaling(benchmark, config):
     benchmark.pedantic(
         link_queries_parallel,
         args=(queries, mr, ma, pair.q_db),
-        kwargs={"n_workers": 2, "phi_r": 0.1},
+        kwargs={"n_workers": 2, "options": LinkOptions(phi_r=0.1)},
         rounds=1,
         iterations=1,
     )

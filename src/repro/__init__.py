@@ -30,6 +30,12 @@ from repro.core.alignment import (
 )
 from repro.core.compatibility import implied_speed, is_compatible
 from repro.core.database import TrajectoryDatabase
+from repro.core.engine import (
+    CacheStats,
+    LinkEngine,
+    LinkOptions,
+    ProfileCache,
+)
 from repro.core.filtering import AlphaFilter, FilterDecision
 from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
 from repro.core.linker import Candidate, FTLLinker, LinkResult
@@ -51,6 +57,7 @@ from repro.version import __version__
 __all__ = [
     "AlignedTrajectory",
     "AlphaFilter",
+    "CacheStats",
     "Candidate",
     "CompatibilityModel",
     "DEFAULT_CONFIG",
@@ -58,7 +65,10 @@ __all__ = [
     "FTLError",
     "FTLLinker",
     "FilterDecision",
+    "LinkEngine",
+    "LinkOptions",
     "LinkResult",
+    "ProfileCache",
     "MutualSegmentProfile",
     "NBDecision",
     "NaiveBayesMatcher",

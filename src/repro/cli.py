@@ -6,8 +6,10 @@ Installed as ``ftl`` (see ``pyproject.toml``).  Subcommands:
 * ``ftl generate NAME --out DIR`` — build a catalog scenario and write
   both databases (CSV) plus the ground truth (JSON);
 * ``ftl stats NAME`` — print the Table I statistics of a scenario;
-* ``ftl link NAME --method M`` — run linking over sampled queries and
-  report perceptiveness/selectiveness;
+* ``ftl link NAME --method M`` — run batch linking over sampled queries
+  and report perceptiveness/selectiveness; ``--json PATH`` additionally
+  dumps every ranked ``LinkResult`` (``-`` for stdout), ``--top-k K``
+  truncates each candidate list;
 * ``ftl theory --lam-p A --lam-q B`` — print the Section VI pmf table.
 """
 
@@ -21,7 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import FTLConfig
-from repro.core.linker import FTLLinker
+from repro.core.linker import FTLLinker, LinkOptions
 from repro.datasets.catalog import build_scenario, catalog, catalog_entry
 from repro.io.csv_io import write_trajectories_csv
 from repro.pipeline.tables import render_table1
@@ -60,6 +62,11 @@ def _build_parser() -> argparse.ArgumentParser:
     link.add_argument("--phi-r", type=float, default=0.05)
     link.add_argument("--alpha1", type=float, default=0.05)
     link.add_argument("--alpha2", type=float, default=0.05)
+    link.add_argument("--top-k", type=int, default=None,
+                      help="keep only the k best-ranked candidates per query")
+    link.add_argument("--json", default=None, metavar="PATH",
+                      help="write per-query LinkResult records as JSON "
+                           "('-' for stdout)")
     link.add_argument("--seed", type=int, default=0)
 
     theory = sub.add_parser("theory", help="Section VI mutual-segment pmf")
@@ -150,21 +157,31 @@ def _cmd_stats(names: list[str]) -> int:
 def _cmd_link(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     pair = build_scenario(args.name)
-    linker = FTLLinker(
-        FTLConfig(),
+    options = LinkOptions(
+        method=args.method,
         alpha1=args.alpha1,
         alpha2=args.alpha2,
         phi_r=args.phi_r,
-    ).fit(pair.p_db, pair.q_db, rng)
+        top_k=args.top_k,
+    )
+    linker = FTLLinker(FTLConfig(), options).fit(pair.p_db, pair.q_db, rng)
     n = min(args.queries, len(pair.matched_query_ids()))
     query_ids = pair.sample_queries(n, rng)
-    hits = 0
-    returned = 0
-    for qid in query_ids:
-        result = linker.link(pair.p_db[qid], method=args.method)
-        returned += len(result)
-        if result.contains(pair.truth[qid]):
-            hits += 1
+    results = linker.link_batch([pair.p_db[qid] for qid in query_ids])
+    hits = sum(
+        1
+        for qid, result in zip(query_ids, results)
+        if result.contains(pair.truth[qid])
+    )
+    returned = sum(len(result) for result in results)
+    if args.json is not None:
+        payload = json.dumps(
+            [result.to_dict() for result in results], indent=2, default=str
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
     print(f"dataset={args.name} method={args.method} queries={n}")
     print(f"perceptiveness = {hits / n:.3f}")
     print(f"selectiveness  = {returned / (n * len(pair.q_db)):.5f}")

@@ -19,6 +19,12 @@ from repro.core.compatibility import (
     implied_speed,
 )
 from repro.core.database import TrajectoryDatabase
+from repro.core.engine import (
+    CacheStats,
+    LinkEngine,
+    LinkOptions,
+    ProfileCache,
+)
 from repro.core.diagnostics import (
     bucket_divergence,
     discriminability,
@@ -49,11 +55,15 @@ __all__ = [
     "AlignedTrajectory",
     "AlphaFilter",
     "Assignment",
+    "CacheStats",
     "Candidate",
     "CompatibilityModel",
     "FTLLinker",
     "FilterDecision",
+    "LinkEngine",
+    "LinkOptions",
     "LinkResult",
+    "ProfileCache",
     "MutualSegmentCountPrefilter",
     "MutualSegmentProfile",
     "NBDecision",

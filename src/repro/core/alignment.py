@@ -22,6 +22,7 @@ notion of an arbitrary but fixed tie order.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator
 
 import numpy as np
@@ -144,7 +145,7 @@ def align(p: Trajectory, q: Trajectory) -> AlignedTrajectory:
     return AlignedTrajectory(ts[order], xs[order], ys[order], sources[order])
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class MutualSegmentProfile:
     """The discriminating observation extracted from one aligned pair.
 
@@ -158,6 +159,10 @@ class MutualSegmentProfile:
         under the configured ``Vmax``.
     n_total:
         Total number of mutual segments (== ``len(buckets)``).
+
+    Profiles hash and compare by *content* (see :attr:`token`), so they
+    can key memoisation tables: two pairs with identical bucketed
+    evidence produce identical p-values and log-likelihoods.
     """
 
     buckets: np.ndarray
@@ -170,6 +175,27 @@ class MutualSegmentProfile:
     @property
     def n_incompatible(self) -> int:
         return int(np.count_nonzero(self.incompatible))
+
+    @cached_property
+    def token(self) -> tuple[bytes, bytes]:
+        """A hashable content token: the raw bytes of both arrays.
+
+        The generated-field ``__eq__`` of a dataclass is ill-defined on
+        array fields (elementwise ``==`` has no truth value), so
+        equality and hashing are defined through this token instead.
+        """
+        return (
+            np.ascontiguousarray(self.buckets).tobytes(),
+            np.ascontiguousarray(self.incompatible).tobytes(),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MutualSegmentProfile):
+            return NotImplemented
+        return self.token == other.token
+
+    def __hash__(self) -> int:
+        return hash(self.token)
 
     def within_horizon(self, n_buckets: int) -> "MutualSegmentProfile":
         """The profile restricted to buckets below the model horizon."""

@@ -75,6 +75,15 @@ class CandidateIndex:
         # Candidates starting after q_end - min_overlap cannot reach the
         # required overlap; binary-search that boundary.
         hi = int(np.searchsorted(self._starts, q_end - min_overlap_s, "right"))
+        # The per-candidate overlap below is computed with a rounding
+        # subtraction, so a start just past the exact cutoff can still
+        # round to an overlap >= min_overlap_s.  Extend the boundary
+        # while the rounded upper bound (q_end - start) still reaches
+        # the threshold; starts are sorted, so this stops immediately in
+        # the common case and keeps the superset contract exact.
+        n = int(self._starts.size)
+        while hi < n and q_end - float(self._starts[hi]) >= min_overlap_s:
+            hi += 1
         out: list[Trajectory] = []
         for i in range(hi):
             overlap = min(self._ends[i], q_end) - max(self._starts[i], q_start)

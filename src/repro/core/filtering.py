@@ -125,9 +125,20 @@ class AlphaFilter:
             n_incompatible=within.n_incompatible,
         )
 
-    def decide(self, query: Trajectory, candidate: Trajectory) -> FilterDecision:
-        """Run both phases on one (query, candidate) trajectory pair."""
-        profile = mutual_segment_profile(query, candidate, self.config)
+    def decide(
+        self,
+        query: Trajectory,
+        candidate: Trajectory,
+        profile: MutualSegmentProfile | None = None,
+    ) -> FilterDecision:
+        """Run both phases on one (query, candidate) trajectory pair.
+
+        Pass ``profile`` when the pair's mutual-segment profile is
+        already known (e.g. from a :class:`~repro.core.engine.ProfileCache`)
+        so the pair is not aligned a second time.
+        """
+        if profile is None:
+            profile = mutual_segment_profile(query, candidate, self.config)
         return self.decide_profile(profile, candidate_id=candidate.traj_id)
 
     def query(

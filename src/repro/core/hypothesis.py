@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.alignment import MutualSegmentProfile
 from repro.core.models import CompatibilityModel
 from repro.errors import ValidationError
-from repro.stats.poisson_binomial import PoissonBinomial
+from repro.stats.poisson_binomial import PoissonBinomial, pb_pmf_batch
 
 
 def _test_arrays(
@@ -41,6 +41,86 @@ def _test_arrays(
     within = profile.within_horizon(model.n_buckets)
     ps = model.probs_for(within.buckets)
     return ps, within.n_incompatible
+
+
+def rejection_pvalue_arrays(ps: np.ndarray, k_obs: int, backend: str) -> float:
+    """``p1 = Pr(K >= k_obs)`` from pre-gathered per-segment probabilities.
+
+    The array form used by the batch engine: ``ps`` are the rejection
+    model's in-horizon probabilities of one pair, in segment order.
+    Returns 1.0 for an empty observation (vacuous: nothing contradicts
+    the same-person hypothesis).
+    """
+    if ps.size == 0:
+        return 1.0
+    return PoissonBinomial(ps, backend=backend).sf(k_obs)
+
+
+def acceptance_pvalue_arrays(ps: np.ndarray, k_obs: int, backend: str) -> float:
+    """``p2 = Pr(K <= k_obs)`` from pre-gathered per-segment probabilities.
+
+    Returns 1.0 for an empty observation: with no evidence the
+    different-person hypothesis can never be rejected, so such pairs
+    are never accepted.
+    """
+    if ps.size == 0:
+        return 1.0
+    return PoissonBinomial(ps, backend=backend).cdf(k_obs)
+
+
+def rejection_pvalue_batch(
+    ps_list: list[np.ndarray], k_obs: list[int], backend: str
+) -> list[float]:
+    """``p1`` for many pairs at once; bit-identical to the scalar loop.
+
+    With the exact ``"dp"`` backend all Poisson-Binomial pmfs are run
+    through one vectorised convolution (``pb_pmf_batch``) and each
+    tail is then read off with the same slice-sum as
+    ``PoissonBinomial.sf``; other backends fall back to the per-pair
+    path (their tails are not pmf-slice sums).
+    """
+    if backend != "dp":
+        return [
+            rejection_pvalue_arrays(ps, k, backend)
+            for ps, k in zip(ps_list, k_obs)
+        ]
+    pmfs = pb_pmf_batch(ps_list, backend="dp")
+    out = []
+    for ps, pmf, k in zip(ps_list, pmfs, k_obs):
+        n = ps.size
+        if n == 0:
+            out.append(1.0)
+        elif k <= 0:
+            out.append(1.0)
+        elif k > n:
+            out.append(0.0)
+        else:
+            out.append(float(min(pmf[k:].sum(), 1.0)))
+    return out
+
+
+def acceptance_pvalue_batch(
+    ps_list: list[np.ndarray], k_obs: list[int], backend: str
+) -> list[float]:
+    """``p2`` for many pairs at once; bit-identical to the scalar loop."""
+    if backend != "dp":
+        return [
+            acceptance_pvalue_arrays(ps, k, backend)
+            for ps, k in zip(ps_list, k_obs)
+        ]
+    pmfs = pb_pmf_batch(ps_list, backend="dp")
+    out = []
+    for ps, pmf, k in zip(ps_list, pmfs, k_obs):
+        n = ps.size
+        if n == 0:
+            out.append(1.0)
+        elif k < 0:
+            out.append(0.0)
+        elif k >= n:
+            out.append(1.0)
+        else:
+            out.append(float(min(pmf[: k + 1].sum(), 1.0)))
+    return out
 
 
 def rejection_pvalue(
@@ -56,10 +136,8 @@ def rejection_pvalue(
     if rejection_model.kind != "rejection":
         raise ValidationError("rejection_pvalue needs a rejection model")
     ps, k_obs = _test_arrays(profile, rejection_model)
-    if ps.size == 0:
-        return 1.0
     used = backend if backend is not None else rejection_model.config.pb_backend
-    return PoissonBinomial(ps, backend=used).sf(k_obs)
+    return rejection_pvalue_arrays(ps, k_obs, used)
 
 
 def acceptance_pvalue(
@@ -76,7 +154,5 @@ def acceptance_pvalue(
     if acceptance_model.kind != "acceptance":
         raise ValidationError("acceptance_pvalue needs an acceptance model")
     ps, k_obs = _test_arrays(profile, acceptance_model)
-    if ps.size == 0:
-        return 1.0
     used = backend if backend is not None else acceptance_model.config.pb_backend
-    return PoissonBinomial(ps, backend=used).cdf(k_obs)
+    return acceptance_pvalue_arrays(ps, k_obs, used)

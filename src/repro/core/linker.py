@@ -4,66 +4,54 @@
 acceptance models on a database pair, run either linking algorithm for a
 query, and return ranked candidates — behind one object:
 
-    linker = FTLLinker(config).fit(p_db, q_db, rng)
-    result = linker.link(p_db["taxi-17"], method="naive-bayes")
+    linker = FTLLinker(config, LinkOptions(method="naive-bayes")).fit(
+        p_db, q_db, rng
+    )
+    result = linker.link(p_db["taxi-17"])
     for cand in result.candidates:
         print(cand.candidate_id, cand.score)
 
-Both algorithms share the fitted model pair, and every returned
-candidate carries the Eq. 2 ranking score, so downstream code (the
-experiment pipeline, the examples) does not need to know which
-algorithm produced the set.
+Since the batch-engine redesign the linker is a thin wrapper over
+:class:`~repro.core.engine.LinkEngine`: the engine computes each
+``(query, candidate)`` mutual-segment profile exactly once per call,
+evaluates the candidate pool's evidence in flat NumPy arrays, and serves
+both decision rules plus the Eq. 2 ranking from the same arrays.
+:meth:`FTLLinker.link_batch` exposes the many-queries path; per-query
+results are bit-identical to sequential :meth:`FTLLinker.link` calls.
+
+The linking hyperparameters live in one frozen
+:class:`~repro.core.engine.LinkOptions` bundle; the keyword arguments
+``alpha1`` / ``alpha2`` / ``phi_r`` / ``prefilter`` remain as
+constructor shorthand for building one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.config import DEFAULT_CONFIG, FTLConfig
-from repro.core.alignment import mutual_segment_profile
 from repro.core.database import TrajectoryDatabase
-from repro.core.filtering import AlphaFilter
-from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
+from repro.core.engine import (
+    METHODS,
+    Candidate,
+    LinkEngine,
+    LinkOptions,
+    LinkResult,
+    ProfileCache,
+)
 from repro.core.models import CompatibilityModel
-from repro.core.naive_bayes import NaiveBayesMatcher
 from repro.core.trajectory import Trajectory
 from repro.errors import NotFittedError, ValidationError
 
-METHODS = ("alpha-filter", "naive-bayes")
-
-
-@dataclass(frozen=True)
-class Candidate:
-    """One returned candidate with its ranking evidence."""
-
-    candidate_id: object
-    score: float
-    p_rejection: float
-    p_acceptance: float
-    n_mutual: int
-    n_incompatible: int
-
-
-@dataclass(frozen=True)
-class LinkResult:
-    """Outcome of linking one query against a candidate database."""
-
-    query_id: object
-    method: str
-    candidates: tuple[Candidate, ...]
-
-    def candidate_ids(self) -> list[object]:
-        """Candidate ids in rank order (best first)."""
-        return [c.candidate_id for c in self.candidates]
-
-    def __len__(self) -> int:
-        return len(self.candidates)
-
-    def contains(self, candidate_id: object) -> bool:
-        return any(c.candidate_id == candidate_id for c in self.candidates)
+__all__ = [
+    "METHODS",
+    "Candidate",
+    "FTLLinker",
+    "LinkOptions",
+    "LinkResult",
+]
 
 
 class FTLLinker:
@@ -73,32 +61,41 @@ class FTLLinker:
     ----------
     config:
         The shared :class:`~repro.config.FTLConfig`.
-    alpha1, alpha2:
-        Parameters of the (alpha1, alpha2)-filtering method.
-    phi_r:
-        Prior of the Naive-Bayes method.
-    prefilter:
-        Optional candidate pre-filter (see :mod:`repro.core.prefilter`)
-        applied before the statistical tests; ``None`` keeps the
-        paper's exhaustive candidate scan.
+    options:
+        The linking hyperparameters as one
+        :class:`~repro.core.engine.LinkOptions` bundle; defaults to
+        ``LinkOptions()``.
+    alpha1, alpha2, phi_r, prefilter:
+        Shorthand overrides applied on top of ``options`` (equivalent
+        to ``options.with_updates(...)``).
     """
 
     def __init__(
         self,
         config: FTLConfig = DEFAULT_CONFIG,
+        options: LinkOptions | None = None,
         *,
-        alpha1: float = 0.05,
-        alpha2: float = 0.05,
-        phi_r: float = 0.01,
+        alpha1: float | None = None,
+        alpha2: float | None = None,
+        phi_r: float | None = None,
         prefilter=None,
     ) -> None:
         self._config = config
-        self._alpha1 = alpha1
-        self._alpha2 = alpha2
-        self._phi_r = phi_r
-        self._prefilter = prefilter
-        self._mr: CompatibilityModel | None = None
-        self._ma: CompatibilityModel | None = None
+        base = options if options is not None else LinkOptions()
+        overrides = {
+            key: value
+            for key, value in (
+                ("alpha1", alpha1),
+                ("alpha2", alpha2),
+                ("phi_r", phi_r),
+                ("prefilter", prefilter),
+            )
+            if value is not None
+        }
+        if overrides:
+            base = base.with_updates(**overrides)
+        self._options = base
+        self._engine: LinkEngine | None = None
         self._candidate_db: TrajectoryDatabase | None = None
 
     # ------------------------------------------------------------------
@@ -111,8 +108,9 @@ class FTLLinker:
         rng: np.random.Generator,
     ) -> "FTLLinker":
         """Fit the model pair on both databases and bind ``q_db`` as targets."""
-        self._mr = CompatibilityModel.fit_rejection([p_db, q_db], self._config)
-        self._ma = CompatibilityModel.fit_acceptance([p_db, q_db], self._config, rng)
+        mr = CompatibilityModel.fit_rejection([p_db, q_db], self._config)
+        ma = CompatibilityModel.fit_acceptance([p_db, q_db], self._config, rng)
+        self._engine = LinkEngine(mr, ma, options=self._options)
         self._candidate_db = q_db
         return self
 
@@ -123,8 +121,9 @@ class FTLLinker:
         q_db: TrajectoryDatabase,
     ) -> "FTLLinker":
         """Bind pre-fitted models (e.g. loaded from disk) instead of fitting."""
-        self._mr = rejection_model
-        self._ma = acceptance_model
+        self._engine = LinkEngine(
+            rejection_model, acceptance_model, options=self._options
+        )
         self._candidate_db = q_db
         return self
 
@@ -133,18 +132,44 @@ class FTLLinker:
         return self._config
 
     @property
-    def rejection_model(self) -> CompatibilityModel:
+    def options(self) -> LinkOptions:
+        """The default hyperparameter bundle used by :meth:`link`."""
+        return self._options
+
+    @property
+    def engine(self) -> LinkEngine:
+        """The bound batch engine (after :meth:`fit` / :meth:`with_models`)."""
         self._require_fitted()
-        return self._mr  # type: ignore[return-value]
+        return self._engine  # type: ignore[return-value]
+
+    @property
+    def profile_cache(self) -> ProfileCache:
+        """The engine's profile cache (for stats and invalidation)."""
+        return self.engine.cache
+
+    @property
+    def rejection_model(self) -> CompatibilityModel:
+        return self.engine.rejection_model
 
     @property
     def acceptance_model(self) -> CompatibilityModel:
-        self._require_fitted()
-        return self._ma  # type: ignore[return-value]
+        return self.engine.acceptance_model
 
     def _require_fitted(self) -> None:
-        if self._mr is None or self._ma is None or self._candidate_db is None:
+        if self._engine is None or self._candidate_db is None:
             raise NotFittedError("call fit() or with_models() before linking")
+
+    def _resolve_options(
+        self, method: str | None, options: LinkOptions | None
+    ) -> LinkOptions:
+        opts = self._options if options is None else options
+        if not isinstance(opts, LinkOptions):
+            raise ValidationError(
+                f"options must be a LinkOptions, got {type(opts).__name__}"
+            )
+        if method is not None:
+            opts = opts.with_updates(method=method)
+        return opts
 
     # ------------------------------------------------------------------
     # Linking
@@ -152,8 +177,10 @@ class FTLLinker:
     def link(
         self,
         query: Trajectory,
-        method: str = "naive-bayes",
+        method: str | None = None,
         candidates: Iterable[Trajectory] | None = None,
+        *,
+        options: LinkOptions | None = None,
     ) -> LinkResult:
         """Return the ranked candidate set ``Q_P`` for one query.
 
@@ -162,68 +189,41 @@ class FTLLinker:
         query:
             The query trajectory ``P``.
         method:
-            ``"alpha-filter"`` or ``"naive-bayes"``.
+            Shorthand override of ``options.method`` (``"alpha-filter"``
+            or ``"naive-bayes"``).
         candidates:
             Optional override of the candidate pool (defaults to the
             bound database) — used e.g. to restrict to a pre-filtered
             subset in the application examples.
+        options:
+            Per-call :class:`~repro.core.engine.LinkOptions` override of
+            the linker's defaults.
+        """
+        return self.link_batch(
+            [query], method=method, candidates=candidates, options=options
+        )[0]
+
+    def link_batch(
+        self,
+        queries: Sequence[Trajectory],
+        method: str | None = None,
+        candidates: Iterable[Trajectory] | None = None,
+        *,
+        options: LinkOptions | None = None,
+    ) -> list[LinkResult]:
+        """Link many queries against the shared candidate pool.
+
+        Results follow the input query order and are bit-identical to a
+        loop of :meth:`link` calls, but every ``(query, candidate)``
+        profile is computed at most once (served from the engine's
+        profile cache thereafter).
         """
         self._require_fitted()
-        if method not in METHODS:
-            raise ValidationError(f"unknown method {method!r}; known: {METHODS}")
+        opts = self._resolve_options(method, options)
         pool: Iterable[Trajectory] = (
             self._candidate_db if candidates is None else candidates  # type: ignore[assignment]
         )
-        if self._prefilter is not None:
-            pool = [c for c in pool if self._prefilter.keep(query, c)]
-        if method == "alpha-filter":
-            matched_ids = self._alpha_filter_ids(query, pool)
-        else:
-            matched_ids = self._naive_bayes_ids(query, pool)
-        ranked = self._score_and_rank(query, matched_ids)
-        return LinkResult(query_id=query.traj_id, method=method, candidates=ranked)
-
-    def _alpha_filter_ids(
-        self, query: Trajectory, pool: Iterable[Trajectory]
-    ) -> list[Trajectory]:
-        matcher = AlphaFilter(self._mr, self._ma, self._alpha1, self._alpha2)
-        matched: list[Trajectory] = []
-        for candidate in pool:
-            if matcher.decide(query, candidate).accepted:
-                matched.append(candidate)
-        return matched
-
-    def _naive_bayes_ids(
-        self, query: Trajectory, pool: Iterable[Trajectory]
-    ) -> list[Trajectory]:
-        matcher = NaiveBayesMatcher(self._mr, self._ma, self._phi_r)
-        matched: list[Trajectory] = []
-        for candidate in pool:
-            if matcher.decide(query, candidate).same_person:
-                matched.append(candidate)
-        return matched
-
-    def _score_and_rank(
-        self, query: Trajectory, matched: Sequence[Trajectory]
-    ) -> tuple[Candidate, ...]:
-        scored: list[Candidate] = []
-        for candidate in matched:
-            profile = mutual_segment_profile(query, candidate, self._config)
-            within = profile.within_horizon(self._mr.n_buckets)  # type: ignore[union-attr]
-            p1 = rejection_pvalue(profile, self._mr)  # type: ignore[arg-type]
-            p2 = acceptance_pvalue(profile, self._ma)  # type: ignore[arg-type]
-            scored.append(
-                Candidate(
-                    candidate_id=candidate.traj_id,
-                    score=p1 * (1.0 - p2),
-                    p_rejection=p1,
-                    p_acceptance=p2,
-                    n_mutual=within.n_total,
-                    n_incompatible=within.n_incompatible,
-                )
-            )
-        scored.sort(key=lambda c: -c.score)
-        return tuple(scored)
+        return self.engine.link_batch(queries, pool, opts)
 
     # ------------------------------------------------------------------
     # Enrichment (Fig. 2's second knowledge gain)

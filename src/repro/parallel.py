@@ -4,51 +4,91 @@ The paper's conclusion: *"we plan to explore parallel and distributed
 implementation of our algorithms for efficient large-scale fuzzy
 linking"*.  Queries are embarrassingly parallel — each query scans the
 candidate database independently against the shared fitted models — so
-this module fans the query set out over a process pool.
+this module shards the query set over a process pool.
 
-The fitted models and the candidate database are shipped to each worker
-once (via the pool initializer), not per task, so the per-query
-overhead stays tiny.  Results are returned in the input query order and
-are bit-identical to the sequential path (covered by tests).
+Each worker builds one :class:`~repro.core.engine.LinkEngine` from the
+broadcast models (shipped once via the pool initializer, not per task)
+and processes its query shards through the engine's batch API, so the
+per-pair profile-once evidence path and profile cache are shared within
+a worker.  Results are returned in the input query order and are
+bit-identical to the sequential path (covered by tests).
+
+Hyperparameters travel as one :class:`~repro.core.engine.LinkOptions`
+bundle; the old ``alpha1`` / ``alpha2`` / ``phi_r`` keyword arguments
+are deprecated aliases kept for one release.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import warnings
 from typing import Sequence
 
 from repro.core.database import TrajectoryDatabase
-from repro.core.linker import FTLLinker, LinkResult
+from repro.core.engine import LinkEngine, LinkOptions
+from repro.core.linker import LinkResult
 from repro.core.models import CompatibilityModel
 from repro.core.trajectory import Trajectory
 from repro.errors import ValidationError
 
 # Worker-process globals, installed once by _init_worker.
-_WORKER_LINKER: FTLLinker | None = None
-_WORKER_METHOD: str = "naive-bayes"
+_WORKER_ENGINE: LinkEngine | None = None
+_WORKER_DB: TrajectoryDatabase | None = None
 
 
 def _init_worker(
     mr_payload: dict,
     ma_payload: dict,
     q_db: TrajectoryDatabase,
-    method: str,
-    alpha1: float,
-    alpha2: float,
-    phi_r: float,
+    options: LinkOptions,
 ) -> None:
-    global _WORKER_LINKER, _WORKER_METHOD
+    global _WORKER_ENGINE, _WORKER_DB
     mr = CompatibilityModel.from_dict(mr_payload)
     ma = CompatibilityModel.from_dict(ma_payload)
-    _WORKER_LINKER = FTLLinker(
-        mr.config, alpha1=alpha1, alpha2=alpha2, phi_r=phi_r
-    ).with_models(mr, ma, q_db)
-    _WORKER_METHOD = method
+    _WORKER_ENGINE = LinkEngine(mr, ma, options=options)
+    _WORKER_DB = q_db
 
 
-def _link_one(query: Trajectory) -> LinkResult:
-    assert _WORKER_LINKER is not None, "worker not initialised"
-    return _WORKER_LINKER.link(query, method=_WORKER_METHOD)
+def _link_shard(queries: Sequence[Trajectory]) -> list[LinkResult]:
+    assert _WORKER_ENGINE is not None and _WORKER_DB is not None, (
+        "worker not initialised"
+    )
+    return _WORKER_ENGINE.link_batch(queries, _WORKER_DB)
+
+
+def _resolve_options(
+    options: LinkOptions | None,
+    method: str | None,
+    alpha1: float | None,
+    alpha2: float | None,
+    phi_r: float | None,
+) -> LinkOptions:
+    """Merge the options bundle with the deprecated keyword aliases."""
+    opts = LinkOptions() if options is None else options
+    if not isinstance(opts, LinkOptions):
+        raise ValidationError(
+            f"options must be a LinkOptions, got {type(opts).__name__}"
+        )
+    legacy = {
+        key: value
+        for key, value in (
+            ("alpha1", alpha1),
+            ("alpha2", alpha2),
+            ("phi_r", phi_r),
+        )
+        if value is not None
+    }
+    if legacy:
+        warnings.warn(
+            f"passing {sorted(legacy)} to link_queries_parallel is deprecated; "
+            "pass options=LinkOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        opts = opts.with_updates(**legacy)
+    if method is not None:
+        opts = opts.with_updates(method=method)
+    return opts
 
 
 def link_queries_parallel(
@@ -56,13 +96,14 @@ def link_queries_parallel(
     rejection_model: CompatibilityModel,
     acceptance_model: CompatibilityModel,
     q_db: TrajectoryDatabase,
-    method: str = "naive-bayes",
+    method: str | None = None,
     n_workers: int | None = None,
     *,
-    alpha1: float = 0.05,
-    alpha2: float = 0.05,
-    phi_r: float = 0.01,
+    options: LinkOptions | None = None,
     chunksize: int = 4,
+    alpha1: float | None = None,
+    alpha2: float | None = None,
+    phi_r: float | None = None,
 ) -> list[LinkResult]:
     """Link many queries in parallel; results follow the input order.
 
@@ -72,13 +113,19 @@ def link_queries_parallel(
         Query trajectories (each linked against all of ``q_db``).
     rejection_model, acceptance_model:
         The fitted (Mr, Ma) pair, broadcast to every worker.
+    method:
+        Shorthand override of ``options.method``.
     n_workers:
         Process count; defaults to ``os.cpu_count()``.  ``n_workers=1``
-        short-circuits to a sequential loop in this process (useful for
+        short-circuits to the in-process batch engine (useful for
         debugging and on platforms without cheap forking).
+    options:
+        The hyperparameter bundle shipped to every worker.
     chunksize:
-        Queries dispatched per task; larger amortises IPC for cheap
-        queries.
+        Queries per shard; larger amortises IPC for cheap queries.
+    alpha1, alpha2, phi_r:
+        Deprecated aliases for the corresponding ``options`` fields;
+        they emit a :class:`DeprecationWarning`.
     """
     if not queries:
         raise ValidationError("need at least one query")
@@ -86,24 +133,25 @@ def link_queries_parallel(
         raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
     if chunksize < 1:
         raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
+    opts = _resolve_options(options, method, alpha1, alpha2, phi_r)
 
     if n_workers == 1:
-        linker = FTLLinker(
-            rejection_model.config, alpha1=alpha1, alpha2=alpha2, phi_r=phi_r
-        ).with_models(rejection_model, acceptance_model, q_db)
-        return [linker.link(query, method=method) for query in queries]
+        engine = LinkEngine(rejection_model, acceptance_model, options=opts)
+        return engine.link_batch(queries, q_db)
 
+    shards = [
+        queries[start: start + chunksize]
+        for start in range(0, len(queries), chunksize)
+    ]
     ctx = mp.get_context()
     init_args = (
         rejection_model.to_dict(),
         acceptance_model.to_dict(),
         q_db,
-        method,
-        alpha1,
-        alpha2,
-        phi_r,
+        opts,
     )
     with ctx.Pool(
         processes=n_workers, initializer=_init_worker, initargs=init_args
     ) as pool:
-        return pool.map(_link_one, queries, chunksize=chunksize)
+        per_shard = pool.map(_link_shard, shards)
+    return [result for shard in per_shard for result in shard]

@@ -52,6 +52,75 @@ def _pmf_dp(ps: np.ndarray) -> np.ndarray:
     return pmf
 
 
+def _pmf_dp_batch(ps_arrays: list[np.ndarray]) -> list[np.ndarray]:
+    """Many convolution DPs at once, bit-identical to per-array ``_pmf_dp``.
+
+    All rows advance through one rectangular ``(n_rows, max_len + 1)``
+    state matrix, so the per-step NumPy dispatch overhead is paid once
+    per segment index instead of once per (array, segment).  Rows are
+    sorted longest-first; at step ``j`` only the prefix of rows still
+    having a ``j``-th trial is touched, so no padded work is done.  The
+    per-element arithmetic is exactly the scalar recurrence —
+    ``new[k] = old[k] * (1 - p) + old[k - 1] * p`` with the same two
+    products and one addition — and the implicit zeros of the rectangle
+    reproduce the scalar code's boundary rows exactly, so every output
+    pmf is bit-identical to ``_pmf_dp`` on the same input.
+    """
+    n_rows = len(ps_arrays)
+    if n_rows == 0:
+        return []
+    lengths = np.array([a.size for a in ps_arrays], dtype=np.int64)
+    order = np.argsort(-lengths, kind="stable")
+    sorted_lengths = lengths[order]
+    max_len = int(sorted_lengths[0])
+    dp = np.zeros((n_rows, max_len + 1))
+    dp[:, 0] = 1.0
+    p_mat = np.zeros((n_rows, max_len))
+    for row, idx in enumerate(order):
+        p_mat[row, : lengths[idx]] = ps_arrays[idx]
+    for j in range(max_len):
+        cnt = int(np.count_nonzero(sorted_lengths > j))
+        act = dp[:cnt]
+        pj = p_mat[:cnt, j][:, None]
+        nxt = act * (1.0 - pj)
+        nxt[:, 1:] += act[:, :-1] * pj
+        dp[:cnt] = nxt
+    out: list[np.ndarray] = [None] * n_rows  # type: ignore[list-item]
+    for row, idx in enumerate(order):
+        out[idx] = dp[row, : lengths[idx] + 1].copy()
+    return out
+
+
+def pb_pmf_batch(
+    probs_list: Sequence[Sequence[float] | np.ndarray], backend: str = "dp"
+) -> list[np.ndarray]:
+    """Pmfs of many Poisson-Binomial variables in one pass.
+
+    Bit-identical to ``[pb_pmf(ps, backend) for ps in probs_list]`` but
+    the exact ``"dp"`` backend runs all convolution DPs through one
+    vectorised state matrix (see ``_pmf_dp_batch``).  Degenerate trials
+    are factored per variable exactly as ``PoissonBinomial`` does:
+    zeros are dropped, ones shift the support.  Non-``"dp"`` backends
+    fall back to the per-variable path.
+    """
+    if backend != "dp":
+        return [pb_pmf(ps, backend=backend) for ps in probs_list]
+    metas: list[tuple[int, int]] = []
+    cores_in: list[np.ndarray] = []
+    for probs in probs_list:
+        ps = _validate_probs(probs)
+        shift = int(np.count_nonzero(ps == 1.0))
+        metas.append((int(ps.size), shift))
+        cores_in.append(ps[(ps > 0.0) & (ps < 1.0)])
+    cores = _pmf_dp_batch(cores_in)
+    out = []
+    for (n_trials, shift), core in zip(metas, cores):
+        pmf = np.zeros(n_trials + 1)
+        pmf[shift : shift + core.size] = core
+        out.append(pmf)
+    return out
+
+
 def _pmf_recursive(ps: np.ndarray) -> np.ndarray:
     """The paper's Eq. (1): Pr(K=k) = (1/k) * sum_i (-1)^{i-1} Pr(K=k-i) T(i).
 

@@ -104,3 +104,26 @@ class TestLink:
 
         with pytest.raises(ValidationError):
             main(["link", "NOPE"])
+
+    def test_json_output_with_top_k(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert main(
+            ["link", "SD-mini", "--queries", "4", "--phi-r", "0.1",
+             "--top-k", "2", "--json", str(out_path)]
+        ) == 0
+        records = json.loads(out_path.read_text())
+        assert len(records) == 4
+        for record in records:
+            assert record["method"] == "naive-bayes"
+            assert len(record["candidates"]) <= 2
+            for cand in record["candidates"]:
+                assert set(cand) >= {"candidate_id", "score", "p_rejection"}
+
+    def test_json_to_stdout(self, capsys):
+        assert main(
+            ["link", "SD-mini", "--queries", "3", "--phi-r", "0.1",
+             "--json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = out[: out.rindex("]") + 1]
+        assert len(json.loads(payload)) == 3

@@ -3,8 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.core.engine import LinkOptions
 from repro.errors import ValidationError
 from repro.parallel import link_queries_parallel
+
+NB_OPTIONS = LinkOptions(method="naive-bayes", phi_r=0.1)
 
 
 @pytest.fixture(scope="module")
@@ -18,7 +21,8 @@ class TestSequentialPath:
     def test_n_workers_one(self, small_pair, fitted_models, query_set):
         mr, ma = fitted_models
         results = link_queries_parallel(
-            query_set, mr, ma, small_pair.q_db, n_workers=1, phi_r=0.1
+            query_set, mr, ma, small_pair.q_db, n_workers=1,
+            options=NB_OPTIONS,
         )
         assert len(results) == len(query_set)
         for query, result in zip(query_set, results):
@@ -45,24 +49,20 @@ class TestParallelPath:
     def test_matches_sequential(self, small_pair, fitted_models, query_set):
         mr, ma = fitted_models
         sequential = link_queries_parallel(
-            query_set, mr, ma, small_pair.q_db, n_workers=1, phi_r=0.1
+            query_set, mr, ma, small_pair.q_db, n_workers=1,
+            options=NB_OPTIONS,
         )
         parallel = link_queries_parallel(
-            query_set, mr, ma, small_pair.q_db, n_workers=2, phi_r=0.1,
-            chunksize=2,
+            query_set, mr, ma, small_pair.q_db, n_workers=2,
+            options=NB_OPTIONS, chunksize=2,
         )
-        assert len(parallel) == len(sequential)
-        for seq, par in zip(sequential, parallel):
-            assert seq.query_id == par.query_id
-            assert seq.candidate_ids() == par.candidate_ids()
-            for a, b in zip(seq.candidates, par.candidates):
-                assert a.score == pytest.approx(b.score)
+        assert parallel == sequential  # bit-identical LinkResults
 
     def test_alpha_filter_method(self, small_pair, fitted_models, query_set):
         mr, ma = fitted_models
         results = link_queries_parallel(
             query_set[:4], mr, ma, small_pair.q_db, n_workers=2,
-            method="alpha-filter", alpha1=0.01, alpha2=0.1,
+            options=LinkOptions(method="alpha-filter", alpha1=0.01, alpha2=0.1),
         )
         assert all(r.method == "alpha-filter" for r in results)
 
@@ -70,9 +70,52 @@ class TestParallelPath:
         mr, ma = fitted_models
         truth = small_pair.truth
         results = link_queries_parallel(
-            query_set, mr, ma, small_pair.q_db, n_workers=2, phi_r=0.1
+            query_set, mr, ma, small_pair.q_db, n_workers=2,
+            options=NB_OPTIONS,
         )
         hits = sum(
             1 for r in results if r.contains(truth[r.query_id])
         )
         assert hits >= len(query_set) - 2
+
+
+class TestDeprecatedKwargs:
+    """Legacy alpha1/alpha2/phi_r kwargs still work but warn."""
+
+    @pytest.mark.parametrize(
+        "legacy", [{"phi_r": 0.1}, {"alpha1": 0.01}, {"alpha2": 0.1}]
+    )
+    def test_legacy_kwargs_warn(
+        self, small_pair, fitted_models, query_set, legacy
+    ):
+        mr, ma = fitted_models
+        with pytest.warns(DeprecationWarning, match="options=LinkOptions"):
+            link_queries_parallel(
+                query_set[:2], mr, ma, small_pair.q_db, n_workers=1, **legacy
+            )
+
+    def test_legacy_kwargs_equal_options(
+        self, small_pair, fitted_models, query_set
+    ):
+        mr, ma = fitted_models
+        with pytest.warns(DeprecationWarning):
+            legacy = link_queries_parallel(
+                query_set, mr, ma, small_pair.q_db, n_workers=1, phi_r=0.1
+            )
+        modern = link_queries_parallel(
+            query_set, mr, ma, small_pair.q_db, n_workers=1,
+            options=NB_OPTIONS,
+        )
+        assert legacy == modern
+
+    def test_options_path_does_not_warn(
+        self, small_pair, fitted_models, query_set, recwarn
+    ):
+        mr, ma = fitted_models
+        link_queries_parallel(
+            query_set[:2], mr, ma, small_pair.q_db, n_workers=1,
+            options=NB_OPTIONS,
+        )
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]

@@ -9,7 +9,13 @@ from hypothesis import strategies as st
 from scipy import stats as sps
 
 from repro.errors import ValidationError
-from repro.stats.poisson_binomial import PoissonBinomial, pb_cdf, pb_pmf, pb_sf
+from repro.stats.poisson_binomial import (
+    PoissonBinomial,
+    pb_cdf,
+    pb_pmf,
+    pb_pmf_batch,
+    pb_sf,
+)
 
 probs_list = st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=0, max_size=15)
 
@@ -205,3 +211,40 @@ class TestProperties:
         dp = PoissonBinomial(ps, backend="dp").pmf()
         rec = PoissonBinomial(ps, backend="recursive").pmf()
         assert np.allclose(dp, rec, atol=1e-7)
+
+
+class TestBatchPmf:
+    """pb_pmf_batch must be bit-identical to the per-array dp path."""
+
+    @given(
+        st.lists(
+            st.lists(st.floats(0.0, 1.0, allow_nan=False), max_size=12),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise_equal_to_scalar(self, ps_lists):
+        batch = pb_pmf_batch(ps_lists)
+        assert len(batch) == len(ps_lists)
+        for ps, got in zip(ps_lists, batch):
+            want = pb_pmf(ps)
+            assert got.shape == want.shape
+            assert np.array_equal(got, want)  # exact, not allclose
+
+    def test_empty_batch(self):
+        assert pb_pmf_batch([]) == []
+
+    def test_degenerate_trials(self):
+        batch = pb_pmf_batch([[0.0, 1.0, 0.5], [1.0, 1.0], [0.0], []])
+        for ps, got in zip([[0.0, 1.0, 0.5], [1.0, 1.0], [0.0], []], batch):
+            assert np.array_equal(got, pb_pmf(ps))
+
+    def test_non_dp_backend_falls_back(self):
+        ps_lists = [[0.2, 0.4], [0.1]]
+        batch = pb_pmf_batch(ps_lists, backend="normal")
+        for ps, got in zip(ps_lists, batch):
+            assert np.array_equal(got, pb_pmf(ps, backend="normal"))
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValidationError):
+            pb_pmf_batch([[0.5], [1.5]])
