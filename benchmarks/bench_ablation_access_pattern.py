@@ -14,7 +14,6 @@ event rate, sharpening Section VI's guidance for bursty services.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_header
 from repro.geo.units import days_to_seconds

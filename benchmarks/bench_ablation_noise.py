@@ -8,10 +8,8 @@ compatibility signal tolerates before linking degrades.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_header
-from repro.config import FTLConfig
 from repro.geo.units import days_to_seconds
 from repro.pipeline.experiment import collect_evidence, fit_model_pair
 from repro.pipeline.tradeoff import tradeoff_from_evidence

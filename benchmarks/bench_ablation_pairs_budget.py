@@ -8,10 +8,8 @@ tradeoff saturates, justifying the default of 200.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import cached_scenario, print_header, scale_name
-from repro.config import FTLConfig
 from repro.core.models import CompatibilityModel
 from repro.pipeline.experiment import collect_evidence
 from repro.pipeline.score_analysis import separation_from_evidence

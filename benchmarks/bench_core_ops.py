@@ -95,7 +95,6 @@ def test_naive_bayes_pair_decision_speed(benchmark, traj_pair, models):
 
 def test_streaming_insert_speed(benchmark, traj_pair, config):
     """Per-record cost of incremental evidence maintenance."""
-    from repro.core.records import Record
     from repro.core.streaming import SOURCE_P, SOURCE_Q, StreamingPairEvidence
 
     p, q = traj_pair

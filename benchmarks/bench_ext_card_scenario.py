@@ -8,7 +8,6 @@ processes on both sides.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import cached_scenario, print_header
 from repro.pipeline.experiment import collect_evidence, fit_model_pair

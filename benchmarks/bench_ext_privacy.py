@@ -8,7 +8,6 @@ this is the experiment the paper's conclusion proposes as future work.
 import numpy as np
 
 from benchmarks.conftest import cached_scenario, print_header, scale_name
-from repro.config import FTLConfig
 from repro.privacy import (
     GaussianPerturbation,
     RecordSuppression,

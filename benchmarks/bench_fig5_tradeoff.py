@@ -19,7 +19,6 @@ from benchmarks.conftest import (
     print_header,
     scale_name,
 )
-from repro.config import FTLConfig
 from repro.pipeline.experiment import collect_evidence, fit_model_pair
 from repro.pipeline.tradeoff import format_tradeoff, tradeoff_from_evidence
 

@@ -13,7 +13,6 @@ import pytest
 from benchmarks.conftest import (
     cached_scenario,
     is_full_scale,
-    n_queries_default,
     print_header,
     scale_name,
 )

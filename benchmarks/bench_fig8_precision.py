@@ -10,7 +10,6 @@ robustness claim: FTL > 80% at rate 0.02).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import is_full_scale, cached_scenario, print_header
 from repro.pipeline.precision_eval import (

@@ -10,7 +10,11 @@ Installed as ``ftl`` (see ``pyproject.toml``).  Subcommands:
   and report perceptiveness/selectiveness; ``--json PATH`` additionally
   dumps every ranked ``LinkResult`` (``-`` for stdout), ``--top-k K``
   truncates each candidate list;
-* ``ftl theory --lam-p A --lam-q B`` — print the Section VI pmf table.
+* ``ftl theory --lam-p A --lam-q B`` — print the Section VI pmf table;
+* ``ftl serve NAME`` — run the JSON-over-HTTP linking daemon over a
+  scenario's Q database (see ``docs/service.md``): micro-batched
+  ``/link``, streaming ``/ingest`` sessions, ``/healthz``,
+  ``/metrics``.
 """
 
 from __future__ import annotations
@@ -110,6 +114,38 @@ def _build_parser() -> argparse.ArgumentParser:
     holdout.add_argument("--test-fraction", type=float, default=0.3)
     holdout.add_argument("--phi-r", type=float, default=0.1)
     holdout.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="run the linking daemon over a scenario's Q database"
+    )
+    serve.add_argument("name", help="catalog entry name (pool + model fit)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 binds an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="batch-execution worker threads")
+    serve.add_argument(
+        "--method", default="naive-bayes", choices=("naive-bayes", "alpha-filter")
+    )
+    serve.add_argument("--phi-r", type=float, default=0.05)
+    serve.add_argument("--alpha1", type=float, default=0.05)
+    serve.add_argument("--alpha2", type=float, default=0.05)
+    serve.add_argument("--top-k", type=int, default=None)
+    serve.add_argument("--max-batch-size", type=int, default=16,
+                       help="most /link requests coalesced per engine call")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="how long to wait for more requests per batch")
+    serve.add_argument("--queue-limit", type=int, default=128,
+                       help="pending-request bound; beyond it /link gets 503")
+    serve.add_argument("--timeout-ms", type=float, default=None,
+                       help="default per-request deadline (504 past it)")
+    serve.add_argument("--session-ttl", type=float, default=900.0,
+                       help="idle seconds before an /ingest session is dropped")
+    serve.add_argument("--max-body-mb", type=float, default=8.0,
+                       help="request body cap in MiB (413 beyond it)")
+    serve.add_argument("--shutdown-after", type=float, default=None,
+                       help="serve for N seconds then drain (smoke/testing)")
+    serve.add_argument("--seed", type=int, default=0)
 
     report = sub.add_parser(
         "report", help="run the mini evaluation and write a markdown report"
@@ -254,6 +290,57 @@ def _cmd_assign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.engine import LinkEngine, LinkOptions
+    from repro.core.models import CompatibilityModel
+    from repro.service.server import LinkServer, ServerConfig
+
+    rng = np.random.default_rng(args.seed)
+    pair = build_scenario(args.name)
+    config = FTLConfig()
+    mr = CompatibilityModel.fit_rejection([pair.p_db, pair.q_db], config)
+    ma = CompatibilityModel.fit_acceptance([pair.p_db, pair.q_db], config, rng)
+    options = LinkOptions(
+        method=args.method,
+        alpha1=args.alpha1,
+        alpha2=args.alpha2,
+        phi_r=args.phi_r,
+        top_k=args.top_k,
+    )
+    engine = LinkEngine(mr, ma, options=options)
+    server_config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        session_ttl_s=args.session_ttl,
+        max_body_bytes=int(args.max_body_mb * 1024 * 1024),
+        default_timeout_ms=args.timeout_ms,
+    )
+
+    async def _serve() -> None:
+        server = LinkServer(engine, list(pair.q_db), config=server_config)
+        await server.start()
+        server.install_signal_handlers()
+        host, port = server.address
+        print(
+            f"serving {args.name} on http://{host}:{port} "
+            f"(pool={len(pair.q_db)} candidates, method={args.method}, "
+            f"max_batch_size={args.max_batch_size}, "
+            f"max_wait_ms={args.max_wait_ms:g})",
+            flush=True,
+        )
+        await server.serve_until_shutdown(shutdown_after_s=args.shutdown_after)
+        print("drained; bye")
+
+    asyncio.run(_serve())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -273,6 +360,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "assign":
         return _cmd_assign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "holdout":
         from repro.pipeline.crossval import format_holdout, run_holdout
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
 import numpy as np
@@ -126,6 +126,46 @@ class LinkOptions:
 
 #: Module-wide defaults; ``LinkOptions()`` is cheap but this names them.
 DEFAULT_LINK_OPTIONS = LinkOptions()
+
+
+@dataclass(frozen=True)
+class LinkRequest:
+    """One unit of linking work for :meth:`LinkEngine.link_requests`.
+
+    A request bundles a query with (optionally) its own candidate pool
+    and its own :class:`LinkOptions`, so heterogeneous requests — as a
+    serving frontend receives them — can be coalesced into one engine
+    call that shares the profile cache and tail memo across all of
+    them.
+
+    Parameters
+    ----------
+    query:
+        The trajectory to link.
+    candidates:
+        The candidate pool for this request; ``None`` uses the
+        ``default_pool`` passed to :meth:`LinkEngine.link_requests`.
+    options:
+        Per-request options; ``None`` uses the engine defaults (or the
+        call-level override).
+    """
+
+    query: Trajectory
+    candidates: tuple[Trajectory, ...] | None = None
+    options: LinkOptions | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, Trajectory):
+            raise ValidationError(
+                f"query must be a Trajectory, got {type(self.query).__name__}"
+            )
+        if self.candidates is not None and not isinstance(self.candidates, tuple):
+            object.__setattr__(self, "candidates", tuple(self.candidates))
+        if self.options is not None and not isinstance(self.options, LinkOptions):
+            raise ValidationError(
+                f"options must be a LinkOptions or None, "
+                f"got {type(self.options).__name__}"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -405,6 +445,69 @@ class LinkEngine:
                 else [c for c in pool if opts.prefilter.keep(query, c)]
             )
             results.append(self._link_one(query, kept, opts))
+        return results
+
+    def link_requests(
+        self,
+        requests: Sequence[LinkRequest],
+        default_pool: Iterable[Trajectory] | None = None,
+        options: LinkOptions | None = None,
+    ) -> list[LinkResult]:
+        """Serve a batch of heterogeneous :class:`LinkRequest` units.
+
+        This is the serving entry point: a frontend that coalesces
+        concurrent requests (each with its own candidate pool and
+        options) hands them over in one call, so all of them share the
+        profile cache and the Poisson-Binomial tail memo.  Each
+        request's result is bit-identical to a standalone
+        ``link(query, candidates, options)`` call with the same
+        arguments.
+
+        Parameters
+        ----------
+        requests:
+            The work units; see :class:`LinkRequest`.
+        default_pool:
+            Pool used by requests whose ``candidates`` is ``None``
+            (e.g. the daemon's resident candidate database).
+        options:
+            Call-level default options for requests whose ``options``
+            is ``None``; falls back to the engine defaults.
+        """
+        call_opts = self._options if options is None else options
+        if not isinstance(call_opts, LinkOptions):
+            raise ValidationError(
+                f"options must be a LinkOptions, got {type(call_opts).__name__}"
+            )
+        pool = None
+        results = []
+        for request in requests:
+            if not isinstance(request, LinkRequest):
+                raise ValidationError(
+                    f"requests must be LinkRequest, got {type(request).__name__}"
+                )
+            if request.candidates is not None:
+                cands: Sequence[Trajectory] = request.candidates
+            else:
+                if pool is None:
+                    if default_pool is None:
+                        raise ValidationError(
+                            "request has no candidates and no default_pool "
+                            "was provided"
+                        )
+                    pool = (
+                        default_pool
+                        if isinstance(default_pool, list)
+                        else list(default_pool)
+                    )
+                cands = pool
+            opts = request.options if request.options is not None else call_opts
+            kept = (
+                cands
+                if opts.prefilter is None
+                else [c for c in cands if opts.prefilter.keep(request.query, c)]
+            )
+            results.append(self._link_one(request.query, kept, opts))
         return results
 
     # ------------------------------------------------------------------

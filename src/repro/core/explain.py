@@ -19,7 +19,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.alignment import align
 from repro.core.models import CompatibilityModel, require_fitted_pair

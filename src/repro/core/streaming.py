@@ -232,6 +232,23 @@ class StreamingLinker:
         self._pairs: dict[object, StreamingPairEvidence] = {}
         self._query_history: list[Record] = []
 
+    @property
+    def n_candidates(self) -> int:
+        """Number of candidates currently tracked."""
+        return len(self._pairs)
+
+    @property
+    def n_query_records(self) -> int:
+        """Number of query records currently retained."""
+        return len(self._query_history)
+
+    def candidate_ids(self) -> list[object]:
+        """Tracked candidate ids, in registration order."""
+        return list(self._pairs)
+
+    def has_candidate(self, candidate_id: object) -> bool:
+        return candidate_id in self._pairs
+
     def add_candidate(self, candidate_id: object) -> None:
         """Register a candidate; replays the query records seen so far."""
         if candidate_id in self._pairs:
@@ -240,6 +257,30 @@ class StreamingLinker:
         for record in self._query_history:
             evidence.insert(record, SOURCE_P)
         self._pairs[candidate_id] = evidence
+
+    def discard_candidate(self, candidate_id: object) -> None:
+        """Stop tracking a candidate and drop its pair evidence."""
+        if self._pairs.pop(candidate_id, None) is None:
+            raise ValidationError(f"unknown candidate {candidate_id!r}")
+
+    def expire_before(self, cutoff_t: float) -> int:
+        """Forget all evidence older than ``cutoff_t``; returns records dropped.
+
+        The session-reuse hook for long-lived service deployments: the
+        same linker keeps serving a session while records beyond a
+        retention horizon are discarded, both from every pair's
+        :meth:`StreamingPairEvidence.expire_before` and from the query
+        history replayed into newly registered candidates.  After the
+        call, decisions equal what a fresh linker fed only the
+        surviving records would produce.
+        """
+        removed = 0
+        for evidence in self._pairs.values():
+            removed += evidence.expire_before(cutoff_t)
+        kept = [r for r in self._query_history if r.t >= cutoff_t]
+        removed += len(self._query_history) - len(kept)
+        self._query_history = kept
+        return removed
 
     def observe_query(self, record: Record) -> None:
         """A new record of the query trajectory arrived."""

@@ -35,3 +35,40 @@ class NotFittedError(StateError):
 
 class DataFormatError(ValidationError):
     """A file being loaded does not match the expected format."""
+
+
+class ServiceError(FTLError):
+    """Base class for errors raised by the linking service layer."""
+
+
+class ProtocolError(ServiceError, ValidationError):
+    """A request violates the wire protocol (malformed JSON, bad schema)."""
+
+
+class PayloadTooLargeError(ProtocolError):
+    """A request body exceeds the service's configured size limit."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's request queue is full; retry later (HTTP 503)."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired before it could be served (HTTP 504)."""
+
+
+class RemoteServiceError(ServiceError):
+    """A service call failed server-side; carries the wire error payload.
+
+    Raised by :class:`repro.service.client.ServiceClient` when the
+    daemon answers with a non-2xx status.  ``status`` is the HTTP
+    status code and ``payload`` the structured error body.
+    """
+
+    def __init__(self, status: int, payload: dict | None = None) -> None:
+        self.status = int(status)
+        self.payload = payload or {}
+        error = self.payload.get("error", {})
+        message = error.get("message", "service call failed")
+        kind = error.get("type", "ServiceError")
+        super().__init__(f"[{self.status}] {kind}: {message}")

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import FTLConfig
-from repro.core.database import TrajectoryDatabase
 from repro.core.models import CompatibilityModel
 from repro.core.naive_bayes import NaiveBayesMatcher
 from repro.errors import ValidationError

@@ -1,0 +1,56 @@
+"""The FTL linking daemon: JSON-over-HTTP serving of the batch engine.
+
+A stdlib-only asyncio subsystem that turns the in-process
+:class:`~repro.core.engine.LinkEngine` and
+:class:`~repro.core.streaming.StreamingLinker` into a network service:
+
+* :mod:`repro.service.protocol` — wire schemas, parsing, and the
+  mapping from :mod:`repro.errors` to structured error responses;
+* :mod:`repro.service.state` — shared daemon state: engine, resident
+  candidate pool, streaming ingest sessions with idle-TTL expiry, and
+  the metrics registry;
+* :mod:`repro.service.batcher` — the micro-batching scheduler that
+  coalesces concurrent ``/link`` requests into single
+  :meth:`~repro.core.engine.LinkEngine.link_requests` calls;
+* :mod:`repro.service.server` — the asyncio HTTP/1.1 daemon
+  (``/link``, ``/ingest``, ``/healthz``, ``/metrics``) with bounded
+  queues, 503 backpressure, per-request deadlines and graceful drain;
+* :mod:`repro.service.client` — a thin blocking client for tests,
+  examples and load generation.
+
+See ``docs/service.md`` for the endpoint and schema reference.
+"""
+
+from repro.service.batcher import MicroBatcher
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    error_payload,
+    link_request_from_wire,
+    options_from_wire,
+    result_from_wire,
+    result_to_wire,
+    trajectory_from_wire,
+    trajectory_to_wire,
+)
+from repro.service.server import BackgroundServer, LinkServer, ServerConfig
+from repro.service.state import IngestSession, Metrics, ServiceState
+
+__all__ = [
+    "BackgroundServer",
+    "DEFAULT_MAX_BODY_BYTES",
+    "IngestSession",
+    "LinkServer",
+    "Metrics",
+    "MicroBatcher",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceState",
+    "error_payload",
+    "link_request_from_wire",
+    "options_from_wire",
+    "result_from_wire",
+    "result_to_wire",
+    "trajectory_from_wire",
+    "trajectory_to_wire",
+]

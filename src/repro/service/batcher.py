@@ -1,0 +1,240 @@
+"""Micro-batching scheduler: coalesce concurrent requests into one call.
+
+Per-request serving pays a fixed overhead per engine invocation — an
+executor handoff, a future wakeup, a pass over NumPy dispatch — that
+dwarfs the marginal cost of linking one more query inside an already
+vectorised :meth:`~repro.core.engine.LinkEngine.link_requests` call.
+The :class:`MicroBatcher` therefore drains up to ``max_batch_size``
+queued requests (waiting at most ``max_wait_ms`` for stragglers after
+the first arrival) and runs them as *one* engine call on a worker
+thread.
+
+Load-shedding is explicit and bounded:
+
+* the queue holds at most ``queue_limit`` requests; a submit against a
+  full queue fails fast with
+  :class:`~repro.errors.ServiceOverloadedError` (HTTP 503) instead of
+  growing an unbounded backlog;
+* a request may carry a deadline; requests whose deadline passed while
+  queued are completed with
+  :class:`~repro.errors.DeadlineExceededError` (HTTP 504) *without*
+  spending engine time on them;
+* :meth:`stop` drains: submits are refused, queued work is finished,
+  then the scheduler exits — the graceful-shutdown half of SIGTERM
+  handling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+
+DEFAULT_MAX_BATCH_SIZE = 16
+DEFAULT_MAX_WAIT_MS = 2.0
+DEFAULT_QUEUE_LIMIT = 128
+
+
+@dataclass
+class _Pending:
+    """One queued request with its completion future."""
+
+    payload: Any
+    future: asyncio.Future
+    enqueued_at: float
+    deadline: float | None
+
+
+class MicroBatcher:
+    """Coalesces awaitable submissions into bounded batch executions.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(payloads) -> results`` called on a worker thread with
+        the payloads of one batch, returning one result per payload in
+        order.  For the daemon this is a closure over
+        :meth:`LinkEngine.link_requests`.
+    max_batch_size:
+        Most payloads per runner call; ``1`` degenerates to per-request
+        serving (the baseline configuration in the load benchmark).
+    max_wait_ms:
+        How long the scheduler waits for more arrivals after the first
+        request of a batch before dispatching a partial batch.
+    queue_limit:
+        Bound on queued (not yet dispatched) requests; beyond it,
+        submissions fail with ``ServiceOverloadedError``.
+    metrics:
+        Optional :class:`~repro.service.state.Metrics` to record batch
+        sizes, queue wait and execution latency.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[list[Any]], Sequence[Any]],
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        metrics=None,
+        executor=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValidationError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if max_wait_ms < 0:
+            raise ValidationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if queue_limit < 1:
+            raise ValidationError(f"queue_limit must be >= 1, got {queue_limit}")
+        self._runner = runner
+        self._max_batch_size = int(max_batch_size)
+        self._max_wait_s = float(max_wait_ms) / 1e3
+        self._queue_limit = int(queue_limit)
+        self._metrics = metrics
+        self._executor = executor
+        self._clock = clock
+        self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
+        self._accepting = False
+        #: Requests whose future is not yet done — queued, collected
+        #: into a batch, or executing.  ``stop`` drains on this, so a
+        #: request can never be stranded between the queue and a batch.
+        self._n_pending = 0
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the scheduler loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._accepting = True
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Refuse new work, drain queued *and* in-flight work, then stop."""
+        self._accepting = False
+        if self._task is None:
+            return
+        while self._n_pending:
+            await asyncio.sleep(0.001)
+        task, self._task = self._task, None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, payload: Any, timeout_ms: float | None = None) -> Any:
+        """Enqueue one payload and await its batch result.
+
+        Raises ``ServiceOverloadedError`` immediately when the queue is
+        full or the batcher is draining, and ``DeadlineExceededError``
+        when ``timeout_ms`` elapses before the payload is dispatched.
+        """
+        if not self._accepting:
+            raise ServiceOverloadedError("service is draining; retry later")
+        if self._queue.qsize() >= self._queue_limit:
+            if self._metrics is not None:
+                self._metrics.inc("queue_rejections_total")
+            raise ServiceOverloadedError(
+                f"request queue is full ({self._queue_limit} pending); retry later"
+            )
+        now = self._clock()
+        deadline = None if timeout_ms is None else now + timeout_ms / 1e3
+        pending = _Pending(
+            payload=payload,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=now,
+            deadline=deadline,
+        )
+        self._n_pending += 1
+        pending.future.add_done_callback(self._on_done)
+        self._queue.put_nowait(pending)
+        return await pending.future
+
+    def _on_done(self, _future: asyncio.Future) -> None:
+        self._n_pending -= 1
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    async def _collect_batch(self) -> list[_Pending]:
+        """Block for the first request, then coalesce up to the limits."""
+        batch = [await self._queue.get()]
+        flush_at = self._clock() + self._max_wait_s
+        while len(batch) < self._max_batch_size:
+            remaining = flush_at - self._clock()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    def _split_expired(
+        self, batch: list[_Pending]
+    ) -> tuple[list[_Pending], list[_Pending]]:
+        now = self._clock()
+        live = [p for p in batch if p.deadline is None or p.deadline > now]
+        expired = [p for p in batch if p.deadline is not None and p.deadline <= now]
+        return live, expired
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._collect_batch()
+            await self._process(loop, batch)
+
+    async def _process(self, loop, batch: list[_Pending]) -> None:
+        live, expired = self._split_expired(batch)
+        for pending in expired:
+            if not pending.future.done():
+                pending.future.set_exception(
+                    DeadlineExceededError(
+                        "request spent its deadline waiting in the queue"
+                    )
+                )
+        if self._metrics is not None:
+            if expired:
+                self._metrics.inc("deadline_exceeded_total", len(expired))
+            if live:
+                now = self._clock()
+                self._metrics.inc("batches_total")
+                self._metrics.inc("batched_requests_total", len(live))
+                for pending in live:
+                    self._metrics.observe("queue_wait", now - pending.enqueued_at)
+        if not live:
+            return
+        started = self._clock()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._runner, [p.payload for p in live]
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to callers
+            for pending in live:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        if self._metrics is not None:
+            self._metrics.observe("batch_exec", self._clock() - started)
+        for pending, result in zip(live, results):
+            if not pending.future.done():
+                pending.future.set_result(result)

@@ -1,0 +1,162 @@
+"""Blocking client for the linking daemon.
+
+A thin ``http.client`` wrapper used by tests, examples and the load
+generator.  Connections are kept alive across calls and transparently
+re-established; server-side failures surface as
+:class:`~repro.errors.RemoteServiceError` carrying the structured error
+payload, so callers can switch on ``exc.status`` /
+``exc.payload["error"]["type"]`` without string matching.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.engine import LinkOptions, LinkResult
+from repro.core.trajectory import Trajectory
+from repro.errors import RemoteServiceError, ValidationError
+from repro.service.protocol import (
+    result_from_wire,
+    trajectory_to_wire,
+)
+
+#: ``LinkOptions`` fields forwarded on the wire by :meth:`ServiceClient.link`.
+_WIRE_FIELDS = ("method", "alpha1", "alpha2", "phi_r", "top_k")
+
+
+class ServiceClient:
+    """Call a running linking daemon over HTTP.
+
+    Parameters
+    ----------
+    host, port:
+        Where the daemon listens (e.g. ``*BackgroundServer.address``).
+    timeout_s:
+        Socket timeout for each call.
+
+    The client is not thread-safe; give each thread its own instance
+    (they are cheap — one lazy TCP connection each).
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._host = host
+        self._port = int(port)
+        self._timeout_s = timeout_s
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout_s
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str, body: object | None = None) -> dict:
+        """One JSON round trip; retries once on a dropped keep-alive."""
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise RemoteServiceError(
+                response.status,
+                {"error": {"type": "ProtocolError",
+                           "message": f"undecodable response body: {exc}"}},
+            ) from None
+        if response.status >= 300:
+            raise RemoteServiceError(response.status, parsed)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def link_raw(self, body: dict) -> dict:
+        """POST a pre-built ``/link`` body; returns the wire response."""
+        return self.request("POST", "/link", body)
+
+    def link(
+        self,
+        query: Trajectory,
+        candidates: Iterable[Trajectory] | None = None,
+        options: LinkOptions | None = None,
+        timeout_ms: float | None = None,
+    ) -> LinkResult:
+        """Link one query, decoding the response into a :class:`LinkResult`.
+
+        ``candidates=None`` ranks against the daemon's resident pool.
+        ``options`` fields are sent on the wire (``prefilter`` cannot
+        be serialised and must be configured server-side).
+        """
+        if options is not None and options.prefilter is not None:
+            raise ValidationError(
+                "prefilter cannot be sent over the wire; configure it "
+                "on the server's LinkOptions"
+            )
+        body: dict = {"query": trajectory_to_wire(query)}
+        if candidates is not None:
+            body["candidates"] = [trajectory_to_wire(c) for c in candidates]
+        if options is not None:
+            body["options"] = {
+                field: getattr(options, field) for field in _WIRE_FIELDS
+            }
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        return result_from_wire(self.link_raw(body))
+
+    def ingest(
+        self,
+        session: str,
+        query_records: Sequence[Sequence[float]] = (),
+        candidate_records: Mapping[str, Sequence[Sequence[float]]] | None = None,
+        expire_before: float | None = None,
+        decide: bool = True,
+    ) -> dict:
+        """Stream records into a server-side session; returns decisions.
+
+        Records are ``(t, x, y)`` triples (any sequence type).
+        """
+        body: dict = {
+            "session": session,
+            "query": [list(map(float, r)) for r in query_records],
+            "candidates": {
+                str(cid): [list(map(float, r)) for r in records]
+                for cid, records in (candidate_records or {}).items()
+            },
+            "decide": decide,
+        }
+        if expire_before is not None:
+            body["expire_before"] = expire_before
+        return self.request("POST", "/ingest", body)

@@ -1,0 +1,330 @@
+"""Wire protocol of the linking daemon: JSON schemas and error mapping.
+
+Everything here is pure (bytes/dicts in, dataclasses/dicts out) so the
+protocol is testable without opening a socket.  The daemon speaks JSON
+over HTTP/1.1; the schemas are documented in ``docs/service.md``.
+
+Design rules:
+
+* every request failure maps to a *structured* error body
+  ``{"error": {"type", "message", "status"}}`` via :func:`error_payload`
+  — a traceback is never put on the wire;
+* the error type names come from :mod:`repro.errors`, so a client can
+  switch on them without parsing messages;
+* floats survive the round trip bit-exactly: ``json`` emits
+  ``repr``-shortest forms, which parse back to the identical float64,
+  so a ``/link`` response equals the in-process
+  :meth:`~repro.core.engine.LinkEngine.link_batch` result bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.engine import Candidate, LinkOptions, LinkResult
+from repro.core.trajectory import Trajectory
+from repro.errors import (
+    DeadlineExceededError,
+    FTLError,
+    NotFittedError,
+    PayloadTooLargeError,
+    ProtocolError,
+    ServiceOverloadedError,
+    StateError,
+    ValidationError,
+)
+
+#: Default cap on request body size (bytes); larger bodies get HTTP 413.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: ``LinkOptions`` fields settable over the wire.  ``prefilter`` is
+#: deliberately absent: it is a live object, not a serialisable value.
+WIRE_OPTION_KEYS = ("method", "alpha1", "alpha2", "phi_r", "top_k")
+
+
+# ----------------------------------------------------------------------
+# Body parsing
+# ----------------------------------------------------------------------
+def parse_json_body(raw: bytes, max_bytes: int = DEFAULT_MAX_BODY_BYTES):
+    """Decode a request body, mapping every failure to a protocol error."""
+    if len(raw) > max_bytes:
+        raise PayloadTooLargeError(
+            f"request body of {len(raw)} bytes exceeds the {max_bytes} byte limit"
+        )
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"request body is not valid UTF-8: {exc}") from None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from None
+
+
+def _require_object(obj, what: str) -> dict:
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"{what} must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Trajectories
+# ----------------------------------------------------------------------
+def trajectory_to_wire(trajectory: Trajectory) -> dict:
+    """``{"traj_id": ..., "records": [[t, x, y], ...]}``."""
+    return {
+        "traj_id": trajectory.traj_id,
+        "records": [
+            [float(t), float(x), float(y)]
+            for t, x, y in zip(trajectory.ts, trajectory.xs, trajectory.ys)
+        ],
+    }
+
+
+def records_from_wire(obj, what: str = "records") -> list[list[float]]:
+    """Validate a ``[[t, x, y], ...]`` array (shared by /link and /ingest)."""
+    if not isinstance(obj, list):
+        raise ProtocolError(f"{what} must be an array of [t, x, y] triples")
+    for i, item in enumerate(obj):
+        if (
+            not isinstance(item, list)
+            or len(item) != 3
+            or not all(isinstance(v, (int, float)) for v in item)
+        ):
+            raise ProtocolError(
+                f"{what}[{i}] must be a numeric [t, x, y] triple, got {item!r}"
+            )
+    return obj
+
+
+def trajectory_from_wire(obj, what: str = "trajectory") -> Trajectory:
+    """Parse and validate one wire trajectory."""
+    body = _require_object(obj, what)
+    unknown = set(body) - {"traj_id", "records"}
+    if unknown:
+        raise ProtocolError(f"{what} has unknown keys: {sorted(unknown)}")
+    records = records_from_wire(body.get("records"), f"{what}.records")
+    ts = [r[0] for r in records]
+    xs = [r[1] for r in records]
+    ys = [r[2] for r in records]
+    try:
+        return Trajectory(ts, xs, ys, body.get("traj_id"), sort=True)
+    except ValidationError as exc:
+        raise ProtocolError(f"invalid {what}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Options
+# ----------------------------------------------------------------------
+def options_from_wire(obj, base: LinkOptions) -> LinkOptions:
+    """Apply a wire ``options`` object on top of the server defaults.
+
+    Unknown keys are rejected (the caller is probably misspelling a
+    knob, and a silently ignored knob is worse than an error); known
+    keys are validated by ``LinkOptions`` itself, so an unknown
+    ``method`` or out-of-range alpha surfaces as a 400.
+    """
+    body = _require_object(obj, "options")
+    unknown = set(body) - set(WIRE_OPTION_KEYS)
+    if unknown:
+        raise ProtocolError(
+            f"options has unknown keys: {sorted(unknown)}; "
+            f"settable: {list(WIRE_OPTION_KEYS)}"
+        )
+    if not body:
+        return base
+    if "method" in body and not isinstance(body["method"], str):
+        raise ProtocolError(f"options.method must be a string, got {body['method']!r}")
+    for key in ("alpha1", "alpha2", "phi_r"):
+        if key in body and not isinstance(body[key], (int, float)):
+            raise ProtocolError(
+                f"options.{key} must be a number, got {body[key]!r}"
+            )
+    top_k = body.get("top_k")
+    if top_k is not None and not isinstance(top_k, int):
+        raise ProtocolError(f"options.top_k must be an integer, got {top_k!r}")
+    return base.with_updates(**body)
+
+
+# ----------------------------------------------------------------------
+# /link
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinkWireRequest:
+    """A parsed ``/link`` request body."""
+
+    query: Trajectory
+    candidates: tuple[Trajectory, ...] | None
+    options: LinkOptions
+    timeout_ms: float | None
+
+
+def link_request_from_wire(obj, base_options: LinkOptions) -> LinkWireRequest:
+    """Parse and validate one ``/link`` body.
+
+    Schema::
+
+        {"query": {"traj_id": ..., "records": [[t, x, y], ...]},
+         "candidates": [<trajectory>, ...],   # optional; default: pool
+         "options": {"method": ..., ...},     # optional
+         "timeout_ms": 250}                   # optional deadline
+    """
+    body = _require_object(obj, "request")
+    unknown = set(body) - {"query", "candidates", "options", "timeout_ms"}
+    if unknown:
+        raise ProtocolError(f"request has unknown keys: {sorted(unknown)}")
+    if "query" not in body:
+        raise ProtocolError("request is missing the required 'query' field")
+    query = trajectory_from_wire(body["query"], "query")
+    candidates = None
+    if body.get("candidates") is not None:
+        raw = body["candidates"]
+        if not isinstance(raw, list):
+            raise ProtocolError("candidates must be an array of trajectories")
+        candidates = tuple(
+            trajectory_from_wire(c, f"candidates[{i}]") for i, c in enumerate(raw)
+        )
+    options = (
+        options_from_wire(body["options"], base_options)
+        if body.get("options") is not None
+        else base_options
+    )
+    timeout_ms = body.get("timeout_ms")
+    if timeout_ms is not None:
+        if not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0:
+            raise ProtocolError(
+                f"timeout_ms must be a positive number, got {timeout_ms!r}"
+            )
+        timeout_ms = float(timeout_ms)
+    return LinkWireRequest(
+        query=query, candidates=candidates, options=options, timeout_ms=timeout_ms
+    )
+
+
+def result_to_wire(result: LinkResult) -> dict:
+    """Serialise a :class:`LinkResult` (exactly its ``to_dict`` shape)."""
+    return result.to_dict()
+
+
+def result_from_wire(obj) -> LinkResult:
+    """Rebuild a :class:`LinkResult` from its wire form (client side)."""
+    body = _require_object(obj, "result")
+    try:
+        candidates = tuple(
+            Candidate(
+                candidate_id=c["candidate_id"],
+                score=float(c["score"]),
+                p_rejection=float(c["p_rejection"]),
+                p_acceptance=float(c["p_acceptance"]),
+                n_mutual=int(c["n_mutual"]),
+                n_incompatible=int(c["n_incompatible"]),
+            )
+            for c in body["candidates"]
+        )
+        return LinkResult(
+            query_id=body["query_id"],
+            method=body["method"],
+            candidates=candidates,
+        )
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed link result on the wire: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# /ingest
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IngestWireRequest:
+    """A parsed ``/ingest`` request body."""
+
+    session: str
+    query_records: list[list[float]]
+    candidate_records: dict[str, list[list[float]]]
+    expire_before: float | None
+    decide: bool
+
+
+def ingest_request_from_wire(obj) -> IngestWireRequest:
+    """Parse and validate one ``/ingest`` body.
+
+    Schema::
+
+        {"session": "case-42",
+         "query": [[t, x, y], ...],                  # optional
+         "candidates": {"cand-1": [[t, x, y], ...]}, # optional
+         "expire_before": 1700000000.0,              # optional
+         "decide": true}                             # optional (default)
+    """
+    body = _require_object(obj, "request")
+    unknown = set(body) - {
+        "session", "query", "candidates", "expire_before", "decide"
+    }
+    if unknown:
+        raise ProtocolError(f"request has unknown keys: {sorted(unknown)}")
+    session = body.get("session")
+    if not isinstance(session, str) or not session:
+        raise ProtocolError("request needs a non-empty string 'session' id")
+    query_records = records_from_wire(body.get("query", []), "query")
+    raw_candidates = body.get("candidates", {})
+    if not isinstance(raw_candidates, dict):
+        raise ProtocolError("candidates must map candidate id -> record array")
+    candidate_records = {
+        cid: records_from_wire(recs, f"candidates[{cid!r}]")
+        for cid, recs in raw_candidates.items()
+    }
+    expire_before = body.get("expire_before")
+    if expire_before is not None and not isinstance(expire_before, (int, float)):
+        raise ProtocolError(
+            f"expire_before must be a number, got {expire_before!r}"
+        )
+    decide = body.get("decide", True)
+    if not isinstance(decide, bool):
+        raise ProtocolError(f"decide must be a boolean, got {decide!r}")
+    return IngestWireRequest(
+        session=session,
+        query_records=query_records,
+        candidate_records=candidate_records,
+        expire_before=None if expire_before is None else float(expire_before),
+        decide=decide,
+    )
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+def status_for(exc: BaseException) -> int:
+    """The HTTP status an exception maps to.
+
+    The mapping walks the :mod:`repro.errors` hierarchy most-specific
+    first; anything unrecognised is an internal error.
+    """
+    if isinstance(exc, PayloadTooLargeError):
+        return 413
+    if isinstance(exc, ServiceOverloadedError):
+        return 503
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    if isinstance(exc, (ProtocolError, ValidationError)):
+        return 400
+    if isinstance(exc, (NotFittedError, StateError)):
+        return 409
+    return 500
+
+
+def error_payload(exc: BaseException) -> tuple[int, dict]:
+    """``(status, body)`` for an exception; never leaks a traceback.
+
+    Library errors (:class:`~repro.errors.FTLError` subclasses) expose
+    their type name and message — they are user-input diagnoses.  Any
+    other exception is an internal bug: the body says only
+    ``InternalError`` so implementation details stay out of responses.
+    """
+    status = status_for(exc)
+    if isinstance(exc, FTLError) and status != 500:
+        kind, message = type(exc).__name__, str(exc)
+    else:
+        kind, message = "InternalError", "internal server error"
+    return status, {"error": {"type": kind, "message": message, "status": status}}

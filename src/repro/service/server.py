@@ -1,0 +1,514 @@
+"""The asyncio linking daemon: JSON over HTTP/1.1, stdlib only.
+
+One event loop accepts connections and parses requests; ``/link``
+bodies are handed to the :class:`~repro.service.batcher.MicroBatcher`,
+which coalesces them into single
+:meth:`~repro.core.engine.LinkEngine.link_requests` calls executed on a
+worker thread, so the vectorised batch path is exercised under
+concurrent load.  ``/ingest`` routes streaming record updates into
+per-session :class:`~repro.core.streaming.StreamingLinker` instances
+(idle sessions are TTL-collected), and ``/healthz`` + ``/metrics``
+expose liveness and the counter/latency registry.
+
+The HTTP layer is intentionally minimal: HTTP/1.1 with keep-alive and
+``Content-Length`` bodies (chunked uploads are rejected), every error
+answered with the structured JSON of
+:func:`repro.service.protocol.error_payload`.  ``SIGTERM``/``SIGINT``
+trigger a graceful drain: stop accepting, finish queued work, exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.engine import LinkEngine, LinkOptions, LinkRequest
+from repro.errors import PayloadTooLargeError, ProtocolError, ValidationError
+from repro.service import protocol
+from repro.service.batcher import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_WAIT_MS,
+    DEFAULT_QUEUE_LIMIT,
+    MicroBatcher,
+)
+from repro.service.state import DEFAULT_SESSION_TTL_S, ServiceState
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Cap on header lines per request (defence against header floods).
+_MAX_HEADERS = 100
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Daemon knobs (everything the CLI ``ftl serve`` flags map onto)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
+    max_wait_ms: float = DEFAULT_MAX_WAIT_MS
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    workers: int = 1
+    session_ttl_s: float = DEFAULT_SESSION_TTL_S
+    max_body_bytes: int = protocol.DEFAULT_MAX_BODY_BYTES
+    default_timeout_ms: float | None = None
+    sweep_interval_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.max_body_bytes < 1:
+            raise ValidationError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+        if self.sweep_interval_s <= 0:
+            raise ValidationError(
+                f"sweep_interval_s must be positive, got {self.sweep_interval_s}"
+            )
+
+
+class LinkServer:
+    """The daemon: routes, batching, sessions, lifecycle.
+
+    Parameters
+    ----------
+    engine:
+        A fitted :class:`~repro.core.engine.LinkEngine`.
+    pool:
+        Resident candidate pool served to ``/link`` requests without
+        their own candidates.
+    options:
+        Server-default :class:`LinkOptions` (falls back to the
+        engine's).
+    config:
+        Network and scheduling knobs; see :class:`ServerConfig`.
+    clock:
+        Injectable monotonic clock (session-TTL tests control time).
+    """
+
+    def __init__(
+        self,
+        engine: LinkEngine,
+        pool,
+        options: LinkOptions | None = None,
+        config: ServerConfig = ServerConfig(),
+        clock=time.monotonic,
+    ) -> None:
+        self._config = config
+        self._state = ServiceState(
+            engine=engine,
+            pool=list(pool),
+            options=options if options is not None else engine.options,
+            session_ttl_s=config.session_ttl_s,
+            clock=clock,
+        )
+        self._clock = clock
+        # The engine's caches are plain dicts; one lock keeps them
+        # consistent when workers > 1 executes batches concurrently
+        # (NumPy releases the GIL inside the heavy kernels, so extra
+        # workers still overlap useful work).
+        self._engine_lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="ftl-batch"
+        )
+        self._batcher = MicroBatcher(
+            runner=self._run_batch,
+            max_batch_size=config.max_batch_size,
+            max_wait_ms=config.max_wait_ms,
+            queue_limit=config.queue_limit,
+            metrics=self._state.metrics,
+            executor=self._executor,
+            clock=clock,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._sweeper: asyncio.Task | None = None
+        self._shutdown = asyncio.Event()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> ServiceState:
+        return self._state
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` requests)."""
+        if self._server is None or not self._server.sockets:
+            raise ValidationError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        await self._batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._config.host, self._config.port
+        )
+        self._sweeper = asyncio.get_running_loop().create_task(
+            self._sweep_sessions()
+        )
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, flush the queue, release threads."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._batcher.stop()
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweeper
+            self._sweeper = None
+        self._executor.shutdown(wait=True)
+
+    def request_shutdown(self) -> None:
+        """Signal-safe trigger for :meth:`serve_until_shutdown`."""
+        self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        """Drain on SIGTERM/SIGINT where the platform supports it."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def serve_until_shutdown(
+        self, shutdown_after_s: float | None = None
+    ) -> None:
+        """Serve until a shutdown request (or a timeout), then drain."""
+        try:
+            if shutdown_after_s is None:
+                await self._shutdown.wait()
+            else:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._shutdown.wait(), timeout=shutdown_after_s
+                    )
+        finally:
+            await self.stop()
+
+    async def _sweep_sessions(self) -> None:
+        interval = min(self._config.sweep_interval_s, self._config.session_ttl_s)
+        while True:
+            await asyncio.sleep(interval)
+            self._state.expire_idle_sessions()
+
+    # ------------------------------------------------------------------
+    # Batch execution (worker thread)
+    # ------------------------------------------------------------------
+    def _run_batch(self, requests: list[LinkRequest]):
+        with self._engine_lock:
+            return self._state.engine.link_requests(
+                requests, default_pool=self._state.pool
+            )
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except (ProtocolError, PayloadTooLargeError) as exc:
+                    status, body = protocol.error_payload(exc)
+                    self._write_response(writer, status, body, close=True)
+                    break
+                if request is None:
+                    break
+                method, path, headers, body_bytes = request
+                status, body = await self._dispatch(method, path, body_bytes)
+                close = (
+                    self._draining
+                    or headers.get("connection", "").lower() == "close"
+                )
+                self._write_response(writer, status, body, close=close)
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """One parsed request, or ``None`` when the peer closed cleanly."""
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise ProtocolError("request line too long") from None
+        if not line:
+            return None
+        parts = line.decode("latin-1", "replace").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ProtocolError("malformed HTTP request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                hline = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                raise ProtocolError("header line too long") from None
+            if hline in (b"\r\n", b"\n"):
+                break
+            if not hline:
+                return None
+            if len(headers) >= _MAX_HEADERS:
+                raise ProtocolError("too many header lines")
+            name, sep, value = hline.decode("latin-1", "replace").partition(":")
+            if not sep:
+                raise ProtocolError(f"malformed header line {hline!r}")
+            headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            raise ProtocolError("chunked request bodies are not supported")
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ProtocolError(
+                f"invalid Content-Length {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise ProtocolError(f"invalid Content-Length {length}")
+        if length > self._config.max_body_bytes:
+            raise PayloadTooLargeError(
+                f"request body of {length} bytes exceeds the "
+                f"{self._config.max_body_bytes} byte limit"
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method, path, headers, body
+
+    def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, body: dict, close: bool
+    ) -> None:
+        payload = json.dumps(body, default=str).encode("utf-8")
+        reason = _REASONS.get(status, "OK")
+        extra = "Retry-After: 1\r\n" if status == 503 else ""
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"{extra}\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        self._state.metrics.inc(f"responses_{status}_total")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        self._state.metrics.inc("requests_total")
+        started = self._clock()
+        try:
+            if path == "/healthz":
+                self._require_method(method, "GET")
+                return 200, self._state.health()
+            if path == "/metrics":
+                self._require_method(method, "GET")
+                payload = self._state.metrics.to_dict()
+                payload["queue_depth"] = self._batcher.queue_depth
+                payload["sessions"] = len(self._state.sessions)
+                return 200, payload
+            if path == "/link":
+                self._require_method(method, "POST")
+                return 200, await self._handle_link(body)
+            if path == "/ingest":
+                self._require_method(method, "POST")
+                return 200, self._handle_ingest(body)
+            return 404, {
+                "error": {
+                    "type": "NotFound",
+                    "message": f"unknown endpoint {path!r}; known: "
+                               "/link /ingest /healthz /metrics",
+                    "status": 404,
+                }
+            }
+        except _MethodNotAllowed as exc:
+            return 405, {
+                "error": {
+                    "type": "MethodNotAllowed",
+                    "message": str(exc),
+                    "status": 405,
+                }
+            }
+        except Exception as exc:  # noqa: BLE001 - mapped, never leaked
+            return protocol.error_payload(exc)
+        finally:
+            label = path.strip("/").replace("/", "_") or "root"
+            self._state.metrics.observe(
+                f"request_{label}", self._clock() - started
+            )
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise _MethodNotAllowed(
+                f"method {method} is not allowed here; use {expected}"
+            )
+
+    async def _handle_link(self, body: bytes) -> dict:
+        wire = protocol.link_request_from_wire(
+            protocol.parse_json_body(body, self._config.max_body_bytes),
+            self._state.options,
+        )
+        request = LinkRequest(
+            query=wire.query, candidates=wire.candidates, options=wire.options
+        )
+        timeout_ms = (
+            wire.timeout_ms
+            if wire.timeout_ms is not None
+            else self._config.default_timeout_ms
+        )
+        self._state.metrics.inc("link_requests_total")
+        result = await self._batcher.submit(request, timeout_ms=timeout_ms)
+        return protocol.result_to_wire(result)
+
+    def _handle_ingest(self, body: bytes) -> dict:
+        wire = protocol.ingest_request_from_wire(
+            protocol.parse_json_body(body, self._config.max_body_bytes)
+        )
+        entry = self._state.ingest(
+            wire.session,
+            wire.query_records,
+            wire.candidate_records,
+            expire_before=wire.expire_before,
+        )
+        response = {
+            "session": entry.session_id,
+            "n_candidates": entry.linker.n_candidates,
+            "n_query_records": entry.linker.n_query_records,
+            "n_records_ingested": entry.n_records,
+        }
+        if wire.decide:
+            response["decisions"] = [
+                {
+                    "candidate_id": d.candidate_id,
+                    "same_person": d.same_person,
+                    "log_posterior_ratio": d.log_posterior_ratio,
+                    "n_mutual": d.n_mutual,
+                    "n_incompatible": d.n_incompatible,
+                }
+                for d in entry.linker.decisions()
+            ]
+        return response
+
+
+class _MethodNotAllowed(Exception):
+    """Internal routing signal; rendered as a structured 405."""
+
+
+class BackgroundServer:
+    """Run a :class:`LinkServer` on a dedicated thread and event loop.
+
+    The blocking harness used by tests, examples and the load
+    benchmark::
+
+        with BackgroundServer(engine, pool, config=ServerConfig(port=0)) as bg:
+            client = ServiceClient(*bg.address)
+            ...
+
+    ``port=0`` binds an ephemeral port; :attr:`address` reports the
+    real one once :meth:`start` returns.
+    """
+
+    def __init__(
+        self,
+        engine: LinkEngine,
+        pool,
+        options: LinkOptions | None = None,
+        config: ServerConfig = ServerConfig(),
+        clock=time.monotonic,
+    ) -> None:
+        self._args = (engine, pool, options, config, clock)
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._address: tuple[str, int] | None = None
+        self._error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: LinkServer | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise ValidationError("server is not started")
+        return self._address
+
+    @property
+    def server(self) -> LinkServer:
+        if self._server is None:
+            raise ValidationError("server is not started")
+        return self._server
+
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            raise ValidationError("server already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="ftl-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._server is not None:
+            self._loop.call_soon_threadsafe(self._server.request_shutdown)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        engine, pool, options, config, clock = self._args
+        server = LinkServer(engine, pool, options=options, config=config,
+                            clock=clock)
+        await server.start()
+        self._server = server
+        self._loop = asyncio.get_running_loop()
+        self._address = server.address
+        self._ready.set()
+        await server.serve_until_shutdown()

@@ -1,0 +1,258 @@
+"""Shared daemon state: engine, pool, ingest sessions, metrics.
+
+Everything the request handlers touch lives here, behind plain method
+calls with an injectable clock, so the state machine (session creation,
+idle-TTL garbage collection, counter accounting) is unit-testable
+without an event loop.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.engine import LinkEngine, LinkOptions
+from repro.core.records import Record
+from repro.core.streaming import StreamingLinker
+from repro.core.trajectory import Trajectory
+from repro.errors import ValidationError
+
+#: Idle seconds after which an ingest session is garbage-collected.
+DEFAULT_SESSION_TTL_S = 900.0
+
+#: Histogram bucket upper bounds in seconds (log-spaced, sub-ms to 10 s).
+_LATENCY_BOUNDS_S = tuple(
+    round(0.0001 * (10 ** (i / 4)), 7) for i in range(21)
+)  # 0.1 ms ... 10 s
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with percentile estimates.
+
+    Cumulative-bucket percentile estimation (the Prometheus approach):
+    cheap to update, bounded memory, and accurate to within one bucket
+    width — plenty for p50/p99 served from ``/metrics``.
+    """
+
+    def __init__(self, bounds_s: tuple[float, ...] = _LATENCY_BOUNDS_S) -> None:
+        self._bounds = bounds_s
+        self._counts = [0] * (len(bounds_s) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        idx = bisect.bisect_left(self._bounds, seconds)
+        self._counts[idx] += 1
+        self._count += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile (seconds)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        seen = 0
+        for i, n in enumerate(self._counts):
+            seen += n
+            if seen >= rank:
+                return self._bounds[i] if i < len(self._bounds) else self._max
+        return self._max
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self._count,
+            "mean_ms": round(self.mean * 1e3, 4),
+            "p50_ms": round(self.quantile(0.50) * 1e3, 4),
+            "p90_ms": round(self.quantile(0.90) * 1e3, 4),
+            "p99_ms": round(self.quantile(0.99) * 1e3, 4),
+            "max_ms": round(self._max * 1e3, 4),
+        }
+
+
+class Metrics:
+    """Thread-safe named counters and latency histograms.
+
+    Handlers run on the event loop but batches execute on worker
+    threads, so every mutation takes one process-wide lock; the ops are
+    increments, so contention is negligible.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "latency": {
+                    name: hist.to_dict()
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }
+
+
+@dataclass
+class IngestSession:
+    """One streaming-ingest session: a linker plus bookkeeping."""
+
+    session_id: str
+    linker: StreamingLinker
+    created_at: float
+    last_used_at: float
+    n_records: int = 0
+
+    def touch(self, now: float) -> None:
+        self.last_used_at = now
+
+
+@dataclass
+class ServiceState:
+    """Everything the daemon's handlers share.
+
+    Parameters
+    ----------
+    engine:
+        The fitted :class:`~repro.core.engine.LinkEngine` serving
+        ``/link``.
+    pool:
+        Resident candidate pool used by ``/link`` requests that do not
+        carry their own candidates.
+    options:
+        Server-default :class:`LinkOptions`; per-request ``options``
+        objects are applied on top.
+    session_ttl_s:
+        Idle seconds before an ingest session is garbage-collected.
+    clock:
+        Monotonic-seconds source; injectable so TTL tests control time.
+    """
+
+    engine: LinkEngine
+    pool: list[Trajectory]
+    options: LinkOptions
+    session_ttl_s: float = DEFAULT_SESSION_TTL_S
+    clock: object = time.monotonic
+    metrics: Metrics = field(default_factory=Metrics)
+    started_at: float = field(init=False)
+    sessions: dict[str, IngestSession] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.session_ttl_s <= 0:
+            raise ValidationError(
+                f"session_ttl_s must be positive, got {self.session_ttl_s}"
+            )
+        self.started_at = self.clock()
+
+    # ------------------------------------------------------------------
+    # Ingest sessions
+    # ------------------------------------------------------------------
+    def session(self, session_id: str) -> IngestSession:
+        """The named session, created on first use (and TTL-refreshed)."""
+        now = self.clock()
+        entry = self.sessions.get(session_id)
+        if entry is None:
+            linker = StreamingLinker(
+                self.engine.rejection_model,
+                self.engine.acceptance_model,
+                phi_r=self.options.phi_r,
+            )
+            entry = IngestSession(
+                session_id=session_id,
+                linker=linker,
+                created_at=now,
+                last_used_at=now,
+            )
+            self.sessions[session_id] = entry
+            self.metrics.inc("sessions_created_total")
+        entry.touch(now)
+        return entry
+
+    def expire_idle_sessions(self, now: float | None = None) -> list[str]:
+        """Drop sessions idle for longer than the TTL; returns their ids.
+
+        Called lazily from the ingest path and periodically by the
+        server's sweeper task.  Dropping the session releases every
+        :class:`~repro.core.streaming.StreamingPairEvidence` it held, so
+        a later request under the same id starts from zero evidence —
+        its decisions then equal a fresh batch-path run over only the
+        newly ingested records (covered by tests).
+        """
+        if now is None:
+            now = self.clock()
+        expired = [
+            sid
+            for sid, entry in self.sessions.items()
+            if now - entry.last_used_at > self.session_ttl_s
+        ]
+        for sid in expired:
+            del self.sessions[sid]
+        if expired:
+            self.metrics.inc("sessions_expired_total", len(expired))
+        return expired
+
+    def ingest(self, session_id: str, query_records, candidate_records,
+               expire_before: float | None = None) -> IngestSession:
+        """Route new records into a session's streaming linker."""
+        self.expire_idle_sessions()
+        entry = self.session(session_id)
+        linker = entry.linker
+        for t, x, y in query_records:
+            linker.observe_query(Record(t, x, y))
+            entry.n_records += 1
+        for cid, records in candidate_records.items():
+            if not linker.has_candidate(cid):
+                linker.add_candidate(cid)
+            for t, x, y in records:
+                linker.observe_candidate(cid, Record(t, x, y))
+                entry.n_records += 1
+        total = len(query_records) + sum(
+            len(r) for r in candidate_records.values()
+        )
+        if total:
+            self.metrics.inc("ingested_records_total", total)
+        if expire_before is not None:
+            linker.expire_before(expire_before)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(self.clock() - self.started_at, 3),
+            "pool_size": len(self.pool),
+            "sessions": len(self.sessions),
+            "method": self.options.method,
+        }

@@ -127,3 +127,24 @@ class TestLink:
         out = capsys.readouterr().out
         payload = out[: out.rindex("]") + 1]
         assert len(json.loads(payload)) == 3
+
+
+class TestServe:
+    def test_serve_smoke_drains_after_timeout(self, capsys):
+        assert main(
+            ["serve", "SD-mini", "--port", "0", "--shutdown-after", "0.3",
+             "--top-k", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving SD-mini on http://127.0.0.1:" in out
+        assert "drained; bye" in out
+
+    def test_serve_requires_name(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_unknown_dataset_fails(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["serve", "NOPE", "--port", "0", "--shutdown-after", "0.1"])

@@ -328,3 +328,76 @@ class TestBenchSmoke:
             row = written["workloads"][workload]
             assert row["engine_batch_s"] > 0.0
             assert row["profiles_computed"] == 3 * 8
+
+
+class TestLinkRequests:
+    def test_bit_identical_to_link_batch(self, fitted_models, small_pair,
+                                         query_set):
+        engine = make_engine(fitted_models)
+        pool = list(small_pair.q_db)
+        from repro.core.engine import LinkRequest
+
+        requests = [LinkRequest(query=q) for q in query_set]
+        assert engine.link_requests(requests, default_pool=pool) == \
+            engine.link_batch(query_set, pool)
+
+    def test_heterogeneous_per_request_options(self, fitted_models,
+                                               small_pair, query_set):
+        engine = make_engine(fitted_models)
+        pool = list(small_pair.q_db)
+        from repro.core.engine import LinkRequest
+
+        requests = [
+            LinkRequest(query=query, options=options)
+            for query, options in zip(query_set, ALL_OPTIONS)
+        ]
+        got = engine.link_requests(requests, default_pool=pool)
+        expected = [
+            engine.link(query, pool, options)
+            for query, options in zip(query_set, ALL_OPTIONS)
+        ]
+        assert got == expected
+
+    def test_per_request_candidates_override_pool(self, fitted_models,
+                                                  small_pair, query_set):
+        engine = make_engine(fitted_models)
+        pool = list(small_pair.q_db)
+        subset = pool[:3]
+        from repro.core.engine import LinkRequest
+
+        requests = [
+            LinkRequest(query=query_set[0]),
+            LinkRequest(query=query_set[1], candidates=subset),
+        ]
+        got = engine.link_requests(requests, default_pool=pool)
+        assert got[0] == engine.link(query_set[0], pool)
+        assert got[1] == engine.link(query_set[1], subset)
+        assert all(c.candidate_id in {t.traj_id for t in subset}
+                   for c in got[1].candidates)
+
+    def test_no_candidates_and_no_pool_rejected(self, fitted_models,
+                                                query_set):
+        engine = make_engine(fitted_models)
+        from repro.core.engine import LinkRequest
+
+        with pytest.raises(ValidationError, match="no default_pool"):
+            engine.link_requests([LinkRequest(query=query_set[0])])
+
+    def test_request_validation(self, fitted_models, query_set):
+        engine = make_engine(fitted_models)
+        from repro.core.engine import LinkRequest
+
+        with pytest.raises(ValidationError):
+            LinkRequest(query="not a trajectory")
+        with pytest.raises(ValidationError):
+            LinkRequest(query=query_set[0], options="fast")
+        with pytest.raises(ValidationError):
+            engine.link_requests(["not a request"], default_pool=[])
+
+    def test_candidates_coerced_to_tuple(self, small_pair, query_set):
+        from repro.core.engine import LinkRequest
+
+        pool = list(small_pair.q_db)[:2]
+        request = LinkRequest(query=query_set[0], candidates=pool)
+        assert isinstance(request.candidates, tuple)
+        assert len(request.candidates) == 2

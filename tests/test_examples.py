@@ -57,3 +57,10 @@ class TestFastExamples:
         run_example("disease_contact_tracing")
         out = capsys.readouterr().out
         assert "resolved to the right" in out
+
+    def test_serve_and_query(self, capsys):
+        run_example("serve_and_query")
+        out = capsys.readouterr().out
+        assert "daemon listening on http://" in out
+        assert "engine batches" in out
+        assert "daemon drained; bye" in out

@@ -1,6 +1,5 @@
 """Linking-decision explanations."""
 
-import numpy as np
 import pytest
 
 from repro.core.explain import explain_pair

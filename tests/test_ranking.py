@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.alignment import MutualSegmentProfile, mutual_segment_profile
+from repro.core.alignment import MutualSegmentProfile
 from repro.core.ranking import rank_candidates, score_candidate, top_k
 from repro.errors import ValidationError
 

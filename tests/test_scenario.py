@@ -10,7 +10,7 @@ from repro.synth.city import CityModel
 from repro.synth.downsample import downsample_pair, trim_pair
 from repro.synth.noise import GaussianNoise
 from repro.synth.observation import ObservationService
-from repro.synth.population import Agent, generate_population
+from repro.synth.population import generate_population
 from repro.synth.scenario import make_paired_databases, make_split_databases
 
 

@@ -1,0 +1,573 @@
+"""The linking daemon: batching, endpoints, sessions, drain, bench smoke.
+
+A real :class:`BackgroundServer` on an ephemeral port backs the HTTP
+tests; the micro-batcher and session-TTL state machines are additionally
+unit-tested without sockets (deterministic clocks, no sleeps).
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import LinkEngine, LinkOptions
+from repro.core.naive_bayes import NaiveBayesMatcher
+from repro.core.records import Record
+from repro.core.streaming import SOURCE_P, SOURCE_Q, StreamingPairEvidence
+from repro.core.trajectory import Trajectory
+from repro.errors import (
+    DeadlineExceededError,
+    RemoteServiceError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+from repro.service.batcher import MicroBatcher
+from repro.service.client import ServiceClient
+from repro.service.server import BackgroundServer, LinkServer, ServerConfig
+from repro.service.state import Metrics, ServiceState
+
+RANKING = LinkOptions(method="alpha-filter", alpha1=0.0, alpha2=1.0)
+
+
+@pytest.fixture(scope="module")
+def engine(fitted_models):
+    mr, ma = fitted_models
+    return LinkEngine(mr, ma, options=RANKING)
+
+
+@pytest.fixture(scope="module")
+def pool(small_pair):
+    return list(small_pair.q_db)
+
+
+@pytest.fixture(scope="module")
+def queries(small_pair):
+    ids = sorted(small_pair.truth)[:4]
+    return [small_pair.p_db[qid] for qid in ids]
+
+
+@pytest.fixture(scope="module")
+def server(engine, pool):
+    config = ServerConfig(port=0, max_wait_ms=1.0, session_ttl_s=3600.0)
+    with BackgroundServer(engine, pool, config=config) as background:
+        yield background
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(*server.address) as service_client:
+        yield service_client
+
+
+def _post_raw(address, path, raw: bytes, content_length: int | None = None):
+    """POST arbitrary bytes, returning (status, parsed_body, raw_text)."""
+    conn = http.client.HTTPConnection(*address, timeout=30)
+    try:
+        length = len(raw) if content_length is None else content_length
+        conn.putrequest("POST", path)
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(length))
+        conn.endheaders()
+        conn.send(raw)
+        response = conn.getresponse()
+        text = response.read().decode("utf-8")
+        return response.status, json.loads(text), text
+    finally:
+        conn.close()
+
+
+class TestHealthAndMetrics:
+    def test_healthz(self, client, pool):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["pool_size"] == len(pool)
+        assert health["uptime_s"] >= 0.0
+
+    def test_metrics_shape(self, client):
+        client.healthz()
+        metrics = client.metrics()
+        assert metrics["counters"]["requests_total"] >= 1
+        assert "latency" in metrics
+        assert metrics["queue_depth"] == 0
+
+    def test_wrong_method_is_structured_405(self, client):
+        with pytest.raises(RemoteServiceError) as exc:
+            client.request("POST", "/healthz", {"x": 1})
+        assert exc.value.status == 405
+        assert exc.value.payload["error"]["type"] == "MethodNotAllowed"
+
+    def test_unknown_endpoint_is_structured_404(self, client):
+        with pytest.raises(RemoteServiceError) as exc:
+            client.request("GET", "/linkz")
+        assert exc.value.status == 404
+        assert exc.value.payload["error"]["type"] == "NotFound"
+
+
+class TestLinkEndpoint:
+    def test_bit_identical_to_link_batch_resident_pool(
+        self, client, engine, pool, queries
+    ):
+        expected = engine.link_batch(queries, pool)
+        got = [client.link(query) for query in queries]
+        assert got == expected
+
+    def test_bit_identical_with_explicit_candidates(
+        self, client, engine, pool, queries
+    ):
+        subset = pool[:7]
+        expected = engine.link(queries[0], subset)
+        assert client.link(queries[0], candidates=subset) == expected
+
+    def test_per_request_options_override(self, client, engine, pool, queries):
+        options = LinkOptions(method="naive-bayes", phi_r=0.2, top_k=3)
+        expected = engine.link(queries[0], pool, options)
+        got = client.link(queries[0], options=options)
+        assert got == expected
+        assert got.method == "naive-bayes"
+        assert len(got) <= 3
+
+    def test_unknown_option_key_is_400(self, client, queries):
+        from repro.service.protocol import trajectory_to_wire
+
+        with pytest.raises(RemoteServiceError) as exc:
+            client.link_raw(
+                {
+                    "query": trajectory_to_wire(queries[0]),
+                    "options": {"phir": 0.2},
+                }
+            )
+        assert exc.value.status == 400
+        assert exc.value.payload["error"]["type"] == "ProtocolError"
+
+    def test_unknown_method_value_is_400(self, client, queries):
+        from repro.service.protocol import trajectory_to_wire
+
+        with pytest.raises(RemoteServiceError) as exc:
+            client.link_raw(
+                {
+                    "query": trajectory_to_wire(queries[0]),
+                    "options": {"method": "kmeans"},
+                }
+            )
+        assert exc.value.status == 400
+        assert exc.value.payload["error"]["type"] == "ValidationError"
+        assert "unknown method" in exc.value.payload["error"]["message"]
+
+    def test_malformed_json_is_structured_400(self, server):
+        status, body, text = _post_raw(server.address, "/link", b'{"query": ')
+        assert status == 400
+        assert body["error"]["type"] == "ProtocolError"
+        assert "Traceback" not in text
+
+    def test_concurrent_requests_all_bit_identical(
+        self, server, engine, pool, queries
+    ):
+        expected = engine.link_batch(queries, pool)
+        n_threads = 8
+        results: list[object] = [None] * n_threads
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid: int) -> None:
+            with ServiceClient(*server.address) as c:
+                barrier.wait()
+                results[tid] = c.link(queries[tid % len(queries)])
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        for tid in range(n_threads):
+            assert results[tid] == expected[tid % len(queries)]
+
+
+class TestBodyLimit:
+    def test_oversized_body_is_structured_413(self, engine, pool):
+        config = ServerConfig(port=0, max_body_bytes=256)
+        with BackgroundServer(engine, pool, config=config) as background:
+            status, body, text = _post_raw(
+                background.address, "/link", b"{" + b" " * 512 + b"}"
+            )
+        assert status == 413
+        assert body["error"]["type"] == "PayloadTooLargeError"
+        assert "Traceback" not in text
+
+
+class _Barrier:
+    """A runner that blocks until released, recording batch sizes."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.batch_sizes: list[int] = []
+
+    def __call__(self, payloads):
+        self.started.set()
+        assert self.release.wait(timeout=30)
+        self.batch_sizes.append(len(payloads))
+        return [f"done-{p}" for p in payloads]
+
+
+class TestMicroBatcher:
+    def _run(self, coro):
+        import asyncio
+
+        return asyncio.run(coro)
+
+    def test_coalesces_concurrent_submissions(self):
+        import asyncio
+
+        sizes = []
+
+        def runner(payloads):
+            sizes.append(len(payloads))
+            return [p * 2 for p in payloads]
+
+        async def main():
+            batcher = MicroBatcher(runner, max_batch_size=8, max_wait_ms=200.0)
+            await batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(8))
+            )
+            await batcher.stop()
+            return results
+
+        assert self._run(main()) == [i * 2 for i in range(8)]
+        # All eight were waiting before the first dispatch, so they
+        # coalesced into few batches; the first one holds most of them.
+        assert sum(sizes) == 8
+        assert max(sizes) >= 2
+
+    def test_max_batch_size_is_respected(self):
+        import asyncio
+
+        sizes = []
+
+        def runner(payloads):
+            sizes.append(len(payloads))
+            return payloads
+
+        async def main():
+            batcher = MicroBatcher(runner, max_batch_size=3, max_wait_ms=200.0)
+            await batcher.start()
+            await asyncio.gather(*(batcher.submit(i) for i in range(10)))
+            await batcher.stop()
+
+        self._run(main())
+        assert sum(sizes) == 10
+        assert max(sizes) <= 3
+
+    def test_queue_overflow_is_503(self):
+        import asyncio
+
+        blocker = _Barrier()
+
+        async def main():
+            batcher = MicroBatcher(
+                blocker, max_batch_size=1, max_wait_ms=0.0, queue_limit=2
+            )
+            await batcher.start()
+            first = asyncio.ensure_future(batcher.submit("a"))
+            await asyncio.to_thread(blocker.started.wait, 30)
+            # The runner is blocked; fill the queue behind it.
+            queued = [
+                asyncio.ensure_future(batcher.submit(x)) for x in ("b", "c")
+            ]
+            await asyncio.sleep(0)
+            with pytest.raises(ServiceOverloadedError, match="queue is full"):
+                await batcher.submit("d")
+            blocker.release.set()
+            results = await asyncio.gather(first, *queued)
+            await batcher.stop()
+            return results
+
+        assert self._run(main()) == ["done-a", "done-b", "done-c"]
+
+    def test_expired_deadline_is_504_without_engine_time(self):
+        import asyncio
+
+        blocker = _Barrier()
+
+        async def main():
+            batcher = MicroBatcher(blocker, max_batch_size=1, max_wait_ms=0.0)
+            await batcher.start()
+            first = asyncio.ensure_future(batcher.submit("a"))
+            await asyncio.to_thread(blocker.started.wait, 30)
+            late = asyncio.ensure_future(batcher.submit("b", timeout_ms=10.0))
+            await asyncio.sleep(0.05)  # deadline passes while queued
+            blocker.release.set()
+            with pytest.raises(DeadlineExceededError):
+                await late
+            result = await first
+            await batcher.stop()
+            return result
+
+        assert self._run(main()) == "done-a"
+        # "b" never reached the runner.
+        assert blocker.batch_sizes == [1]
+
+    def test_drain_finishes_queued_work_then_refuses(self):
+        import asyncio
+
+        def runner(payloads):
+            return payloads
+
+        async def main():
+            batcher = MicroBatcher(runner, max_batch_size=4, max_wait_ms=50.0)
+            await batcher.start()
+            pending = [asyncio.ensure_future(batcher.submit(i)) for i in range(6)]
+            await asyncio.sleep(0)  # let the submits enqueue
+            await batcher.stop()
+            results = await asyncio.gather(*pending)
+            with pytest.raises(ServiceOverloadedError, match="draining"):
+                await batcher.submit("late")
+            return results
+
+        assert self._run(main()) == list(range(6))
+
+    def test_runner_exception_propagates_without_killing_scheduler(self):
+        import asyncio
+
+        calls = []
+
+        def runner(payloads):
+            calls.append(list(payloads))
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            return payloads
+
+        async def main():
+            batcher = MicroBatcher(runner, max_batch_size=1, max_wait_ms=0.0)
+            await batcher.start()
+            with pytest.raises(RuntimeError, match="boom"):
+                await batcher.submit("a")
+            result = await batcher.submit("b")
+            await batcher.stop()
+            return result
+
+        assert self._run(main()) == "b"
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda p: p, max_batch_size=0)
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda p: p, max_wait_ms=-1)
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda p: p, queue_limit=0)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _session_records(base_t: float = 0.0):
+    """A tiny deterministic (query, candidate) record set."""
+    query = [(base_t + 60.0 * i, 100.0 * i, 50.0 * i) for i in range(6)]
+    cand = [(base_t + 30.0 + 60.0 * i, 100.0 * i + 40.0, 50.0 * i + 20.0)
+            for i in range(6)]
+    return query, cand
+
+
+class TestIngestSessions:
+    def test_ingest_decisions_match_batch_matcher(self, client, fitted_models):
+        mr, ma = fitted_models
+        query, cand = _session_records()
+        response = client.ingest(
+            "match-batch", query_records=query,
+            candidate_records={"c1": cand},
+        )
+        assert response["n_candidates"] == 1
+        (decision,) = response["decisions"]
+
+        # The session linker inherits the server options' phi_r (0.01).
+        matcher = NaiveBayesMatcher(mr, ma, phi_r=RANKING.phi_r)
+        q_traj = Trajectory([r[0] for r in query], [r[1] for r in query],
+                            [r[2] for r in query], "q")
+        c_traj = Trajectory([r[0] for r in cand], [r[1] for r in cand],
+                            [r[2] for r in cand], "c1")
+        expected = matcher.decide(q_traj, c_traj)
+        assert decision["same_person"] == expected.same_person
+        assert decision["n_mutual"] == expected.n_mutual
+        assert decision["n_incompatible"] == expected.n_incompatible
+        assert decision["log_posterior_ratio"] == pytest.approx(
+            expected.log_posterior_ratio
+        )
+
+    def test_sessions_accumulate_and_report(self, client):
+        query, cand = _session_records()
+        first = client.ingest("acc", query_records=query[:3],
+                              candidate_records={"c1": cand[:3]})
+        second = client.ingest("acc", query_records=query[3:],
+                               candidate_records={"c1": cand[3:]})
+        assert first["n_query_records"] == 3
+        assert second["n_query_records"] == 6
+        assert second["n_records_ingested"] == 12
+
+    def test_record_level_expiry_over_http(self, client, fitted_models):
+        mr, ma = fitted_models
+        query, cand = _session_records()
+        client.ingest("retention", query_records=query,
+                      candidate_records={"c1": cand}, decide=False)
+        response = client.ingest("retention", expire_before=200.0)
+        # Records before t=200 are gone from the session's evidence.
+        evidence = StreamingPairEvidence(mr.config)
+        for t, x, y in query:
+            if t >= 200.0:
+                evidence.insert(Record(t, x, y), SOURCE_P)
+        for t, x, y in cand:
+            if t >= 200.0:
+                evidence.insert(Record(t, x, y), SOURCE_Q)
+        (decision,) = response["decisions"]
+        assert decision["n_mutual"] == evidence.n_mutual
+        assert decision["n_incompatible"] == evidence.n_incompatible
+
+    def test_idle_ttl_expiry_equals_fresh_batch_decision(
+        self, engine, pool, fitted_models
+    ):
+        """After TTL expiry a reused session id starts from zero evidence:
+        its decision equals a fresh batch-path decision on only the new
+        records."""
+        mr, ma = fitted_models
+        clock = FakeClock()
+        state = ServiceState(
+            engine=engine, pool=pool, options=LinkOptions(phi_r=0.05),
+            session_ttl_s=100.0, clock=clock,
+        )
+        old_query, old_cand = _session_records(base_t=0.0)
+        state.ingest("case", old_query, {"c1": old_cand})
+        assert state.sessions["case"].linker.n_query_records == 6
+
+        clock.advance(101.0)
+        expired = state.expire_idle_sessions()
+        assert expired == ["case"]
+        assert "case" not in state.sessions
+
+        new_query, new_cand = _session_records(base_t=10_000.0)
+        entry = state.ingest("case", new_query, {"c1": new_cand})
+        decision = entry.linker.decision("c1")
+        assert entry.linker.n_query_records == len(new_query)
+
+        matcher = NaiveBayesMatcher(mr, ma, phi_r=0.05)
+        q_traj = Trajectory([r[0] for r in new_query],
+                            [r[1] for r in new_query],
+                            [r[2] for r in new_query], "q")
+        c_traj = Trajectory([r[0] for r in new_cand],
+                            [r[1] for r in new_cand],
+                            [r[2] for r in new_cand], "c1")
+        fresh = matcher.decide(q_traj, c_traj)
+        assert decision.same_person == fresh.same_person
+        assert decision.n_mutual == fresh.n_mutual
+        assert decision.n_incompatible == fresh.n_incompatible
+        assert decision.log_posterior_ratio == pytest.approx(
+            fresh.log_posterior_ratio
+        )
+        assert state.metrics.counter("sessions_expired_total") == 1
+
+    def test_touch_refreshes_ttl(self, engine, pool):
+        clock = FakeClock()
+        state = ServiceState(
+            engine=engine, pool=pool, options=LinkOptions(),
+            session_ttl_s=100.0, clock=clock,
+        )
+        state.ingest("alive", [(0.0, 0.0, 0.0)], {})
+        clock.advance(60.0)
+        state.ingest("alive", [(60.0, 5.0, 5.0)], {})  # touch
+        clock.advance(60.0)
+        assert state.expire_idle_sessions() == []
+        assert state.sessions["alive"].linker.n_query_records == 2
+        clock.advance(101.0)
+        assert state.expire_idle_sessions() == ["alive"]
+
+
+class TestGracefulDrain:
+    def test_stop_completes_inflight_requests(self, engine, pool, queries):
+        config = ServerConfig(port=0, max_wait_ms=20.0, max_batch_size=4)
+        background = BackgroundServer(engine, pool, config=config).start()
+        expected = engine.link_batch(queries[:1], pool)[0]
+        results: list[object] = []
+
+        def worker() -> None:
+            with ServiceClient(*background.address, timeout_s=60) as c:
+                try:
+                    results.append(c.link(queries[0]))
+                except RemoteServiceError as exc:
+                    results.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.01)
+        background.stop()  # graceful drain
+        for t in threads:
+            t.join(timeout=60)
+        assert len(results) == 4
+        for result in results:
+            # Each request either completed exactly (drain) or was
+            # refused with structured backpressure -- never dropped.
+            if isinstance(result, RemoteServiceError):
+                assert result.status == 503
+            else:
+                assert result == expected
+
+    def test_server_address_requires_start(self, engine, pool):
+        server = LinkServer(engine, pool)
+        with pytest.raises(ValidationError, match="not started"):
+            server.address
+
+
+class TestMetricsRegistry:
+    def test_counters_and_latency(self):
+        metrics = Metrics()
+        metrics.inc("a")
+        metrics.inc("a", 2)
+        metrics.observe("lat", 0.002)
+        metrics.observe("lat", 0.004)
+        snap = metrics.to_dict()
+        assert snap["counters"]["a"] == 3
+        assert snap["latency"]["lat"]["count"] == 2
+        assert snap["latency"]["lat"]["p50_ms"] > 0
+
+    def test_histogram_percentiles_are_monotone(self):
+        from repro.service.state import Histogram
+
+        hist = Histogram()
+        for ms in (1, 2, 3, 5, 8, 13, 100):
+            hist.observe(ms / 1e3)
+        assert hist.count == 7
+        assert hist.quantile(0.5) <= hist.quantile(0.9) <= hist.quantile(0.99)
+        with pytest.raises(ValidationError):
+            hist.quantile(1.5)
+
+
+class TestBenchSmoke:
+    def test_service_bench_smoke(self, tmp_path):
+        """Tiny run of the load benchmark, emitting BENCH_service.json."""
+        from benchmarks.bench_service_load import run_service_load_benchmark
+
+        out = tmp_path / "BENCH_service.json"
+        report = run_service_load_benchmark(
+            n_candidates=8,
+            n_queries=3,
+            concurrency_levels=(1, 2),
+            requests_per_client=2,
+            seed=5,
+            out_path=out,
+        )
+        written = json.loads(out.read_text())
+        assert written["n_candidates"] == report["n_candidates"] == 8
+        for level in ("1", "2"):
+            for mode in ("micro", "batch1"):
+                row = written["levels"][level][mode]
+                assert row["n_errors"] == 0
+                assert row["throughput_rps"] > 0

@@ -1,0 +1,271 @@
+"""Wire protocol: parsing, validation, and structured error mapping.
+
+Every malformed input must map to a structured error (never a
+traceback), and every well-formed value must survive the round trip
+bit-exactly.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.engine import Candidate, LinkOptions, LinkResult
+from repro.core.trajectory import Trajectory
+from repro.errors import (
+    DeadlineExceededError,
+    NotFittedError,
+    PayloadTooLargeError,
+    ProtocolError,
+    RemoteServiceError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+from repro.service import protocol
+
+
+class TestParseJsonBody:
+    def test_valid(self):
+        assert protocol.parse_json_body(b'{"a": 1}') == {"a": 1}
+
+    def test_malformed_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.parse_json_body(b'{"a": ')
+
+    def test_not_utf8(self):
+        with pytest.raises(ProtocolError, match="not valid UTF-8"):
+            protocol.parse_json_body(b"\xff\xfe{}")
+
+    def test_oversized(self):
+        with pytest.raises(PayloadTooLargeError, match="exceeds"):
+            protocol.parse_json_body(b"x" * 100, max_bytes=10)
+
+    def test_oversized_is_also_a_protocol_error(self):
+        # The hierarchy keeps one catch-all for bad requests.
+        assert issubclass(PayloadTooLargeError, ProtocolError)
+
+
+class TestTrajectoryWire:
+    def test_round_trip(self):
+        traj = Trajectory([1.0, 2.0, 3.5], [0.1, 0.2, 0.3], [9.0, 8.0, 7.0],
+                          "T1")
+        back = protocol.trajectory_from_wire(protocol.trajectory_to_wire(traj))
+        assert back.traj_id == "T1"
+        assert list(back.ts) == [1.0, 2.0, 3.5]
+        assert list(back.xs) == [0.1, 0.2, 0.3]
+        assert list(back.ys) == [9.0, 8.0, 7.0]
+
+    def test_wire_sorts_records(self):
+        back = protocol.trajectory_from_wire(
+            {"traj_id": "t", "records": [[5, 1, 1], [1, 2, 2]]}
+        )
+        assert list(back.ts) == [1.0, 5.0]
+
+    def test_not_an_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.trajectory_from_wire([1, 2, 3])
+
+    def test_unknown_keys(self):
+        with pytest.raises(ProtocolError, match="unknown keys"):
+            protocol.trajectory_from_wire({"records": [], "bogus": 1})
+
+    def test_bad_record_shape(self):
+        with pytest.raises(ProtocolError, match=r"\[t, x, y\]"):
+            protocol.trajectory_from_wire({"records": [[1, 2]]})
+
+    def test_non_numeric_record(self):
+        with pytest.raises(ProtocolError, match=r"\[t, x, y\]"):
+            protocol.trajectory_from_wire({"records": [[1, 2, "x"]]})
+
+    def test_non_finite_becomes_protocol_error(self):
+        with pytest.raises(ProtocolError, match="invalid"):
+            protocol.trajectory_from_wire(
+                {"records": [[math.inf, 0.0, 0.0]]}
+            )
+
+
+class TestOptionsFromWire:
+    BASE = LinkOptions()
+
+    def test_empty_returns_base(self):
+        assert protocol.options_from_wire({}, self.BASE) is self.BASE
+
+    def test_overrides(self):
+        opts = protocol.options_from_wire(
+            {"method": "alpha-filter", "alpha1": 0.2, "top_k": 3}, self.BASE
+        )
+        assert opts.method == "alpha-filter"
+        assert opts.alpha1 == 0.2
+        assert opts.top_k == 3
+        assert opts.phi_r == self.BASE.phi_r
+
+    def test_unknown_key(self):
+        with pytest.raises(ProtocolError, match="unknown keys"):
+            protocol.options_from_wire({"phir": 0.5}, self.BASE)
+
+    def test_unknown_method_maps_to_validation_error(self):
+        with pytest.raises(ValidationError, match="unknown method"):
+            protocol.options_from_wire({"method": "kmeans"}, self.BASE)
+
+    def test_non_string_method(self):
+        with pytest.raises(ProtocolError, match="must be a string"):
+            protocol.options_from_wire({"method": 7}, self.BASE)
+
+    def test_non_numeric_alpha(self):
+        with pytest.raises(ProtocolError, match="must be a number"):
+            protocol.options_from_wire({"alpha1": "big"}, self.BASE)
+
+    def test_non_integer_top_k(self):
+        with pytest.raises(ProtocolError, match="must be an integer"):
+            protocol.options_from_wire({"top_k": 2.5}, self.BASE)
+
+
+class TestLinkRequestFromWire:
+    BASE = LinkOptions()
+
+    def _query(self):
+        return {"traj_id": "q", "records": [[0, 0, 0], [60, 10, 10]]}
+
+    def test_minimal(self):
+        wire = protocol.link_request_from_wire({"query": self._query()},
+                                               self.BASE)
+        assert wire.candidates is None
+        assert wire.options is self.BASE
+        assert wire.timeout_ms is None
+
+    def test_full(self):
+        wire = protocol.link_request_from_wire(
+            {
+                "query": self._query(),
+                "candidates": [
+                    {"traj_id": "c", "records": [[1, 2, 3]]}
+                ],
+                "options": {"top_k": 1},
+                "timeout_ms": 250,
+            },
+            self.BASE,
+        )
+        assert len(wire.candidates) == 1
+        assert wire.candidates[0].traj_id == "c"
+        assert wire.options.top_k == 1
+        assert wire.timeout_ms == 250.0
+
+    def test_missing_query(self):
+        with pytest.raises(ProtocolError, match="missing the required 'query'"):
+            protocol.link_request_from_wire({}, self.BASE)
+
+    def test_unknown_keys(self):
+        with pytest.raises(ProtocolError, match="unknown keys"):
+            protocol.link_request_from_wire(
+                {"query": self._query(), "qurey": 1}, self.BASE
+            )
+
+    def test_candidates_must_be_array(self):
+        with pytest.raises(ProtocolError, match="array of trajectories"):
+            protocol.link_request_from_wire(
+                {"query": self._query(), "candidates": {}}, self.BASE
+            )
+
+    def test_bad_timeout(self):
+        with pytest.raises(ProtocolError, match="timeout_ms"):
+            protocol.link_request_from_wire(
+                {"query": self._query(), "timeout_ms": -5}, self.BASE
+            )
+
+
+class TestIngestRequestFromWire:
+    def test_minimal(self):
+        wire = protocol.ingest_request_from_wire({"session": "s"})
+        assert wire.session == "s"
+        assert wire.query_records == []
+        assert wire.candidate_records == {}
+        assert wire.decide is True
+
+    def test_full(self):
+        wire = protocol.ingest_request_from_wire(
+            {
+                "session": "s",
+                "query": [[0, 1, 2]],
+                "candidates": {"c1": [[3, 4, 5]]},
+                "expire_before": 100,
+                "decide": False,
+            }
+        )
+        assert wire.query_records == [[0, 1, 2]]
+        assert wire.candidate_records == {"c1": [[3, 4, 5]]}
+        assert wire.expire_before == 100.0
+        assert wire.decide is False
+
+    def test_missing_session(self):
+        with pytest.raises(ProtocolError, match="session"):
+            protocol.ingest_request_from_wire({"query": []})
+
+    def test_unknown_keys(self):
+        with pytest.raises(ProtocolError, match="unknown keys"):
+            protocol.ingest_request_from_wire({"session": "s", "nope": 1})
+
+    def test_bad_candidate_records(self):
+        with pytest.raises(ProtocolError, match=r"candidates\['c1'\]"):
+            protocol.ingest_request_from_wire(
+                {"session": "s", "candidates": {"c1": [[1]]}}
+            )
+
+    def test_bad_decide(self):
+        with pytest.raises(ProtocolError, match="decide"):
+            protocol.ingest_request_from_wire({"session": "s", "decide": "yes"})
+
+
+class TestResultWire:
+    def _result(self):
+        return LinkResult(
+            query_id="q1",
+            method="naive-bayes",
+            candidates=(
+                Candidate("c1", 0.25, 0.5, 0.5, 7, 1),
+                Candidate("c2", 0.1, 0.2, 0.5, 3, 0),
+            ),
+        )
+
+    def test_round_trip_bit_exact(self):
+        result = self._result()
+        # Through real JSON text, as the daemon sends it.
+        wire = json.loads(json.dumps(protocol.result_to_wire(result)))
+        assert protocol.result_from_wire(wire) == result
+
+    def test_malformed(self):
+        with pytest.raises(ProtocolError, match="malformed link result"):
+            protocol.result_from_wire({"query_id": "q"})
+
+
+class TestErrorPayload:
+    @pytest.mark.parametrize(
+        "exc, status",
+        [
+            (ProtocolError("bad"), 400),
+            (ValidationError("bad"), 400),
+            (PayloadTooLargeError("big"), 413),
+            (NotFittedError("unfitted"), 409),
+            (ServiceOverloadedError("full"), 503),
+            (DeadlineExceededError("late"), 504),
+        ],
+    )
+    def test_library_errors_expose_type_and_message(self, exc, status):
+        got_status, body = protocol.error_payload(exc)
+        assert got_status == status
+        assert body["error"]["type"] == type(exc).__name__
+        assert body["error"]["message"] == str(exc)
+        assert body["error"]["status"] == status
+
+    def test_internal_errors_are_opaque(self):
+        secret = RuntimeError("db password is hunter2")
+        status, body = protocol.error_payload(secret)
+        assert status == 500
+        assert body["error"]["type"] == "InternalError"
+        assert "hunter2" not in json.dumps(body)
+
+    def test_remote_error_carries_payload(self):
+        _, body = protocol.error_payload(ProtocolError("nope"))
+        exc = RemoteServiceError(400, body)
+        assert exc.status == 400
+        assert "ProtocolError" in str(exc)
+        assert exc.payload["error"]["message"] == "nope"

@@ -234,3 +234,112 @@ class TestStreamingLinker:
         mr, ma = fitted_models
         with pytest.raises(ValidationError):
             StreamingLinker(mr, ma, phi_r=0.0)
+
+
+class TestStreamingLinkerLifecycle:
+    """Session-reuse hooks added for the serving daemon."""
+
+    @pytest.fixture
+    def setup(self, small_pair, fitted_models):
+        mr, ma = fitted_models
+        linker = StreamingLinker(mr, ma, phi_r=0.1)
+        pid = next(iter(small_pair.truth))
+        qid = small_pair.truth[pid]
+        return small_pair, linker, pid, qid
+
+    def test_introspection(self, setup):
+        pair, linker, pid, qid = setup
+        assert linker.n_candidates == 0
+        assert linker.candidate_ids() == []
+        linker.add_candidate(qid)
+        linker.add_candidate("other")
+        assert linker.n_candidates == 2
+        assert linker.candidate_ids() == [qid, "other"]
+        assert linker.has_candidate(qid)
+        assert not linker.has_candidate("ghost")
+        for record in pair.p_db[pid]:
+            linker.observe_query(record)
+        assert linker.n_query_records == len(pair.p_db[pid])
+
+    def test_discard_candidate(self, setup):
+        _pair, linker, _pid, qid = setup
+        linker.add_candidate(qid)
+        linker.discard_candidate(qid)
+        assert not linker.has_candidate(qid)
+        assert linker.decisions() == []
+        with pytest.raises(ValidationError, match="unknown candidate"):
+            linker.discard_candidate(qid)
+        # Re-registration after discard is allowed.
+        linker.add_candidate(qid)
+        assert linker.has_candidate(qid)
+
+    def test_expire_before_equals_fresh_linker(self, setup, fitted_models):
+        """After expiry, decisions equal a fresh linker fed only the
+        surviving records."""
+        pair, linker, pid, qid = setup
+        mr, ma = fitted_models
+        linker.add_candidate(qid)
+        p_records = list(pair.p_db[pid])
+        q_records = list(pair.q_db[qid])
+        for record in p_records:
+            linker.observe_query(record)
+        for record in q_records:
+            linker.observe_candidate(qid, record)
+
+        all_ts = sorted(r.t for r in p_records + q_records)
+        cutoff = all_ts[len(all_ts) // 2]
+        # Drops are counted per structure: the pair evidence holds both
+        # streams, the query history holds the P records again.
+        n_evidence = sum(t < cutoff for t in all_ts)
+        n_history = sum(r.t < cutoff for r in p_records)
+        assert linker.expire_before(cutoff) == n_evidence + n_history
+
+        fresh = StreamingLinker(mr, ma, phi_r=0.1)
+        fresh.add_candidate(qid)
+        for record in p_records:
+            if record.t >= cutoff:
+                fresh.observe_query(record)
+        for record in q_records:
+            if record.t >= cutoff:
+                fresh.observe_candidate(qid, record)
+
+        expired, clean = linker.decision(qid), fresh.decision(qid)
+        assert expired.n_mutual == clean.n_mutual
+        assert expired.n_incompatible == clean.n_incompatible
+        assert expired.same_person == clean.same_person
+        assert expired.log_posterior_ratio == pytest.approx(
+            clean.log_posterior_ratio, abs=1e-9
+        )
+
+    def test_expire_trims_query_history_for_late_candidates(self, setup):
+        pair, linker, pid, qid = setup
+        p_records = list(pair.p_db[pid])
+        for record in p_records:
+            linker.observe_query(record)
+        cutoff = p_records[len(p_records) // 2].t
+        linker.expire_before(cutoff)
+        surviving = [r for r in p_records if r.t >= cutoff]
+        assert linker.n_query_records == len(surviving)
+        # A candidate registered after expiry replays only survivors.
+        linker.add_candidate(qid)
+        for record in pair.q_db[qid]:
+            linker.observe_candidate(qid, record)
+        fresh = StreamingPairEvidence(linker._config)
+        for record in surviving:
+            fresh.insert(record, SOURCE_P)
+        for record in pair.q_db[qid]:
+            fresh.insert(record, SOURCE_Q)
+        decision = linker.decision(qid)
+        assert decision.n_mutual == fresh.n_mutual
+        assert decision.n_incompatible == fresh.n_incompatible
+
+    def test_expire_everything(self, setup):
+        pair, linker, pid, qid = setup
+        linker.add_candidate(qid)
+        for record in pair.p_db[pid]:
+            linker.observe_query(record)
+        removed = linker.expire_before(float("inf"))
+        # Once from the pair evidence, once from the query history.
+        assert removed == 2 * len(pair.p_db[pid])
+        assert linker.n_query_records == 0
+        assert linker.decision(qid).n_mutual == 0

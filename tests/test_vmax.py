@@ -6,7 +6,7 @@ import pytest
 from repro.config import FTLConfig
 from repro.core.database import TrajectoryDatabase
 from repro.core.trajectory import Trajectory
-from repro.core.vmax import VmaxEstimate, learn_vmax
+from repro.core.vmax import learn_vmax
 from repro.errors import ValidationError
 from repro.geo.units import kph_to_mps
 
