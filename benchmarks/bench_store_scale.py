@@ -1,0 +1,244 @@
+"""Store bench: cold-start and candidate pruning at 10k/100k trajectories.
+
+Two claims back :mod:`repro.store`:
+
+* **Cold start** — a daemon restart over a CSV corpus pays a full
+  parse; over a store it opens a manifest and memmaps a handful of
+  flat arrays, leaving the page cache to fault data in on demand.
+  The bench times both paths on identical databases.
+* **Pruning** — the persisted spatio-temporal index must keep strictly
+  fewer candidates than temporal-only blocking at equal recall (the
+  queries are jittered copies of stored trajectories, so the true
+  candidate is always reachable and both paths must retain it).
+
+Trajectories are vectorised random walks over a large planar region —
+synthetic on purpose: generation must stay cheap at 100k trajectories
+so the bench measures the store, not the mobility simulator.
+
+Results are written to ``BENCH_store.json``.  Run standalone
+(``python -m benchmarks.bench_store_scale``) or through pytest; the
+tier-1 suite exercises a tiny smoke configuration on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.io.csv_io import read_trajectories_csv, write_trajectories_csv
+from repro.store import TrajectoryStore, open_store
+from repro.store.stindex import SpatioTemporalIndex
+
+DEFAULT_OUT = "BENCH_store.json"
+
+#: Region edge in metres (a ~400 km square keeps the geo-grid sparse).
+_EXTENT_M = 400_000.0
+#: Observation window in seconds.
+_WINDOW_S = 86_400.0
+
+
+def build_synthetic_db(
+    n_trajectories: int,
+    rng: np.random.Generator,
+    records_per_traj: int = 12,
+    name: str = "synth",
+) -> TrajectoryDatabase:
+    """A database of ``n_trajectories`` vectorised random walks.
+
+    All timestamps and positions are drawn in two big array operations;
+    per-trajectory work is only slicing, so 100k trajectories build in
+    seconds.  Walk steps are ~100 m, far below the index's reachability
+    radius, so a jittered copy of any trajectory stays findable.
+    """
+    m = records_per_traj
+    t0 = rng.uniform(0.0, _WINDOW_S * 0.8, size=n_trajectories)
+    dts = rng.exponential(scale=300.0, size=(n_trajectories, m))
+    ts = t0[:, None] + np.cumsum(dts, axis=1)
+    origins = rng.uniform(0.0, _EXTENT_M, size=(n_trajectories, 2))
+    steps = rng.normal(0.0, 100.0, size=(n_trajectories, m, 2))
+    xy = origins[:, None, :] + np.cumsum(steps, axis=1)
+    db = TrajectoryDatabase(name=name)
+    for i in range(n_trajectories):
+        db.add(
+            Trajectory.from_arrays_unchecked(
+                np.ascontiguousarray(ts[i]),
+                np.ascontiguousarray(xy[i, :, 0]),
+                np.ascontiguousarray(xy[i, :, 1]),
+                f"s{i}",
+            )
+        )
+    return db
+
+
+def _jittered_query(traj: Trajectory, rng: np.random.Generator) -> Trajectory:
+    """A noisy re-observation of ``traj`` (the linkable true match)."""
+    ts = np.sort(traj.ts + rng.uniform(0.0, 30.0, size=len(traj)))
+    xs = traj.xs + rng.normal(0.0, 50.0, size=len(traj))
+    ys = traj.ys + rng.normal(0.0, 50.0, size=len(traj))
+    return Trajectory(ts, xs, ys, f"q-{traj.traj_id}", sort=True)
+
+
+def _time_cold_start(db: TrajectoryDatabase, tmp_dir: Path, repeats: int):
+    """Seconds to first usable database: CSV parse vs store open."""
+    csv_path = tmp_dir / "db.csv"
+    store_dir = tmp_dir / "db-store"
+    write_trajectories_csv(db, csv_path)
+    TrajectoryStore.create(store_dir, db=db, name=db.name)
+
+    csv_s = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        parsed = read_trajectories_csv(csv_path, name=db.name)
+        csv_s = min(csv_s, time.perf_counter() - start)
+    assert len(parsed) == len(db)
+
+    store_s = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        opened = open_store(store_dir).load()
+        store_s = min(store_s, time.perf_counter() - start)
+    assert len(opened) == len(db)
+    return csv_s, store_s, store_dir
+
+
+def run_store_scale_benchmark(
+    sizes: tuple[int, ...] = (10_000, 100_000),
+    n_queries: int = 50,
+    records_per_traj: int = 12,
+    vmax_kph: float = 120.0,
+    reach_gap_s: float = 300.0,
+    seed: int = 11,
+    repeats: int = 3,
+    work_dir: str | Path | None = None,
+    out_path: str | Path | None = DEFAULT_OUT,
+) -> dict:
+    """Cold-start and pruning measurements per corpus size.
+
+    For each size: build a synthetic database, persist it as CSV and as
+    a store, time both cold-start paths (min of ``repeats``), build the
+    spatio-temporal index, and compare temporal-only blocking against
+    spatio-temporal blocking over jittered-copy queries.  Recall is the
+    fraction of queries whose true source trajectory survives the
+    prefilter — both paths must stay at 1.0 for the pruning comparison
+    to be fair.
+
+    Returns (and optionally writes as JSON) a dict keyed by size with
+    timings, kept-candidate counts and recalls.
+    """
+    import tempfile
+
+    rng = np.random.default_rng(seed)
+    report: dict = {
+        "seed": seed,
+        "repeats": repeats,
+        "n_queries": n_queries,
+        "records_per_traj": records_per_traj,
+        "vmax_kph": vmax_kph,
+        "reach_gap_s": reach_gap_s,
+        "sizes": {},
+    }
+    with tempfile.TemporaryDirectory(
+        dir=None if work_dir is None else str(work_dir)
+    ) as tmp:
+        for size in sizes:
+            tmp_dir = Path(tmp) / f"n{size}"
+            tmp_dir.mkdir()
+            db = build_synthetic_db(
+                size, rng, records_per_traj=records_per_traj
+            )
+            csv_s, store_s, store_dir = _time_cold_start(db, tmp_dir, repeats)
+
+            store = open_store(store_dir)
+            build_start = time.perf_counter()
+            index = store.build_index(
+                vmax_kph=vmax_kph, reach_gap_s=reach_gap_s
+            )
+            index_build_s = time.perf_counter() - build_start
+            assert isinstance(index, SpatioTemporalIndex)
+
+            picks = rng.choice(len(db), size=min(n_queries, len(db)),
+                               replace=False)
+            ids = db.ids()
+            kept_t = kept_st = 0
+            hits_t = hits_st = 0
+            query_s = 0.0
+            for pick in picks:
+                true_id = ids[int(pick)]
+                query = _jittered_query(db[true_id], rng)
+                temporal = set(index.temporal_ids_for(query))
+                start = time.perf_counter()
+                spatiotemporal = set(index.ids_for(query))
+                query_s += time.perf_counter() - start
+                assert spatiotemporal <= temporal, (
+                    "spatio-temporal blocking must refine temporal blocking"
+                )
+                kept_t += len(temporal)
+                kept_st += len(spatiotemporal)
+                hits_t += true_id in temporal
+                hits_st += true_id in spatiotemporal
+            n = len(picks)
+            report["sizes"][str(size)] = {
+                "n_trajectories": len(db),
+                "n_records": sum(len(t) for t in db),
+                "csv_parse_s": csv_s,
+                "store_open_s": store_s,
+                "cold_start_speedup": (
+                    csv_s / store_s if store_s > 0 else float("inf")
+                ),
+                "index_build_s": index_build_s,
+                "st_query_mean_ms": 1e3 * query_s / n,
+                "mean_kept_temporal": kept_t / n,
+                "mean_kept_spatiotemporal": kept_st / n,
+                "pruning_ratio": kept_t / kept_st if kept_st else float("inf"),
+                "recall_temporal": hits_t / n,
+                "recall_spatiotemporal": hits_st / n,
+            }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _print_report(report: dict) -> None:
+    print(
+        f"store cold-start + pruning — {report['n_queries']} queries, "
+        f"reach_gap={report['reach_gap_s']:g}s, vmax={report['vmax_kph']:g}kph"
+    )
+    head = (f"{'size':>8} {'csv (s)':>9} {'store (s)':>10} {'speedup':>9} "
+            f"{'kept T':>8} {'kept ST':>8} {'prune':>7} {'recall':>7}")
+    print(head)
+    for size, row in report["sizes"].items():
+        print(
+            f"{size:>8} {row['csv_parse_s']:>9.3f} "
+            f"{row['store_open_s']:>10.4f} "
+            f"{row['cold_start_speedup']:>8.1f}x "
+            f"{row['mean_kept_temporal']:>8.1f} "
+            f"{row['mean_kept_spatiotemporal']:>8.1f} "
+            f"{row['pruning_ratio']:>6.1f}x "
+            f"{row['recall_spatiotemporal']:>7.2f}"
+        )
+
+
+def test_store_scale(benchmark):
+    """Full-size bench: >= 10x cold start at 100k, ST strictly tighter."""
+    report = benchmark.pedantic(
+        run_store_scale_benchmark,
+        kwargs={"sizes": (10_000, 100_000)},
+        rounds=1,
+        iterations=1,
+    )
+    _print_report(report)
+    big = report["sizes"]["100000"]
+    assert big["cold_start_speedup"] >= 10.0
+    for row in report["sizes"].values():
+        assert row["recall_spatiotemporal"] == row["recall_temporal"] == 1.0
+        assert row["mean_kept_spatiotemporal"] < row["mean_kept_temporal"]
+
+
+if __name__ == "__main__":
+    _print_report(run_store_scale_benchmark())

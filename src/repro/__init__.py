@@ -51,7 +51,9 @@ from repro.core.ranking import ScoredCandidate, rank_candidates
 from repro.core.records import Record
 from repro.core.trajectory import Trajectory
 from repro.errors import FTLError, NotFittedError, ValidationError
+from repro.io.registry import load_database, save_database
 from repro.stats.poisson_binomial import PoissonBinomial
+from repro.store import TrajectoryStore, build_store, open_store
 from repro.version import __version__
 
 __all__ = [
@@ -79,17 +81,22 @@ __all__ = [
     "Segment",
     "Trajectory",
     "TrajectoryDatabase",
+    "TrajectoryStore",
     "ValidationError",
     "__version__",
     "acceptance_pvalue",
     "align",
+    "build_store",
     "hits_within_topk",
     "implied_speed",
     "is_compatible",
+    "load_database",
     "mutual_segment_profile",
+    "open_store",
     "perceptiveness",
     "precision_at_k",
     "rank_candidates",
     "rejection_pvalue",
+    "save_database",
     "selectiveness",
 ]

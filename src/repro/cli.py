@@ -11,10 +11,13 @@ Installed as ``ftl`` (see ``pyproject.toml``).  Subcommands:
   dumps every ranked ``LinkResult`` (``-`` for stdout), ``--top-k K``
   truncates each candidate list;
 * ``ftl theory --lam-p A --lam-q B`` — print the Section VI pmf table;
-* ``ftl serve NAME`` — run the JSON-over-HTTP linking daemon over a
-  scenario's Q database (see ``docs/service.md``): micro-batched
-  ``/link``, streaming ``/ingest`` sessions, ``/healthz``,
-  ``/metrics``.
+* ``ftl serve NAME`` / ``ftl serve --store DIR`` — run the
+  JSON-over-HTTP linking daemon over a scenario's Q database or a
+  persistent mmap-backed store (see ``docs/service.md``):
+  micro-batched ``/link``, streaming ``/ingest`` sessions,
+  ``/healthz``, ``/metrics``;
+* ``ftl store build/append/compact/stats/index`` — manage persistent
+  columnar trajectory stores (see ``docs/store.md``).
 """
 
 from __future__ import annotations
@@ -116,9 +119,15 @@ def _build_parser() -> argparse.ArgumentParser:
     holdout.add_argument("--seed", type=int, default=0)
 
     serve = sub.add_parser(
-        "serve", help="run the linking daemon over a scenario's Q database"
+        "serve", help="run the linking daemon over a scenario's Q database "
+                      "or a persistent store"
     )
-    serve.add_argument("name", help="catalog entry name (pool + model fit)")
+    serve.add_argument("name", nargs="?", default=None,
+                       help="catalog entry name (pool + model fit); "
+                            "omit when passing --store")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="serve from a persistent trajectory store "
+                            "(mmap-backed; see `ftl store`)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 binds an ephemeral port)")
@@ -146,6 +155,53 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shutdown-after", type=float, default=None,
                        help="serve for N seconds then drain (smoke/testing)")
     serve.add_argument("--seed", type=int, default=0)
+
+    store = sub.add_parser(
+        "store", help="manage persistent mmap-backed trajectory stores"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    st_build = store_sub.add_parser(
+        "build", help="create a store from a file or a catalog scenario"
+    )
+    st_build.add_argument("dir", help="store directory to create")
+    st_build.add_argument("--from", dest="source", default=None, metavar="PATH",
+                          help="trajectory file in any registered format "
+                               "(csv/jsonl/sqlite/store)")
+    st_build.add_argument("--scenario", default=None, metavar="NAME",
+                          help="catalog entry; stores its Q database")
+    st_build.add_argument("--name", default="",
+                          help="database name recorded in the manifest")
+
+    st_append = store_sub.add_parser(
+        "append", help="append trajectories (or record deltas) to a store"
+    )
+    st_append.add_argument("dir", help="existing store directory")
+    st_append.add_argument("--from", dest="source", required=True,
+                           metavar="PATH", help="trajectory file to append")
+
+    st_compact = store_sub.add_parser(
+        "compact", help="merge all segments into one snapshot segment"
+    )
+    st_compact.add_argument("dir", help="existing store directory")
+
+    st_stats = store_sub.add_parser(
+        "stats", help="print store statistics as JSON"
+    )
+    st_stats.add_argument("dir", help="existing store directory")
+
+    st_index = store_sub.add_parser(
+        "index", help="build the persisted spatio-temporal blocking index"
+    )
+    st_index.add_argument("dir", help="existing store directory")
+    st_index.add_argument("--cell-size", type=float, default=None,
+                          help="geo-grid cell size in metres "
+                               "(default: the reachability radius)")
+    st_index.add_argument("--vmax", type=float, default=120.0,
+                          help="max plausible speed in km/h")
+    st_index.add_argument("--reach-gap", type=float, default=3600.0,
+                          help="max time gap in seconds for reachability "
+                               "dilation")
 
     report = sub.add_parser(
         "report", help="run the mini evaluation and write a markdown report"
@@ -295,13 +351,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.core.engine import LinkEngine, LinkOptions
     from repro.core.models import CompatibilityModel
+    from repro.errors import ValidationError
     from repro.service.server import LinkServer, ServerConfig
 
+    if (args.name is None) == (args.store is None):
+        raise ValidationError(
+            "pass exactly one of a scenario NAME or --store DIR"
+        )
+
     rng = np.random.default_rng(args.seed)
-    pair = build_scenario(args.name)
     config = FTLConfig()
-    mr = CompatibilityModel.fit_rejection([pair.p_db, pair.q_db], config)
-    ma = CompatibilityModel.fit_acceptance([pair.p_db, pair.q_db], config, rng)
+    store = None
+    if args.store is not None:
+        from repro.store import open_store
+
+        store = open_store(args.store)
+        db = store.load()
+        fit_dbs = [db]
+        pool = list(db)
+        label = str(store.path)
+        provenance = {
+            "source": "store",
+            "path": str(store.path),
+            "format_version": store.manifest.format_version,
+            "generation": store.generation,
+            "n_segments": len(store.manifest.segments),
+        }
+    else:
+        pair = build_scenario(args.name)
+        fit_dbs = [pair.p_db, pair.q_db]
+        pool = list(pair.q_db)
+        label = args.name
+        provenance = {
+            "source": "parsed",
+            "scenario": args.name,
+        }
+    mr = CompatibilityModel.fit_rejection(fit_dbs, config)
+    ma = CompatibilityModel.fit_acceptance(fit_dbs, config, rng)
     options = LinkOptions(
         method=args.method,
         alpha1=args.alpha1,
@@ -323,22 +409,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def _serve() -> None:
-        server = LinkServer(engine, list(pair.q_db), config=server_config)
+        server = LinkServer(engine, pool, config=server_config,
+                            store=store, provenance=provenance)
         await server.start()
         server.install_signal_handlers()
         host, port = server.address
+        source = ", ".join(f"{k}={v}" for k, v in provenance.items())
         print(
-            f"serving {args.name} on http://{host}:{port} "
-            f"(pool={len(pair.q_db)} candidates, method={args.method}, "
+            f"serving {label} on http://{host}:{port} "
+            f"(pool={len(pool)} candidates, method={args.method}, "
             f"max_batch_size={args.max_batch_size}, "
             f"max_wait_ms={args.max_wait_ms:g})",
             flush=True,
         )
+        print(f"data source: {source}", flush=True)
         await server.serve_until_shutdown(shutdown_after_s=args.shutdown_after)
         print("drained; bye")
 
     asyncio.run(_serve())
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
+    from repro.io.registry import load_database
+    from repro.store import TrajectoryStore, open_store
+
+    if args.store_command == "build":
+        if (args.source is None) == (args.scenario is None):
+            raise ValidationError(
+                "pass exactly one of --from PATH or --scenario NAME"
+            )
+        if args.scenario is not None:
+            db = build_scenario(args.scenario).q_db
+        else:
+            db = load_database(args.source)
+        store = TrajectoryStore.create(
+            args.dir, db=db, name=args.name or db.name
+        )
+        stats = store.stats()
+        print(f"built {args.dir}: {stats.n_trajectories} trajectories, "
+              f"{stats.n_records} records, generation {stats.generation}")
+        return 0
+    if args.store_command == "append":
+        store = open_store(args.dir)
+        written = store.append(load_database(args.source))
+        print(f"appended {written} records to {args.dir} "
+              f"(generation {store.generation})")
+        return 0
+    if args.store_command == "compact":
+        store = open_store(args.dir)
+        before = store.stats().n_segments
+        stats = store.compact()
+        print(f"compacted {args.dir}: {before} -> {stats.n_segments} "
+              f"segments, {stats.n_records} records, "
+              f"generation {stats.generation}")
+        return 0
+    if args.store_command == "stats":
+        print(json.dumps(open_store(args.dir).stats().to_dict(), indent=2))
+        return 0
+    if args.store_command == "index":
+        store = open_store(args.dir)
+        index = store.build_index(
+            cell_size_m=args.cell_size,
+            vmax_kph=args.vmax,
+            reach_gap_s=args.reach_gap,
+        )
+        params = ", ".join(f"{k}={v:g}" for k, v in index.params().items())
+        print(f"indexed {args.dir} at generation {store.generation} "
+              f"({params})")
+        return 0
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -362,6 +503,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_assign(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "holdout":
         from repro.pipeline.crossval import format_holdout, run_holdout
 

@@ -64,6 +64,28 @@ class TrajectoryDatabase:
             self.add(traj)
 
     # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls, store: object, name: str | None = None
+    ) -> "TrajectoryDatabase":
+        """A database backed by a persistent :mod:`repro.store` directory.
+
+        ``store`` is either an opened
+        :class:`~repro.store.TrajectoryStore` or a path to one.  The
+        returned trajectories wrap read-only ``numpy.memmap`` views of
+        the store's columnar files (zero-copy for compacted stores), so
+        opening a large database costs metadata only — record pages
+        fault in as the engine touches them.
+        """
+        from repro.store.store import TrajectoryStore
+
+        if not isinstance(store, TrajectoryStore):
+            store = TrajectoryStore.open(store)
+        return store.load(name=name)
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add(self, trajectory: Trajectory) -> None:

@@ -96,6 +96,31 @@ class Trajectory:
         """A trajectory with no records."""
         return cls([], [], [], traj_id)
 
+    @classmethod
+    def from_arrays_unchecked(
+        cls,
+        ts: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        traj_id: object = None,
+    ) -> "Trajectory":
+        """Wrap pre-validated columnar arrays without copying or checking.
+
+        The fast path for storage backends (:mod:`repro.store`) whose
+        data was validated when written: the arrays are adopted as-is —
+        including ``numpy.memmap`` views, keeping loads zero-copy — so
+        the caller guarantees equal-length 1-D float64 columns with
+        finite values and non-decreasing timestamps.  Violating that
+        contract breaks downstream invariants silently; when in doubt,
+        use the validating constructor.
+        """
+        obj = object.__new__(cls)
+        obj._ts = ts
+        obj._xs = xs
+        obj._ys = ys
+        obj._traj_id = traj_id
+        return obj
+
     # ------------------------------------------------------------------
     # Basic protocol
     # ------------------------------------------------------------------

@@ -37,6 +37,18 @@ class DataFormatError(ValidationError):
     """A file being loaded does not match the expected format."""
 
 
+class StoreError(FTLError):
+    """Base class for errors raised by the persistent trajectory store."""
+
+
+class StoreFormatError(StoreError, DataFormatError):
+    """An on-disk store directory does not match the expected layout."""
+
+
+class StaleIndexError(StoreError, StateError):
+    """A persisted blocking index no longer matches its store snapshot."""
+
+
 class ServiceError(FTLError):
     """Base class for errors raised by the linking service layer."""
 

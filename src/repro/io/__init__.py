@@ -1,4 +1,10 @@
-"""Persistence: CSV / JSONL trajectory interchange and a SQLite store."""
+"""Persistence: one loader registry over CSV / JSONL / SQLite / mmap store.
+
+:func:`load_database` / :func:`save_database` are the documented way to
+persist a :class:`~repro.core.database.TrajectoryDatabase`; the
+format-specific helpers remain available for code that needs their
+extra knobs (time-window SQLite loads, store compaction, ...).
+"""
 
 from repro.io.csv_io import read_trajectories_csv, write_trajectories_csv
 from repro.io.jsonl_io import (
@@ -7,13 +13,27 @@ from repro.io.jsonl_io import (
     save_model_json,
     write_trajectories_jsonl,
 )
+from repro.io.registry import (
+    FormatSpec,
+    detect_format,
+    format_names,
+    load_database,
+    register_format,
+    save_database,
+)
 from repro.io.sqlite_store import SQLiteTrajectoryStore
 
 __all__ = [
+    "FormatSpec",
     "SQLiteTrajectoryStore",
+    "detect_format",
+    "format_names",
+    "load_database",
     "load_model_json",
     "read_trajectories_csv",
     "read_trajectories_jsonl",
+    "register_format",
+    "save_database",
     "save_model_json",
     "write_trajectories_csv",
     "write_trajectories_jsonl",

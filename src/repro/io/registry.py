@@ -1,0 +1,191 @@
+"""One documented way to persist a trajectory database.
+
+Four persistence backends accumulated organically (CSV, JSONL, SQLite,
+and the mmap store), each with its own entry points.  This registry
+routes them through a single pair of calls::
+
+    from repro.io import load_database, save_database
+
+    db = load_database("scenario/Q.csv")          # format by suffix
+    save_database(db, "q-store", fmt="store")     # or explicitly
+
+Formats self-describe their suffixes, so :func:`detect_format` resolves
+most paths without a ``fmt`` argument; a directory is recognised as an
+``ftl-store`` when it carries a store manifest.  New backends register
+with :func:`register_format` — the CLI and docs then pick them up for
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.core.database import TrajectoryDatabase
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class FormatSpec:
+    """One registered persistence backend.
+
+    ``reader(path, name)`` returns a database; ``writer(db, path)``
+    persists one and returns the number of records written.  ``is_dir``
+    marks directory-shaped formats (matched by :func:`detect_format`
+    via ``probe`` rather than suffix).
+    """
+
+    name: str
+    suffixes: tuple[str, ...]
+    reader: Callable[[Path, str], TrajectoryDatabase]
+    writer: Callable[[TrajectoryDatabase, Path], int]
+    is_dir: bool = False
+    probe: Callable[[Path], bool] | None = None
+
+
+_REGISTRY: dict[str, FormatSpec] = {}
+
+
+def register_format(spec: FormatSpec) -> None:
+    """Register (or replace) a persistence backend."""
+    _REGISTRY[spec.name] = spec
+
+
+def format_names() -> tuple[str, ...]:
+    """Registered format names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def detect_format(path: str | Path) -> str:
+    """The registered format name for a path (suffix or directory probe)."""
+    path = Path(path)
+    for spec in _REGISTRY.values():
+        if spec.probe is not None and spec.probe(path):
+            return spec.name
+    suffix = path.suffix.lower()
+    for spec in _REGISTRY.values():
+        if suffix in spec.suffixes:
+            return spec.name
+    raise ValidationError(
+        f"cannot infer a trajectory format for {path} "
+        f"(known formats: {', '.join(format_names())}); pass fmt= explicitly"
+    )
+
+
+def _spec(fmt: str) -> FormatSpec:
+    try:
+        return _REGISTRY[fmt]
+    except KeyError:
+        raise ValidationError(
+            f"unknown format {fmt!r}; known: {', '.join(format_names())}"
+        ) from None
+
+
+def load_database(
+    path: str | Path, fmt: str | None = None, name: str = ""
+) -> TrajectoryDatabase:
+    """Load a trajectory database from any registered format."""
+    path = Path(path)
+    spec = _spec(fmt if fmt is not None else detect_format(path))
+    return spec.reader(path, name)
+
+
+def save_database(
+    db: TrajectoryDatabase, path: str | Path, fmt: str | None = None
+) -> int:
+    """Persist a database to any registered format; returns records written."""
+    path = Path(path)
+    spec = _spec(fmt if fmt is not None else detect_format(path))
+    return spec.writer(db, path)
+
+
+# ----------------------------------------------------------------------
+# Built-in backends
+# ----------------------------------------------------------------------
+def _read_csv(path: Path, name: str) -> TrajectoryDatabase:
+    from repro.io.csv_io import read_trajectories_csv
+
+    return read_trajectories_csv(path, name=name)
+
+
+def _write_csv(db: TrajectoryDatabase, path: Path) -> int:
+    from repro.io.csv_io import write_trajectories_csv
+
+    return write_trajectories_csv(db, path)
+
+
+def _read_jsonl(path: Path, name: str) -> TrajectoryDatabase:
+    from repro.io.jsonl_io import read_trajectories_jsonl
+
+    return read_trajectories_jsonl(path, name=name)
+
+
+def _write_jsonl(db: TrajectoryDatabase, path: Path) -> int:
+    from repro.io.jsonl_io import write_trajectories_jsonl
+
+    # write_trajectories_jsonl reports lines (= trajectories); the
+    # registry contract is records written.
+    write_trajectories_jsonl(db, path)
+    return db.total_records()
+
+
+def _read_sqlite(path: Path, name: str) -> TrajectoryDatabase:
+    from repro.io.sqlite_store import SQLiteTrajectoryStore
+
+    with SQLiteTrajectoryStore(path) as store:
+        names = store.names()
+        if name:
+            return store.load(name)
+        if len(names) != 1:
+            raise ValidationError(
+                f"{path} stores {len(names)} databases "
+                f"({', '.join(names) or 'none'}); pass name= to choose one"
+            )
+        return store.load(names[0])
+
+
+def _write_sqlite(db: TrajectoryDatabase, path: Path) -> int:
+    from repro.io.sqlite_store import SQLiteTrajectoryStore
+
+    with SQLiteTrajectoryStore(path) as store:
+        return store.save(db, db.name or "default", replace=True)
+
+
+def _is_store_dir(path: Path) -> bool:
+    from repro.store.format import MANIFEST_NAME
+
+    return path.is_dir() and (path / MANIFEST_NAME).is_file()
+
+
+def _read_store(path: Path, name: str) -> TrajectoryDatabase:
+    from repro.store.store import TrajectoryStore
+
+    return TrajectoryStore.open(path).load(name=name or None)
+
+
+def _write_store(db: TrajectoryDatabase, path: Path) -> int:
+    from repro.store.store import TrajectoryStore
+
+    if _is_store_dir(path):
+        return TrajectoryStore.open(path).append(db)
+    store = TrajectoryStore.create(path, name=db.name)
+    return store.append(db)
+
+
+register_format(
+    FormatSpec("csv", (".csv",), _read_csv, _write_csv)
+)
+register_format(
+    FormatSpec("jsonl", (".jsonl", ".ndjson"), _read_jsonl, _write_jsonl)
+)
+register_format(
+    FormatSpec(
+        "sqlite", (".sqlite", ".sqlite3", ".db"), _read_sqlite, _write_sqlite
+    )
+)
+register_format(
+    FormatSpec(
+        "store", (), _read_store, _write_store, is_dir=True, probe=_is_store_dir
+    )
+)

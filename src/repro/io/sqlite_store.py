@@ -7,6 +7,12 @@ trajectories persisted in one SQLite file, with indexed point storage
 and time-window queries — so large scenarios can be generated once and
 reloaded cheaply.
 
+For plain save/load round-trips, prefer the format registry
+(:func:`repro.io.load_database` / :func:`repro.io.save_database`),
+which routes ``.sqlite``/``.db`` paths here; for serving-scale corpora
+use the mmap-backed :mod:`repro.store`, which this store's row layout
+cannot match on cold-start time.
+
 Schema::
 
     databases(db_id INTEGER PK, name TEXT UNIQUE)
@@ -19,6 +25,7 @@ Schema::
 from __future__ import annotations
 
 import sqlite3
+import warnings
 from pathlib import Path
 from typing import Iterator
 
@@ -184,7 +191,19 @@ class SQLiteTrajectoryStore:
         return out
 
     def iter_trajectories(self, name: str) -> Iterator[Trajectory]:
-        """Stream a stored database trajectory by trajectory."""
+        """Deprecated: use :meth:`load` (or ``repro.io.load_database``).
+
+        This helper never streamed — it materialised the full database
+        and returned an iterator over it, duplicating :meth:`load` and
+        the :mod:`repro.io.registry` entry point.  It will be removed
+        in a future release.
+        """
+        warnings.warn(
+            "SQLiteTrajectoryStore.iter_trajectories is deprecated; use "
+            "load() or repro.io.load_database() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         loaded = self.load(name)
         return iter(loaded)
 

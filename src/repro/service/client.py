@@ -143,10 +143,15 @@ class ServiceClient:
         candidate_records: Mapping[str, Sequence[Sequence[float]]] | None = None,
         expire_before: float | None = None,
         decide: bool = True,
+        flush: bool = False,
     ) -> dict:
         """Stream records into a server-side session; returns decisions.
 
         Records are ``(t, x, y)`` triples (any sequence type).
+        ``flush=True`` additionally persists the session's buffered
+        candidate records into the daemon's trajectory store (requires
+        ``ftl serve --store``); the response then carries
+        ``flushed_records``.
         """
         body: dict = {
             "session": session,
@@ -157,6 +162,8 @@ class ServiceClient:
             },
             "decide": decide,
         }
+        if flush:
+            body["flush"] = True
         if expire_before is not None:
             body["expire_before"] = expire_before
         return self.request("POST", "/ingest", body)

@@ -245,6 +245,7 @@ class IngestWireRequest:
     candidate_records: dict[str, list[list[float]]]
     expire_before: float | None
     decide: bool
+    flush: bool
 
 
 def ingest_request_from_wire(obj) -> IngestWireRequest:
@@ -256,11 +257,13 @@ def ingest_request_from_wire(obj) -> IngestWireRequest:
          "query": [[t, x, y], ...],                  # optional
          "candidates": {"cand-1": [[t, x, y], ...]}, # optional
          "expire_before": 1700000000.0,              # optional
-         "decide": true}                             # optional (default)
+         "decide": true,                             # optional (default)
+         "flush": false}                             # optional: persist the
+                                                     # session to the store
     """
     body = _require_object(obj, "request")
     unknown = set(body) - {
-        "session", "query", "candidates", "expire_before", "decide"
+        "session", "query", "candidates", "expire_before", "decide", "flush"
     }
     if unknown:
         raise ProtocolError(f"request has unknown keys: {sorted(unknown)}")
@@ -283,12 +286,16 @@ def ingest_request_from_wire(obj) -> IngestWireRequest:
     decide = body.get("decide", True)
     if not isinstance(decide, bool):
         raise ProtocolError(f"decide must be a boolean, got {decide!r}")
+    flush = body.get("flush", False)
+    if not isinstance(flush, bool):
+        raise ProtocolError(f"flush must be a boolean, got {flush!r}")
     return IngestWireRequest(
         session=session,
         query_records=query_records,
         candidate_records=candidate_records,
         expire_before=None if expire_before is None else float(expire_before),
         decide=decide,
+        flush=flush,
     )
 
 

@@ -100,6 +100,12 @@ class LinkServer:
         Network and scheduling knobs; see :class:`ServerConfig`.
     clock:
         Injectable monotonic clock (session-TTL tests control time).
+    store:
+        Optional :class:`~repro.store.TrajectoryStore` backing the
+        pool; enables ingest-session flushes into its append log.
+    provenance:
+        Data-source descriptor surfaced by ``/healthz`` and the
+        startup log (see :meth:`ServiceState.health`).
     """
 
     def __init__(
@@ -109,6 +115,8 @@ class LinkServer:
         options: LinkOptions | None = None,
         config: ServerConfig = ServerConfig(),
         clock=time.monotonic,
+        store=None,
+        provenance: dict | None = None,
     ) -> None:
         self._config = config
         self._state = ServiceState(
@@ -117,6 +125,8 @@ class LinkServer:
             options=options if options is not None else engine.options,
             session_ttl_s=config.session_ttl_s,
             clock=clock,
+            store=store,
+            provenance=provenance,
         )
         self._clock = clock
         # The engine's caches are plain dicts; one lock keeps them
@@ -407,6 +417,10 @@ class LinkServer:
             "n_query_records": entry.linker.n_query_records,
             "n_records_ingested": entry.n_records,
         }
+        if wire.flush:
+            response["flushed_records"] = self._state.flush_session(
+                wire.session
+            )
         if wire.decide:
             response["decisions"] = [
                 {
@@ -446,8 +460,10 @@ class BackgroundServer:
         options: LinkOptions | None = None,
         config: ServerConfig = ServerConfig(),
         clock=time.monotonic,
+        store=None,
+        provenance: dict | None = None,
     ) -> None:
-        self._args = (engine, pool, options, config, clock)
+        self._args = (engine, pool, options, config, clock, store, provenance)
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
         self._address: tuple[str, int] | None = None
@@ -503,9 +519,9 @@ class BackgroundServer:
             self._ready.set()
 
     async def _main(self) -> None:
-        engine, pool, options, config, clock = self._args
+        engine, pool, options, config, clock, store, provenance = self._args
         server = LinkServer(engine, pool, options=options, config=config,
-                            clock=clock)
+                            clock=clock, store=store, provenance=provenance)
         await server.start()
         self._server = server
         self._loop = asyncio.get_running_loop()

@@ -125,13 +125,22 @@ class Metrics:
 
 @dataclass
 class IngestSession:
-    """One streaming-ingest session: a linker plus bookkeeping."""
+    """One streaming-ingest session: a linker plus bookkeeping.
+
+    When the daemon runs over a persistent store, ``pending`` buffers
+    the session's raw candidate records until they are flushed into the
+    store's append log (explicitly via the wire ``flush`` flag, or
+    automatically when the idle session expires).
+    """
 
     session_id: str
     linker: StreamingLinker
     created_at: float
     last_used_at: float
     n_records: int = 0
+    pending: dict[str, list[tuple[float, float, float]]] = field(
+        default_factory=dict
+    )
 
     def touch(self, now: float) -> None:
         self.last_used_at = now
@@ -156,6 +165,17 @@ class ServiceState:
         Idle seconds before an ingest session is garbage-collected.
     clock:
         Monotonic-seconds source; injectable so TTL tests control time.
+    store:
+        Optional :class:`~repro.store.TrajectoryStore` the daemon
+        serves from.  When set, ingest sessions buffer their candidate
+        records and :meth:`flush_session` appends them to the store's
+        append log (idle-expired sessions are flushed automatically, so
+        ingested evidence survives the daemon).
+    provenance:
+        Where the resident pool came from (store dir + manifest
+        generation, parsed files, ...); reported by :meth:`health` and
+        the startup log so operators can tell which snapshot a daemon
+        is serving.
     """
 
     engine: LinkEngine
@@ -164,6 +184,8 @@ class ServiceState:
     session_ttl_s: float = DEFAULT_SESSION_TTL_S
     clock: object = time.monotonic
     metrics: Metrics = field(default_factory=Metrics)
+    store: object | None = None
+    provenance: dict | None = None
     started_at: float = field(init=False)
     sessions: dict[str, IngestSession] = field(default_factory=dict)
 
@@ -216,10 +238,40 @@ class ServiceState:
             if now - entry.last_used_at > self.session_ttl_s
         ]
         for sid in expired:
+            if self.store is not None:
+                self.flush_session(sid)
             del self.sessions[sid]
         if expired:
             self.metrics.inc("sessions_expired_total", len(expired))
         return expired
+
+    def flush_session(self, session_id: str) -> int:
+        """Append a session's buffered candidate records to the store.
+
+        Each buffered candidate becomes one record-delta trajectory in
+        a new store segment (merge-on-read with whatever the store
+        already holds under that id; ``compact()`` materialises the
+        union).  Returns the number of records flushed; a no-op (0)
+        when the session has no buffered records.  Raises
+        :class:`~repro.errors.ValidationError` when no store is
+        attached or the session is unknown.
+        """
+        if self.store is None:
+            raise ValidationError("no trajectory store attached to this daemon")
+        entry = self.sessions.get(session_id)
+        if entry is None:
+            raise ValidationError(f"unknown ingest session {session_id!r}")
+        if not entry.pending:
+            return 0
+        deltas = []
+        for cid, records in entry.pending.items():
+            ts, xs, ys = zip(*records)
+            deltas.append(Trajectory(ts, xs, ys, cid, sort=True))
+        flushed = self.store.append(deltas)
+        entry.pending.clear()
+        self.metrics.inc("store_flushes_total")
+        self.metrics.inc("store_flushed_records_total", flushed)
+        return flushed
 
     def ingest(self, session_id: str, query_records, candidate_records,
                expire_before: float | None = None) -> IngestSession:
@@ -233,9 +285,16 @@ class ServiceState:
         for cid, records in candidate_records.items():
             if not linker.has_candidate(cid):
                 linker.add_candidate(cid)
+            buffer = (
+                entry.pending.setdefault(str(cid), [])
+                if self.store is not None
+                else None
+            )
             for t, x, y in records:
                 linker.observe_candidate(cid, Record(t, x, y))
                 entry.n_records += 1
+                if buffer is not None:
+                    buffer.append((float(t), float(x), float(y)))
         total = len(query_records) + sum(
             len(r) for r in candidate_records.values()
         )
@@ -255,4 +314,9 @@ class ServiceState:
             "pool_size": len(self.pool),
             "sessions": len(self.sessions),
             "method": self.options.method,
+            "data_source": (
+                self.provenance
+                if self.provenance is not None
+                else {"source": "in-memory"}
+            ),
         }

@@ -1,0 +1,44 @@
+"""Persistent mmap-backed trajectory storage with spatio-temporal blocking.
+
+The scaling layer under the linking engine and the serving daemon:
+
+* :class:`TrajectoryStore` — a columnar on-disk trajectory database
+  (flat float64/int64 arrays + JSON manifest) opened via
+  ``numpy.memmap`` for near-zero cold start, with append-only
+  incremental ingest and an explicit :meth:`~TrajectoryStore.compact`
+  snapshot step;
+* :class:`SpatioTemporalIndex` — persisted blocking crossing time-window
+  overlap with a ``Vmax``-reachability-dilated geo-grid, with a proven
+  superset contract over :class:`~repro.core.prefilter.TimeOverlapPrefilter`;
+* CLI verbs ``ftl store build/append/compact/stats/index`` and
+  ``ftl serve --store DIR``.
+
+See ``docs/store.md`` for the on-disk layout, manifest versioning and
+the operations runbook.
+"""
+
+from repro.store.format import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    SegmentInfo,
+    StoreManifest,
+)
+from repro.store.stindex import SpatioTemporalIndex
+from repro.store.store import (
+    StoreStats,
+    TrajectoryStore,
+    build_store,
+    open_store,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "SegmentInfo",
+    "SpatioTemporalIndex",
+    "StoreManifest",
+    "StoreStats",
+    "TrajectoryStore",
+    "build_store",
+    "open_store",
+]

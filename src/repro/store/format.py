@@ -1,0 +1,266 @@
+"""On-disk layout of the mmap-backed trajectory store.
+
+A store is one directory per trajectory database::
+
+    store/
+      manifest.json            <- the only mutable file; swapped atomically
+      seg-000000/              <- an immutable segment
+        ts.f64                 <- flat little-endian float64 timestamps
+        xs.f64, ys.f64         <- flat little-endian float64 coordinates
+        offsets.i64            <- int64 record offsets, length n_traj + 1
+        ids.json               <- trajectory id strings, length n_traj
+      seg-000001/              <- appended segments (record deltas)
+      index/                   <- optional persisted blocking index
+
+Segments are **append-only and immutable**: ingest writes a complete new
+segment directory, fsyncs it, and only then swaps ``manifest.json`` via
+an atomic rename.  A crash mid-append therefore leaves an unreferenced
+(and later garbage-collected) directory behind — the manifest always
+describes the last consistent snapshot.  ``manifest.json`` carries a
+``format_version`` (bumped on layout changes; readers reject newer
+versions) and a monotonically increasing ``generation`` used to detect
+stale blocking indexes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StoreFormatError
+
+#: Name of the store's manifest file inside the store directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Magic string identifying a store manifest.
+STORE_FORMAT = "ftl-store"
+
+#: Current on-disk format version; readers reject anything newer.
+FORMAT_VERSION = 1
+
+#: Subdirectory holding the persisted spatio-temporal blocking index.
+INDEX_DIR = "index"
+
+#: The flat columnar files inside every segment directory.
+SEGMENT_ARRAYS = (
+    ("ts.f64", "<f8"),
+    ("xs.f64", "<f8"),
+    ("ys.f64", "<f8"),
+    ("offsets.i64", "<i8"),
+)
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One immutable segment as recorded in the manifest."""
+
+    dirname: str
+    n_trajectories: int
+    n_records: int
+
+    def to_dict(self) -> dict:
+        return {
+            "dir": self.dirname,
+            "n_trajectories": self.n_trajectories,
+            "n_records": self.n_records,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "SegmentInfo":
+        try:
+            return cls(
+                dirname=str(obj["dir"]),
+                n_trajectories=int(obj["n_trajectories"]),
+                n_records=int(obj["n_records"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreFormatError(f"malformed segment entry {obj!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class StoreManifest:
+    """The store's root metadata (the content of ``manifest.json``)."""
+
+    name: str = ""
+    format_version: int = FORMAT_VERSION
+    generation: int = 0
+    segments: tuple[SegmentInfo, ...] = field(default_factory=tuple)
+
+    @property
+    def n_records(self) -> int:
+        """Records across all segments (an id in k segments counts k times)."""
+        return sum(seg.n_records for seg in self.segments)
+
+    def bumped(self, new_segments: tuple[SegmentInfo, ...]) -> "StoreManifest":
+        """The next generation of this manifest with the given segments."""
+        return replace(
+            self, generation=self.generation + 1, segments=new_segments
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": STORE_FORMAT,
+            "format_version": self.format_version,
+            "name": self.name,
+            "generation": self.generation,
+            "segments": [seg.to_dict() for seg in self.segments],
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict, where: str = "manifest") -> "StoreManifest":
+        if not isinstance(obj, dict) or obj.get("format") != STORE_FORMAT:
+            raise StoreFormatError(
+                f"{where}: not a {STORE_FORMAT} manifest"
+            )
+        version = int(obj.get("format_version", -1))
+        if not 1 <= version <= FORMAT_VERSION:
+            raise StoreFormatError(
+                f"{where}: unsupported format_version {version} "
+                f"(this reader supports up to {FORMAT_VERSION})"
+            )
+        return cls(
+            name=str(obj.get("name", "")),
+            format_version=version,
+            generation=int(obj.get("generation", 0)),
+            segments=tuple(
+                SegmentInfo.from_dict(entry) for entry in obj.get("segments", [])
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Atomic file helpers
+# ----------------------------------------------------------------------
+def fsync_file(path: Path) -> None:
+    """Flush one file's content to stable storage (best effort)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: Path) -> None:
+    """Flush a directory entry table to stable storage (best effort)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_json_atomic(path: Path, payload: dict) -> None:
+    """Write JSON via a temp file + atomic rename (crash-consistent)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    fsync_file(tmp)
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+
+
+def read_manifest(store_dir: Path) -> StoreManifest:
+    """Load and validate the manifest of a store directory."""
+    path = store_dir / MANIFEST_NAME
+    if not path.is_file():
+        raise StoreFormatError(
+            f"{store_dir}: no {MANIFEST_NAME}; not a trajectory store"
+        )
+    try:
+        obj = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StoreFormatError(f"{path}: invalid JSON: {exc}") from exc
+    return StoreManifest.from_dict(obj, where=str(path))
+
+
+def write_manifest(store_dir: Path, manifest: StoreManifest) -> None:
+    """Atomically install a manifest as the store's current snapshot."""
+    write_json_atomic(store_dir / MANIFEST_NAME, manifest.to_dict())
+
+
+def open_segment_arrays(
+    seg_dir: Path, info: SegmentInfo
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[str]]:
+    """Memory-map one segment's columns; validates sizes against the manifest.
+
+    Returns ``(ts, xs, ys, offsets, ids)`` where the first three are
+    read-only ``numpy.memmap`` views of ``n_records`` float64 values,
+    ``offsets`` is the int64 slice table (length ``n_trajectories + 1``)
+    and ``ids`` the trajectory id strings.  Empty columns are returned
+    as ordinary zero-length arrays (``mmap`` cannot map empty files).
+    """
+    ids_path = seg_dir / "ids.json"
+    if not seg_dir.is_dir() or not ids_path.is_file():
+        raise StoreFormatError(f"{seg_dir}: missing segment directory or ids.json")
+    try:
+        ids = json.loads(ids_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StoreFormatError(f"{ids_path}: invalid JSON: {exc}") from exc
+    if not isinstance(ids, list) or len(ids) != info.n_trajectories:
+        raise StoreFormatError(
+            f"{ids_path}: expected {info.n_trajectories} ids, "
+            f"got {len(ids) if isinstance(ids, list) else type(ids).__name__}"
+        )
+    arrays = []
+    expected = {
+        "ts.f64": info.n_records,
+        "xs.f64": info.n_records,
+        "ys.f64": info.n_records,
+        "offsets.i64": info.n_trajectories + 1,
+    }
+    for fname, dtype in SEGMENT_ARRAYS:
+        path = seg_dir / fname
+        want = expected[fname]
+        itemsize = np.dtype(dtype).itemsize
+        try:
+            actual = path.stat().st_size
+        except OSError as exc:
+            raise StoreFormatError(f"{path}: unreadable: {exc}") from exc
+        if actual != want * itemsize:
+            raise StoreFormatError(
+                f"{path}: expected {want * itemsize} bytes "
+                f"({want} x {dtype}), found {actual}"
+            )
+        if want == 0:
+            arrays.append(np.empty(0, dtype=dtype))
+        else:
+            arrays.append(np.memmap(path, dtype=dtype, mode="r", shape=(want,)))
+    ts, xs, ys, offsets = arrays
+    if offsets.size and (offsets[0] != 0 or offsets[-1] != info.n_records):
+        raise StoreFormatError(
+            f"{seg_dir}: offset table does not span the record columns"
+        )
+    return ts, xs, ys, offsets, [str(i) for i in ids]
+
+
+def write_segment_arrays(
+    seg_dir: Path,
+    ts: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    offsets: np.ndarray,
+    ids: list[str],
+) -> None:
+    """Write one complete, fsynced segment directory (no manifest change)."""
+    seg_dir.mkdir(parents=True, exist_ok=False)
+    for fname, dtype, arr in (
+        ("ts.f64", "<f8", ts),
+        ("xs.f64", "<f8", xs),
+        ("ys.f64", "<f8", ys),
+        ("offsets.i64", "<i8", offsets),
+    ):
+        path = seg_dir / fname
+        np.ascontiguousarray(arr, dtype=dtype).tofile(path)
+        fsync_file(path)
+    ids_path = seg_dir / "ids.json"
+    ids_path.write_text(json.dumps(ids))
+    fsync_file(ids_path)
+    fsync_dir(seg_dir)

@@ -1,0 +1,483 @@
+"""Persisted spatio-temporal blocking for candidate pruning.
+
+:class:`~repro.core.blocking.CandidateIndex` blocks on time alone: a
+candidate survives when its observation window overlaps the query's.
+At serving scale that still admits every concurrently observed
+trajectory in the city.  :class:`SpatioTemporalIndex` crosses the same
+time-window test with a uniform geo-grid of each candidate's *visited
+cells*, pruned by ``Vmax``-reachability:
+
+**Guarantee (superset contract).**  Let ``R = vmax_mps * reach_gap_s``.
+``candidates_for(query, min_overlap_s)`` returns every candidate that
+(a) :class:`~repro.core.prefilter.TimeOverlapPrefilter` with the same
+``min_overlap_s`` would keep **and** (b) has at least one record within
+distance ``vmax_mps * dt`` of some query record for a time gap
+``dt <= reach_gap_s`` — i.e. every candidate able to contribute a
+*compatible* mutual segment with gap at most ``reach_gap_s``.  Proof
+sketch: such a record pair is at distance ``<= R``, so its cells are at
+Chebyshev distance ``<= floor(R / cell) + 1``; the query's cells are
+dilated by exactly that radius before the inverted-cell lookup, and the
+temporal test is the overlap inequality itself, evaluated directly (no
+search-boundary rounding).  Property-tested against brute force in
+``tests/test_stindex.py``.
+
+``reach_gap_s`` is the blocking knob: the config horizon (one hour) is
+fully conservative for all in-horizon evidence, while smaller gaps
+prune harder and only drop candidates whose *every* compatible segment
+has a long (weak-evidence) gap.
+
+The index persists inside a store directory (``index/``) as the same
+flat columnar arrays the store uses, stamped with the store manifest's
+``generation``; opening against a different generation raises
+:class:`~repro.errors.StaleIndexError` instead of silently serving a
+stale snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.trajectory import Trajectory
+from repro.errors import StaleIndexError, StoreFormatError, ValidationError
+from repro.geo.units import kph_to_mps
+from repro.store.format import fsync_dir, fsync_file, write_json_atomic
+
+#: Magic string identifying a persisted index.
+INDEX_FORMAT = "ftl-stindex"
+
+#: Current index layout version.
+INDEX_VERSION = 1
+
+#: Cell-coordinate bias / multiplier for the packed int64 cell key.
+_BIAS = 1 << 30
+_MULT = np.int64(1) << np.int64(31)
+
+#: Largest usable |cell coordinate| (keeps dilated keys inside int64).
+_MAX_CELL = _BIAS - 4096
+
+_ARRAY_FILES = (
+    ("starts.f64", "<f8"),
+    ("ends.f64", "<f8"),
+    ("cells.i64", "<i8"),
+    ("cell_offsets.i64", "<i8"),
+    ("postings.i64", "<i8"),
+)
+
+
+def _cell_keys(
+    xs: np.ndarray, ys: np.ndarray, cell_size: float
+) -> np.ndarray | None:
+    """Packed int64 cell keys of the points, or ``None`` when out of range."""
+    cx = np.floor(np.asarray(xs, dtype=np.float64) / cell_size).astype(np.int64)
+    cy = np.floor(np.asarray(ys, dtype=np.float64) / cell_size).astype(np.int64)
+    if cx.size and (
+        np.abs(cx).max() >= _MAX_CELL or np.abs(cy).max() >= _MAX_CELL
+    ):
+        return None
+    return (cx + _BIAS) * _MULT + (cy + _BIAS)
+
+
+class SpatioTemporalIndex:
+    """Time-window x visited-cell blocking over a candidate database.
+
+    Build with :meth:`build`, or persist/restore with :meth:`save` /
+    :meth:`open`.  Empty trajectories are excluded (they can never
+    match), matching :class:`~repro.core.blocking.CandidateIndex`.
+    """
+
+    def __init__(
+        self,
+        db: TrajectoryDatabase,
+        ids: list[str],
+        starts: np.ndarray,
+        ends: np.ndarray,
+        cells: np.ndarray,
+        cell_offsets: np.ndarray,
+        postings: np.ndarray,
+        cell_size_m: float,
+        vmax_kph: float,
+        reach_gap_s: float,
+    ) -> None:
+        self._db = db
+        self._ids = ids
+        self._starts = starts
+        self._ends = ends
+        self._cells = cells
+        self._cell_offsets = cell_offsets
+        self._postings = postings
+        self._cell_size_m = float(cell_size_m)
+        self._vmax_kph = float(vmax_kph)
+        self._reach_gap_s = float(reach_gap_s)
+        # Chebyshev dilation radius in cells; covers any point pair at
+        # Euclidean distance <= R = vmax * gap (see module docstring).
+        reach_m = kph_to_mps(self._vmax_kph) * self._reach_gap_s
+        self._dilation = int(math.floor(reach_m / self._cell_size_m)) + 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        db: TrajectoryDatabase,
+        cell_size_m: float | None = None,
+        vmax_kph: float = 120.0,
+        reach_gap_s: float = 3600.0,
+    ) -> "SpatioTemporalIndex":
+        """Index a candidate database.
+
+        Parameters
+        ----------
+        db:
+            The candidate database (empty trajectories are skipped).
+        cell_size_m:
+            Geo-grid cell side in metres; defaults to the reachability
+            radius ``vmax * reach_gap_s`` (dilation radius 2 cells).
+        vmax_kph:
+            The speed cap used for reachability (paper ``Vmax``).
+        reach_gap_s:
+            Largest mutual-segment time gap the spatial screen must
+            preserve; see the module docstring for the contract.
+        """
+        if not vmax_kph > 0:
+            raise ValidationError(f"vmax_kph must be positive, got {vmax_kph}")
+        if not reach_gap_s > 0:
+            raise ValidationError(
+                f"reach_gap_s must be positive, got {reach_gap_s}"
+            )
+        if cell_size_m is None:
+            cell_size_m = kph_to_mps(vmax_kph) * reach_gap_s
+        if not cell_size_m > 0:
+            raise ValidationError(
+                f"cell_size_m must be positive, got {cell_size_m}"
+            )
+        ids: list[str] = []
+        starts: list[float] = []
+        ends: list[float] = []
+        key_parts: list[np.ndarray] = []
+        idx_parts: list[np.ndarray] = []
+        for traj in db:
+            if len(traj) == 0:
+                continue
+            keys = _cell_keys(traj.xs, traj.ys, cell_size_m)
+            if keys is None:
+                raise ValidationError(
+                    f"trajectory {traj.traj_id!r}: coordinates exceed the "
+                    f"indexable range at cell_size_m={cell_size_m}"
+                )
+            i = len(ids)
+            ids.append(str(traj.traj_id))
+            starts.append(traj.start_time)
+            ends.append(traj.end_time)
+            uniq = np.unique(keys)
+            key_parts.append(uniq)
+            idx_parts.append(np.full(uniq.size, i, dtype=np.int64))
+        if key_parts:
+            all_keys = np.concatenate(key_parts)
+            all_idx = np.concatenate(idx_parts)
+            order = np.argsort(all_keys, kind="stable")
+            sorted_keys = all_keys[order]
+            postings = all_idx[order]
+            cells, first = np.unique(sorted_keys, return_index=True)
+            cell_offsets = np.concatenate(
+                [first, [sorted_keys.size]]
+            ).astype(np.int64)
+        else:
+            cells = np.empty(0, dtype=np.int64)
+            cell_offsets = np.zeros(1, dtype=np.int64)
+            postings = np.empty(0, dtype=np.int64)
+        return cls(
+            db,
+            ids,
+            np.asarray(starts, dtype=np.float64),
+            np.asarray(ends, dtype=np.float64),
+            cells,
+            cell_offsets,
+            postings,
+            cell_size_m,
+            vmax_kph,
+            reach_gap_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def cell_size_m(self) -> float:
+        return self._cell_size_m
+
+    @property
+    def vmax_kph(self) -> float:
+        return self._vmax_kph
+
+    @property
+    def reach_gap_s(self) -> float:
+        return self._reach_gap_s
+
+    @property
+    def n_cells(self) -> int:
+        return int(self._cells.size)
+
+    def params(self) -> dict:
+        """The build parameters (reused when compaction rebuilds)."""
+        return {
+            "cell_size_m": self._cell_size_m,
+            "vmax_kph": self._vmax_kph,
+            "reach_gap_s": self._reach_gap_s,
+        }
+
+    def coverage_window(self) -> tuple[float, float]:
+        """The (earliest start, latest end) over all indexed candidates."""
+        if not self._ids:
+            raise ValidationError("index is empty")
+        return float(self._starts.min()), float(self._ends.max())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _temporal_mask(
+        self, query: Trajectory, min_overlap_s: float
+    ) -> np.ndarray:
+        """Exactly the :class:`TimeOverlapPrefilter` predicate, vectorised."""
+        overlap = np.minimum(self._ends, query.end_time) - np.maximum(
+            self._starts, query.start_time
+        )
+        return overlap >= min_overlap_s
+
+    def _spatial_mask(self, query: Trajectory) -> np.ndarray:
+        """Candidates sharing a dilated grid cell with the query.
+
+        Falls back to keeping everything when the query's coordinates
+        exceed the indexable range — the screen may only ever prune
+        provably unreachable candidates.
+        """
+        n = len(self._ids)
+        base = _cell_keys(query.xs, query.ys, self._cell_size_m)
+        if base is None:
+            return np.ones(n, dtype=bool)
+        base = np.unique(base)
+        k = self._dilation
+        span = np.arange(-k, k + 1, dtype=np.int64)
+        # All cells within Chebyshev distance k of any query cell.
+        dilated = (
+            base[:, None, None]
+            + span[None, :, None] * _MULT
+            + span[None, None, :]
+        ).ravel()
+        keys = np.unique(dilated)
+        pos = np.searchsorted(self._cells, keys)
+        in_range = pos < self._cells.size
+        pos, keys = pos[in_range], keys[in_range]
+        hit = pos[self._cells[pos] == keys]
+        mask = np.zeros(n, dtype=bool)
+        for j in hit:
+            a, b = self._cell_offsets[j], self._cell_offsets[j + 1]
+            mask[self._postings[a:b]] = True
+        return mask
+
+    def candidates_for(
+        self, query: Trajectory, min_overlap_s: float = 0.0
+    ) -> list[Trajectory]:
+        """Candidates surviving both the temporal and the spatial screen.
+
+        A strict subset of what temporal blocking alone admits, and a
+        guaranteed superset of every time-overlapping candidate within
+        ``Vmax * reach_gap_s`` reachability (module docstring).
+        """
+        if min_overlap_s < 0:
+            raise ValidationError(
+                f"min_overlap_s must be >= 0, got {min_overlap_s}"
+            )
+        if len(query) == 0 or not self._ids:
+            return []
+        keep = self._temporal_mask(query, min_overlap_s) & self._spatial_mask(
+            query
+        )
+        return [self._db[self._ids[i]] for i in np.nonzero(keep)[0]]
+
+    def ids_for(
+        self, query: Trajectory, min_overlap_s: float = 0.0
+    ) -> list[object]:
+        """Like :meth:`candidates_for` but returning ids only."""
+        return [
+            t.traj_id for t in self.candidates_for(query, min_overlap_s)
+        ]
+
+    def temporal_ids_for(
+        self, query: Trajectory, min_overlap_s: float = 0.0
+    ) -> list[str]:
+        """The time-only blocking result (the ``CandidateIndex`` baseline)."""
+        if min_overlap_s < 0:
+            raise ValidationError(
+                f"min_overlap_s must be >= 0, got {min_overlap_s}"
+            )
+        if len(query) == 0 or not self._ids:
+            return []
+        mask = self._temporal_mask(query, min_overlap_s)
+        return [self._ids[i] for i in np.nonzero(mask)[0]]
+
+    def prune_counts(
+        self, query: Trajectory, min_overlap_s: float = 0.0
+    ) -> dict:
+        """Candidate counts at each pruning stage (benchmark probe)."""
+        if len(query) == 0 or not self._ids:
+            return {"n_indexed": len(self._ids), "n_temporal": 0,
+                    "n_spatiotemporal": 0}
+        tmask = self._temporal_mask(query, min_overlap_s)
+        stmask = tmask & self._spatial_mask(query)
+        return {
+            "n_indexed": len(self._ids),
+            "n_temporal": int(tmask.sum()),
+            "n_spatiotemporal": int(stmask.sum()),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, index_dir: str | Path, generation: int) -> None:
+        """Persist the index, stamped with the store's ``generation``."""
+        index_dir = Path(index_dir)
+        index_dir.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            "starts.f64": ("<f8", self._starts),
+            "ends.f64": ("<f8", self._ends),
+            "cells.i64": ("<i8", self._cells),
+            "cell_offsets.i64": ("<i8", self._cell_offsets),
+            "postings.i64": ("<i8", self._postings),
+        }
+        for fname, (dtype, arr) in arrays.items():
+            path = index_dir / fname
+            np.ascontiguousarray(arr, dtype=dtype).tofile(path)
+            fsync_file(path)
+        ids_path = index_dir / "ids.json"
+        ids_path.write_text(json.dumps(self._ids))
+        fsync_file(ids_path)
+        fsync_dir(index_dir)
+        write_json_atomic(
+            index_dir / "meta.json",
+            {
+                "format": INDEX_FORMAT,
+                "format_version": INDEX_VERSION,
+                "generation": int(generation),
+                "cell_size_m": self._cell_size_m,
+                "vmax_kph": self._vmax_kph,
+                "reach_gap_s": self._reach_gap_s,
+                "n_candidates": len(self._ids),
+                "n_cells": int(self._cells.size),
+                "n_postings": int(self._postings.size),
+            },
+        )
+
+    @staticmethod
+    def _read_meta(index_dir: Path) -> dict:
+        meta_path = index_dir / "meta.json"
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreFormatError(f"{meta_path}: unreadable: {exc}") from exc
+        if meta.get("format") != INDEX_FORMAT:
+            raise StoreFormatError(f"{meta_path}: not a {INDEX_FORMAT} index")
+        version = int(meta.get("format_version", -1))
+        if not 1 <= version <= INDEX_VERSION:
+            raise StoreFormatError(
+                f"{meta_path}: unsupported index version {version}"
+            )
+        return meta
+
+    @classmethod
+    def load_params(cls, index_dir: str | Path) -> dict:
+        """The persisted build parameters (for rebuild-after-compact)."""
+        meta = cls._read_meta(Path(index_dir))
+        return {
+            "cell_size_m": float(meta["cell_size_m"]),
+            "vmax_kph": float(meta["vmax_kph"]),
+            "reach_gap_s": float(meta["reach_gap_s"]),
+        }
+
+    @classmethod
+    def open(
+        cls,
+        index_dir: str | Path,
+        db: TrajectoryDatabase,
+        expected_generation: int | None = None,
+    ) -> "SpatioTemporalIndex":
+        """Memory-map a persisted index and bind it to its database.
+
+        ``expected_generation`` (the store manifest's current value)
+        guards against serving candidates from a superseded snapshot.
+        """
+        index_dir = Path(index_dir)
+        meta = cls._read_meta(index_dir)
+        if (
+            expected_generation is not None
+            and int(meta.get("generation", -1)) != int(expected_generation)
+        ):
+            raise StaleIndexError(
+                f"{index_dir}: index was built at store generation "
+                f"{meta.get('generation')}, store is now at "
+                f"{expected_generation}; rebuild with build_index()"
+            )
+        try:
+            ids = json.loads((index_dir / "ids.json").read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreFormatError(
+                f"{index_dir}/ids.json: unreadable: {exc}"
+            ) from exc
+        n = int(meta["n_candidates"])
+        n_cells = int(meta["n_cells"])
+        n_postings = int(meta["n_postings"])
+        if len(ids) != n:
+            raise StoreFormatError(
+                f"{index_dir}: ids.json holds {len(ids)} ids, meta says {n}"
+            )
+        sizes = {
+            "starts.f64": n,
+            "ends.f64": n,
+            "cells.i64": n_cells,
+            "cell_offsets.i64": n_cells + 1,
+            "postings.i64": n_postings,
+        }
+        loaded = {}
+        for fname, dtype in _ARRAY_FILES:
+            path = index_dir / fname
+            want = sizes[fname]
+            itemsize = np.dtype(dtype).itemsize
+            try:
+                actual = path.stat().st_size
+            except OSError as exc:
+                raise StoreFormatError(f"{path}: unreadable: {exc}") from exc
+            if actual != want * itemsize:
+                raise StoreFormatError(
+                    f"{path}: expected {want} x {dtype}, found {actual} bytes"
+                )
+            loaded[fname] = (
+                np.memmap(path, dtype=dtype, mode="r", shape=(want,))
+                if want
+                else np.empty(0, dtype=dtype)
+            )
+        missing = [i for i in ids if i not in db]
+        if missing:
+            raise StaleIndexError(
+                f"{index_dir}: indexed ids missing from the database "
+                f"(first: {missing[0]!r}); rebuild the index"
+            )
+        return cls(
+            db,
+            [str(i) for i in ids],
+            loaded["starts.f64"],
+            loaded["ends.f64"],
+            loaded["cells.i64"],
+            loaded["cell_offsets.i64"],
+            loaded["postings.i64"],
+            float(meta["cell_size_m"]),
+            float(meta["vmax_kph"]),
+            float(meta["reach_gap_s"]),
+        )

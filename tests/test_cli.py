@@ -139,12 +139,75 @@ class TestServe:
         assert "serving SD-mini on http://127.0.0.1:" in out
         assert "drained; bye" in out
 
-    def test_serve_requires_name(self):
-        with pytest.raises(SystemExit):
+    def test_serve_requires_exactly_one_source(self, tmp_path):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="exactly one"):
             main(["serve"])
+        with pytest.raises(ValidationError, match="exactly one"):
+            main(["serve", "SD-mini", "--store", str(tmp_path / "s")])
 
     def test_serve_unknown_dataset_fails(self):
         from repro.errors import ValidationError
 
         with pytest.raises(ValidationError):
             main(["serve", "NOPE", "--port", "0", "--shutdown-after", "0.1"])
+
+    def test_serve_from_store_reports_provenance(self, tmp_path, capsys):
+        from repro.datasets.catalog import build_scenario
+        from repro.store import build_store
+
+        store_dir = tmp_path / "q-store"
+        build_store(store_dir, build_scenario("SD-mini").q_db, name="Q")
+        assert main(
+            ["serve", "--store", str(store_dir), "--port", "0",
+             "--shutdown-after", "0.3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"serving {store_dir} on http://127.0.0.1:" in out
+        assert "data source: source=store" in out
+        assert "generation=1" in out
+        assert "drained; bye" in out
+
+
+class TestStoreCommand:
+    def test_build_append_compact_stats(self, tmp_path, capsys):
+        out_dir = tmp_path / "scenario"
+        assert main(["generate", "SD-mini", "--out", str(out_dir)]) == 0
+        store_dir = tmp_path / "q-store"
+        assert main(
+            ["store", "build", str(store_dir),
+             "--from", str(out_dir / "Q.csv"), "--name", "Q"]
+        ) == 0
+        assert "generation 1" in capsys.readouterr().out
+        assert main(
+            ["store", "append", str(store_dir),
+             "--from", str(out_dir / "P.csv")]
+        ) == 0
+        assert "generation 2" in capsys.readouterr().out
+        assert main(["store", "index", str(store_dir),
+                     "--reach-gap", "600"]) == 0
+        assert "indexed" in capsys.readouterr().out
+        assert main(["store", "compact", str(store_dir)]) == 0
+        assert "-> 1 segments" in capsys.readouterr().out
+        assert main(["store", "stats", str(store_dir)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["name"] == "Q"
+        assert stats["n_segments"] == 1
+        assert stats["has_index"] is True
+
+    def test_build_from_scenario(self, tmp_path, capsys):
+        store_dir = tmp_path / "scen-store"
+        assert main(
+            ["store", "build", str(store_dir), "--scenario", "SD-mini"]
+        ) == 0
+        assert "built" in capsys.readouterr().out
+        assert main(["store", "stats", str(store_dir)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_trajectories"] > 0
+
+    def test_build_requires_exactly_one_source(self, tmp_path):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError, match="exactly one"):
+            main(["store", "build", str(tmp_path / "s")])

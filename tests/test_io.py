@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.database import TrajectoryDatabase
 from repro.core.trajectory import Trajectory
-from repro.errors import DataFormatError
+from repro.errors import DataFormatError, ValidationError
 from repro.io.csv_io import read_trajectories_csv, write_trajectories_csv
 from repro.io.jsonl_io import (
     load_model_json,
@@ -132,3 +132,61 @@ class TestModelPersistence:
         path.write_text("not json at all")
         with pytest.raises(DataFormatError):
             load_model_json(path)
+
+
+class TestFormatRegistry:
+    def test_detect_by_suffix(self, tmp_path):
+        from repro.io.registry import detect_format
+
+        assert detect_format("x.csv") == "csv"
+        assert detect_format("x.jsonl") == "jsonl"
+        assert detect_format("x.ndjson") == "jsonl"
+        assert detect_format("x.sqlite") == "sqlite"
+        assert detect_format("x.db") == "sqlite"
+        with pytest.raises(ValidationError, match="cannot infer"):
+            detect_format(tmp_path / "mystery.bin")
+
+    def test_round_trip_every_file_format(self, db, tmp_path):
+        from repro.io.registry import load_database, save_database
+
+        for fname in ("db.csv", "db.jsonl", "db.sqlite"):
+            path = tmp_path / fname
+            written = save_database(db, path)
+            assert written == db.total_records()
+            assert_dbs_equal(db, load_database(path))
+
+    def test_unknown_format_rejected(self, db, tmp_path):
+        from repro.io.registry import save_database
+
+        with pytest.raises(ValidationError, match="unknown format"):
+            save_database(db, tmp_path / "x", fmt="parquet")
+
+    def test_sqlite_multi_db_requires_name(self, db, tmp_path):
+        from repro.io.registry import load_database
+        from repro.io.sqlite_store import SQLiteTrajectoryStore
+
+        path = tmp_path / "multi.sqlite"
+        with SQLiteTrajectoryStore(path) as store:
+            store.save(db, "first")
+            store.save(db, "second")
+        with pytest.raises(ValidationError, match="pass name="):
+            load_database(path)
+        loaded = load_database(path, name="second")
+        assert_dbs_equal(db, loaded)
+
+    def test_format_names_cover_builtins(self):
+        from repro.io.registry import format_names
+
+        assert {"csv", "jsonl", "sqlite", "store"} <= set(format_names())
+
+
+class TestSqliteDeprecations:
+    def test_iter_trajectories_warns_but_works(self, db, tmp_path):
+        from repro.io.sqlite_store import SQLiteTrajectoryStore
+
+        path = tmp_path / "d.sqlite"
+        with SQLiteTrajectoryStore(path) as store:
+            store.save(db, "demo")
+            with pytest.warns(DeprecationWarning, match="load_database"):
+                trajs = list(store.iter_trajectories("demo"))
+        assert len(trajs) == len(db)

@@ -571,3 +571,111 @@ class TestBenchSmoke:
                 row = written["levels"][level][mode]
                 assert row["n_errors"] == 0
                 assert row["throughput_rps"] > 0
+
+
+class TestStoreBackedService:
+    """Provenance reporting and ingest-session flushes into a store."""
+
+    def test_health_reports_in_memory_without_store(self, client):
+        health = client.request("GET", "/healthz", None)
+        assert health["data_source"] == {"source": "in-memory"}
+
+    def test_health_reports_store_provenance(self, engine, pool, small_pair,
+                                             tmp_path):
+        from repro.store import build_store
+
+        store = build_store(tmp_path / "q-store", small_pair.q_db)
+        provenance = {
+            "source": "store",
+            "path": str(store.path),
+            "format_version": store.manifest.format_version,
+            "generation": store.generation,
+        }
+        config = ServerConfig(port=0)
+        with BackgroundServer(engine, pool, config=config, store=store,
+                              provenance=provenance) as background:
+            with ServiceClient(*background.address) as c:
+                health = c.request("GET", "/healthz", None)
+        assert health["data_source"]["source"] == "store"
+        assert health["data_source"]["path"] == str(store.path)
+        assert health["data_source"]["generation"] == 1
+
+    def test_flush_appends_buffered_records_to_store(self, engine, pool,
+                                                     tmp_path):
+        from repro.store import TrajectoryStore, open_store
+
+        store = TrajectoryStore.create(tmp_path / "s")
+        state = ServiceState(
+            engine=engine, pool=pool, options=LinkOptions(),
+            clock=FakeClock(), store=store,
+        )
+        query, cand = _session_records()
+        state.ingest("flushy", query, {"c1": cand[:4]})
+        state.ingest("flushy", [], {"c1": cand[4:], "c2": cand[:2]})
+        flushed = state.flush_session("flushy")
+        assert flushed == len(cand) + 2
+        persisted = open_store(tmp_path / "s").load()
+        assert sorted(map(str, persisted.ids())) == ["c1", "c2"]
+        assert len(persisted["c1"]) == len(cand)
+        # a second flush with nothing new buffered is a no-op
+        assert state.flush_session("flushy") == 0
+        assert state.metrics.counter("store_flushes_total") == 1
+        assert state.metrics.counter("store_flushed_records_total") == flushed
+
+    def test_flush_requires_store_and_known_session(self, engine, pool,
+                                                    tmp_path):
+        from repro.store import TrajectoryStore
+
+        bare = ServiceState(engine=engine, pool=pool, options=LinkOptions(),
+                            clock=FakeClock())
+        with pytest.raises(ValidationError, match="no trajectory store"):
+            bare.flush_session("any")
+        stored = ServiceState(
+            engine=engine, pool=pool, options=LinkOptions(),
+            clock=FakeClock(),
+            store=TrajectoryStore.create(tmp_path / "s"),
+        )
+        with pytest.raises(ValidationError, match="unknown ingest session"):
+            stored.flush_session("ghost")
+
+    def test_ttl_expiry_auto_flushes_to_store(self, engine, pool, tmp_path):
+        from repro.store import TrajectoryStore, open_store
+
+        clock = FakeClock()
+        state = ServiceState(
+            engine=engine, pool=pool, options=LinkOptions(),
+            session_ttl_s=100.0, clock=clock,
+            store=TrajectoryStore.create(tmp_path / "s"),
+        )
+        query, cand = _session_records()
+        state.ingest("drop-me", query, {"c9": cand})
+        clock.advance(101.0)
+        assert state.expire_idle_sessions() == ["drop-me"]
+        persisted = open_store(tmp_path / "s").load()
+        assert list(map(str, persisted.ids())) == ["c9"]
+        assert len(persisted["c9"]) == len(cand)
+
+    def test_flush_over_http(self, engine, pool, tmp_path):
+        from repro.store import TrajectoryStore, open_store
+
+        store = TrajectoryStore.create(tmp_path / "s")
+        config = ServerConfig(port=0)
+        query, cand = _session_records()
+        with BackgroundServer(engine, pool, config=config,
+                              store=store) as background:
+            with ServiceClient(*background.address) as c:
+                first = c.ingest("wire", query_records=query,
+                                 candidate_records={"c1": cand},
+                                 decide=False)
+                assert "flushed_records" not in first
+                second = c.ingest("wire", decide=False, flush=True)
+                assert second["flushed_records"] == len(cand)
+        persisted = open_store(tmp_path / "s").load()
+        assert len(persisted["c1"]) == len(cand)
+
+    def test_records_not_buffered_without_store(self, engine, pool):
+        state = ServiceState(engine=engine, pool=pool, options=LinkOptions(),
+                             clock=FakeClock())
+        query, cand = _session_records()
+        state.ingest("plain", query, {"c1": cand})
+        assert state.sessions["plain"].pending == {}

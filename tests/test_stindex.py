@@ -1,0 +1,189 @@
+"""Spatio-temporal blocking: the superset contract, property-tested.
+
+The contract (module docstring of :mod:`repro.store.stindex`): the
+index keeps every candidate that (a) passes
+:class:`~repro.core.prefilter.TimeOverlapPrefilter` at the same
+``min_overlap_s`` and (b) has a record within ``vmax * dt`` of some
+query record for a gap ``dt <= reach_gap_s``.  Brute force here
+evaluates exactly that definition over all record pairs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import TrajectoryDatabase
+from repro.core.prefilter import TimeOverlapPrefilter
+from repro.core.trajectory import Trajectory
+from repro.errors import StaleIndexError, StoreFormatError, ValidationError
+from repro.geo.units import kph_to_mps
+from repro.store import TrajectoryStore
+from repro.store.stindex import SpatioTemporalIndex
+
+
+def _reachable(query: Trajectory, candidate: Trajectory, vmax_kph: float,
+               reach_gap_s: float) -> bool:
+    """Brute force: any record pair with dt <= gap and dist <= vmax*dt."""
+    vmax = kph_to_mps(vmax_kph)
+    for tq, xq, yq in zip(query.ts, query.xs, query.ys):
+        dt = np.abs(candidate.ts - tq)
+        dist = np.hypot(candidate.xs - xq, candidate.ys - yq)
+        if np.any((dt <= reach_gap_s) & (dist <= vmax * dt)):
+            return True
+    return False
+
+
+def _random_db(rng: np.random.Generator, n_traj: int) -> TrajectoryDatabase:
+    db = TrajectoryDatabase(name="prop")
+    for i in range(n_traj):
+        n = int(rng.integers(1, 7))
+        ts = np.sort(rng.uniform(0.0, 2000.0, n))
+        xs = rng.uniform(-30_000.0, 30_000.0, n)
+        ys = rng.uniform(-30_000.0, 30_000.0, n)
+        db.add(Trajectory(ts, xs, ys, f"c{i}"))
+    return db
+
+
+class TestSupersetContract:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_traj=st.integers(1, 8),
+        vmax_kph=st.sampled_from([30.0, 80.0, 150.0]),
+        reach_gap_s=st.sampled_from([60.0, 300.0, 900.0]),
+        min_overlap_s=st.sampled_from([0.0, 50.0, 400.0]),
+        cell_size_m=st.sampled_from([None, 250.0, 5_000.0]),
+    )
+    def test_never_drops_a_reachable_overlapping_candidate(
+        self, seed, n_traj, vmax_kph, reach_gap_s, min_overlap_s, cell_size_m
+    ):
+        rng = np.random.default_rng(seed)
+        db = _random_db(rng, n_traj)
+        index = SpatioTemporalIndex.build(
+            db, cell_size_m=cell_size_m, vmax_kph=vmax_kph,
+            reach_gap_s=reach_gap_s,
+        )
+        nq = int(rng.integers(1, 6))
+        query = Trajectory(
+            np.sort(rng.uniform(0.0, 2000.0, nq)),
+            rng.uniform(-30_000.0, 30_000.0, nq),
+            rng.uniform(-30_000.0, 30_000.0, nq),
+            "q",
+        )
+        kept = set(index.ids_for(query, min_overlap_s=min_overlap_s))
+        temporal = set(index.temporal_ids_for(query, min_overlap_s=min_overlap_s))
+        prefilter = TimeOverlapPrefilter(min_overlap_s)
+        for candidate in db:
+            cid = str(candidate.traj_id)
+            required = prefilter.keep(query, candidate) and _reachable(
+                query, candidate, vmax_kph, reach_gap_s
+            )
+            if required:
+                assert cid in kept, (
+                    f"superset contract violated for {cid} "
+                    f"(vmax={vmax_kph}, gap={reach_gap_s}, "
+                    f"cell={cell_size_m}, overlap={min_overlap_s})"
+                )
+        # and it must always be a refinement of temporal blocking
+        assert kept <= temporal
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), min_overlap_s=st.sampled_from(
+        [0.0, 100.0, 600.0]))
+    def test_temporal_ids_match_prefilter_exactly(self, seed, min_overlap_s):
+        rng = np.random.default_rng(seed)
+        db = _random_db(rng, 6)
+        index = SpatioTemporalIndex.build(db, reach_gap_s=300.0)
+        nq = int(rng.integers(1, 5))
+        query = Trajectory(
+            np.sort(rng.uniform(0.0, 2000.0, nq)),
+            rng.uniform(-30_000.0, 30_000.0, nq),
+            rng.uniform(-30_000.0, 30_000.0, nq),
+            "q",
+        )
+        prefilter = TimeOverlapPrefilter(min_overlap_s)
+        expected = {
+            str(c.traj_id) for c in db if prefilter.keep(query, c)
+        }
+        assert set(index.temporal_ids_for(query, min_overlap_s)) == expected
+
+
+class TestQuerySemantics:
+    def test_empty_query_returns_nothing(self, rng):
+        db = _random_db(rng, 4)
+        index = SpatioTemporalIndex.build(db)
+        assert index.candidates_for(Trajectory.empty("q")) == []
+
+    def test_out_of_range_query_falls_back_to_temporal(self, rng):
+        db = _random_db(rng, 5)
+        index = SpatioTemporalIndex.build(db, cell_size_m=100.0)
+        far = Trajectory([0.0, 2000.0], [1e13, 1e13], [1e13, 1e13], "far")
+        assert set(index.ids_for(far)) == set(index.temporal_ids_for(far))
+
+    def test_out_of_range_build_rejected(self):
+        db = TrajectoryDatabase(
+            [Trajectory([0.0], [1e15], [0.0], "huge")], name="d"
+        )
+        with pytest.raises(ValidationError, match="indexable range"):
+            SpatioTemporalIndex.build(db, cell_size_m=1.0)
+
+    def test_negative_overlap_rejected(self, rng):
+        db = _random_db(rng, 2)
+        index = SpatioTemporalIndex.build(db)
+        with pytest.raises(ValidationError, match="min_overlap_s"):
+            index.candidates_for(db[db.ids()[0]], min_overlap_s=-1.0)
+
+    def test_prune_counts_are_consistent(self, rng):
+        db = _random_db(rng, 8)
+        index = SpatioTemporalIndex.build(db, reach_gap_s=120.0)
+        query = db[db.ids()[0]]
+        counts = index.prune_counts(query)
+        assert counts["n_indexed"] == len(db)
+        assert counts["n_temporal"] == len(index.temporal_ids_for(query))
+        assert counts["n_spatiotemporal"] == len(index.ids_for(query))
+        assert counts["n_spatiotemporal"] <= counts["n_temporal"]
+
+
+class TestPersistence:
+    def test_save_open_round_trip(self, rng, tmp_path):
+        db = _random_db(rng, 6)
+        built = SpatioTemporalIndex.build(db, reach_gap_s=300.0)
+        built.save(tmp_path / "index", generation=7)
+        opened = SpatioTemporalIndex.open(
+            tmp_path / "index", db, expected_generation=7
+        )
+        assert opened.params() == built.params()
+        for candidate in db:
+            assert set(opened.ids_for(candidate)) == set(
+                built.ids_for(candidate)
+            )
+
+    def test_generation_mismatch_raises_stale(self, rng, tmp_path):
+        db = _random_db(rng, 3)
+        SpatioTemporalIndex.build(db).save(tmp_path / "index", generation=1)
+        with pytest.raises(StaleIndexError, match="generation"):
+            SpatioTemporalIndex.open(
+                tmp_path / "index", db, expected_generation=2
+            )
+
+    def test_store_open_index_requires_build(self, rng, tmp_path):
+        db = _random_db(rng, 3)
+        store = TrajectoryStore.create(tmp_path / "s", db)
+        with pytest.raises(StoreFormatError, match="no blocking index"):
+            store.open_index()
+        store.build_index(reach_gap_s=60.0)
+        index = store.open_index()
+        assert index.reach_gap_s == 60.0
+        assert len(index) == len(db)
+
+    def test_missing_indexed_id_raises_stale(self, rng, tmp_path):
+        db = _random_db(rng, 4)
+        SpatioTemporalIndex.build(db).save(tmp_path / "index", generation=1)
+        smaller = TrajectoryDatabase(
+            [db[i] for i in db.ids()[:2]], name="partial"
+        )
+        with pytest.raises(StaleIndexError):
+            SpatioTemporalIndex.open(
+                tmp_path / "index", smaller, expected_generation=1
+            )
