@@ -17,6 +17,12 @@ Correctness is asserted before any timing is recorded: each mode's
 first response must equal the direct in-process
 :meth:`~repro.core.engine.LinkEngine.link_batch` result bit for bit.
 
+The report also measures the **observability overhead**: the same
+workload at the highest concurrency with the per-stage span timers
+enabled (the default) vs disabled (``ServerConfig(spans=False)``),
+reported as ``span_overhead.regression_pct``.  The full-size bench
+asserts it stays under 5%.
+
 Results are written to ``BENCH_service.json``.  Run standalone
 (``python -m benchmarks.bench_service_load``) or through pytest; the
 tier-1 suite exercises a tiny smoke configuration on every run (see
@@ -121,6 +127,57 @@ def _run_level(
     }
 
 
+def _measure_span_overhead(
+    engine,
+    pool,
+    queries,
+    concurrency: int,
+    requests_per_client: int,
+    max_batch_size: int,
+    max_wait_ms: float,
+    rounds: int = 2,
+) -> dict:
+    """Throughput with stage timers on vs off, best of ``rounds`` each.
+
+    Spans-on is the production default, so the regression is quoted
+    relative to spans-off: ``(off - on) / off * 100`` in percent.
+    Taking the best round per configuration damps scheduler noise —
+    the comparison is between each configuration's ceiling.
+    """
+    best: dict[str, dict] = {}
+    for label, spans in (("spans_on", True), ("spans_off", False)):
+        server_config = ServerConfig(
+            port=0,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            spans=spans,
+        )
+        with BackgroundServer(
+            engine, pool, options=RANKING_OPTIONS, config=server_config
+        ) as background:
+            with ServiceClient(*background.address) as probe:
+                probe.link(queries[0])
+            for _ in range(rounds):
+                row = _run_level(
+                    background.address, queries, concurrency,
+                    requests_per_client,
+                )
+                if (
+                    label not in best
+                    or row["throughput_rps"] > best[label]["throughput_rps"]
+                ):
+                    best[label] = row
+    on_rps = best["spans_on"]["throughput_rps"]
+    off_rps = best["spans_off"]["throughput_rps"]
+    return {
+        "spans_on": best["spans_on"],
+        "spans_off": best["spans_off"],
+        "regression_pct": (
+            (off_rps - on_rps) / off_rps * 100.0 if off_rps > 0 else 0.0
+        ),
+    }
+
+
 def run_service_load_benchmark(
     n_candidates: int = 200,
     n_queries: int = 10,
@@ -202,6 +259,13 @@ def run_service_load_benchmark(
             "batch1": rows["batch1"],
             "micro_over_batch1": ratio,
         }
+    report["span_overhead"] = _measure_span_overhead(
+        engine, pool, queries,
+        concurrency=max(concurrency_levels),
+        requests_per_client=requests_per_client,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+    )
 
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -226,6 +290,15 @@ def _print_report(report: dict) -> None:
             f"{row['micro']['p99_ms']:>9.1f}ms "
             f"{row['batch1']['p99_ms']:>10.1f}ms"
         )
+    overhead = report.get("span_overhead")
+    if overhead:
+        print(
+            f"span overhead at concurrency "
+            f"{overhead['spans_on']['concurrency']}: "
+            f"{overhead['spans_on']['throughput_rps']:.1f} rps on vs "
+            f"{overhead['spans_off']['throughput_rps']:.1f} rps off "
+            f"({overhead['regression_pct']:+.1f}%)"
+        )
 
 
 def test_service_load_micro_batching_wins(benchmark):
@@ -245,6 +318,13 @@ def test_service_load_micro_batching_wins(benchmark):
                 f"micro-batching must beat batch-size-1 serving at "
                 f"concurrency {level}, got {row['micro_over_batch1']:.2f}x"
             )
+    overhead = report["span_overhead"]
+    assert overhead["spans_on"]["n_errors"] == 0
+    assert overhead["spans_off"]["n_errors"] == 0
+    assert overhead["regression_pct"] < 5.0, (
+        f"stage timers must cost < 5% throughput, measured "
+        f"{overhead['regression_pct']:.1f}%"
+    )
 
 
 if __name__ == "__main__":

@@ -76,6 +76,16 @@ def _build_parser() -> argparse.ArgumentParser:
                            "('-' for stdout)")
     link.add_argument("--seed", type=int, default=0)
 
+    profile = sub.add_parser(
+        "profile", help="per-stage time breakdown of batch linking"
+    )
+    profile.add_argument("name", help="catalog entry name")
+    profile.add_argument(
+        "--method", default="naive-bayes", choices=("naive-bayes", "alpha-filter")
+    )
+    profile.add_argument("--queries", type=int, default=30)
+    profile.add_argument("--seed", type=int, default=0)
+
     theory = sub.add_parser("theory", help="Section VI mutual-segment pmf")
     theory.add_argument("--lam-p", type=float, required=True)
     theory.add_argument("--lam-q", type=float, required=True)
@@ -154,6 +164,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="request body cap in MiB (413 beyond it)")
     serve.add_argument("--shutdown-after", type=float, default=None,
                        help="serve for N seconds then drain (smoke/testing)")
+    serve.add_argument("--no-spans", action="store_true",
+                       help="disable per-stage timers in batch workers "
+                            "(/metrics stage histograms stay empty)")
     serve.add_argument("--seed", type=int, default=0)
 
     store = sub.add_parser(
@@ -281,6 +294,29 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import StageAccumulator, use_sink
+
+    rng = np.random.default_rng(args.seed)
+    pair = build_scenario(args.name)
+    options = LinkOptions(method=args.method)
+    linker = FTLLinker(FTLConfig(), options).fit(pair.p_db, pair.q_db, rng)
+    n = min(args.queries, len(pair.matched_query_ids()))
+    query_ids = pair.sample_queries(n, rng)
+    queries = [pair.p_db[qid] for qid in query_ids]
+    accumulator = StageAccumulator()
+    started = time.perf_counter()
+    with use_sink(accumulator):
+        linker.link_batch(queries)
+    wall_s = time.perf_counter() - started
+    print(f"dataset={args.name} method={args.method} queries={n} "
+          f"pool={len(pair.q_db)} wall_s={wall_s:.3f}")
+    print(accumulator.table(wall_s=wall_s))
+    return 0
+
+
 def _cmd_theory(lam_p: float, lam_q: float, max_x: int) -> int:
     exact = mutual_segment_count_pmf(lam_p, lam_q, max_x)
     approx = mutual_segment_count_pmf_poisson(lam_p, lam_q, max_x)
@@ -352,12 +388,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.engine import LinkEngine, LinkOptions
     from repro.core.models import CompatibilityModel
     from repro.errors import ValidationError
+    from repro.obs import configure_json_logging
     from repro.service.server import LinkServer, ServerConfig
 
     if (args.name is None) == (args.store is None):
         raise ValidationError(
             "pass exactly one of a scenario NAME or --store DIR"
         )
+    # JSON-lines request/batch logs on stderr; each line carries the
+    # trace ID echoed to the client, so slow responses grep straight to
+    # their server-side records.
+    configure_json_logging()
 
     rng = np.random.default_rng(args.seed)
     config = FTLConfig()
@@ -406,6 +447,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         session_ttl_s=args.session_ttl,
         max_body_bytes=int(args.max_body_mb * 1024 * 1024),
         default_timeout_ms=args.timeout_ms,
+        spans=not args.no_spans,
     )
 
     async def _serve() -> None:
@@ -493,6 +535,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_stats(args.names)
     if args.command == "link":
         return _cmd_link(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "theory":
         return _cmd_theory(args.lam_p, args.lam_q, args.max_x)
     if args.command == "diagnose":

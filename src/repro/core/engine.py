@@ -55,6 +55,7 @@ from repro.core.hypothesis import (
 from repro.core.models import CompatibilityModel, require_fitted_pair
 from repro.core.trajectory import Trajectory
 from repro.errors import ValidationError
+from repro.obs import span
 
 #: The two linking algorithms of the paper (Sections IV-D and IV-E).
 METHODS = ("alpha-filter", "naive-bayes")
@@ -436,14 +437,15 @@ class LinkEngine:
             raise ValidationError(
                 f"options must be a LinkOptions, got {type(opts).__name__}"
             )
-        pool = candidates if isinstance(candidates, list) else list(candidates)
+        with span("blocking"):
+            pool = candidates if isinstance(candidates, list) else list(candidates)
         results = []
         for query in queries:
-            kept = (
-                pool
-                if opts.prefilter is None
-                else [c for c in pool if opts.prefilter.keep(query, c)]
-            )
+            if opts.prefilter is None:
+                kept = pool
+            else:
+                with span("prefilter"):
+                    kept = [c for c in pool if opts.prefilter.keep(query, c)]
             results.append(self._link_one(query, kept, opts))
         return results
 
@@ -495,18 +497,21 @@ class LinkEngine:
                             "request has no candidates and no default_pool "
                             "was provided"
                         )
-                    pool = (
-                        default_pool
-                        if isinstance(default_pool, list)
-                        else list(default_pool)
-                    )
+                    with span("blocking"):
+                        pool = (
+                            default_pool
+                            if isinstance(default_pool, list)
+                            else list(default_pool)
+                        )
                 cands = pool
             opts = request.options if request.options is not None else call_opts
-            kept = (
-                cands
-                if opts.prefilter is None
-                else [c for c in cands if opts.prefilter.keep(request.query, c)]
-            )
+            if opts.prefilter is None:
+                kept = cands
+            else:
+                with span("prefilter"):
+                    kept = [
+                        c for c in cands if opts.prefilter.keep(request.query, c)
+                    ]
             results.append(self._link_one(request.query, kept, opts))
         return results
 
@@ -517,32 +522,35 @@ class LinkEngine:
         self, query: Trajectory, pool: Sequence[Trajectory], opts: LinkOptions
     ) -> LinkResult:
         config = self.config
-        profiles = [self._cache.get(query, c, config) for c in pool]
-        ev = _PoolEvidence(profiles, self._mr.n_buckets)
+        with span("profile"):
+            profiles = [self._cache.get(query, c, config) for c in pool]
+            ev = _PoolEvidence(profiles, self._mr.n_buckets)
 
-        if opts.method == "alpha-filter":
-            matched_idx, p1_m, p2_m = self._alpha_filter(ev, opts)
-        else:
-            matched_idx, p1_m, p2_m = self._naive_bayes(ev, opts)
+        with span("pb_test"):
+            if opts.method == "alpha-filter":
+                matched_idx, p1_m, p2_m = self._alpha_filter(ev, opts)
+            else:
+                matched_idx, p1_m, p2_m = self._naive_bayes(ev, opts)
 
-        scores = p1_m * (1.0 - p2_m)
-        scored = [
-            Candidate(
-                candidate_id=pool[i].traj_id,
-                score=float(scores[j]),
-                p_rejection=float(p1_m[j]),
-                p_acceptance=float(p2_m[j]),
-                n_mutual=int(ev.n_mutual[i]),
-                n_incompatible=int(ev.n_incompatible[i]),
+        with span("rank"):
+            scores = p1_m * (1.0 - p2_m)
+            scored = [
+                Candidate(
+                    candidate_id=pool[i].traj_id,
+                    score=float(scores[j]),
+                    p_rejection=float(p1_m[j]),
+                    p_acceptance=float(p2_m[j]),
+                    n_mutual=int(ev.n_mutual[i]),
+                    n_incompatible=int(ev.n_incompatible[i]),
+                )
+                for j, i in enumerate(matched_idx)
+            ]
+            scored.sort(key=lambda c: -c.score)
+            if opts.top_k is not None:
+                scored = scored[: opts.top_k]
+            return LinkResult(
+                query_id=query.traj_id, method=opts.method, candidates=tuple(scored)
             )
-            for j, i in enumerate(matched_idx)
-        ]
-        scored.sort(key=lambda c: -c.score)
-        if opts.top_k is not None:
-            scored = scored[: opts.top_k]
-        return LinkResult(
-            query_id=query.traj_id, method=opts.method, candidates=tuple(scored)
-        )
 
     def _alpha_filter(
         self, ev: _PoolEvidence, opts: LinkOptions

@@ -70,7 +70,11 @@ class StreamingPairEvidence:
         if self._src[i] == self._src[j]:
             return None
         dt = self._ts[j] - self._ts[i]
-        bucket = int(round(dt / self._config.time_unit_s))
+        # Route through the config's canonical bucketing so streaming
+        # and batch (``FTLConfig.buckets_of``) agree on every dt,
+        # including the half-bucket boundaries where a local
+        # ``int(round(...))`` silently diverged from np.rint.
+        bucket = self._config.bucket_of(dt)
         if bucket >= self._config.n_buckets:
             return None
         dist = float(

@@ -1,0 +1,69 @@
+"""Observability: trace IDs, stage timers, and Prometheus exposition.
+
+The production-serving counterpart of the paper's per-stage cost
+analysis: SLIM-style spatio-temporal linkage justifies each pruning
+stage by where the time goes, so the serving stack must be able to
+*show* where the time goes.  Three small, dependency-free pieces:
+
+* :mod:`repro.obs.trace` — request-scoped **trace IDs** carried through
+  ``contextvars`` (they survive ``await`` and task switches), plus a
+  structured JSON log formatter and :func:`log_event` helper that
+  stamps every record with the current trace ID;
+* :mod:`repro.obs.spans` — the **stage-timer API**: ``with
+  span("prefilter"): ...`` measures a block and reports it to the
+  context-bound :class:`SpanSink` (a no-op when none is bound, so
+  library code can be instrumented unconditionally);
+* :mod:`repro.obs.prometheus` — renders counter/histogram snapshots in
+  the **Prometheus text exposition format** (version 0.0.4) and
+  validates exposition documents line by line (used by CI).
+
+The daemon binds a :class:`MetricsSpanSink` in its batch worker
+threads, so engine/store spans accumulate into the shared
+``/metrics`` histograms; ``ftl profile`` binds a
+:class:`StageAccumulator` and prints the per-stage breakdown table.
+See ``docs/observability.md``.
+"""
+
+from repro.obs.prometheus import (
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs.spans import (
+    STAGES,
+    MetricsSpanSink,
+    StageAccumulator,
+    bind_sink,
+    current_sink,
+    span,
+    use_sink,
+)
+from repro.obs.trace import (
+    JsonLogFormatter,
+    configure_json_logging,
+    current_trace_id,
+    log_event,
+    new_trace_id,
+    reset_trace_id,
+    set_trace_id,
+    trace,
+)
+
+__all__ = [
+    "JsonLogFormatter",
+    "MetricsSpanSink",
+    "STAGES",
+    "StageAccumulator",
+    "bind_sink",
+    "configure_json_logging",
+    "current_sink",
+    "current_trace_id",
+    "log_event",
+    "new_trace_id",
+    "render_exposition",
+    "reset_trace_id",
+    "set_trace_id",
+    "span",
+    "trace",
+    "use_sink",
+    "validate_exposition",
+]

@@ -1,0 +1,230 @@
+"""Prometheus text exposition (version 0.0.4): rendering + validation.
+
+:func:`render_exposition` turns counter / gauge / histogram snapshots
+into the plain-text format a Prometheus server scrapes:
+
+* counters keep their registry name under an ``ftl_`` prefix
+  (``requests_total`` -> ``ftl_requests_total``);
+* latency histograms become ``ftl_<name>_seconds`` histogram families
+  with *cumulative* ``le``-labelled buckets, a ``+Inf`` bucket equal to
+  ``_count``, plus ``_sum`` and ``_count`` samples.
+
+:func:`validate_exposition` is the strict line-format checker used by
+CI (and the test suite) against a live ``/metrics`` scrape: every line
+must be a well-formed comment or sample, every sample's family must be
+typed, and histogram families must satisfy the cumulative-bucket
+invariants.  No Prometheus client library is required on either side.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping
+
+#: Namespace prefix for every exported metric.
+NAMESPACE = "ftl"
+
+#: Metric/label name grammar from the exposition-format spec.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One sample line: name, optional label set, value, optional timestamp.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?[0-9]+))?$"
+)
+_LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+_VALUE_RE = re.compile(
+    r"^(?:[+-]?Inf|NaN|[+-]?(?:[0-9]+\.?[0-9]*|\.[0-9]+)(?:[eE][+-]?[0-9]+)?)$"
+)
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _sanitize(name: str) -> str:
+    """A registry name as a legal exposition metric name component."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    """Shortest decimal form Prometheus parses back exactly."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def render_exposition(
+    counters: Mapping[str, int],
+    histograms: Mapping[str, Mapping] = (),
+    gauges: Mapping[str, float] = (),
+) -> str:
+    """Render snapshots as one exposition document (trailing newline).
+
+    ``histograms`` maps registry names to snapshots shaped like
+    :meth:`repro.service.state.Histogram.snapshot`: ``bounds`` (bucket
+    upper bounds in seconds), ``counts`` (per-bucket counts, one
+    overflow bucket appended), ``sum`` and ``count``.
+    """
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = f"{NAMESPACE}_{_sanitize(name)}"
+        lines.append(f"# HELP {metric} Monotonic counter {name!r}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {int(counters[name])}")
+    for name in sorted(dict(gauges) if gauges else {}):
+        metric = f"{NAMESPACE}_{_sanitize(name)}"
+        lines.append(f"# HELP {metric} Gauge {name!r}.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(float(gauges[name]))}")
+    for name in sorted(dict(histograms) if histograms else {}):
+        snap = histograms[name]
+        metric = f"{NAMESPACE}_{_sanitize(name)}_seconds"
+        lines.append(f"# HELP {metric} Latency histogram {name!r} (seconds).")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(snap["bounds"], snap["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {int(snap["count"])}')
+        lines.append(f"{metric}_sum {_fmt(float(snap['sum']))}")
+        lines.append(f"{metric}_count {int(snap['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Validation (CI's strict line-format check)
+# ----------------------------------------------------------------------
+def _check_labels(raw: str, errors: list[str], lineno: int) -> dict:
+    labels: dict[str, str] = {}
+    if raw == "":
+        return labels
+    for part in raw.split(","):
+        match = _LABEL_RE.match(part.strip())
+        if match is None:
+            errors.append(f"line {lineno}: malformed label {part!r}")
+            continue
+        labels[match.group("name")] = match.group("value")
+    return labels
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Strictly check an exposition document; returns a list of errors.
+
+    Checks, per the text-format spec plus histogram semantics:
+
+    * the document ends with a newline and contains no blank or
+      non-ASCII-controlled garbage lines;
+    * comment lines are well-formed ``# HELP`` / ``# TYPE`` with legal
+      metric names and known types, declared before use and at most
+      once per family;
+    * sample lines parse as ``name{labels} value [timestamp]`` with
+      legal names, labels and float values, and belong to a declared
+      family;
+    * histogram families carry ``_bucket`` samples with parseable,
+      strictly increasing ``le`` bounds, cumulative non-decreasing
+      counts, a ``+Inf`` bucket, and ``_count`` == the ``+Inf`` bucket.
+    """
+    errors: list[str] = []
+    if not text:
+        return ["document is empty"]
+    if not text.endswith("\n"):
+        errors.append("document must end with a newline")
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    buckets: dict[str, list[tuple[float, int]]] = {}
+    histogram_counts: dict[str, int] = {}
+
+    def family_of(sample_name: str) -> str | None:
+        if sample_name in types:
+            return sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name.removesuffix(suffix)
+            if base != sample_name and types.get(base) in ("histogram", "summary"):
+                return base
+        return None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            errors.append(f"line {lineno}: blank line")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                errors.append(f"line {lineno}: illegal metric name {name!r}")
+                continue
+            if parts[1] == "TYPE":
+                kind = parts[3] if len(parts) == 4 else ""
+                if kind not in _TYPES:
+                    errors.append(f"line {lineno}: unknown type {kind!r}")
+                elif name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                else:
+                    types[name] = kind
+            else:
+                if name in helps:
+                    errors.append(f"line {lineno}: duplicate HELP for {name}")
+                helps.add(name)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name = match.group("name")
+        value = match.group("value")
+        if not _VALUE_RE.match(value):
+            errors.append(f"line {lineno}: malformed value {value!r}")
+            continue
+        labels = _check_labels(match.group("labels") or "", errors, lineno)
+        family = family_of(name)
+        if family is None:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE")
+            continue
+        if types[family] == "histogram":
+            if name == f"{family}_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: histogram bucket missing le")
+                    continue
+                bound = float("inf") if le == "+Inf" else None
+                if bound is None:
+                    try:
+                        bound = float(le)
+                    except ValueError:
+                        errors.append(f"line {lineno}: bad le value {le!r}")
+                        continue
+                buckets.setdefault(family, []).append((bound, int(float(value))))
+            elif name == f"{family}_count":
+                histogram_counts[family] = int(float(value))
+
+    for family, series in sorted(buckets.items()):
+        bounds = [b for b, _ in series]
+        counts = [c for _, c in series]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            errors.append(f"{family}: le bounds not strictly increasing")
+        if counts != sorted(counts):
+            errors.append(f"{family}: bucket counts not cumulative")
+        if not bounds or not math.isinf(bounds[-1]):
+            errors.append(f"{family}: missing +Inf bucket")
+        elif family in histogram_counts and counts[-1] != histogram_counts[family]:
+            errors.append(
+                f"{family}: +Inf bucket {counts[-1]} != _count "
+                f"{histogram_counts[family]}"
+            )
+    for family, kind in types.items():
+        if kind == "histogram" and family not in buckets:
+            errors.append(f"{family}: histogram family has no buckets")
+    return errors

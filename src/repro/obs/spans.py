@@ -1,0 +1,174 @@
+"""Stage timers: measure named hot-path stages into a pluggable sink.
+
+Library code wraps its stages unconditionally::
+
+    with obs.span("profile"):
+        ...  # alignment + evidence gathering
+
+and pays (almost) nothing when no sink is bound: the context manager
+reads one ``ContextVar`` and yields.  A *sink* decides what a timing
+means:
+
+* :class:`MetricsSpanSink` feeds the daemon's shared
+  :class:`~repro.service.state.Metrics` histograms (each stage becomes
+  a ``stage_<name>`` latency histogram served by ``/metrics``);
+* :class:`StageAccumulator` collects per-stage totals for one run —
+  the engine behind the ``ftl profile`` breakdown table.
+
+The sink lives in a ``ContextVar``, so it follows synchronous call
+chains and ``await`` points but is *per-thread* for plain threads:
+the daemon binds its sink inside each batch worker thread (via the
+executor initializer, :func:`bind_sink`), which also keeps concurrent
+servers in one process from observing each other's stages.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Protocol
+
+#: The canonical serving-path stages (order = pipeline order).  The
+#: daemon pre-registers one histogram per stage so ``/metrics`` always
+#: exposes the full breakdown, populated or not.
+STAGES = (
+    "queue_wait",
+    "prefilter",
+    "blocking",
+    "profile",
+    "pb_test",
+    "rank",
+)
+
+#: Prefix under which stage histograms live in a ``Metrics`` registry.
+STAGE_METRIC_PREFIX = "stage_"
+
+
+class SpanSink(Protocol):
+    """Anything that can receive ``(stage name, elapsed seconds)``."""
+
+    def record(self, name: str, seconds: float) -> None: ...
+
+
+_sink_var: ContextVar[SpanSink | None] = ContextVar("ftl_span_sink", default=None)
+
+
+def current_sink() -> SpanSink | None:
+    """The sink bound to the current context, if any."""
+    return _sink_var.get()
+
+
+def bind_sink(sink: SpanSink | None) -> None:
+    """Bind a sink for the rest of this context (no reset token).
+
+    Meant for thread initializers (each worker thread has its own
+    context); prefer :func:`use_sink` in scoped code.
+    """
+    _sink_var.set(sink)
+
+
+@contextmanager
+def use_sink(sink: SpanSink) -> Iterator[SpanSink]:
+    """Bind a sink for the duration of a block, then restore."""
+    token = _sink_var.set(sink)
+    try:
+        yield sink
+    finally:
+        _sink_var.reset(token)
+
+
+@contextmanager
+def span(name: str) -> Iterator[None]:
+    """Time a block and report it to the bound sink (no-op when none).
+
+    The elapsed time is recorded even when the block raises, so error
+    paths show up in the stage histograms too.
+    """
+    sink = _sink_var.get()
+    if sink is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink.record(name, time.perf_counter() - started)
+
+
+class MetricsSpanSink:
+    """Feed span timings into a :class:`~repro.service.state.Metrics`.
+
+    Each stage ``name`` accumulates into the ``stage_<name>`` latency
+    histogram; the registry's own lock makes this thread-safe.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics) -> None:
+        self._metrics = metrics
+
+    def record(self, name: str, seconds: float) -> None:
+        self._metrics.observe(STAGE_METRIC_PREFIX + name, seconds)
+
+
+class StageAccumulator:
+    """Per-stage call counts and total time for one profiling run."""
+
+    def __init__(self) -> None:
+        self._calls: dict[str, int] = {}
+        self._totals: dict[str, float] = {}
+        self._maxima: dict[str, float] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        self._calls[name] = self._calls.get(name, 0) + 1
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        if seconds > self._maxima.get(name, 0.0):
+            self._maxima[name] = seconds
+
+    @property
+    def stages(self) -> list[str]:
+        """Recorded stage names, largest total time first."""
+        return sorted(self._totals, key=lambda n: -self._totals[n])
+
+    def calls(self, name: str) -> int:
+        return self._calls.get(name, 0)
+
+    def total_s(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            name: {
+                "calls": self._calls[name],
+                "total_ms": round(self._totals[name] * 1e3, 4),
+                "mean_ms": round(
+                    self._totals[name] / self._calls[name] * 1e3, 4
+                ),
+                "max_ms": round(self._maxima[name] * 1e3, 4),
+            }
+            for name in self.stages
+        }
+
+    def table(self, wall_s: float | None = None) -> str:
+        """Render the breakdown as an aligned text table.
+
+        ``wall_s`` (the workload's wall-clock time) adds a ``share``
+        column; nested spans mean shares need not sum to 100%.
+        """
+        header = f"{'stage':<12} {'calls':>7} {'total ms':>10} {'mean ms':>9} {'max ms':>9}"
+        if wall_s is not None:
+            header += f" {'share':>7}"
+        lines = [header]
+        for name in self.stages:
+            row = (
+                f"{name:<12} {self._calls[name]:>7} "
+                f"{self._totals[name] * 1e3:>10.2f} "
+                f"{self._totals[name] / self._calls[name] * 1e3:>9.3f} "
+                f"{self._maxima[name] * 1e3:>9.2f}"
+            )
+            if wall_s is not None:
+                share = self._totals[name] / wall_s if wall_s > 0 else 0.0
+                row += f" {share:>6.1%}"
+            lines.append(row)
+        return "\n".join(lines)

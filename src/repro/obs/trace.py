@@ -1,0 +1,139 @@
+"""Request-scoped trace IDs and structured JSON logging.
+
+A trace ID is minted once per inbound request (by
+:meth:`repro.service.server.LinkServer._dispatch`), stored in a
+``contextvars.ContextVar`` so it follows the request through ``await``
+points and synchronous call chains, echoed in the response body and
+the ``X-Trace-Id`` header, and stamped onto every structured log line
+emitted while the request is in flight.  Correlating a slow response
+with its server-side log records is then a grep for one hex string.
+
+Logging is plain stdlib :mod:`logging` under the ``ftl`` namespace:
+library code calls :func:`log_event` unconditionally (records without
+a configured handler are dropped silently), and long-running processes
+opt into JSON lines on a stream via :func:`configure_json_logging`
+(``ftl serve`` does this at startup).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+#: The context-local trace ID; ``None`` outside any traced request.
+_trace_id_var: ContextVar[str | None] = ContextVar("ftl_trace_id", default=None)
+
+#: Root logger namespace for all structured events.
+LOGGER_NAMESPACE = "ftl"
+
+
+# ----------------------------------------------------------------------
+# Trace IDs
+# ----------------------------------------------------------------------
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace ID (128 random bits, truncated)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> str | None:
+    """The trace ID bound to the current context, if any."""
+    return _trace_id_var.get()
+
+
+def set_trace_id(trace_id: str):
+    """Bind a trace ID to the current context; returns the reset token."""
+    return _trace_id_var.set(trace_id)
+
+
+def reset_trace_id(token) -> None:
+    """Restore the trace ID that was bound before :func:`set_trace_id`."""
+    _trace_id_var.reset(token)
+
+
+@contextmanager
+def trace(trace_id: str | None = None) -> Iterator[str]:
+    """Run a block under a (new or given) trace ID::
+
+        with obs.trace() as tid:
+            ...  # current_trace_id() == tid in here
+    """
+    tid = trace_id if trace_id is not None else new_trace_id()
+    token = _trace_id_var.set(tid)
+    try:
+        yield tid
+    finally:
+        _trace_id_var.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Structured JSON logging
+# ----------------------------------------------------------------------
+class JsonLogFormatter(logging.Formatter):
+    """Format each record as one JSON object per line.
+
+    The line carries the timestamp, level, logger name, the event name
+    (the record message), the trace ID captured at the call site, and
+    any extra fields attached by :func:`log_event`.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None)
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        fields = getattr(record, "ftl_fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def log_event(logger: logging.Logger, event: str, **fields) -> None:
+    """Emit one structured event, stamped with the current trace ID.
+
+    The trace ID is read *here*, in the calling thread and context, so
+    events logged from a request handler carry that request's ID.
+    ``fields`` must be JSON-serialisable (or reprs are used).
+    """
+    if not logger.isEnabledFor(logging.INFO):
+        return
+    logger.info(
+        event,
+        extra={"ftl_fields": fields, "trace_id": current_trace_id()},
+    )
+
+
+def configure_json_logging(
+    stream=None, level: int = logging.INFO
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``ftl`` logger namespace.
+
+    Idempotent: an existing JSON handler on the namespace is reused,
+    re-pointed at the requested stream (``sys.stderr`` by default) —
+    the stream it was first attached with may have been closed since
+    (e.g. a redirected stderr from a previous daemon run).
+    Returns the handler (tests detach it to capture lines elsewhere).
+    """
+    logger = logging.getLogger(LOGGER_NAMESPACE)
+    logger.setLevel(level)
+    target = stream if stream is not None else sys.stderr
+    for handler in logger.handlers:
+        if isinstance(handler.formatter, JsonLogFormatter):
+            if isinstance(handler, logging.StreamHandler):
+                handler.setStream(target)
+            return handler
+    handler = logging.StreamHandler(target)
+    handler.setFormatter(JsonLogFormatter())
+    logger.addHandler(handler)
+    return handler

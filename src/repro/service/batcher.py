@@ -27,15 +27,19 @@ Load-shedding is explicit and bounded:
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.errors import (
     DeadlineExceededError,
     ServiceOverloadedError,
     ValidationError,
 )
+
+_LOG = logging.getLogger("ftl.batcher")
 
 DEFAULT_MAX_BATCH_SIZE = 16
 DEFAULT_MAX_WAIT_MS = 2.0
@@ -44,12 +48,18 @@ DEFAULT_QUEUE_LIMIT = 128
 
 @dataclass
 class _Pending:
-    """One queued request with its completion future."""
+    """One queued request with its completion future.
+
+    ``trace_id`` is the submitting request's trace ID, captured at
+    submit time — batches mix requests from different traces, so the
+    batch log event lists every member's ID.
+    """
 
     payload: Any
     future: asyncio.Future
     enqueued_at: float
     deadline: float | None
+    trace_id: str | None = None
 
 
 class MicroBatcher:
@@ -161,6 +171,7 @@ class MicroBatcher:
             future=asyncio.get_running_loop().create_future(),
             enqueued_at=now,
             deadline=deadline,
+            trace_id=obs.current_trace_id(),
         )
         self._n_pending += 1
         pending.future.add_done_callback(self._on_done)
@@ -220,7 +231,9 @@ class MicroBatcher:
                 self._metrics.inc("batches_total")
                 self._metrics.inc("batched_requests_total", len(live))
                 for pending in live:
-                    self._metrics.observe("queue_wait", now - pending.enqueued_at)
+                    self._metrics.observe(
+                        "stage_queue_wait", now - pending.enqueued_at
+                    )
         if not live:
             return
         started = self._clock()
@@ -233,8 +246,16 @@ class MicroBatcher:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
             return
+        exec_s = self._clock() - started
         if self._metrics is not None:
-            self._metrics.observe("batch_exec", self._clock() - started)
+            self._metrics.observe("batch_exec", exec_s)
+        obs.log_event(
+            _LOG,
+            "batch",
+            size=len(live),
+            exec_ms=round(exec_s * 1e3, 3),
+            trace_ids=[p.trace_id for p in live if p.trace_id is not None],
+        )
         for pending, result in zip(live, results):
             if not pending.future.done():
                 pending.future.set_result(result)

@@ -6,12 +6,22 @@ re-established; server-side failures surface as
 :class:`~repro.errors.RemoteServiceError` carrying the structured error
 payload, so callers can switch on ``exc.status`` /
 ``exc.payload["error"]["type"]`` without string matching.
+
+Retries are bounded and verb-aware.  Failures while *establishing* a
+connection never reached the server, so they are retried (with
+exponential backoff) for the idempotent endpoints.  Failures after the
+request went out on a **reused** keep-alive connection are almost
+always the server having closed the idle socket between our calls —
+also safe to retry, but again only for idempotent endpoints.  A
+``POST /ingest`` that may have reached the server is *never* retried:
+replaying it would double-observe every record.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.engine import LinkOptions, LinkResult
@@ -25,6 +35,15 @@ from repro.service.protocol import (
 #: ``LinkOptions`` fields forwarded on the wire by :meth:`ServiceClient.link`.
 _WIRE_FIELDS = ("method", "alpha1", "alpha2", "phi_r", "top_k")
 
+#: Endpoints safe to replay: re-sending them cannot change server state
+#: (``/link`` is a pure read over the pool).  ``/ingest`` is absent on
+#: purpose — replaying it would double-observe records.
+_IDEMPOTENT_PATHS = ("/link", "/healthz", "/metrics")
+
+#: Exceptions that mean "the transport failed", as opposed to a parsed
+#: HTTP error response.
+_TRANSPORT_ERRORS = (ConnectionError, http.client.HTTPException, OSError)
+
 
 class ServiceClient:
     """Call a running linking daemon over HTTP.
@@ -35,26 +54,59 @@ class ServiceClient:
         Where the daemon listens (e.g. ``*BackgroundServer.address``).
     timeout_s:
         Socket timeout for each call.
+    max_retries:
+        How many times a retryable failure is retried (on top of the
+        initial attempt).  Only connection-phase failures and dropped
+        keep-alive sockets on idempotent endpoints qualify; see the
+        module docstring.
+    backoff_s:
+        Base sleep before the first retry; doubles per retry.
+    sleep, connection_factory:
+        Injection points for tests (fake clock, failing transports).
 
     The client is not thread-safe; give each thread its own instance
     (they are cheap — one lazy TCP connection each).
     """
 
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        sleep=time.sleep,
+        connection_factory=http.client.HTTPConnection,
+    ) -> None:
+        if max_retries < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
         self._host = host
         self._port = int(port)
         self._timeout_s = timeout_s
+        self._max_retries = int(max_retries)
+        self._backoff_s = float(backoff_s)
+        self._sleep = sleep
+        self._connection_factory = connection_factory
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self._host, self._port, timeout=self._timeout_s
-            )
-        return self._conn
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """A live connection plus whether it is a reused keep-alive one.
+
+        Connecting eagerly (rather than inside ``conn.request``) keeps
+        connection-phase failures distinguishable from failures after
+        the request bytes may already have reached the server.
+        """
+        if self._conn is not None:
+            return self._conn, True
+        conn = self._connection_factory(
+            self._host, self._port, timeout=self._timeout_s
+        )
+        conn.connect()
+        self._conn = conn
+        return conn, False
 
     def close(self) -> None:
         if self._conn is not None:
@@ -68,20 +120,34 @@ class ServiceClient:
         self.close()
 
     def request(self, method: str, path: str, body: object | None = None) -> dict:
-        """One JSON round trip; retries once on a dropped keep-alive."""
+        """One JSON round trip with bounded, idempotency-aware retries."""
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
-        for attempt in (0, 1):
-            conn = self._connection()
+        idempotent = path.partition("?")[0] in _IDEMPOTENT_PATHS
+        attempt = 0
+        while True:
+            reused = connected = False
             try:
+                conn, reused = self._connection()
+                connected = True
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
                 break
-            except (ConnectionError, http.client.HTTPException, OSError):
+            except _TRANSPORT_ERRORS:
                 self.close()
-                if attempt:
+                # Connect-phase failures (``connected`` still False)
+                # never reached the server; a *reused* keep-alive socket
+                # failing mid-request means the server dropped the idle
+                # connection between calls.  Both are safe to replay for
+                # idempotent endpoints.  A fresh connection failing
+                # after the request went out may have been acted on —
+                # never replayed (nor is anything non-idempotent).
+                retryable = idempotent and (not connected or reused)
+                if not retryable or attempt >= self._max_retries:
                     raise
+                self._sleep(self._backoff_s * (2 ** attempt))
+                attempt += 1
         try:
             parsed = json.loads(raw.decode("utf-8")) if raw else {}
         except json.JSONDecodeError as exc:
@@ -101,7 +167,31 @@ class ServiceClient:
         return self.request("GET", "/healthz")
 
     def metrics(self) -> dict:
-        return self.request("GET", "/metrics")
+        """The metrics registry as JSON (counters, latency, queue depth)."""
+        return self.request("GET", "/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition served at ``/metrics``.
+
+        Bypasses :meth:`request` (which decodes JSON): one GET on a
+        fresh connection, returning the body verbatim.
+        """
+        conn = self._connection_factory(
+            self._host, self._port, timeout=self._timeout_s
+        )
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 300:
+                raise RemoteServiceError(
+                    response.status,
+                    {"error": {"type": "RemoteServiceError",
+                               "message": raw.decode("utf-8", "replace")}},
+                )
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
 
     def link_raw(self, body: dict) -> dict:
         """POST a pre-built ``/link`` body; returns the wire response."""

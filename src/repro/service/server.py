@@ -21,13 +21,17 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import functools
 import json
+import logging
 import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from urllib.parse import parse_qs
 
+from repro import obs
 from repro.core.engine import LinkEngine, LinkOptions, LinkRequest
 from repro.errors import PayloadTooLargeError, ProtocolError, ValidationError
 from repro.service import protocol
@@ -54,6 +58,16 @@ _REASONS = {
 #: Cap on header lines per request (defence against header floods).
 _MAX_HEADERS = 100
 
+_LOG = logging.getLogger("ftl.server")
+
+
+def _query_param(query: str, name: str) -> str | None:
+    """The last value of a query parameter, or ``None`` when absent."""
+    if not query:
+        return None
+    values = parse_qs(query, keep_blank_values=True).get(name)
+    return values[-1] if values else None
+
 
 @dataclass(frozen=True)
 class ServerConfig:
@@ -69,6 +83,9 @@ class ServerConfig:
     max_body_bytes: int = protocol.DEFAULT_MAX_BODY_BYTES
     default_timeout_ms: float | None = None
     sweep_interval_s: float = 30.0
+    #: Bind a span sink in batch worker threads so engine/store stage
+    #: timers feed the ``/metrics`` histograms.  Off = timers no-op.
+    spans: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -134,8 +151,21 @@ class LinkServer:
         # (NumPy releases the GIL inside the heavy kernels, so extra
         # workers still overlap useful work).
         self._engine_lock = threading.Lock()
+        # Span sinks live in per-thread context, so bind one inside each
+        # batch worker as it starts: engine/store spans then accumulate
+        # into *this* server's metrics, and concurrent servers in one
+        # process (the test suite) never see each other's stages.
+        initializer = (
+            functools.partial(
+                obs.bind_sink, obs.MetricsSpanSink(self._state.metrics)
+            )
+            if config.spans
+            else None
+        )
         self._executor = ThreadPoolExecutor(
-            max_workers=config.workers, thread_name_prefix="ftl-batch"
+            max_workers=config.workers,
+            thread_name_prefix="ftl-batch",
+            initializer=initializer,
         )
         self._batcher = MicroBatcher(
             runner=self._run_batch,
@@ -248,13 +278,17 @@ class LinkServer:
                     break
                 if request is None:
                     break
-                method, path, headers, body_bytes = request
-                status, body = await self._dispatch(method, path, body_bytes)
+                method, path, query, headers, body_bytes = request
+                status, body, trace_id = await self._dispatch(
+                    method, path, query, body_bytes
+                )
                 close = (
                     self._draining
                     or headers.get("connection", "").lower() == "close"
                 )
-                self._write_response(writer, status, body, close=close)
+                self._write_response(
+                    writer, status, body, close=close, trace_id=trace_id
+                )
                 await writer.drain()
                 if close:
                     break
@@ -310,18 +344,31 @@ class LinkServer:
                 f"{self._config.max_body_bytes} byte limit"
             )
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method, path, headers, body
+        path, _, query = target.partition("?")
+        return method, path, query, headers, body
 
     def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, body: dict, close: bool
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict | str,
+        close: bool,
+        trace_id: str | None = None,
     ) -> None:
-        payload = json.dumps(body, default=str).encode("utf-8")
+        if isinstance(body, str):
+            # Pre-rendered text body (the Prometheus exposition).
+            payload = body.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            payload = json.dumps(body, default=str).encode("utf-8")
+            content_type = "application/json"
         reason = _REASONS.get(status, "OK")
         extra = "Retry-After: 1\r\n" if status == 503 else ""
+        if trace_id is not None:
+            extra += f"X-Trace-Id: {trace_id}\r\n"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             f"{extra}\r\n"
@@ -333,20 +380,49 @@ class LinkServer:
     # Routing
     # ------------------------------------------------------------------
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
+        self, method: str, path: str, query: str, body: bytes
+    ) -> tuple[int, dict | str, str]:
+        """Route one request under a fresh trace ID.
+
+        The ID is bound to the task context for the request's lifetime
+        (the batcher captures it at submit time), echoed in dict
+        response bodies and the ``X-Trace-Id`` header, and stamped on
+        the structured ``request`` log event.
+        """
         self._state.metrics.inc("requests_total")
         started = self._clock()
+        trace_id = obs.new_trace_id()
+        token = obs.set_trace_id(trace_id)
+        try:
+            status, payload = await self._route(method, path, query, body)
+            if isinstance(payload, dict):
+                payload.setdefault("trace_id", trace_id)
+            obs.log_event(
+                _LOG,
+                "request",
+                method=method,
+                path=path,
+                status=status,
+                duration_ms=round((self._clock() - started) * 1e3, 3),
+            )
+            return status, payload, trace_id
+        finally:
+            obs.reset_trace_id(token)
+            label = path.strip("/").replace("/", "_") or "root"
+            self._state.metrics.observe(
+                f"request_{label}", self._clock() - started
+            )
+
+    async def _route(
+        self, method: str, path: str, query: str, body: bytes
+    ) -> tuple[int, dict | str]:
         try:
             if path == "/healthz":
                 self._require_method(method, "GET")
                 return 200, self._state.health()
             if path == "/metrics":
                 self._require_method(method, "GET")
-                payload = self._state.metrics.to_dict()
-                payload["queue_depth"] = self._batcher.queue_depth
-                payload["sessions"] = len(self._state.sessions)
-                return 200, payload
+                return 200, self._handle_metrics(query)
             if path == "/link":
                 self._require_method(method, "POST")
                 return 200, await self._handle_link(body)
@@ -371,11 +447,27 @@ class LinkServer:
             }
         except Exception as exc:  # noqa: BLE001 - mapped, never leaked
             return protocol.error_payload(exc)
-        finally:
-            label = path.strip("/").replace("/", "_") or "root"
-            self._state.metrics.observe(
-                f"request_{label}", self._clock() - started
+
+    def _handle_metrics(self, query: str) -> dict | str:
+        """Prometheus exposition by default; ``?format=json`` for the
+        legacy JSON registry dump."""
+        fmt = _query_param(query, "format")
+        if fmt == "json":
+            payload = self._state.metrics.to_dict()
+            payload["queue_depth"] = self._batcher.queue_depth
+            payload["sessions"] = len(self._state.sessions)
+            return payload
+        if fmt not in (None, "prometheus", "text"):
+            raise ValidationError(
+                f"unknown metrics format {fmt!r}; use 'prometheus' or 'json'"
             )
+        return self._state.metrics.to_prometheus(
+            gauges={
+                "queue_depth": self._batcher.queue_depth,
+                "sessions": len(self._state.sessions),
+                "pool_size": len(self._state.pool),
+            }
+        )
 
     @staticmethod
     def _require_method(method: str, expected: str) -> None:

@@ -18,6 +18,8 @@ from repro.core.records import Record
 from repro.core.streaming import StreamingLinker
 from repro.core.trajectory import Trajectory
 from repro.errors import ValidationError
+from repro.obs import STAGES, render_exposition
+from repro.obs.spans import STAGE_METRIC_PREFIX
 
 #: Idle seconds after which an ingest session is garbage-collected.
 DEFAULT_SESSION_TTL_S = 900.0
@@ -63,15 +65,29 @@ class Histogram:
         """Upper bound of the bucket holding the ``q``-quantile (seconds)."""
         if not 0.0 <= q <= 1.0:
             raise ValidationError(f"quantile must be in [0, 1], got {q}")
-        if self._count == 0:
-            return 0.0
         rank = q * self._count
+        if rank <= 0:
+            # q == 0 (or an empty histogram): the infimum of observed
+            # values, by convention 0, never the first bucket's bound —
+            # rank 0 would otherwise satisfy ``seen >= rank`` before any
+            # count has been seen.
+            return 0.0
         seen = 0
         for i, n in enumerate(self._counts):
             seen += n
             if seen >= rank:
                 return self._bounds[i] if i < len(self._bounds) else self._max
         return self._max
+
+    def snapshot(self) -> dict:
+        """Raw bucket state for Prometheus rendering (non-cumulative)."""
+        return {
+            "bounds": self._bounds,
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+            "max": self._max,
+        }
 
     def to_dict(self) -> dict:
         return {
@@ -112,6 +128,18 @@ class Metrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, registered empty on first use.
+
+        Pre-registering (e.g. the per-stage timers) guarantees the
+        family appears in ``/metrics`` output even before any sample.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            return hist
+
     def to_dict(self) -> dict:
         with self._lock:
             return {
@@ -121,6 +149,15 @@ class Metrics:
                     for name, hist in sorted(self._histograms.items())
                 },
             }
+
+    def to_prometheus(self, gauges: dict | None = None) -> str:
+        """The registry in Prometheus text exposition format."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {
+                name: hist.snapshot() for name, hist in self._histograms.items()
+            }
+        return render_exposition(counters, histograms, gauges or {})
 
 
 @dataclass
@@ -195,6 +232,24 @@ class ServiceState:
                 f"session_ttl_s must be positive, got {self.session_ttl_s}"
             )
         self.started_at = self.clock()
+        # Pre-register the per-stage timer histograms so ``/metrics``
+        # always exposes the full pipeline breakdown, sampled or not.
+        for stage in STAGES:
+            self.metrics.histogram(STAGE_METRIC_PREFIX + stage)
+
+    def refresh_pool(self) -> int:
+        """Reload the resident pool from the attached store, in place.
+
+        In-place mutation (not rebinding) so the engine/server views
+        holding a reference to the same list observe the refresh.
+        Returns the new pool size.  Raises
+        :class:`~repro.errors.ValidationError` without a store.
+        """
+        if self.store is None:
+            raise ValidationError("no trajectory store attached to this daemon")
+        self.pool[:] = list(self.store.load())
+        self.metrics.inc("pool_refreshes_total")
+        return len(self.pool)
 
     # ------------------------------------------------------------------
     # Ingest sessions

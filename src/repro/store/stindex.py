@@ -45,6 +45,7 @@ from repro.core.database import TrajectoryDatabase
 from repro.core.trajectory import Trajectory
 from repro.errors import StaleIndexError, StoreFormatError, ValidationError
 from repro.geo.units import kph_to_mps
+from repro.obs import span
 from repro.store.format import fsync_dir, fsync_file, write_json_atomic
 
 #: Magic string identifying a persisted index.
@@ -298,10 +299,13 @@ class SpatioTemporalIndex:
             )
         if len(query) == 0 or not self._ids:
             return []
-        keep = self._temporal_mask(query, min_overlap_s) & self._spatial_mask(
-            query
-        )
-        return [self._db[self._ids[i]] for i in np.nonzero(keep)[0]]
+        with span("blocking"):
+            with span("index_probe"):
+                keep = self._temporal_mask(
+                    query, min_overlap_s
+                ) & self._spatial_mask(query)
+            with span("mmap_read"):
+                return [self._db[self._ids[i]] for i in np.nonzero(keep)[0]]
 
     def ids_for(
         self, query: Trajectory, min_overlap_s: float = 0.0

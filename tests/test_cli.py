@@ -1,6 +1,7 @@
 """Command-line interface."""
 
 import json
+import logging
 
 import pytest
 
@@ -130,6 +131,20 @@ class TestLink:
 
 
 class TestServe:
+    @pytest.fixture(autouse=True)
+    def _detach_json_logging(self):
+        # `ftl serve` attaches a JSON handler to the "ftl" logger bound
+        # to the stderr of the moment — under pytest that stream is
+        # closed when this test's capture ends, so detach the handler
+        # rather than leak it into later tests.
+        yield
+        from repro.obs import JsonLogFormatter
+
+        logger = logging.getLogger("ftl")
+        for handler in list(logger.handlers):
+            if isinstance(handler.formatter, JsonLogFormatter):
+                logger.removeHandler(handler)
+
     def test_serve_smoke_drains_after_timeout(self, capsys):
         assert main(
             ["serve", "SD-mini", "--port", "0", "--shutdown-after", "0.3",

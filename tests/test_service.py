@@ -571,6 +571,11 @@ class TestBenchSmoke:
                 row = written["levels"][level][mode]
                 assert row["n_errors"] == 0
                 assert row["throughput_rps"] > 0
+        overhead = written["span_overhead"]
+        for label in ("spans_on", "spans_off"):
+            assert overhead[label]["n_errors"] == 0
+            assert overhead[label]["throughput_rps"] > 0
+        assert "regression_pct" in overhead
 
 
 class TestStoreBackedService:
@@ -679,3 +684,65 @@ class TestStoreBackedService:
         query, cand = _session_records()
         state.ingest("plain", query, {"c1": cand})
         assert state.sessions["plain"].pending == {}
+
+    def test_ttl_expiry_counters_and_flushed_records_reach_link(
+        self, engine, small_pair, tmp_path
+    ):
+        """Idle-TTL expiry bumps the expected counters, and the expired
+        session's auto-flushed records become linkable: after
+        ``refresh_pool`` a subsequent ``/link``-path call over the
+        resident pool ranks the flushed candidate."""
+        from repro.core.engine import LinkRequest
+        from repro.store import build_store
+
+        store = build_store(tmp_path / "q-store", small_pair.q_db)
+        clock = FakeClock()
+        state = ServiceState(
+            engine=engine, pool=list(store.load()), options=RANKING,
+            session_ttl_s=100.0, clock=clock, store=store,
+        )
+        query, cand = _session_records(base_t=5_000.0)
+        state.ingest("expiring", query, {"flushed-cand": cand})
+        before = {
+            name: state.metrics.counter(name)
+            for name in ("sessions_expired_total", "store_flushes_total",
+                         "store_flushed_records_total", "pool_refreshes_total")
+        }
+
+        clock.advance(101.0)
+        assert state.expire_idle_sessions() == ["expiring"]
+        counters = state.metrics
+        assert counters.counter("sessions_expired_total") == (
+            before["sessions_expired_total"] + 1
+        )
+        assert counters.counter("store_flushes_total") == (
+            before["store_flushes_total"] + 1
+        )
+        assert counters.counter("store_flushed_records_total") == (
+            before["store_flushed_records_total"] + len(cand)
+        )
+
+        # Not in the resident pool until it is refreshed from the store.
+        assert all(t.traj_id != "flushed-cand" for t in state.pool)
+        n = state.refresh_pool()
+        assert n == len(state.pool)
+        assert counters.counter("pool_refreshes_total") == (
+            before["pool_refreshes_total"] + 1
+        )
+        assert any(str(t.traj_id) == "flushed-cand" for t in state.pool)
+
+        # The serving path (link_requests over the refreshed resident
+        # pool, exactly what /link executes) now ranks the candidate.
+        probe = Trajectory([r[0] for r in cand], [r[1] for r in cand],
+                           [r[2] for r in cand], "probe")
+        (result,) = state.engine.link_requests(
+            [LinkRequest(query=probe)], default_pool=state.pool,
+            options=RANKING,
+        )
+        assert "flushed-cand" in [str(c.candidate_id) for c in result.candidates]
+
+    def test_refresh_pool_requires_store(self, engine, pool):
+        state = ServiceState(engine=engine, pool=pool, options=LinkOptions(),
+                             clock=FakeClock())
+        with pytest.raises(ValidationError, match="no trajectory store"):
+            state.refresh_pool()

@@ -79,6 +79,32 @@ class TestStreamingPairEvidence:
         with pytest.raises(ValidationError):
             evidence.insert(Record(0.0, 0.0, 0.0), 7)
 
+    def test_bucketing_matches_batch_at_half_bucket_boundary(self, config):
+        """Streaming must bucket dt exactly like ``FTLConfig.buckets_of``.
+
+        Pinned at dt = 1.5 x time_unit_s — the half-bucket boundary
+        where the old local ``int(round(...))`` could diverge from the
+        batch path's np.rint bucketing.  Both co-located records, so the
+        segment is compatible; only the bucket tally position matters.
+        """
+        dt = 1.5 * config.time_unit_s
+        p = Trajectory([0.0], [100.0], [100.0], "p")
+        q = Trajectory([dt], [100.0], [100.0], "q")
+        evidence = StreamingPairEvidence(config)
+        evidence.extend(p, SOURCE_P)
+        evidence.extend(q, SOURCE_Q)
+        batch = mutual_segment_profile(p, q, config).within_horizon(
+            config.n_buckets
+        )
+        expected = np.zeros((2, config.n_buckets), dtype=np.int64)
+        for bucket, incompatible in zip(batch.buckets, batch.incompatible):
+            expected[int(incompatible), int(bucket)] += 1
+        assert np.array_equal(
+            evidence.bucket_counts(), expected
+        ), "streaming bucket tallies diverged from the batch profile"
+        expected_bucket = int(config.buckets_of(np.asarray([dt]))[0])
+        assert evidence.bucket_counts()[0, expected_bucket] == 1
+
     def test_pvalues_match_batch(self, config, fitted_models):
         mr, ma = fitted_models
         rng = np.random.default_rng(2)
