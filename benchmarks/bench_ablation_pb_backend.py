@@ -7,15 +7,25 @@ and (b) evaluation time.  This motivates DESIGN.md's choice of the DP
 as the default: the recursion's alternating sum loses precision as n or
 the odds grow, and the normal approximation trades a small bias for
 O(1) tail evaluation.
+
+A second bench times the DP under each *kernel* backend —
+``pb_pmf_batch`` routed through the pure-python loop, the vectorised
+NumPy state-matrix convolution, and numba when available — over an
+engine-shaped batch of profiles, asserting bit-identical pmf values
+before timing.  Results merge into ``BENCH_engine.json`` under
+``"pb_backends"``.
 """
 
+import math
 import time
 
 import numpy as np
 import pytest
 
+from benchmarks.bench_engine_batch import DEFAULT_OUT, _merge_into
 from benchmarks.conftest import print_header
-from repro.stats.poisson_binomial import PoissonBinomial
+from repro.kernels import numba_available
+from repro.stats.poisson_binomial import PoissonBinomial, pb_pmf_batch
 
 SIZES = (20, 100, 400)
 
@@ -59,3 +69,76 @@ def test_pb_backend_ablation(benchmark, n):
     # The recursion is exact-in-theory; at small n it must agree tightly.
     if n <= 20:
         assert rows[1][2] < 1e-6
+
+
+def run_pb_kernel_benchmark(
+    n_profiles: int = 200,
+    seed: int = 11,
+    repeats: int = 5,
+    out_path=DEFAULT_OUT,
+) -> dict:
+    """Time ``pb_pmf_batch`` per kernel backend on an engine-shaped batch.
+
+    One batch of ``n_profiles`` probability vectors with FTL-like
+    lengths (most short, a heavy tail of long profiles), matching what
+    one ``link_batch`` query submits.  Every backend's pmfs must be
+    bit-identical to the python loop before timings are reported.
+    """
+    rng = np.random.default_rng(seed)
+    lengths = np.clip(rng.geometric(0.08, size=n_profiles), 1, 400)
+    probs = [_profile_probs(int(n), rng) for n in lengths]
+
+    kernels = ["python", "numpy"] + (["numba"] if numba_available() else [])
+    reference = pb_pmf_batch(probs, kernel="python")
+    results: dict = {}
+    for kernel in kernels:
+        pmfs = pb_pmf_batch(probs, kernel=kernel)
+        for have, want in zip(pmfs, reference):
+            assert np.array_equal(have, want), (
+                f"pb_pmf_batch kernel={kernel} diverged from the python loop"
+            )
+        best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            pb_pmf_batch(probs, kernel=kernel)
+            best = min(best, time.perf_counter() - start)
+        results[kernel] = {"batch_s": best}
+    for kernel in kernels:
+        results[kernel]["speedup_vs_python"] = (
+            results["python"]["batch_s"] / results[kernel]["batch_s"]
+        )
+
+    section = {
+        "n_profiles": n_profiles,
+        "mean_length": float(np.mean(lengths)),
+        "max_length": int(np.max(lengths)),
+        "seed": seed,
+        "repeats": repeats,
+        "numba_available": numba_available(),
+        "kernels": results,
+    }
+    if out_path is not None:
+        _merge_into(out_path, {"pb_backends": section})
+    return section
+
+
+def test_pb_kernel_backends(benchmark):
+    """Kernel-routed DP: bit-identical pmfs, batched >= python loop."""
+    section = benchmark.pedantic(
+        run_pb_kernel_benchmark, rounds=1, iterations=1
+    )
+    print_header(
+        f"PB kernel backends, {section['n_profiles']} profiles "
+        f"(mean n={section['mean_length']:.0f}, max n={section['max_length']})"
+    )
+    print(f"{'kernel':<10} {'batch (ms)':>11} {'speedup':>9}")
+    for kernel, row in section["kernels"].items():
+        print(
+            f"{kernel:<10} {row['batch_s'] * 1e3:>11.2f} "
+            f"{row['speedup_vs_python']:>8.2f}x"
+        )
+    assert section["kernels"]["numpy"]["speedup_vs_python"] >= 1.0
+
+
+if __name__ == "__main__":
+    run_pb_kernel_benchmark()

@@ -17,7 +17,14 @@ Two workloads are timed:
 * **naive-bayes** — the default matcher, where only the matched few are
   re-scored by the seed.
 
-Timings are written to ``BENCH_engine.json``.  Run standalone
+A second bench, :func:`run_profile_kernel_benchmark`, isolates the
+mutual-segment profile stage and times each kernel backend (pure-python
+per-pair reference, the batched NumPy kernel, and numba when the
+container has it) over the same pool, asserting token-identical profile
+output and identical ``link_batch`` rankings before reporting.
+
+Timings are written to ``BENCH_engine.json`` (each bench merges its own
+section, so running one never clobbers the other).  Run standalone
 (``python -m benchmarks.bench_engine_batch``) or through pytest; the
 tier-1 suite exercises a tiny smoke configuration on every run.
 """
@@ -32,13 +39,18 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import FTLConfig
-from repro.core.alignment import mutual_segment_profile
+from repro.core.alignment import (
+    FlatPool,
+    batch_mutual_segment_profiles,
+    mutual_segment_profile,
+)
 from repro.core.engine import Candidate, LinkEngine, LinkOptions, LinkResult
 from repro.core.filtering import AlphaFilter
 from repro.core.hypothesis import acceptance_pvalue, rejection_pvalue
 from repro.core.models import CompatibilityModel
 from repro.core.naive_bayes import NaiveBayesMatcher
 from repro.geo.units import days_to_seconds
+from repro.kernels import numba_available
 from repro.synth.city import CityModel
 from repro.synth.noise import GaussianNoise
 from repro.synth.observation import ObservationService
@@ -46,6 +58,23 @@ from repro.synth.population import generate_population
 from repro.synth.scenario import make_paired_databases
 
 DEFAULT_OUT = "BENCH_engine.json"
+
+
+def _merge_into(out_path: str | Path, updates: dict) -> None:
+    """Merge ``updates`` into the JSON report at ``out_path``.
+
+    Top-level merge so the engine bench and the kernel bench can each
+    refresh their own section without erasing the other's numbers.
+    """
+    path = Path(out_path)
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data.update(updates)
+    path.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def _seed_link_loop(query, pool, mr, ma, options: LinkOptions) -> LinkResult:
@@ -157,8 +186,118 @@ def run_engine_benchmark(
         }
 
     if out_path is not None:
-        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+        _merge_into(out_path, report)
     return report
+
+
+def run_profile_kernel_benchmark(
+    n_candidates: int = 200,
+    n_queries: int = 20,
+    seed: int = 7,
+    repeats: int = 5,
+    out_path: str | Path | None = DEFAULT_OUT,
+) -> dict:
+    """Time the mutual-segment profile stage under each kernel backend.
+
+    The timed region mirrors exactly what ``LinkEngine.link_batch``
+    does per batch and backend: flatten the candidate pool once, then
+    compute every query's profiles against the full pool through
+    :func:`repro.core.alignment.batch_mutual_segment_profiles` (one
+    kernel invocation per query on the batched backends, one call per
+    pair on the ``python`` reference).  Before any timing is reported,
+    every backend's profiles are checked token-identical against the
+    pure-python per-pair reference, and a full ``link_batch`` run per
+    backend is checked to produce identical rankings.
+
+    Results land in ``BENCH_engine.json`` under ``"profile_kernel"``.
+    """
+    rng = np.random.default_rng(seed)
+    pair = _build_pair(n_candidates, rng)
+    config = FTLConfig()
+    qids = pair.sample_queries(min(n_queries, len(pair.truth)), rng)
+    queries = [pair.p_db[qid] for qid in qids]
+    pool = list(pair.q_db)
+
+    backends = ["python", "numpy"] + (["numba"] if numba_available() else [])
+
+    # Correctness gate 1: token-identical profiles versus the reference.
+    reference = {
+        q.traj_id: batch_mutual_segment_profiles(q, pool, config, backend="python")
+        for q in queries
+    }
+    for backend in backends[1:]:
+        flat = FlatPool(pool)
+        for q in queries:
+            got = batch_mutual_segment_profiles(
+                q, pool, config, backend=backend, flat=flat
+            )
+            for have, want in zip(got, reference[q.traj_id]):
+                assert np.array_equal(have.buckets, want.buckets), (
+                    f"{backend} bucket mismatch vs python for query {q.traj_id}"
+                )
+                assert np.array_equal(have.incompatible, want.incompatible), (
+                    f"{backend} flag mismatch vs python for query {q.traj_id}"
+                )
+
+    # Correctness gate 2: identical end-to-end rankings per backend.
+    mr = CompatibilityModel.fit_rejection([pair.p_db, pair.q_db], config)
+    ma = CompatibilityModel.fit_acceptance([pair.p_db, pair.q_db], config, rng)
+    rank_options = {
+        backend: LinkOptions(
+            method="alpha-filter", alpha1=0.0, alpha2=1.0, kernel_backend=backend
+        )
+        for backend in backends
+    }
+    rankings = {
+        backend: LinkEngine(mr, ma, options=options).link_batch(queries, pool)
+        for backend, options in rank_options.items()
+    }
+    for backend in backends[1:]:
+        assert rankings[backend] == rankings["python"], (
+            f"link_batch ranking diverged between {backend} and python"
+        )
+
+    # Timing: min-of-N with the pool flattened inside the timed region,
+    # once per repeat, exactly as the engine amortises it per batch.
+    # Backends are interleaved within each repeat so machine-load drift
+    # hits all of them alike.
+    results: dict = {backend: {"profile_stage_s": math.inf} for backend in backends}
+    for _ in range(repeats):
+        for backend in backends:
+            start = time.perf_counter()
+            if backend == "python":
+                for q in queries:
+                    batch_mutual_segment_profiles(q, pool, config, backend=backend)
+            else:
+                flat = FlatPool(pool)
+                for q in queries:
+                    batch_mutual_segment_profiles(
+                        q, pool, config, backend=backend, flat=flat
+                    )
+            elapsed = time.perf_counter() - start
+            row = results[backend]
+            row["profile_stage_s"] = min(row["profile_stage_s"], elapsed)
+    for backend in backends:
+        row = results[backend]
+        row["per_query_ms"] = row["profile_stage_s"] / len(queries) * 1e3
+    for backend in backends:
+        results[backend]["speedup_vs_python"] = (
+            results["python"]["profile_stage_s"]
+            / results[backend]["profile_stage_s"]
+        )
+
+    section = {
+        "n_candidates": len(pool),
+        "n_queries": len(queries),
+        "seed": seed,
+        "repeats": repeats,
+        "numba_available": numba_available(),
+        "rankings_identical": True,
+        "backends": results,
+    }
+    if out_path is not None:
+        _merge_into(out_path, {"profile_kernel": section})
+    return section
 
 
 def _print_report(report: dict) -> None:
@@ -172,6 +311,20 @@ def _print_report(report: dict) -> None:
         print(
             f"{name:<14} {row['seed_per_candidate_s']:>10.3f} "
             f"{row['engine_batch_s']:>11.3f} {row['speedup']:>8.2f}x"
+        )
+
+
+def _print_kernel_report(section: dict) -> None:
+    print(
+        f"profile kernel backends — {section['n_queries']} queries x "
+        f"{section['n_candidates']} candidates "
+        f"(min of {section['repeats']} repeats)"
+    )
+    print(f"{'backend':<10} {'stage (ms)':>11} {'per query (ms)':>15} {'speedup':>9}")
+    for backend, row in section["backends"].items():
+        print(
+            f"{backend:<10} {row['profile_stage_s'] * 1e3:>11.2f} "
+            f"{row['per_query_ms']:>15.3f} {row['speedup_vs_python']:>8.2f}x"
         )
 
 
@@ -190,5 +343,19 @@ def test_engine_batch_speedup(benchmark):
     assert report["workloads"]["naive-bayes"]["speedup"] >= 1.0
 
 
+def test_profile_kernel_speedup(benchmark):
+    """The batched NumPy kernel must beat pure python >= 10x at 200 cands."""
+    section = benchmark.pedantic(
+        run_profile_kernel_benchmark,
+        kwargs={"n_candidates": 200, "n_queries": 20, "repeats": 5},
+        rounds=1,
+        iterations=1,
+    )
+    _print_kernel_report(section)
+    assert section["rankings_identical"]
+    assert section["backends"]["numpy"]["speedup_vs_python"] >= 10.0
+
+
 if __name__ == "__main__":
     _print_report(run_engine_benchmark())
+    _print_kernel_report(run_profile_kernel_benchmark())

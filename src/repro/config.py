@@ -12,13 +12,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Any
 
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.geo.distance import metric_names
+from repro.geo.distance import MetricFn, get_metric, metric_names
 from repro.geo.units import kph_to_mps
+from repro.kernels.backend import KERNEL_BACKENDS
 
 #: Poisson-Binomial evaluation backends (see :mod:`repro.stats.poisson_binomial`).
 PB_BACKENDS = ("dp", "recursive", "normal")
@@ -63,6 +65,12 @@ class FTLConfig:
     prob_floor:
         Probabilities are clamped to ``[prob_floor, 1 - prob_floor]``
         before being used in likelihoods, guarding against log(0).
+    kernel_backend:
+        Hot-path kernel implementation: ``"auto"`` (numba when
+        importable, else the batched NumPy kernels), ``"numba"``,
+        ``"numpy"``, or ``"python"`` (the per-pair reference path).
+        ``"auto"`` also honours the ``FTL_KERNEL_BACKEND`` environment
+        variable; see :mod:`repro.kernels`.
     """
 
     vmax_kph: float = 120.0
@@ -74,6 +82,7 @@ class FTLConfig:
     max_acceptance_pairs: int = 200
     pb_backend: str = "dp"
     prob_floor: float = 1e-9
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.vmax_kph > 0:
@@ -107,11 +116,27 @@ class FTLConfig:
             raise ValidationError(
                 f"prob_floor must be in (0, 0.5), got {self.prob_floor}"
             )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValidationError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                f"known: {KERNEL_BACKENDS}"
+            )
 
     @property
     def vmax_mps(self) -> float:
         """The speed cap in metres/second."""
         return kph_to_mps(self.vmax_kph)
+
+    @cached_property
+    def metric_fn(self) -> MetricFn:
+        """The resolved vectorised metric function (cached per config).
+
+        Hot paths call this instead of re-resolving
+        :func:`repro.geo.distance.get_metric` per record pair; the
+        cache lives in the instance ``__dict__`` and does not affect
+        equality or hashing (both are field-based).
+        """
+        return get_metric(self.metric)
 
     @property
     def n_buckets(self) -> int:

@@ -23,14 +23,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.config import FTLConfig
 from repro.core.records import Record
 from repro.core.trajectory import Trajectory
-from repro.geo.distance import get_metric
+from repro.kernels import (
+    pair_profile_arrays,
+    pool_profile_arrays,
+    resolve_kernel_backend,
+)
 
 #: Source labels used in aligned trajectories.
 SOURCE_P = 0
@@ -209,41 +213,165 @@ _EMPTY_PROFILE = MutualSegmentProfile(
 
 
 def mutual_segment_profile(
-    p: Trajectory, q: Trajectory, config: FTLConfig
+    p: Trajectory,
+    q: Trajectory,
+    config: FTLConfig,
+    backend: str | None = None,
 ) -> MutualSegmentProfile:
     """Extract the mutual-segment observation of a pair (NumPy hot path).
 
     Equivalent to aligning the trajectories, walking its mutual segments
     and recording each segment's time bucket and compatibility, but
-    without materialising any Python objects.
+    without materialising any Python objects.  The kernel ``backend``
+    defaults to the config's (resolved through
+    :func:`repro.kernels.resolve_kernel_backend`); every backend yields
+    the same profile (see ``docs/performance.md`` for the numba
+    haversine ulp caveat).
     """
-    n_p, n_q = len(p), len(q)
-    if n_p == 0 or n_q == 0:
+    resolved = resolve_kernel_backend(
+        backend if backend is not None else config.kernel_backend
+    )
+    if resolved == "python":
+        buckets, incompatible = pair_profile_arrays(
+            p.ts, p.xs, p.ys, q.ts, q.xs, q.ys,
+            config.metric, config.vmax_mps, config.time_unit_s,
+        )
+    else:
+        offsets = np.array([0, len(q)], dtype=np.int64)
+        buckets, incompatible, _ = pool_profile_arrays(
+            p.ts, p.xs, p.ys, q.ts, q.xs, q.ys, offsets,
+            config.metric, config.vmax_mps, config.time_unit_s,
+            backend=resolved,
+        )
+    if buckets.size == 0:
         return _EMPTY_PROFILE
-    ts = np.concatenate([p.ts, q.ts])
-    sources = np.empty(n_p + n_q, dtype=np.int8)
-    sources[:n_p] = SOURCE_P
-    sources[n_p:] = SOURCE_Q
-    order = np.argsort(ts, kind="stable")
-    ts_sorted = ts[order]
-    src_sorted = sources[order]
-
-    mutual_mask = src_sorted[1:] != src_sorted[:-1]
-    if not np.any(mutual_mask):
-        return _EMPTY_PROFILE
-
-    first_idx = np.nonzero(mutual_mask)[0]
-    second_idx = first_idx + 1
-    dts = ts_sorted[second_idx] - ts_sorted[first_idx]
-
-    xs = np.concatenate([p.xs, q.xs])[order]
-    ys = np.concatenate([p.ys, q.ys])[order]
-    metric = get_metric(config.metric)
-    dists = metric(xs[first_idx], ys[first_idx], xs[second_idx], ys[second_idx])
-
-    buckets = config.buckets_of(dts)
-    incompatible = dists > config.vmax_mps * dts
     return MutualSegmentProfile(buckets, incompatible)
+
+
+class FlatPool:
+    """A candidate pool flattened into the kernels' column layout.
+
+    Building the flat ``(ts, xs, ys, offsets)`` arrays costs one pass
+    over every candidate; a batch of queries against the same pool
+    (:meth:`repro.core.engine.LinkEngine.link_batch`) builds this once
+    and reuses it for every query instead of re-concatenating per call.
+    """
+
+    __slots__ = ("ts", "xs", "ys", "offsets", "_sort")
+
+    def __init__(self, candidates: Sequence[Trajectory]) -> None:
+        n = len(candidates)
+        self.offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter((len(c) for c in candidates), np.int64, n),
+            out=self.offsets[1:],
+        )
+        if n and self.offsets[-1]:
+            self.ts = np.concatenate([c.ts for c in candidates])
+            self.xs = np.concatenate([c.xs for c in candidates])
+            self.ys = np.concatenate([c.ys for c in candidates])
+        else:
+            self.ts = self.xs = self.ys = np.empty(0, dtype=np.float64)
+        self._sort = None
+
+    def merge_cache(self) -> tuple[np.ndarray, ...]:
+        """Query-independent precomputation for the ``numpy`` pool kernel.
+
+        ``(ts[order], inv, valid_starts, valid_lasts)`` where ``order``
+        is the pool's global time order, ``inv`` its inverse
+        permutation, and the ``valid_*`` arrays the per-candidate
+        boundary record indices (first/last record of each non-empty
+        candidate).  Computed on first use and cached: it lets the pool
+        kernel rank a query's timestamps against the whole pool with
+        ``len(query)`` binary searches instead of ``len(pool records)``
+        (see ``_pool_profiles_numpy``), and the cost is amortised over
+        every query in the batch.
+        """
+        if self._sort is None:
+            order = np.argsort(self.ts, kind="stable")
+            inv = np.empty_like(order)
+            inv[order] = np.arange(order.size)
+            starts = self.offsets[:-1]
+            last_of = self.offsets[1:] - 1
+            n_flat = self.ts.size
+            self._sort = (
+                self.ts[order],
+                inv,
+                starts[starts < n_flat],
+                last_of[last_of >= starts],
+            )
+        return self._sort
+
+    def __len__(self) -> int:
+        return int(self.offsets.shape[0] - 1)
+
+
+def batch_mutual_segment_profiles(
+    p: Trajectory,
+    candidates: Sequence[Trajectory],
+    config: FTLConfig,
+    backend: str | None = None,
+    flat: FlatPool | None = None,
+) -> list[MutualSegmentProfile]:
+    """Profiles of one query against a whole candidate pool.
+
+    Equal to ``[mutual_segment_profile(p, c, config) for c in
+    candidates]`` but the ``numpy``/``numba`` backends extract every
+    pair's evidence in a single kernel invocation over the pool's flat
+    coordinate arrays — the hot path behind
+    :meth:`repro.core.engine.ProfileCache.get_many`.  Pass a prebuilt
+    ``flat`` :class:`FlatPool` of exactly these candidates to skip the
+    per-call flattening.
+    """
+    if not candidates:
+        return []
+    resolved = resolve_kernel_backend(
+        backend if backend is not None else config.kernel_backend
+    )
+    if resolved == "python":
+        return [
+            mutual_segment_profile(p, c, config, backend="python")
+            for c in candidates
+        ]
+    if flat is None or len(flat) != len(candidates):
+        flat = FlatPool(candidates)
+    buckets, incompatible, seg_offsets = pool_profile_arrays(
+        p.ts, p.xs, p.ys, flat.ts, flat.xs, flat.ys, flat.offsets,
+        config.metric, config.vmax_mps, config.time_unit_s,
+        backend=resolved,
+        c_sort=flat.merge_cache() if resolved == "numpy" else None,
+    )
+    return _materialise(buckets, incompatible, seg_offsets.tolist())
+
+
+def _materialise(
+    buckets: np.ndarray, incompatible: np.ndarray, bounds: list
+) -> list[MutualSegmentProfile]:
+    """Wrap a kernel's flat output into per-candidate profile objects.
+
+    Slices view the kernel's freshly-allocated output, which the
+    profiles jointly cover in full — no per-slice copies needed.  The
+    fields go straight into each instance ``__dict__``, skipping the
+    frozen dataclass's ``object.__setattr__`` round-trips; both the
+    copies and the constructor are measurable at hundreds of profiles
+    per query.
+    """
+    new = MutualSegmentProfile.__new__
+    cls = MutualSegmentProfile
+    out: list[MutualSegmentProfile] = []
+    append = out.append
+    prev = bounds[0]
+    for end in bounds[1:]:
+        if end == prev:
+            append(_EMPTY_PROFILE)
+        else:
+            profile = new(cls)
+            d = profile.__dict__
+            d["buckets"] = buckets[prev:end]
+            d["incompatible"] = incompatible[prev:end]
+            append(profile)
+        prev = end
+    return out
 
 
 def self_segment_profile(t: Trajectory, config: FTLConfig) -> MutualSegmentProfile:
@@ -256,8 +384,7 @@ def self_segment_profile(t: Trajectory, config: FTLConfig) -> MutualSegmentProfi
     if len(t) < 2:
         return _EMPTY_PROFILE
     dts = np.diff(t.ts)
-    metric = get_metric(config.metric)
-    dists = metric(t.xs[:-1], t.ys[:-1], t.xs[1:], t.ys[1:])
+    dists = config.metric_fn(t.xs[:-1], t.ys[:-1], t.xs[1:], t.ys[1:])
     buckets = config.buckets_of(dts)
     incompatible = dists > config.vmax_mps * dts
     return MutualSegmentProfile(buckets, incompatible)

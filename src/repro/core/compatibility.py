@@ -8,6 +8,12 @@ travelled between its endpoints without exceeding the speed cap:
 Zero time difference is handled by the equivalent multiplicative form
 ``dist <= Vmax * dt``: two simultaneous observations are compatible only
 if they coincide spatially.
+
+The scalar helpers resolve the distance metric through
+:attr:`repro.config.FTLConfig.metric_fn` (cached on the config) rather
+than re-dispatching :func:`repro.geo.distance.get_metric` per record
+pair; batch paths should use the ``*_many`` functions, which take flat
+coordinate arrays and pay the metric resolution exactly once.
 """
 
 from __future__ import annotations
@@ -16,7 +22,6 @@ import numpy as np
 
 from repro.config import FTLConfig
 from repro.core.records import Record
-from repro.geo.distance import get_metric
 
 
 def implied_speed(a: Record, b: Record, config: FTLConfig) -> float:
@@ -25,8 +30,7 @@ def implied_speed(a: Record, b: Record, config: FTLConfig) -> float:
     Returns ``inf`` for distinct locations at identical timestamps and
     ``0.0`` for coincident records.
     """
-    metric = get_metric(config.metric)
-    dist = float(metric(a.x, a.y, b.x, b.y))
+    dist = float(config.metric_fn(a.x, a.y, b.x, b.y))
     dt = abs(b.t - a.t)
     if dt == 0.0:
         return float("inf") if dist > 0.0 else 0.0
@@ -35,10 +39,32 @@ def implied_speed(a: Record, b: Record, config: FTLConfig) -> float:
 
 def is_compatible(a: Record, b: Record, config: FTLConfig) -> bool:
     """Whether the segment ``(a, b)`` is compatible under ``config.vmax_kph``."""
-    metric = get_metric(config.metric)
-    dist = float(metric(a.x, a.y, b.x, b.y))
+    dist = float(config.metric_fn(a.x, a.y, b.x, b.y))
     dt = abs(b.t - a.t)
     return dist <= config.vmax_mps * dt
+
+
+def implied_speeds_many(
+    x1: np.ndarray,
+    y1: np.ndarray,
+    x2: np.ndarray,
+    y2: np.ndarray,
+    dts_s: np.ndarray,
+    config: FTLConfig,
+) -> np.ndarray:
+    """Vectorised :func:`implied_speed` over flat endpoint arrays.
+
+    The metric is resolved once for the whole batch.  Zero-``dt``
+    segments get ``inf`` for distinct endpoints and ``0.0`` for
+    coincident ones, matching the scalar convention.
+    """
+    dists = np.asarray(config.metric_fn(x1, y1, x2, y2), dtype=np.float64)
+    dts = np.abs(np.asarray(dts_s, dtype=np.float64))
+    out = np.zeros(dists.shape, dtype=np.float64)
+    moving = dts > 0.0
+    np.divide(dists, dts, out=out, where=moving)
+    out[~moving & (dists > 0.0)] = np.inf
+    return out
 
 
 def compatibility_many(

@@ -47,7 +47,12 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.config import FTLConfig
-from repro.core.alignment import MutualSegmentProfile, mutual_segment_profile
+from repro.core.alignment import (
+    FlatPool,
+    MutualSegmentProfile,
+    batch_mutual_segment_profiles,
+    mutual_segment_profile,
+)
 from repro.core.hypothesis import (
     acceptance_pvalue_batch,
     rejection_pvalue_batch,
@@ -55,6 +60,7 @@ from repro.core.hypothesis import (
 from repro.core.models import CompatibilityModel, require_fitted_pair
 from repro.core.trajectory import Trajectory
 from repro.errors import ValidationError
+from repro.kernels import KERNEL_BACKENDS, resolve_kernel_backend
 from repro.obs import span
 
 #: The two linking algorithms of the paper (Sections IV-D and IV-E).
@@ -91,6 +97,11 @@ class LinkOptions:
     prefilter:
         Optional candidate pre-filter (see :mod:`repro.core.prefilter`)
         applied before the statistical tests.
+    kernel_backend:
+        Hot-path kernel implementation override (``"auto"``,
+        ``"numba"``, ``"numpy"`` or ``"python"``; see
+        :mod:`repro.kernels`).  ``None`` defers to the models'
+        :attr:`~repro.config.FTLConfig.kernel_backend`.
     """
 
     method: str = "naive-bayes"
@@ -99,11 +110,20 @@ class LinkOptions:
     phi_r: float = 0.01
     top_k: int | None = None
     prefilter: Any = None
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
             raise ValidationError(
                 f"unknown method {self.method!r}; known: {METHODS}"
+            )
+        if (
+            self.kernel_backend is not None
+            and self.kernel_backend not in KERNEL_BACKENDS
+        ):
+            raise ValidationError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                f"known: {KERNEL_BACKENDS}"
             )
         if not 0.0 <= self.alpha1 <= 1.0:
             raise ValidationError(f"alpha1 must be in [0, 1], got {self.alpha1}")
@@ -267,7 +287,11 @@ class ProfileCache:
         self._evictions = 0
 
     def get(
-        self, query: Trajectory, candidate: Trajectory, config: FTLConfig
+        self,
+        query: Trajectory,
+        candidate: Trajectory,
+        config: FTLConfig,
+        backend: str | None = None,
     ) -> MutualSegmentProfile:
         """The pair's profile, aligning the pair only on a cache miss."""
         key = (query.traj_id, candidate.traj_id, config)
@@ -277,12 +301,65 @@ class ProfileCache:
             self._hits += 1
             return entry
         self._misses += 1
-        profile = mutual_segment_profile(query, candidate, config)
+        profile = mutual_segment_profile(query, candidate, config, backend)
         self._entries[key] = profile
         if len(self._entries) > self._maxsize:
             self._entries.popitem(last=False)
             self._evictions += 1
         return profile
+
+    def get_many(
+        self,
+        query: Trajectory,
+        candidates: Sequence[Trajectory],
+        config: FTLConfig,
+        backend: str | None = None,
+        flat: FlatPool | None = None,
+    ) -> list[MutualSegmentProfile]:
+        """Profiles of one query against many candidates, batching misses.
+
+        Counter semantics match a loop of :meth:`get` calls exactly
+        (a repeated pair id within one pool is one miss plus hits), but
+        all missing pairs are aligned in a single
+        :func:`~repro.core.alignment.batch_mutual_segment_profiles`
+        kernel invocation instead of per-pair calls.  A prebuilt
+        ``flat`` :class:`~repro.core.alignment.FlatPool` of the full
+        candidate list is used when every pair misses (the cold-cache
+        batch case); partial misses re-flatten just the missing subset.
+        """
+        results: list[MutualSegmentProfile | None] = [None] * len(candidates)
+        pending: OrderedDict[tuple, list[int]] = OrderedDict()
+        pending_cands: list[Trajectory] = []
+        for pos, candidate in enumerate(candidates):
+            key = (query.traj_id, candidate.traj_id, config)
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                results[pos] = entry
+            elif key in pending:
+                self._hits += 1
+                pending[key].append(pos)
+            else:
+                self._misses += 1
+                pending[key] = [pos]
+                pending_cands.append(candidate)
+        if pending_cands:
+            profiles = batch_mutual_segment_profiles(
+                query,
+                pending_cands,
+                config,
+                backend=backend,
+                flat=flat if len(pending_cands) == len(candidates) else None,
+            )
+            for (key, positions), profile in zip(pending.items(), profiles):
+                self._entries[key] = profile
+                if len(self._entries) > self._maxsize:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+                for pos in positions:
+                    results[pos] = profile
+        return results
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -341,10 +418,11 @@ class _PoolEvidence:
         kept = np.concatenate([[0], np.cumsum(mask, dtype=np.int64)])
         self.offsets = kept[ends]
         self.n_mutual = np.diff(self.offsets)
-        self.n_incompatible = np.zeros(self.n, dtype=np.int64)
-        for i in range(self.n):
-            s, e = self.offsets[i], self.offsets[i + 1]
-            self.n_incompatible[i] = np.count_nonzero(self.incompatible[s:e])
+        # Per-slice incompatible counts as one integer cumsum (exact),
+        # replacing the per-candidate count_nonzero loop.
+        inc_csum = np.zeros(self.incompatible.shape[0] + 1, dtype=np.int64)
+        np.cumsum(self.incompatible, dtype=np.int64, out=inc_csum[1:])
+        self.n_incompatible = inc_csum[self.offsets[1:]] - inc_csum[self.offsets[:-1]]
 
     def slice(self, arr: np.ndarray, i: int) -> np.ndarray:
         return arr[self.offsets[i]: self.offsets[i + 1]]
@@ -381,6 +459,27 @@ class LinkEngine:
             )
         self._options = options
         self._cache = profile_cache if profile_cache is not None else ProfileCache()
+        # Kernel backend, resolved once: explicit options override, else
+        # the config the models were fitted under (env override and
+        # numba availability are handled by resolve_kernel_backend).
+        requested = (
+            options.kernel_backend
+            if options.kernel_backend is not None
+            else self._mr.config.kernel_backend
+        )
+        self._kernel = resolve_kernel_backend(requested)
+        # Per-bucket probability and log-likelihood tables, quantised at
+        # construction.  _PoolEvidence keeps only in-horizon buckets, so
+        # a flat ``table[buckets]`` gather reproduces ``probs_for``
+        # exactly, and the clipped log tables are elementwise identical
+        # to clipping/logging the gathered values per pool.
+        floor = self._mr.config.prob_floor
+        self._table_r = np.asarray(self._mr.prob_table)
+        self._table_a = np.asarray(self._ma.prob_table)
+        cl_r = np.clip(self._table_r, floor, 1.0 - floor)
+        cl_a = np.clip(self._table_a, floor, 1.0 - floor)
+        self._log_r, self._log1m_r = np.log(cl_r), np.log1p(-cl_r)
+        self._log_a, self._log1m_a = np.log(cl_a), np.log1p(-cl_a)
         # Poisson-Binomial tails memoised on in-horizon bucket content;
         # valid per engine because the model pair (hence the per-bucket
         # probability tables and backend) is fixed.
@@ -407,6 +506,26 @@ class LinkEngine:
     @property
     def config(self) -> FTLConfig:
         return self._mr.config
+
+    @property
+    def kernel_backend(self) -> str:
+        """The resolved hot-path kernel backend (never ``"auto"``)."""
+        return self._kernel
+
+    def stage_backends(self) -> dict[str, str]:
+        """Which implementation serves each pipeline stage.
+
+        Surfaced by ``ftl profile``, the serve startup banner and
+        ``/healthz`` so a deployment can verify its kernel selection.
+        """
+        pb = self.config.pb_backend
+        return {
+            "profile": self._kernel,
+            "pb_test": f"dp[{self._kernel}]" if pb == "dp" else pb,
+            "rank": "python",
+            "blocking": "python",
+            "prefilter": "python",
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -439,14 +558,17 @@ class LinkEngine:
             )
         with span("blocking"):
             pool = candidates if isinstance(candidates, list) else list(candidates)
+        flat = self._flatten(pool)
         results = []
         for query in queries:
             if opts.prefilter is None:
                 kept = pool
+                kept_flat = flat
             else:
                 with span("prefilter"):
                     kept = [c for c in pool if opts.prefilter.keep(query, c)]
-            results.append(self._link_one(query, kept, opts))
+                kept_flat = None
+            results.append(self._link_one(query, kept, opts, kept_flat))
         return results
 
     def link_requests(
@@ -482,6 +604,7 @@ class LinkEngine:
                 f"options must be a LinkOptions, got {type(call_opts).__name__}"
             )
         pool = None
+        pool_flat: FlatPool | None = None
         results = []
         for request in requests:
             if not isinstance(request, LinkRequest):
@@ -490,6 +613,7 @@ class LinkEngine:
                 )
             if request.candidates is not None:
                 cands: Sequence[Trajectory] = request.candidates
+                cands_flat = None
             else:
                 if pool is None:
                     if default_pool is None:
@@ -503,27 +627,43 @@ class LinkEngine:
                             if isinstance(default_pool, list)
                             else list(default_pool)
                         )
+                    pool_flat = self._flatten(pool)
                 cands = pool
+                cands_flat = pool_flat
             opts = request.options if request.options is not None else call_opts
             if opts.prefilter is None:
                 kept = cands
+                kept_flat = cands_flat
             else:
                 with span("prefilter"):
                     kept = [
                         c for c in cands if opts.prefilter.keep(request.query, c)
                     ]
-            results.append(self._link_one(request.query, kept, opts))
+                kept_flat = None
+            results.append(self._link_one(request.query, kept, opts, kept_flat))
         return results
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _flatten(self, pool: Sequence[Trajectory]) -> FlatPool | None:
+        """Flatten a pool once per batch (skipped on the per-pair backend)."""
+        if self._kernel == "python" or not pool:
+            return None
+        return FlatPool(pool)
+
     def _link_one(
-        self, query: Trajectory, pool: Sequence[Trajectory], opts: LinkOptions
+        self,
+        query: Trajectory,
+        pool: Sequence[Trajectory],
+        opts: LinkOptions,
+        flat: FlatPool | None = None,
     ) -> LinkResult:
         config = self.config
         with span("profile"):
-            profiles = [self._cache.get(query, c, config) for c in pool]
+            profiles = self._cache.get_many(
+                query, pool, config, self._kernel, flat
+            )
             ev = _PoolEvidence(profiles, self._mr.n_buckets)
 
         with span("pb_test"):
@@ -560,8 +700,8 @@ class LinkEngine:
         Phase ordering matches the seed: ``p2`` is only computed for
         phase-1 survivors (``p1 >= alpha1``).
         """
-        ps_r = self._mr.probs_for(ev.buckets)
-        ps_a = self._ma.probs_for(ev.buckets)
+        ps_r = self._table_r[ev.buckets]
+        ps_a = self._table_a[ev.buckets]
         p1 = np.asarray(self._tails("r", ev, ps_r, range(ev.n)))
         survivors = np.nonzero(p1 >= opts.alpha1)[0]
         p2_s = self._tails("a", ev, ps_a, survivors)
@@ -580,18 +720,17 @@ class LinkEngine:
     ) -> tuple[list[int], np.ndarray, np.ndarray]:
         """NB posterior comparison over the pool from the flat evidence.
 
-        The per-segment log terms are computed once for the whole pool
-        (one ``clip`` + two ``log`` passes per model); each candidate's
+        The per-segment log terms are gathered from the engine's
+        pre-quantised per-bucket log tables (clipped and logged once at
+        construction — elementwise identical to clipping/logging the
+        gathered probabilities per pool); each candidate's
         log-likelihood then sums its own compressed slice in segment
         order, reproducing the per-pair ``_log_likelihood`` bit for bit.
         """
-        floor = self.config.prob_floor
-        ps_r = self._mr.probs_for(ev.buckets)
-        ps_a = self._ma.probs_for(ev.buckets)
-        cl_r = np.clip(ps_r, floor, 1.0 - floor)
-        cl_a = np.clip(ps_a, floor, 1.0 - floor)
-        log_r, log1m_r = np.log(cl_r), np.log1p(-cl_r)
-        log_a, log1m_a = np.log(cl_a), np.log1p(-cl_a)
+        ps_r = self._table_r[ev.buckets]
+        ps_a = self._table_a[ev.buckets]
+        log_r, log1m_r = self._log_r[ev.buckets], self._log1m_r[ev.buckets]
+        log_a, log1m_a = self._log_a[ev.buckets], self._log1m_a[ev.buckets]
         log_phi_r = math.log(opts.phi_r)
         log_phi_a = math.log(opts.phi_a)
 
@@ -646,7 +785,9 @@ class LinkEngine:
             batch_fn = (
                 rejection_pvalue_batch if kind == "r" else acceptance_pvalue_batch
             )
-            computed = batch_fn(missing_ps, missing_k, self.config.pb_backend)
+            computed = batch_fn(
+                missing_ps, missing_k, self.config.pb_backend, kernel=self._kernel
+            )
             for pos, value in zip(missing_pos, computed):
                 self._memoise(keys[pos], value)
                 values[pos] = value

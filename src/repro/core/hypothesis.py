@@ -69,14 +69,17 @@ def acceptance_pvalue_arrays(ps: np.ndarray, k_obs: int, backend: str) -> float:
 
 
 def rejection_pvalue_batch(
-    ps_list: list[np.ndarray], k_obs: list[int], backend: str
+    ps_list: list[np.ndarray],
+    k_obs: list[int],
+    backend: str,
+    kernel: str | None = None,
 ) -> list[float]:
     """``p1`` for many pairs at once; bit-identical to the scalar loop.
 
     With the exact ``"dp"`` backend all Poisson-Binomial pmfs are run
-    through one vectorised convolution (``pb_pmf_batch``) and each
-    tail is then read off with the same slice-sum as
-    ``PoissonBinomial.sf``; other backends fall back to the per-pair
+    through one batched convolution (``pb_pmf_batch`` on the given
+    ``kernel``) and each tail is then read off with the same slice-sum
+    as ``PoissonBinomial.sf``; other backends fall back to the per-pair
     path (their tails are not pmf-slice sums).
     """
     if backend != "dp":
@@ -84,7 +87,7 @@ def rejection_pvalue_batch(
             rejection_pvalue_arrays(ps, k, backend)
             for ps, k in zip(ps_list, k_obs)
         ]
-    pmfs = pb_pmf_batch(ps_list, backend="dp")
+    pmfs = pb_pmf_batch(ps_list, backend="dp", kernel=kernel)
     out = []
     for ps, pmf, k in zip(ps_list, pmfs, k_obs):
         n = ps.size
@@ -100,7 +103,10 @@ def rejection_pvalue_batch(
 
 
 def acceptance_pvalue_batch(
-    ps_list: list[np.ndarray], k_obs: list[int], backend: str
+    ps_list: list[np.ndarray],
+    k_obs: list[int],
+    backend: str,
+    kernel: str | None = None,
 ) -> list[float]:
     """``p2`` for many pairs at once; bit-identical to the scalar loop."""
     if backend != "dp":
@@ -108,7 +114,7 @@ def acceptance_pvalue_batch(
             acceptance_pvalue_arrays(ps, k, backend)
             for ps, k in zip(ps_list, k_obs)
         ]
-    pmfs = pb_pmf_batch(ps_list, backend="dp")
+    pmfs = pb_pmf_batch(ps_list, backend="dp", kernel=kernel)
     out = []
     for ps, pmf, k in zip(ps_list, pmfs, k_obs):
         n = ps.size

@@ -229,6 +229,18 @@ class CompatibilityModel:
             return 0.0
         return float(self._probs[bucket])
 
+    @property
+    def prob_table(self) -> np.ndarray:
+        """The full per-bucket probability table ``s^(0..n_buckets-1)``.
+
+        A read-only view; the engine pre-quantises this into flat
+        lookup (and log) tables at construction instead of calling
+        :meth:`probs_for` per pair.
+        """
+        view = self._probs.view()
+        view.flags.writeable = False
+        return view
+
     def probs_for(self, buckets: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`prob` over a bucket-index array."""
         buckets = np.asarray(buckets, dtype=np.int64)
@@ -265,6 +277,7 @@ class CompatibilityModel:
                 "max_acceptance_pairs": self._config.max_acceptance_pairs,
                 "pb_backend": self._config.pb_backend,
                 "prob_floor": self._config.prob_floor,
+                "kernel_backend": self._config.kernel_backend,
             },
         }
 

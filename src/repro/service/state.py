@@ -369,6 +369,8 @@ class ServiceState:
             "pool_size": len(self.pool),
             "sessions": len(self.sessions),
             "method": self.options.method,
+            "kernel_backend": self.engine.kernel_backend,
+            "stage_backends": self.engine.stage_backends(),
             "data_source": (
                 self.provenance
                 if self.provenance is not None

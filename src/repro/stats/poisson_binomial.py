@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.kernels import pmf_dp_batch_numba, resolve_kernel_backend
 
 _BACKENDS = ("dp", "recursive", "normal")
 
@@ -92,19 +93,29 @@ def _pmf_dp_batch(ps_arrays: list[np.ndarray]) -> list[np.ndarray]:
 
 
 def pb_pmf_batch(
-    probs_list: Sequence[Sequence[float] | np.ndarray], backend: str = "dp"
+    probs_list: Sequence[Sequence[float] | np.ndarray],
+    backend: str = "dp",
+    kernel: str | None = None,
 ) -> list[np.ndarray]:
     """Pmfs of many Poisson-Binomial variables in one pass.
 
     Bit-identical to ``[pb_pmf(ps, backend) for ps in probs_list]`` but
     the exact ``"dp"`` backend runs all convolution DPs through one
-    vectorised state matrix (see ``_pmf_dp_batch``).  Degenerate trials
-    are factored per variable exactly as ``PoissonBinomial`` does:
-    zeros are dropped, ones shift the support.  Non-``"dp"`` backends
-    fall back to the per-variable path.
+    batched kernel.  Degenerate trials are factored per variable
+    exactly as ``PoissonBinomial`` does: zeros are dropped, ones shift
+    the support.  Non-``"dp"`` backends fall back to the per-variable
+    path.
+
+    ``kernel`` picks the DP implementation (see :mod:`repro.kernels`):
+    ``"numba"`` runs a compiled per-row scalar recurrence, ``"numpy"``
+    the vectorised state-matrix DP, ``"python"`` the per-variable
+    reference loop; ``None``/``"auto"`` resolve via
+    :func:`repro.kernels.resolve_kernel_backend`.  All three produce
+    bit-identical pmfs (same IEEE operations in the same order).
     """
     if backend != "dp":
         return [pb_pmf(ps, backend=backend) for ps in probs_list]
+    resolved = resolve_kernel_backend(kernel)
     metas: list[tuple[int, int]] = []
     cores_in: list[np.ndarray] = []
     for probs in probs_list:
@@ -112,7 +123,12 @@ def pb_pmf_batch(
         shift = int(np.count_nonzero(ps == 1.0))
         metas.append((int(ps.size), shift))
         cores_in.append(ps[(ps > 0.0) & (ps < 1.0)])
-    cores = _pmf_dp_batch(cores_in)
+    if resolved == "numba":
+        cores = pmf_dp_batch_numba(cores_in)
+    elif resolved == "python":
+        cores = [_pmf_dp(ps) for ps in cores_in]
+    else:
+        cores = _pmf_dp_batch(cores_in)
     out = []
     for (n_trials, shift), core in zip(metas, cores):
         pmf = np.zeros(n_trials + 1)
