@@ -23,6 +23,15 @@ enabled (the default) vs disabled (``ServerConfig(spans=False)``),
 reported as ``span_overhead.regression_pct``.  The full-size bench
 asserts it stays under 5%.
 
+``sharded_scaling`` measures the prefork scatter-gather
+(``ServerConfig(workers=N)``, see :mod:`repro.service.supervisor`):
+the ranking workload at high concurrency served in-process
+(``workers=1``) vs by a 4-worker shard fleet, after asserting the
+sharded responses are bit-identical.  ``cpu_count`` is recorded
+alongside because the speedup is a *parallelism* claim: the full-size
+bench asserts >= 2.5x at 4 workers only when the host actually has
+four cores to run them on.
+
 Results are written to ``BENCH_service.json``.  Run standalone
 (``python -m benchmarks.bench_service_load``) or through pytest; the
 tier-1 suite exercises a tiny smoke configuration on every run (see
@@ -32,6 +41,7 @@ tier-1 suite exercises a tiny smoke configuration on every run (see
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
@@ -178,6 +188,55 @@ def _measure_span_overhead(
     }
 
 
+def _measure_sharded_scaling(
+    engine,
+    pool,
+    queries,
+    expected,
+    concurrency: int,
+    requests_per_client: int,
+    workers: int,
+    max_batch_size: int,
+    max_wait_ms: float,
+) -> dict:
+    """Throughput in-process vs a ``workers``-shard prefork fleet.
+
+    Each configuration first proves bit-identity against the direct
+    ``link_batch`` results, then serves the closed-loop load.  The
+    speedup is meaningful only when the host has at least ``workers``
+    cores, so ``cpu_count`` is recorded for the asserting caller.
+    """
+    rows: dict[str, dict] = {}
+    for n_workers in (1, workers):
+        server_config = ServerConfig(
+            port=0,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            workers=n_workers,
+        )
+        with BackgroundServer(
+            engine, pool, options=RANKING_OPTIONS, config=server_config
+        ) as background:
+            with ServiceClient(*background.address) as probe:
+                got = probe.link(queries[0])
+                assert got == expected[0], (
+                    f"sharded serving diverged from link_batch at "
+                    f"workers={n_workers}"
+                )
+            rows[str(n_workers)] = _run_level(
+                background.address, queries, concurrency, requests_per_client
+            )
+    base_rps = rows["1"]["throughput_rps"]
+    sharded_rps = rows[str(workers)]["throughput_rps"]
+    return {
+        "cpu_count": os.cpu_count(),
+        "concurrency": concurrency,
+        "n_workers": workers,
+        "workers": rows,
+        "speedup": sharded_rps / base_rps if base_rps > 0 else float("inf"),
+    }
+
+
 def run_service_load_benchmark(
     n_candidates: int = 200,
     n_queries: int = 10,
@@ -186,6 +245,8 @@ def run_service_load_benchmark(
     seed: int = 7,
     max_batch_size: int = 16,
     max_wait_ms: float = 2.0,
+    sharded_concurrency: int = 64,
+    sharded_workers: int = 4,
     out_path: str | Path | None = DEFAULT_OUT,
 ) -> dict:
     """Drive micro-batched vs batch-size-1 serving; write the report.
@@ -266,6 +327,14 @@ def run_service_load_benchmark(
         max_batch_size=max_batch_size,
         max_wait_ms=max_wait_ms,
     )
+    report["sharded_scaling"] = _measure_sharded_scaling(
+        engine, pool, queries, expected,
+        concurrency=sharded_concurrency,
+        requests_per_client=requests_per_client,
+        workers=sharded_workers,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+    )
 
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -299,6 +368,18 @@ def _print_report(report: dict) -> None:
             f"{overhead['spans_off']['throughput_rps']:.1f} rps off "
             f"({overhead['regression_pct']:+.1f}%)"
         )
+    sharded = report.get("sharded_scaling")
+    if sharded:
+        base = sharded["workers"]["1"]
+        fleet = sharded["workers"][str(sharded["n_workers"])]
+        print(
+            f"sharded scaling at concurrency {sharded['concurrency']} "
+            f"(cpu_count={sharded['cpu_count']}): "
+            f"{base['throughput_rps']:.1f} rps at 1 worker vs "
+            f"{fleet['throughput_rps']:.1f} rps at "
+            f"{sharded['n_workers']} workers "
+            f"({sharded['speedup']:.2f}x)"
+        )
 
 
 def test_service_load_micro_batching_wins(benchmark):
@@ -325,6 +406,17 @@ def test_service_load_micro_batching_wins(benchmark):
         f"stage timers must cost < 5% throughput, measured "
         f"{overhead['regression_pct']:.1f}%"
     )
+    sharded = report["sharded_scaling"]
+    for row in sharded["workers"].values():
+        assert row["n_errors"] == 0
+    # The scatter-gather speedup is a parallelism claim; only assert it
+    # where the 4 workers actually get 4 cores.
+    if sharded["cpu_count"] is not None and sharded["cpu_count"] >= 4:
+        assert sharded["speedup"] >= 2.5, (
+            f"4-worker sharding must reach >= 2.5x at concurrency "
+            f"{sharded['concurrency']}, measured {sharded['speedup']:.2f}x "
+            f"on {sharded['cpu_count']} cores"
+        )
 
 
 if __name__ == "__main__":

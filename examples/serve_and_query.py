@@ -1,14 +1,21 @@
-"""Serve a linking daemon and query it concurrently over HTTP.
+"""Serve a sharded linking daemon and query it concurrently over HTTP.
 
 Builds a small two-service scenario, fits the FTL models, starts the
-JSON-over-HTTP linking daemon on an ephemeral port (micro-batching
-enabled), then fires a burst of concurrent queries at it from worker
-threads — exactly how a deployment would call the service.  Each
-response is decoded back into a :class:`~repro.core.engine.LinkResult`
-and the top-ranked candidates are printed with the ground truth marked.
+JSON-over-HTTP linking daemon on an ephemeral port with **two shard
+worker processes** (the pool is partitioned by home cell and every
+``/v1/link`` is a scatter-gather; ``workers=1`` would serve the same
+bytes in-process), then fires a burst of concurrent queries at it from
+worker threads — exactly how a deployment would call the service.
+Each response is decoded back into a
+:class:`~repro.core.engine.LinkResult` and the top-ranked candidates
+are printed with the ground truth marked.
 
-The responses are bit-identical to calling the engine in-process; the
-daemon adds batching, backpressure and metrics, not approximation.
+The client speaks the versioned v1 wire API (docs/api-v1.md): JSON
+responses arrive in an envelope carrying ``api_version``,
+``shard_count`` and per-shard scatter provenance next to the ``data``
+payload; ``ServiceClient`` unwraps it.  Sharded or not, the responses
+are bit-identical to calling the engine in-process; the daemon adds
+batching, sharding, backpressure and metrics, not approximation.
 
 Run:  python examples/serve_and_query.py
 """
@@ -54,8 +61,10 @@ def main() -> None:
     engine = LinkEngine(mr, ma, options=options)
     pool = list(pair.q_db)
 
-    # 3. Serve the Q database; port=0 binds an ephemeral port.
-    server_config = ServerConfig(port=0, max_batch_size=16, max_wait_ms=2.0)
+    # 3. Serve the Q database across two forked shard workers; port=0
+    #    binds an ephemeral port.
+    server_config = ServerConfig(port=0, max_batch_size=16, max_wait_ms=2.0,
+                                 workers=2)
     query_ids = pair.sample_queries(8, rng)
     results: dict[object, object] = {}
     lock = threading.Lock()
@@ -97,11 +106,28 @@ def main() -> None:
             print(f"query {pid}: true={truth} -> {ranked or '(no match)'}")
         print(f"\ntruth in top-{options.top_k}: {hits}/{len(query_ids)} queries")
 
+        # 6. The v1 envelope exposes the scatter: which shard scanned
+        #    how many candidates, and the worker fleet's health.
+        from repro.service.protocol import trajectory_to_wire
+
         with ServiceClient(host, port) as client:
+            envelope = client.link_raw(
+                {"query": trajectory_to_wire(pair.p_db[query_ids[0]])}
+            )
+            health = client.healthz()
             metrics = client.metrics()
+        scatter = ", ".join(
+            f"shard {s['shard']}: {s['n_candidates']} candidates "
+            f"in {s['elapsed_ms']:.1f}ms"
+            for s in envelope["shards"]
+        )
+        print(f"\nscatter across {envelope['shard_count']} shards -> {scatter}")
+        for worker in health["workers"]:
+            print(f"worker {worker['shard']}: pid={worker['pid']} "
+                  f"alive={worker['alive']} pool={worker['pool_size']}")
         counters = metrics["counters"]
-        print(f"served {counters.get('link_requests_total', 0)} /link requests "
-              f"in {counters.get('batches_total', 0)} engine batches")
+        print(f"served {counters.get('link_requests_total', 0)} /v1/link "
+              f"requests in {counters.get('batches_total', 0)} batches")
     print("daemon drained; bye")
 
 

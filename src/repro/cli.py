@@ -149,7 +149,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080,
                        help="TCP port (0 binds an ephemeral port)")
     serve.add_argument("--workers", type=int, default=1,
-                       help="batch-execution worker threads")
+                       help="shard worker processes: 1 serves in-process; "
+                            "N>1 forks N workers, partitions the pool by "
+                            "home cell and scatter-gathers /v1/link")
     serve.add_argument(
         "--method", default="naive-bayes", choices=("naive-bayes", "alpha-filter")
     )
@@ -481,6 +483,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"max_wait_ms={args.max_wait_ms:g})",
             flush=True,
         )
+        if args.workers > 1:
+            print(
+                f"sharded serving: {args.workers} worker processes, "
+                f"pool partitioned by {config.shard_cell_size_m:g} m "
+                f"home cells (API under /v1/)",
+                flush=True,
+            )
         print(f"data source: {source}", flush=True)
         await server.serve_until_shutdown(shutdown_after_s=args.shutdown_after)
         print("drained; bye")

@@ -71,6 +71,13 @@ class FTLConfig:
         ``"numpy"``, or ``"python"`` (the per-pair reference path).
         ``"auto"`` also honours the ``FTL_KERNEL_BACKEND`` environment
         variable; see :mod:`repro.kernels`.
+    shard_cell_size_m:
+        Geo-grid cell side (metres) used by the multi-worker daemon to
+        assign each candidate a *home cell* for consistent-hash shard
+        routing (see :mod:`repro.service.shard`).  Finer than the
+        blocking index's reachability cell on purpose: shard placement
+        only needs a stable spatial key, not a pruning guarantee, and a
+        ~1 km cell spreads a city across shards evenly.
     """
 
     vmax_kph: float = 120.0
@@ -83,6 +90,7 @@ class FTLConfig:
     pb_backend: str = "dp"
     prob_floor: float = 1e-9
     kernel_backend: str = "auto"
+    shard_cell_size_m: float = 1000.0
 
     def __post_init__(self) -> None:
         if not self.vmax_kph > 0:
@@ -120,6 +128,10 @@ class FTLConfig:
             raise ValidationError(
                 f"unknown kernel_backend {self.kernel_backend!r}; "
                 f"known: {KERNEL_BACKENDS}"
+            )
+        if not self.shard_cell_size_m > 0:
+            raise ValidationError(
+                f"shard_cell_size_m must be positive, got {self.shard_cell_size_m}"
             )
 
     @property

@@ -69,6 +69,15 @@ class DeadlineExceededError(ServiceError):
     """A request's deadline expired before it could be served (HTTP 504)."""
 
 
+class WorkerCrashedError(ServiceError):
+    """A shard worker process died mid-operation.
+
+    The supervisor respawns the worker and retries the operation once;
+    this surfaces only when the retry also fails, at which point the
+    request is answered with an internal error rather than hanging.
+    """
+
+
 class RemoteServiceError(ServiceError):
     """A service call failed server-side; carries the wire error payload.
 

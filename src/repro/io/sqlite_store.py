@@ -25,9 +25,7 @@ Schema::
 from __future__ import annotations
 
 import sqlite3
-import warnings
 from pathlib import Path
-from typing import Iterator
 
 import numpy as np
 
@@ -189,23 +187,6 @@ class SQLiteTrajectoryStore:
             data = np.asarray(rows, dtype=np.float64)
             out.add(Trajectory(data[:, 0], data[:, 1], data[:, 2], traj_id))
         return out
-
-    def iter_trajectories(self, name: str) -> Iterator[Trajectory]:
-        """Deprecated: use :meth:`load` (or ``repro.io.load_database``).
-
-        This helper never streamed — it materialised the full database
-        and returned an iterator over it, duplicating :meth:`load` and
-        the :mod:`repro.io.registry` entry point.  It will be removed
-        in a future release.
-        """
-        warnings.warn(
-            "SQLiteTrajectoryStore.iter_trajectories is deprecated; use "
-            "load() or repro.io.load_database() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        loaded = self.load(name)
-        return iter(loaded)
 
     def count_points(self, name: str) -> int:
         """Number of stored records in a database."""

@@ -25,6 +25,7 @@ See ``docs/observability.md``.
 """
 
 from repro.obs.prometheus import (
+    merge_histogram_snapshots,
     render_exposition,
     validate_exposition,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "current_sink",
     "current_trace_id",
     "log_event",
+    "merge_histogram_snapshots",
     "new_trace_id",
     "render_exposition",
     "reset_trace_id",

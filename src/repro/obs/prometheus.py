@@ -61,10 +61,78 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _series(value) -> list[tuple[dict, object]]:
+    """Normalise a registry value to ``[(labels, payload), ...]``.
+
+    A plain payload is one unlabelled series; a list of
+    ``(labels_dict, payload)`` pairs is a multi-series family (the
+    sharded daemon exposes per-worker series as ``{shard="0"}``,
+    ``{shard="1"}``, ... alongside an unlabelled aggregate).
+    """
+    if isinstance(value, list):
+        return [(dict(labels), payload) for labels, payload in value]
+    return [({}, value)]
+
+
+def _label_str(labels: Mapping[str, str], le: str | None = None) -> str:
+    items = [
+        (name, _escape_label(value)) for name, value in sorted(labels.items())
+    ]
+    if le is not None:
+        items.append(("le", le))
+    if not items:
+        return ""
+    return "{" + ",".join(f'{n}="{v}"' for n, v in items) + "}"
+
+
+def merge_histogram_snapshots(snapshots) -> dict:
+    """Element-wise merge of same-bounds histogram snapshots.
+
+    The cross-worker aggregation for ``/metrics``: merging must happen
+    on the *raw* (non-cumulative) per-bucket counts — summing documents
+    that already carry cumulative ``le`` buckets would double-count
+    every observation below each bound and leave ``+Inf != _count``
+    (the regression :func:`validate_exposition` exists to catch).
+    Sums ``counts``/``sum``/``count``, takes the max of ``max``.
+    """
+    snapshots = list(snapshots)
+    if not snapshots:
+        raise ValueError("cannot merge zero histogram snapshots")
+    bounds = tuple(snapshots[0]["bounds"])
+    counts = [0] * len(snapshots[0]["counts"])
+    total_sum, total_count, total_max = 0.0, 0, 0.0
+    for snap in snapshots:
+        if tuple(snap["bounds"]) != bounds:
+            raise ValueError(
+                "histogram snapshots have mismatched bucket bounds"
+            )
+        for i, c in enumerate(snap["counts"]):
+            counts[i] += int(c)
+        total_sum += float(snap["sum"])
+        total_count += int(snap["count"])
+        total_max = max(total_max, float(snap["max"]))
+    return {
+        "bounds": bounds,
+        "counts": counts,
+        "sum": total_sum,
+        "count": total_count,
+        "max": total_max,
+    }
+
+
 def render_exposition(
-    counters: Mapping[str, int],
-    histograms: Mapping[str, Mapping] = (),
-    gauges: Mapping[str, float] = (),
+    counters: Mapping[str, object],
+    histograms: Mapping[str, object] = (),
+    gauges: Mapping[str, object] = (),
 ) -> str:
     """Render snapshots as one exposition document (trailing newline).
 
@@ -72,32 +140,46 @@ def render_exposition(
     :meth:`repro.service.state.Histogram.snapshot`: ``bounds`` (bucket
     upper bounds in seconds), ``counts`` (per-bucket counts, one
     overflow bucket appended), ``sum`` and ``count``.
+
+    Every mapping value may instead be a list of ``(labels, payload)``
+    pairs to emit a labelled multi-series family (see :func:`_series`);
+    HELP/TYPE comments are emitted once per family either way.
     """
     lines: list[str] = []
     for name in sorted(counters):
         metric = f"{NAMESPACE}_{_sanitize(name)}"
         lines.append(f"# HELP {metric} Monotonic counter {name!r}.")
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {int(counters[name])}")
+        for labels, payload in _series(counters[name]):
+            lines.append(f"{metric}{_label_str(labels)} {int(payload)}")
     for name in sorted(dict(gauges) if gauges else {}):
         metric = f"{NAMESPACE}_{_sanitize(name)}"
         lines.append(f"# HELP {metric} Gauge {name!r}.")
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_fmt(float(gauges[name]))}")
+        for labels, payload in _series(gauges[name]):
+            lines.append(f"{metric}{_label_str(labels)} {_fmt(float(payload))}")
     for name in sorted(dict(histograms) if histograms else {}):
-        snap = histograms[name]
         metric = f"{NAMESPACE}_{_sanitize(name)}_seconds"
         lines.append(f"# HELP {metric} Latency histogram {name!r} (seconds).")
         lines.append(f"# TYPE {metric} histogram")
-        cumulative = 0
-        for bound, count in zip(snap["bounds"], snap["counts"]):
-            cumulative += int(count)
+        for labels, snap in _series(histograms[name]):
+            cumulative = 0
+            for bound, count in zip(snap["bounds"], snap["counts"]):
+                cumulative += int(count)
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_label_str(labels, le=_fmt(float(bound)))} {cumulative}"
+                )
             lines.append(
-                f'{metric}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+                f'{metric}_bucket{_label_str(labels, le="+Inf")} '
+                f'{int(snap["count"])}'
             )
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {int(snap["count"])}')
-        lines.append(f"{metric}_sum {_fmt(float(snap['sum']))}")
-        lines.append(f"{metric}_count {int(snap['count'])}")
+            lines.append(
+                f"{metric}_sum{_label_str(labels)} {_fmt(float(snap['sum']))}"
+            )
+            lines.append(
+                f"{metric}_count{_label_str(labels)} {int(snap['count'])}"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -132,7 +214,12 @@ def validate_exposition(text: str) -> list[str]:
       family;
     * histogram families carry ``_bucket`` samples with parseable,
       strictly increasing ``le`` bounds, cumulative non-decreasing
-      counts, a ``+Inf`` bucket, and ``_count`` == the ``+Inf`` bucket.
+      counts, a ``+Inf`` bucket, and ``_count`` == the ``+Inf`` bucket
+      — checked **per label signature**: ``{shard="0"}`` and
+      ``{shard="1"}`` series of one family are independent histograms
+      and must each satisfy the invariants on their own (lumping them
+      together would mask the classic aggregation bug where
+      already-cumulative buckets are summed across workers).
     """
     errors: list[str] = []
     if not text:
@@ -141,8 +228,9 @@ def validate_exposition(text: str) -> list[str]:
         errors.append("document must end with a newline")
     types: dict[str, str] = {}
     helps: set[str] = set()
-    buckets: dict[str, list[tuple[float, int]]] = {}
-    histogram_counts: dict[str, int] = {}
+    # Histogram state keyed by (family, non-le label signature).
+    buckets: dict[tuple, list[tuple[float, int]]] = {}
+    histogram_counts: dict[tuple, int] = {}
 
     def family_of(sample_name: str) -> str | None:
         if sample_name in types:
@@ -194,6 +282,9 @@ def validate_exposition(text: str) -> list[str]:
             errors.append(f"line {lineno}: sample {name!r} has no TYPE")
             continue
         if types[family] == "histogram":
+            signature = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
             if name == f"{family}_bucket":
                 le = labels.get("le")
                 if le is None:
@@ -206,25 +297,35 @@ def validate_exposition(text: str) -> list[str]:
                     except ValueError:
                         errors.append(f"line {lineno}: bad le value {le!r}")
                         continue
-                buckets.setdefault(family, []).append((bound, int(float(value))))
+                buckets.setdefault((family, signature), []).append(
+                    (bound, int(float(value)))
+                )
             elif name == f"{family}_count":
-                histogram_counts[family] = int(float(value))
+                histogram_counts[(family, signature)] = int(float(value))
 
-    for family, series in sorted(buckets.items()):
+    for (family, signature), series in sorted(buckets.items()):
+        where = family + (
+            "{" + ",".join(f'{k}="{v}"' for k, v in signature) + "}"
+            if signature
+            else ""
+        )
         bounds = [b for b, _ in series]
         counts = [c for _, c in series]
         if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
-            errors.append(f"{family}: le bounds not strictly increasing")
+            errors.append(f"{where}: le bounds not strictly increasing")
         if counts != sorted(counts):
-            errors.append(f"{family}: bucket counts not cumulative")
+            errors.append(f"{where}: bucket counts not cumulative")
         if not bounds or not math.isinf(bounds[-1]):
-            errors.append(f"{family}: missing +Inf bucket")
-        elif family in histogram_counts and counts[-1] != histogram_counts[family]:
-            errors.append(
-                f"{family}: +Inf bucket {counts[-1]} != _count "
-                f"{histogram_counts[family]}"
-            )
+            errors.append(f"{where}: missing +Inf bucket")
+        else:
+            key = (family, signature)
+            if key in histogram_counts and counts[-1] != histogram_counts[key]:
+                errors.append(
+                    f"{where}: +Inf bucket {counts[-1]} != _count "
+                    f"{histogram_counts[key]}"
+                )
+    histogram_families_with_buckets = {family for family, _ in buckets}
     for family, kind in types.items():
-        if kind == "histogram" and family not in buckets:
+        if kind == "histogram" and family not in histogram_families_with_buckets:
             errors.append(f"{family}: histogram family has no buckets")
     return errors

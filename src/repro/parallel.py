@@ -14,14 +14,14 @@ a worker.  Results are returned in the input query order and are
 bit-identical to the sequential path (covered by tests).
 
 Hyperparameters travel as one :class:`~repro.core.engine.LinkOptions`
-bundle; the old ``alpha1`` / ``alpha2`` / ``phi_r`` keyword arguments
-are deprecated aliases kept for one release.
+bundle.  (The pre-1.0 ``alpha1`` / ``alpha2`` / ``phi_r`` keyword
+aliases have been removed; see ``docs/api-v1.md`` for the migration
+table.)
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-import warnings
 from typing import Sequence
 
 from repro.core.database import TrajectoryDatabase
@@ -57,35 +57,14 @@ def _link_shard(queries: Sequence[Trajectory]) -> list[LinkResult]:
 
 
 def _resolve_options(
-    options: LinkOptions | None,
-    method: str | None,
-    alpha1: float | None,
-    alpha2: float | None,
-    phi_r: float | None,
+    options: LinkOptions | None, method: str | None
 ) -> LinkOptions:
-    """Merge the options bundle with the deprecated keyword aliases."""
+    """The options bundle with the optional ``method`` shorthand applied."""
     opts = LinkOptions() if options is None else options
     if not isinstance(opts, LinkOptions):
         raise ValidationError(
             f"options must be a LinkOptions, got {type(opts).__name__}"
         )
-    legacy = {
-        key: value
-        for key, value in (
-            ("alpha1", alpha1),
-            ("alpha2", alpha2),
-            ("phi_r", phi_r),
-        )
-        if value is not None
-    }
-    if legacy:
-        warnings.warn(
-            f"passing {sorted(legacy)} to link_queries_parallel is deprecated; "
-            "pass options=LinkOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        opts = opts.with_updates(**legacy)
     if method is not None:
         opts = opts.with_updates(method=method)
     return opts
@@ -101,9 +80,6 @@ def link_queries_parallel(
     *,
     options: LinkOptions | None = None,
     chunksize: int = 4,
-    alpha1: float | None = None,
-    alpha2: float | None = None,
-    phi_r: float | None = None,
 ) -> list[LinkResult]:
     """Link many queries in parallel; results follow the input order.
 
@@ -120,12 +96,11 @@ def link_queries_parallel(
         short-circuits to the in-process batch engine (useful for
         debugging and on platforms without cheap forking).
     options:
-        The hyperparameter bundle shipped to every worker.
+        The hyperparameter bundle shipped to every worker.  Tuning
+        knobs (``alpha1``, ``alpha2``, ``phi_r``, ...) are fields of
+        this bundle — the pre-1.0 keyword aliases were removed.
     chunksize:
         Queries per shard; larger amortises IPC for cheap queries.
-    alpha1, alpha2, phi_r:
-        Deprecated aliases for the corresponding ``options`` fields;
-        they emit a :class:`DeprecationWarning`.
     """
     if not queries:
         raise ValidationError("need at least one query")
@@ -133,7 +108,7 @@ def link_queries_parallel(
         raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
     if chunksize < 1:
         raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
-    opts = _resolve_options(options, method, alpha1, alpha2, phi_r)
+    opts = _resolve_options(options, method)
 
     if n_workers == 1:
         engine = LinkEngine(rejection_model, acceptance_model, options=opts)

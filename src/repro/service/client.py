@@ -28,6 +28,7 @@ from repro.core.engine import LinkOptions, LinkResult
 from repro.core.trajectory import Trajectory
 from repro.errors import RemoteServiceError, ValidationError
 from repro.service.protocol import (
+    envelope_data,
     result_from_wire,
     trajectory_to_wire,
 )
@@ -37,8 +38,13 @@ _WIRE_FIELDS = ("method", "alpha1", "alpha2", "phi_r", "top_k")
 
 #: Endpoints safe to replay: re-sending them cannot change server state
 #: (``/link`` is a pure read over the pool).  ``/ingest`` is absent on
-#: purpose — replaying it would double-observe records.
-_IDEMPOTENT_PATHS = ("/link", "/healthz", "/metrics")
+#: purpose — replaying it would double-observe records.  Both path
+#: families are listed: the client speaks v1 but callers may pass
+#: legacy paths to :meth:`ServiceClient.request` directly.
+_IDEMPOTENT_PATHS = (
+    "/v1/link", "/v1/healthz", "/v1/metrics",
+    "/link", "/healthz", "/metrics",
+)
 
 #: Exceptions that mean "the transport failed", as opposed to a parsed
 #: HTTP error response.
@@ -161,17 +167,18 @@ class ServiceClient:
         return parsed
 
     # ------------------------------------------------------------------
-    # Endpoints
+    # Endpoints (v1 wire API; see docs/api-v1.md)
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
-        return self.request("GET", "/healthz")
+        """The ``/v1/healthz`` payload (the envelope's ``data``)."""
+        return envelope_data(self.request("GET", "/v1/healthz"))
 
     def metrics(self) -> dict:
         """The metrics registry as JSON (counters, latency, queue depth)."""
-        return self.request("GET", "/metrics?format=json")
+        return envelope_data(self.request("GET", "/v1/metrics?format=json"))
 
     def metrics_text(self) -> str:
-        """The raw Prometheus text exposition served at ``/metrics``.
+        """The raw Prometheus text exposition served at ``/v1/metrics``.
 
         Bypasses :meth:`request` (which decodes JSON): one GET on a
         fresh connection, returning the body verbatim.
@@ -180,7 +187,7 @@ class ServiceClient:
             self._host, self._port, timeout=self._timeout_s
         )
         try:
-            conn.request("GET", "/metrics")
+            conn.request("GET", "/v1/metrics")
             response = conn.getresponse()
             raw = response.read()
             if response.status >= 300:
@@ -194,8 +201,10 @@ class ServiceClient:
             conn.close()
 
     def link_raw(self, body: dict) -> dict:
-        """POST a pre-built ``/link`` body; returns the wire response."""
-        return self.request("POST", "/link", body)
+        """POST a pre-built ``/v1/link`` body; returns the **full**
+        response envelope (``data`` + ``shard_count`` + ``shards``
+        provenance), for callers that want the scatter-gather detail."""
+        return self.request("POST", "/v1/link", body)
 
     def link(
         self,
@@ -224,7 +233,7 @@ class ServiceClient:
             }
         if timeout_ms is not None:
             body["timeout_ms"] = timeout_ms
-        return result_from_wire(self.link_raw(body))
+        return result_from_wire(envelope_data(self.link_raw(body)))
 
     def ingest(
         self,
@@ -256,4 +265,4 @@ class ServiceClient:
             body["flush"] = True
         if expire_before is not None:
             body["expire_before"] = expire_before
-        return self.request("POST", "/ingest", body)
+        return envelope_data(self.request("POST", "/v1/ingest", body))

@@ -20,7 +20,7 @@ Design rules:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.engine import Candidate, LinkOptions, LinkResult
 from repro.core.trajectory import Trajectory
@@ -37,6 +37,13 @@ from repro.errors import (
 
 #: Default cap on request body size (bytes); larger bodies get HTTP 413.
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: The current wire API version; endpoints live under ``/v1/...``.
+API_VERSION = "v1"
+
+#: Endpoint suffixes served under ``/v1/`` (bare legacy paths are
+#: deprecated aliases; see ``docs/api-v1.md``).
+V1_ENDPOINTS = ("link", "ingest", "healthz", "metrics")
 
 #: ``LinkOptions`` fields settable over the wire.  ``prefilter`` is
 #: deliberately absent: it is a live object, not a serialisable value.
@@ -297,6 +304,82 @@ def ingest_request_from_wire(obj) -> IngestWireRequest:
         decide=decide,
         flush=flush,
     )
+
+
+# ----------------------------------------------------------------------
+# v1 response envelope
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardInfo:
+    """Per-shard execution provenance attached to a ``/v1/link`` response.
+
+    ``shard`` is the shard index (``-1`` when the request carried its
+    own candidates and executed on the coordinator), ``pid`` the
+    process that did the work, ``n_candidates`` the size of the pool
+    slice the shard scanned, ``n_matched`` how many entries its partial
+    ranking contributed, and ``elapsed_ms`` the shard-local link time.
+    """
+
+    shard: int
+    pid: int
+    n_candidates: int
+    n_matched: int
+    elapsed_ms: float
+
+    def to_wire(self) -> dict:
+        return {
+            "shard": self.shard,
+            "pid": self.pid,
+            "n_candidates": self.n_candidates,
+            "n_matched": self.n_matched,
+            "elapsed_ms": self.elapsed_ms,
+        }
+
+
+@dataclass(frozen=True)
+class ResponseEnvelope:
+    """The structured body every v1 JSON endpoint answers with.
+
+    Wire shape::
+
+        {"api_version": "v1",
+         "shard_count": 2,
+         "shards": [{"shard": 0, "pid": ..., ...}, ...],  # /v1/link only
+         "data": {...},            # the endpoint's payload
+         "trace_id": "..."}        # stamped by the dispatcher
+
+    Legacy bare paths return the *identical* body (plus a
+    ``Deprecation`` response header) so migrating is a path change, not
+    a parse change.  Error responses are **not** enveloped: they keep
+    the bare ``{"error": {...}}`` shape of :func:`error_payload` on
+    both path families.
+    """
+
+    data: dict
+    shard_count: int
+    shards: tuple[ShardInfo, ...] | None = None
+    api_version: str = field(default=API_VERSION)
+
+    def to_wire(self) -> dict:
+        body = {
+            "api_version": self.api_version,
+            "shard_count": self.shard_count,
+            "data": self.data,
+        }
+        if self.shards is not None:
+            body["shards"] = [s.to_wire() for s in self.shards]
+        return body
+
+
+def envelope_data(body: dict) -> dict:
+    """Unwrap a v1 envelope body (client side), validating its shape."""
+    wrapped = _require_object(body, "response")
+    if "data" not in wrapped:
+        raise ProtocolError(
+            "response is not a v1 envelope (missing 'data'); "
+            f"keys: {sorted(wrapped)}"
+        )
+    return _require_object(wrapped["data"], "response.data")
 
 
 # ----------------------------------------------------------------------

@@ -1,14 +1,25 @@
 """The asyncio linking daemon: JSON over HTTP/1.1, stdlib only.
 
-One event loop accepts connections and parses requests; ``/link``
+One event loop accepts connections and parses requests; ``/v1/link``
 bodies are handed to the :class:`~repro.service.batcher.MicroBatcher`,
-which coalesces them into single
-:meth:`~repro.core.engine.LinkEngine.link_requests` calls executed on a
-worker thread, so the vectorised batch path is exercised under
-concurrent load.  ``/ingest`` routes streaming record updates into
-per-session :class:`~repro.core.streaming.StreamingLinker` instances
-(idle sessions are TTL-collected), and ``/healthz`` + ``/metrics``
-expose liveness and the counter/latency registry.
+which coalesces them into batches.  With ``workers == 1`` a batch runs
+in-process through
+:meth:`~repro.core.engine.LinkEngine.link_requests`; with
+``workers > 1`` the :class:`~repro.service.supervisor.ShardSupervisor`
+forks one worker process per shard *before* the listener exists and
+each batch is scattered across the shards and merged (bit-identical to
+the single-process ranking; see :mod:`repro.service.shard`).
+``/v1/ingest`` routes streaming record updates into per-session
+:class:`~repro.core.streaming.StreamingLinker` instances (sharded:
+queries broadcast, candidates routed to their owning shard), and
+``/v1/healthz`` + ``/v1/metrics`` expose liveness and the
+counter/latency registry aggregated across workers.
+
+Every v1 JSON endpoint answers with the
+:class:`~repro.service.protocol.ResponseEnvelope` shape; the bare
+legacy paths (``/link``, ...) serve the identical body with a
+``Deprecation: true`` header and a ``Link: </v1/...>;
+rel="successor-version"`` pointer (see ``docs/api-v1.md``).
 
 The HTTP layer is intentionally minimal: HTTP/1.1 with keep-alive and
 ``Content-Length`` bodies (chunked uploads are rejected), every error
@@ -24,6 +35,7 @@ import contextlib
 import functools
 import json
 import logging
+import os
 import signal
 import threading
 import time
@@ -42,6 +54,7 @@ from repro.service.batcher import (
     MicroBatcher,
 )
 from repro.service.state import DEFAULT_SESSION_TTL_S, ServiceState
+from repro.service.supervisor import ShardSupervisor
 
 _REASONS = {
     200: "OK",
@@ -71,7 +84,14 @@ def _query_param(query: str, name: str) -> str | None:
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Daemon knobs (everything the CLI ``ftl serve`` flags map onto)."""
+    """Daemon knobs (everything the CLI ``ftl serve`` flags map onto).
+
+    ``workers`` is the number of **shard worker processes**: ``1``
+    serves every batch in-process (no fork); ``N > 1`` forks ``N``
+    workers at startup, partitions the candidate pool across them by
+    home-cell consistent hashing, and scatter-gathers each ``/v1/link``
+    batch (see :class:`~repro.service.supervisor.ShardSupervisor`).
+    """
 
     host: str = "127.0.0.1"
     port: int = 8080
@@ -147,14 +167,24 @@ class LinkServer:
         )
         self._clock = clock
         # The engine's caches are plain dicts; one lock keeps them
-        # consistent when workers > 1 executes batches concurrently
-        # (NumPy releases the GIL inside the heavy kernels, so extra
-        # workers still overlap useful work).
+        # consistent between the batch thread and coordinator-local
+        # execution paths.
         self._engine_lock = threading.Lock()
-        # Span sinks live in per-thread context, so bind one inside each
+        # workers > 1 = prefork sharding: the supervisor is built here
+        # (partitions computed) but forks in start(), before the
+        # asyncio listener exists, so children inherit engine + pool
+        # copy-on-write and no server sockets.
+        self._supervisor = (
+            ShardSupervisor(self._state, config.workers, spans=config.spans)
+            if config.workers > 1
+            else None
+        )
+        # Span sinks live in per-thread context, so bind one inside the
         # batch worker as it starts: engine/store spans then accumulate
         # into *this* server's metrics, and concurrent servers in one
         # process (the test suite) never see each other's stages.
+        # (Sharded mode binds a sink per worker process instead; batch
+        # execution there is a scatter, not engine work.)
         initializer = (
             functools.partial(
                 obs.bind_sink, obs.MetricsSpanSink(self._state.metrics)
@@ -163,7 +193,7 @@ class LinkServer:
             else None
         )
         self._executor = ThreadPoolExecutor(
-            max_workers=config.workers,
+            max_workers=1,
             thread_name_prefix="ftl-batch",
             initializer=initializer,
         )
@@ -197,6 +227,10 @@ class LinkServer:
         return host, port
 
     async def start(self) -> None:
+        if self._supervisor is not None:
+            # Fork the shard workers first: they must not inherit the
+            # accept socket (or any connection state) created below.
+            self._supervisor.start()
         await self._batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self._config.host, self._config.port
@@ -218,6 +252,10 @@ class LinkServer:
                 await self._sweeper
             self._sweeper = None
         self._executor.shutdown(wait=True)
+        if self._supervisor is not None:
+            # After the batcher drain nothing is in flight, so worker
+            # shutdown loses no queued work.
+            self._supervisor.stop()
 
     def request_shutdown(self) -> None:
         """Signal-safe trigger for :meth:`serve_until_shutdown`."""
@@ -251,16 +289,53 @@ class LinkServer:
         interval = min(self._config.sweep_interval_s, self._config.session_ttl_s)
         while True:
             await asyncio.sleep(interval)
-            self._state.expire_idle_sessions()
+            if self._supervisor is not None:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._sweep_sharded
+                )
+            else:
+                self._state.expire_idle_sessions()
+
+    def _sweep_sharded(self) -> None:
+        """Periodic sharded housekeeping (off the event loop: it pings)."""
+        self._supervisor.ensure_alive()
+        self._supervisor.expire_idle()
 
     # ------------------------------------------------------------------
     # Batch execution (worker thread)
     # ------------------------------------------------------------------
-    def _run_batch(self, requests: list[LinkRequest]):
+    def _run_batch(
+        self, requests: list[LinkRequest]
+    ) -> list[tuple[object, tuple[protocol.ShardInfo, ...]]]:
+        """One batch -> ``(LinkResult, shard provenance)`` per request."""
+        if self._supervisor is not None:
+            return self._supervisor.link_requests(requests)
+        started = self._clock()
         with self._engine_lock:
-            return self._state.engine.link_requests(
+            results = self._state.engine.link_requests(
                 requests, default_pool=self._state.pool
             )
+        elapsed_ms = round((self._clock() - started) * 1e3, 3)
+        pid = os.getpid()
+        return [
+            (
+                result,
+                (
+                    protocol.ShardInfo(
+                        shard=0,
+                        pid=pid,
+                        n_candidates=len(
+                            request.candidates
+                            if request.candidates is not None
+                            else self._state.pool
+                        ),
+                        n_matched=len(result.candidates),
+                        elapsed_ms=elapsed_ms,
+                    ),
+                ),
+            )
+            for request, result in zip(requests, results)
+        ]
 
     # ------------------------------------------------------------------
     # HTTP layer
@@ -279,7 +354,7 @@ class LinkServer:
                 if request is None:
                     break
                 method, path, query, headers, body_bytes = request
-                status, body, trace_id = await self._dispatch(
+                status, body, trace_id, extra_headers = await self._dispatch(
                     method, path, query, body_bytes
                 )
                 close = (
@@ -287,7 +362,12 @@ class LinkServer:
                     or headers.get("connection", "").lower() == "close"
                 )
                 self._write_response(
-                    writer, status, body, close=close, trace_id=trace_id
+                    writer,
+                    status,
+                    body,
+                    close=close,
+                    trace_id=trace_id,
+                    extra_headers=extra_headers,
                 )
                 await writer.drain()
                 if close:
@@ -354,6 +434,7 @@ class LinkServer:
         body: dict | str,
         close: bool,
         trace_id: str | None = None,
+        extra_headers: dict | None = None,
     ) -> None:
         if isinstance(body, str):
             # Pre-rendered text body (the Prometheus exposition).
@@ -366,6 +447,8 @@ class LinkServer:
         extra = "Retry-After: 1\r\n" if status == 503 else ""
         if trace_id is not None:
             extra += f"X-Trace-Id: {trace_id}\r\n"
+        for name, value in (extra_headers or {}).items():
+            extra += f"{name}: {value}\r\n"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
@@ -381,20 +464,24 @@ class LinkServer:
     # ------------------------------------------------------------------
     async def _dispatch(
         self, method: str, path: str, query: str, body: bytes
-    ) -> tuple[int, dict | str, str]:
+    ) -> tuple[int, dict | str, str, dict]:
         """Route one request under a fresh trace ID.
 
         The ID is bound to the task context for the request's lifetime
         (the batcher captures it at submit time), echoed in dict
         response bodies and the ``X-Trace-Id`` header, and stamped on
-        the structured ``request`` log event.
+        the structured ``request`` log event.  ``/v1/...`` and bare
+        legacy paths share one canonical route (and one latency
+        histogram); the legacy family additionally answers with
+        deprecation headers.
         """
         self._state.metrics.inc("requests_total")
         started = self._clock()
         trace_id = obs.new_trace_id()
         token = obs.set_trace_id(trace_id)
+        route, extra_headers = self._canonical_route(path)
         try:
-            status, payload = await self._route(method, path, query, body)
+            status, payload = await self._route(method, route, query, body)
             if isinstance(payload, dict):
                 payload.setdefault("trace_id", trace_id)
             obs.log_event(
@@ -405,13 +492,31 @@ class LinkServer:
                 status=status,
                 duration_ms=round((self._clock() - started) * 1e3, 3),
             )
-            return status, payload, trace_id
+            return status, payload, trace_id, extra_headers
         finally:
             obs.reset_trace_id(token)
-            label = path.strip("/").replace("/", "_") or "root"
+            label = route.strip("/").replace("/", "_") or "root"
             self._state.metrics.observe(
                 f"request_{label}", self._clock() - started
             )
+
+    @staticmethod
+    def _canonical_route(path: str) -> tuple[str, dict]:
+        """``(bare route, response headers)`` for a request path.
+
+        ``/v1/link`` -> ``/link`` with no extra headers; a bare legacy
+        ``/link`` stays itself but gains ``Deprecation`` plus a
+        ``Link`` header naming its v1 successor (RFC 8594-style).
+        Unknown paths pass through untouched and 404 in :meth:`_route`.
+        """
+        if path.startswith("/v1/"):
+            return path[len("/v1"):], {}
+        if path.lstrip("/") in protocol.V1_ENDPOINTS:
+            return path, {
+                "Deprecation": "true",
+                "Link": f'</v1{path}>; rel="successor-version"',
+            }
+        return path, {}
 
     async def _route(
         self, method: str, path: str, query: str, body: bytes
@@ -419,21 +524,30 @@ class LinkServer:
         try:
             if path == "/healthz":
                 self._require_method(method, "GET")
-                return 200, self._state.health()
+                return 200, self._envelope(
+                    await self._off_loop(self._handle_health)
+                )
             if path == "/metrics":
                 self._require_method(method, "GET")
-                return 200, self._handle_metrics(query)
+                payload = await self._off_loop(self._handle_metrics, query)
+                if isinstance(payload, str):
+                    # The Prometheus text exposition stays bare: a JSON
+                    # envelope is not scrapeable.
+                    return 200, payload
+                return 200, self._envelope(payload)
             if path == "/link":
                 self._require_method(method, "POST")
                 return 200, await self._handle_link(body)
             if path == "/ingest":
                 self._require_method(method, "POST")
-                return 200, self._handle_ingest(body)
+                return 200, self._envelope(
+                    await self._off_loop(self._handle_ingest, body)
+                )
             return 404, {
                 "error": {
                     "type": "NotFound",
                     "message": f"unknown endpoint {path!r}; known: "
-                               "/link /ingest /healthz /metrics",
+                               "/v1/link /v1/ingest /v1/healthz /v1/metrics",
                     "status": 404,
                 }
             }
@@ -448,19 +562,61 @@ class LinkServer:
         except Exception as exc:  # noqa: BLE001 - mapped, never leaked
             return protocol.error_payload(exc)
 
+    # ------------------------------------------------------------------
+    # Endpoint payloads
+    # ------------------------------------------------------------------
+    async def _off_loop(self, fn, *args):
+        """Run a handler off the event loop when it does worker IO.
+
+        Sharded health/metrics/ingest block on shard-socket round
+        trips; unsharded they are pure in-memory work and run inline.
+        """
+        if self._supervisor is None:
+            return fn(*args)
+        return await asyncio.get_running_loop().run_in_executor(
+            None, fn, *args
+        )
+
+    def _envelope(
+        self,
+        data: dict,
+        shards: tuple[protocol.ShardInfo, ...] | None = None,
+    ) -> dict:
+        return protocol.ResponseEnvelope(
+            data=data,
+            shard_count=(
+                self._supervisor.n_shards if self._supervisor is not None else 1
+            ),
+            shards=shards,
+        ).to_wire()
+
+    def _session_count(self) -> int:
+        if self._supervisor is not None:
+            return len(self._supervisor.sessions)
+        return len(self._state.sessions)
+
+    def _handle_health(self) -> dict:
+        data = self._state.health()
+        if self._supervisor is not None:
+            data["sessions"] = self._session_count()
+            data["workers"] = self._supervisor.worker_status()
+        return data
+
     def _handle_metrics(self, query: str) -> dict | str:
         """Prometheus exposition by default; ``?format=json`` for the
-        legacy JSON registry dump."""
+        JSON registry dump."""
         fmt = _query_param(query, "format")
         if fmt == "json":
             payload = self._state.metrics.to_dict()
             payload["queue_depth"] = self._batcher.queue_depth
-            payload["sessions"] = len(self._state.sessions)
+            payload["sessions"] = self._session_count()
             return payload
         if fmt not in (None, "prometheus", "text"):
             raise ValidationError(
                 f"unknown metrics format {fmt!r}; use 'prometheus' or 'json'"
             )
+        if self._supervisor is not None:
+            return self._render_sharded_metrics()
         return self._state.metrics.to_prometheus(
             gauges={
                 "queue_depth": self._batcher.queue_depth,
@@ -468,6 +624,55 @@ class LinkServer:
                 "pool_size": len(self._state.pool),
             }
         )
+
+    def _render_sharded_metrics(self) -> str:
+        """One exposition document aggregated across the worker fleet.
+
+        Histogram families carry an **unlabelled aggregate** series —
+        coordinator + all workers merged on raw bucket counts via
+        :func:`repro.obs.merge_histogram_snapshots` (merging cumulative
+        buckets would double-count; ``validate_exposition`` guards the
+        invariant) — plus one ``{shard="i"}`` series per worker.
+        Worker counters appear *only* shard-labelled so a scrape's
+        ``sum()`` over the coordinator's unlabelled series is never
+        double-counted.
+        """
+        counters, histograms = self._state.metrics.snapshots()
+        worker_payloads = self._supervisor.metrics_payloads()
+        counter_families: dict[str, list] = {
+            name: [({}, value)] for name, value in counters.items()
+        }
+        for shard_id, payload in sorted(worker_payloads.items()):
+            for name, value in payload["counters"].items():
+                counter_families.setdefault(name, []).append(
+                    ({"shard": str(shard_id)}, value)
+                )
+        all_snaps: dict[str, list] = {
+            name: [snap] for name, snap in histograms.items()
+        }
+        shard_series: dict[str, list] = {}
+        for shard_id, payload in sorted(worker_payloads.items()):
+            for name, snap in payload["histograms"].items():
+                all_snaps.setdefault(name, []).append(snap)
+                shard_series.setdefault(name, []).append(
+                    ({"shard": str(shard_id)}, snap)
+                )
+        histogram_families = {
+            name: [({}, obs.merge_histogram_snapshots(snaps))]
+            + shard_series.get(name, [])
+            for name, snaps in all_snaps.items()
+        }
+        gauges = {
+            "queue_depth": self._batcher.queue_depth,
+            "sessions": self._session_count(),
+            "pool_size": len(self._state.pool),
+            "shard_count": self._supervisor.n_shards,
+            "worker_up": [
+                ({"shard": str(shard_id)}, 1.0 if shard_id in worker_payloads else 0.0)
+                for shard_id in range(self._supervisor.n_shards)
+            ],
+        }
+        return obs.render_exposition(counter_families, histogram_families, gauges)
 
     @staticmethod
     def _require_method(method: str, expected: str) -> None:
@@ -490,13 +695,17 @@ class LinkServer:
             else self._config.default_timeout_ms
         )
         self._state.metrics.inc("link_requests_total")
-        result = await self._batcher.submit(request, timeout_ms=timeout_ms)
-        return protocol.result_to_wire(result)
+        result, shards = await self._batcher.submit(
+            request, timeout_ms=timeout_ms
+        )
+        return self._envelope(protocol.result_to_wire(result), shards=shards)
 
     def _handle_ingest(self, body: bytes) -> dict:
         wire = protocol.ingest_request_from_wire(
             protocol.parse_json_body(body, self._config.max_body_bytes)
         )
+        if self._supervisor is not None:
+            return self._supervisor.ingest(wire)
         entry = self._state.ingest(
             wire.session,
             wire.query_records,

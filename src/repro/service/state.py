@@ -150,13 +150,22 @@ class Metrics:
                 },
             }
 
-    def to_prometheus(self, gauges: dict | None = None) -> str:
-        """The registry in Prometheus text exposition format."""
+    def snapshots(self) -> tuple[dict, dict]:
+        """``(counters, histogram snapshots)`` — the raw registry state.
+
+        Histogram snapshots are *non-cumulative* per-bucket counts (see
+        :meth:`Histogram.snapshot`), the shape
+        :func:`repro.obs.merge_histogram_snapshots` aggregates across
+        shard workers before exposition.
+        """
         with self._lock:
-            counters = dict(self._counters)
-            histograms = {
+            return dict(self._counters), {
                 name: hist.snapshot() for name, hist in self._histograms.items()
             }
+
+    def to_prometheus(self, gauges: dict | None = None) -> str:
+        """The registry in Prometheus text exposition format."""
+        counters, histograms = self.snapshots()
         return render_exposition(counters, histograms, gauges or {})
 
 
@@ -213,6 +222,12 @@ class ServiceState:
         generation, parsed files, ...); reported by :meth:`health` and
         the startup log so operators can tell which snapshot a daemon
         is serving.
+    collect_pending:
+        Buffer ingest-session candidate records even without a store
+        attached.  Shard workers run with this on: the *coordinator*
+        owns the store, so workers buffer their shards' records and
+        hand them over via :meth:`take_pending` when the coordinator
+        flushes the session.
     """
 
     engine: LinkEngine
@@ -223,6 +238,7 @@ class ServiceState:
     metrics: Metrics = field(default_factory=Metrics)
     store: object | None = None
     provenance: dict | None = None
+    collect_pending: bool = False
     started_at: float = field(init=False)
     sessions: dict[str, IngestSession] = field(default_factory=dict)
 
@@ -328,6 +344,23 @@ class ServiceState:
         self.metrics.inc("store_flushed_records_total", flushed)
         return flushed
 
+    def take_pending(
+        self, session_id: str
+    ) -> dict[str, list[tuple[float, float, float]]]:
+        """Hand over (and clear) a session's buffered candidate records.
+
+        The shard-worker half of a coordinator-driven flush: the worker
+        buffered records under ``collect_pending`` and the coordinator —
+        the only process holding the store — appends them.  Unknown
+        sessions yield ``{}`` (the worker may have been respawned since
+        the records were ingested).
+        """
+        entry = self.sessions.get(session_id)
+        if entry is None or not entry.pending:
+            return {}
+        pending, entry.pending = entry.pending, {}
+        return pending
+
     def ingest(self, session_id: str, query_records, candidate_records,
                expire_before: float | None = None) -> IngestSession:
         """Route new records into a session's streaming linker."""
@@ -342,7 +375,7 @@ class ServiceState:
                 linker.add_candidate(cid)
             buffer = (
                 entry.pending.setdefault(str(cid), [])
-                if self.store is not None
+                if self.store is not None or self.collect_pending
                 else None
             )
             for t, x, y in records:

@@ -1,0 +1,482 @@
+"""Prefork shard supervisor: worker lifecycle and scatter-gather.
+
+:class:`ShardSupervisor` owns the multi-process half of the daemon.  It
+``fork``s one worker per shard *after* the engine, pool and store are
+built, so workers inherit everything copy-on-write — for an
+mmap-backed store the pool's record arrays are shared pages, not
+copies.  Each worker runs :func:`repro.service.shard.run_worker` over a
+``socketpair``; the supervisor keeps the parent ends and scatters work
+across them with one thread per shard.
+
+Division of labour:
+
+* **Workers** hold disjoint pool slices (consistent-hashed by home
+  cell) and answer ``link`` with per-shard partial rankings; for
+  ingest they run real :class:`~repro.core.streaming.StreamingLinker`
+  sessions over the query stream (broadcast) and their owned
+  candidates (routed), buffering raw candidate records.
+* **The coordinator** merges partial rankings
+  (:func:`~repro.service.shard.merge_partials` — bit-identical to the
+  single-process order), keeps the session registry that reassembles
+  legacy-shaped ingest responses, and is the *only* process that
+  touches the store: flushes pull buffered records out of workers via
+  ``take_pending`` and append them here.
+
+Failure semantics: any transport error marks the worker dead, the
+supervisor respawns it and retries the operation once
+(``worker_restarts_total`` counts respawns).  A respawned worker
+restarts from the original pool snapshot, so streaming-session
+evidence its shard held is lost — equivalent to an idle-TTL expiry of
+that shard's slice of the session, and exactly the trade documented in
+``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.engine import LinkRequest
+from repro.errors import ValidationError, WorkerCrashedError
+from repro.service.protocol import IngestWireRequest, ShardInfo
+from repro.service.shard import (
+    HashRing,
+    ShardHandle,
+    ShardPlan,
+    merge_partials,
+    plan_shards,
+    run_worker,
+)
+from repro.service.state import ServiceState
+from repro.core.trajectory import Trajectory
+
+
+@dataclass
+class _SessionEntry:
+    """Coordinator-side view of one sharded ingest session.
+
+    ``owners`` maps candidate id -> owning shard in *first-seen order*,
+    which is exactly the registration order a single-process
+    :class:`StreamingLinker` would report decisions in.  ``n_records``
+    is the monotone ingested-record counter the legacy response
+    exposes (query + candidate records ever routed).
+    """
+
+    session_id: str
+    created_at: float
+    last_used_at: float
+    n_records: int = 0
+    owners: dict[str, int] = field(default_factory=dict)
+
+
+class ShardSupervisor:
+    """Forked shard workers + the scatter-gather coordinator logic.
+
+    Parameters
+    ----------
+    state:
+        The daemon's coordinator :class:`ServiceState` — source of the
+        engine, pool, server-default options, store, metrics, TTL and
+        clock.  Workers get their own states built from its parts.
+    n_shards:
+        Worker process count (>= 1).
+    spans:
+        Bind a :class:`~repro.obs.MetricsSpanSink` inside each worker
+        so per-stage timers land in the worker's own registry (exposed
+        shard-labelled by ``/v1/metrics``).
+    cell_size_m:
+        Home-cell size for shard routing; defaults to the engine
+        config's ``shard_cell_size_m``.
+    """
+
+    def __init__(
+        self,
+        state: ServiceState,
+        n_shards: int,
+        spans: bool = True,
+        cell_size_m: float | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        self._state = state
+        self._spans = spans
+        self.n_shards = int(n_shards)
+        self.ring = HashRing(self.n_shards)
+        if cell_size_m is None:
+            cell_size_m = state.engine.config.shard_cell_size_m
+        self._cell_size_m = float(cell_size_m)
+        # The shard plan is frozen at construction: a pool refresh in
+        # the coordinator does NOT repartition live workers (restart
+        # the daemon to re-shard; documented in docs/service.md).
+        self._plans: list[ShardPlan] = plan_shards(
+            list(state.pool), self.ring, self._cell_size_m
+        )
+        self._pool_ids = [t.traj_id for t in state.pool]
+        self._handles: list[ShardHandle | None] = [None] * self.n_shards
+        self._restarts = [0] * self.n_shards
+        self._spawn_lock = threading.Lock()
+        self._scatter: ThreadPoolExecutor | None = None
+        self.sessions: dict[str, _SessionEntry] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Fork one worker per shard.
+
+        Call before the asyncio listener exists: children must not
+        inherit the accept socket or any event loop state.
+        """
+        if self._started:
+            raise ValidationError("supervisor already started")
+        self._started = True
+        self._scatter = ThreadPoolExecutor(
+            max_workers=self.n_shards, thread_name_prefix="ftl-scatter"
+        )
+        for shard_id in range(self.n_shards):
+            self._handles[shard_id] = self._spawn(shard_id)
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Graceful worker shutdown: ack'd shutdown op, then reap.
+
+        Workers that do not exit within ``timeout_s`` are SIGKILLed —
+        drain happened upstream (batcher stop), so nothing is lost.
+        """
+        if not self._started:
+            return
+        self._started = False
+        for handle in self._handles:
+            if handle is None or handle.broken:
+                continue
+            with contextlib.suppress(Exception):
+                handle.call("shutdown")
+            handle.close()
+        deadline = time.monotonic() + timeout_s
+        for handle in self._handles:
+            if handle is not None:
+                self._reap(handle.pid, deadline)
+        if self._scatter is not None:
+            self._scatter.shutdown(wait=True)
+            self._scatter = None
+
+    @staticmethod
+    def _reap(pid: int, deadline: float) -> None:
+        while True:
+            try:
+                done, _ = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                return
+            if done:
+                return
+            if time.monotonic() >= deadline:
+                with contextlib.suppress(OSError):
+                    os.kill(pid, signal.SIGKILL)
+                with contextlib.suppress(OSError):
+                    os.waitpid(pid, 0)
+                return
+            time.sleep(0.01)
+
+    def _spawn(self, shard_id: int) -> ShardHandle:
+        plan = self._plans[shard_id]
+        parent_sock, child_sock = socket.socketpair()
+        pid = os.fork()
+        if pid == 0:
+            # Worker child.  Drop every parent-side socket we inherited
+            # (ours *and* the other shards' — a stray copy here would
+            # keep a sibling's pipe open and defeat EOF-based exit),
+            # then serve until the coordinator closes our pipe.
+            try:
+                parent_sock.close()
+                for other in self._handles:
+                    if other is not None:
+                        other.close()
+                worker_state = ServiceState(
+                    engine=self._state.engine,
+                    pool=list(plan.local_pool),
+                    options=self._state.options,
+                    session_ttl_s=float("inf"),
+                    collect_pending=True,
+                )
+                run_worker(child_sock, worker_state, shard_id, self._spans)
+            finally:
+                os._exit(0)
+        child_sock.close()
+        return ShardHandle(shard_id, parent_sock, pid)
+
+    def _respawn(self, shard_id: int, dead: ShardHandle) -> None:
+        with self._spawn_lock:
+            current = self._handles[shard_id]
+            if current is not dead and current is not None and not current.broken:
+                return  # another thread already respawned this shard
+            dead.close()
+            self._reap(dead.pid, time.monotonic())  # non-blocking best effort
+            self._handles[shard_id] = self._spawn(shard_id)
+            self._restarts[shard_id] += 1
+            self._state.metrics.inc("worker_restarts_total")
+
+    def _call(self, shard_id: int, op: str, payload=None):
+        """One shard op with crash-respawn-retry-once semantics."""
+        handle = self._handles[shard_id]
+        try:
+            return handle.call(op, payload)
+        except WorkerCrashedError:
+            self._respawn(shard_id, handle)
+            return self._handles[shard_id].call(op, payload)
+
+    # ------------------------------------------------------------------
+    # /link scatter-gather
+    # ------------------------------------------------------------------
+    def link_requests(
+        self, requests: list[LinkRequest]
+    ) -> list[tuple[object, tuple[ShardInfo, ...]]]:
+        """Serve a batch: ``(LinkResult, shard provenance)`` per request.
+
+        Pool-backed requests are scattered to every shard in one
+        batched ``link`` op per shard and merged; requests carrying
+        their own candidates execute on the coordinator's engine
+        (their candidates were never partitioned), reported as shard
+        ``-1``.
+        """
+        pool_units: list[tuple[int, LinkRequest]] = []
+        results: list[tuple[object, tuple[ShardInfo, ...]] | None]
+        results = [None] * len(requests)
+        for index, request in enumerate(requests):
+            if request.candidates is not None:
+                results[index] = self._link_local(request)
+            else:
+                pool_units.append((index, request))
+        if pool_units:
+            payload = [
+                (request.query, request.options) for _, request in pool_units
+            ]
+            futures = [
+                self._scatter.submit(self._call, shard_id, "link", payload)
+                for shard_id in range(self.n_shards)
+            ]
+            replies = [future.result() for future in futures]
+            for j, (index, request) in enumerate(pool_units):
+                options = (
+                    request.options
+                    if request.options is not None
+                    else self._state.options
+                )
+                merged = merge_partials(
+                    [reply["matches"][j] for reply in replies],
+                    self._pool_ids,
+                    request.query.traj_id,
+                    options,
+                )
+                provenance = tuple(
+                    ShardInfo(
+                        shard=reply["shard"],
+                        pid=reply["pid"],
+                        n_candidates=reply["n_candidates"],
+                        n_matched=len(reply["matches"][j]),
+                        elapsed_ms=reply["elapsed_ms"],
+                    )
+                    for reply in replies
+                )
+                results[index] = (merged, provenance)
+        return results
+
+    def _link_local(self, request: LinkRequest):
+        started = time.monotonic()
+        result = self._state.engine.link_requests(
+            [request],
+            default_pool=self._state.pool,
+            options=self._state.options,
+        )[0]
+        info = ShardInfo(
+            shard=-1,
+            pid=os.getpid(),
+            n_candidates=len(request.candidates),
+            n_matched=len(result.candidates),
+            elapsed_ms=round((time.monotonic() - started) * 1e3, 3),
+        )
+        return result, (info,)
+
+    # ------------------------------------------------------------------
+    # /ingest routing
+    # ------------------------------------------------------------------
+    def ingest(self, wire: IngestWireRequest) -> dict:
+        """Route one ingest request and reassemble the legacy response.
+
+        Query records and ``expire_before`` are broadcast to every
+        shard (each worker's linker needs the full query stream);
+        candidate records go only to their owning shard.  The response
+        counts come back out the same way: retained query records from
+        any shard (they agree), candidate counts summed, the monotone
+        ingested-record total from the coordinator registry.
+        """
+        now = self._state.clock()
+        self.expire_idle(now)
+        entry = self.sessions.get(wire.session)
+        if entry is None:
+            entry = _SessionEntry(
+                session_id=wire.session, created_at=now, last_used_at=now
+            )
+            self.sessions[wire.session] = entry
+            self._state.metrics.inc("sessions_created_total")
+        entry.last_used_at = now
+        for cid in wire.candidate_records:
+            if cid not in entry.owners:
+                entry.owners[cid] = self.ring.shard_for(f"id:{cid}")
+        per_shard: list[dict] = [{} for _ in range(self.n_shards)]
+        for cid, records in wire.candidate_records.items():
+            per_shard[entry.owners[cid]][cid] = records
+        futures = [
+            self._scatter.submit(
+                self._call,
+                shard_id,
+                "ingest",
+                {
+                    "session": wire.session,
+                    "query_records": wire.query_records,
+                    "candidate_records": per_shard[shard_id],
+                    "expire_before": wire.expire_before,
+                },
+            )
+            for shard_id in range(self.n_shards)
+        ]
+        replies = [future.result() for future in futures]
+        total = len(wire.query_records) + sum(
+            len(r) for r in wire.candidate_records.values()
+        )
+        entry.n_records += total
+        if total:
+            self._state.metrics.inc("ingested_records_total", total)
+        response = {
+            "session": wire.session,
+            "n_candidates": sum(r["n_candidates"] for r in replies),
+            "n_query_records": max(r["n_query_records"] for r in replies),
+            "n_records_ingested": entry.n_records,
+        }
+        if wire.flush:
+            response["flushed_records"] = self.flush_session(wire.session)
+        if wire.decide:
+            response["decisions"] = self._decisions(entry)
+        return response
+
+    def _decisions(self, entry: _SessionEntry) -> list[dict]:
+        """Per-candidate decisions in global registration order.
+
+        Each owning shard reports its candidates' decisions; the
+        registry's first-seen order stitches them back into the order a
+        single-process linker would emit.  Candidates living on a shard
+        that was respawned since their ingest are absent (their
+        evidence died with the worker) and are skipped.
+        """
+        shard_ids = sorted(set(entry.owners.values()))
+        futures = {
+            shard_id: self._scatter.submit(
+                self._call, shard_id, "decisions", entry.session_id
+            )
+            for shard_id in shard_ids
+        }
+        by_cid = {}
+        for shard_id in shard_ids:
+            for decision in futures[shard_id].result():
+                by_cid[decision["candidate_id"]] = decision
+        return [by_cid[cid] for cid in entry.owners if cid in by_cid]
+
+    # ------------------------------------------------------------------
+    # Store flushes and session expiry (coordinator-owned)
+    # ------------------------------------------------------------------
+    def flush_session(self, session_id: str) -> int:
+        """Pull buffered records out of the workers, append to the store."""
+        if self._state.store is None:
+            raise ValidationError("no trajectory store attached to this daemon")
+        entry = self.sessions.get(session_id)
+        if entry is None:
+            raise ValidationError(f"unknown ingest session {session_id!r}")
+        pending: dict[str, list[tuple[float, float, float]]] = {}
+        for shard_id in range(self.n_shards):
+            pending.update(self._call(shard_id, "take_pending", session_id))
+        if not pending:
+            return 0
+        deltas = []
+        for cid, records in pending.items():
+            ts, xs, ys = zip(*records)
+            deltas.append(Trajectory(ts, xs, ys, cid, sort=True))
+        flushed = self._state.store.append(deltas)
+        self._state.metrics.inc("store_flushes_total")
+        self._state.metrics.inc("store_flushed_records_total", flushed)
+        return flushed
+
+    def expire_idle(self, now: float | None = None) -> list[str]:
+        """TTL-expire idle sessions everywhere (flushing first if stored)."""
+        if now is None:
+            now = self._state.clock()
+        expired = [
+            sid
+            for sid, entry in self.sessions.items()
+            if now - entry.last_used_at > self._state.session_ttl_s
+        ]
+        for sid in expired:
+            if self._state.store is not None:
+                self.flush_session(sid)
+            for shard_id in range(self.n_shards):
+                self._call(shard_id, "drop_session", sid)
+            del self.sessions[sid]
+        if expired:
+            self._state.metrics.inc("sessions_expired_total", len(expired))
+        return expired
+
+    # ------------------------------------------------------------------
+    # Introspection / aggregation
+    # ------------------------------------------------------------------
+    def ensure_alive(self) -> None:
+        """Ping every shard, respawning any dead worker (sweeper hook)."""
+        for shard_id in range(self.n_shards):
+            self._call(shard_id, "ping")
+
+    def worker_status(self) -> list[dict]:
+        """Live per-worker status for ``/v1/healthz`` (active ping)."""
+        status = []
+        for shard_id in range(self.n_shards):
+            try:
+                reply = self._call(shard_id, "ping")
+                status.append(
+                    {
+                        "shard": shard_id,
+                        "pid": reply["pid"],
+                        "alive": True,
+                        "pool_size": reply["pool_size"],
+                        "sessions": reply["sessions"],
+                        "restarts": self._restarts[shard_id],
+                    }
+                )
+            except WorkerCrashedError:
+                status.append(
+                    {
+                        "shard": shard_id,
+                        "pid": self._handles[shard_id].pid,
+                        "alive": False,
+                        "pool_size": len(self._plans[shard_id].global_indices),
+                        "sessions": 0,
+                        "restarts": self._restarts[shard_id],
+                    }
+                )
+        return status
+
+    def metrics_payloads(self) -> dict[int, dict]:
+        """Per-shard ``{"counters", "histograms"}`` snapshots.
+
+        A shard whose worker cannot answer even after a respawn is
+        omitted — ``/v1/metrics`` then simply lacks that shard's
+        labelled series for the scrape.
+        """
+        payloads: dict[int, dict] = {}
+        for shard_id in range(self.n_shards):
+            try:
+                payloads[shard_id] = self._call(shard_id, "metrics")
+            except WorkerCrashedError:
+                continue
+        return payloads

@@ -23,7 +23,7 @@ from repro.store.format import (
     SegmentInfo,
     StoreManifest,
 )
-from repro.store.stindex import SpatioTemporalIndex
+from repro.store.stindex import SpatioTemporalIndex, pack_cell_keys
 from repro.store.store import (
     StoreStats,
     TrajectoryStore,
@@ -36,6 +36,7 @@ __all__ = [
     "MANIFEST_NAME",
     "SegmentInfo",
     "SpatioTemporalIndex",
+    "pack_cell_keys",
     "StoreManifest",
     "StoreStats",
     "TrajectoryStore",

@@ -70,10 +70,20 @@ _ARRAY_FILES = (
 )
 
 
-def _cell_keys(
+def pack_cell_keys(
     xs: np.ndarray, ys: np.ndarray, cell_size: float
 ) -> np.ndarray | None:
-    """Packed int64 cell keys of the points, or ``None`` when out of range."""
+    """Packed int64 cell keys of the points, or ``None`` when out of range.
+
+    The key of a point is its uniform-grid cell ``(floor(x / cell),
+    floor(y / cell))`` packed into one int64: ``(cx + bias) * mult +
+    (cy + bias)``.  The packing is a stable, persisted part of the index
+    format — and the shard router of the multi-worker daemon
+    (:mod:`repro.service.shard`) hashes these same keys, so candidates
+    that block together stay on the same shard.
+    """
+    if cell_size <= 0:
+        raise ValidationError(f"cell_size must be positive, got {cell_size}")
     cx = np.floor(np.asarray(xs, dtype=np.float64) / cell_size).astype(np.int64)
     cy = np.floor(np.asarray(ys, dtype=np.float64) / cell_size).astype(np.int64)
     if cx.size and (
@@ -81,6 +91,10 @@ def _cell_keys(
     ):
         return None
     return (cx + _BIAS) * _MULT + (cy + _BIAS)
+
+
+#: Backwards-compatible private alias (the index predates the public name).
+_cell_keys = pack_cell_keys
 
 
 class SpatioTemporalIndex:
@@ -165,7 +179,7 @@ class SpatioTemporalIndex:
         for traj in db:
             if len(traj) == 0:
                 continue
-            keys = _cell_keys(traj.xs, traj.ys, cell_size_m)
+            keys = pack_cell_keys(traj.xs, traj.ys, cell_size_m)
             if keys is None:
                 raise ValidationError(
                     f"trajectory {traj.traj_id!r}: coordinates exceed the "
@@ -261,7 +275,7 @@ class SpatioTemporalIndex:
         provably unreachable candidates.
         """
         n = len(self._ids)
-        base = _cell_keys(query.xs, query.ys, self._cell_size_m)
+        base = pack_cell_keys(query.xs, query.ys, self._cell_size_m)
         if base is None:
             return np.ones(n, dtype=bool)
         base = np.unique(base)

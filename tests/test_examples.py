@@ -62,5 +62,6 @@ class TestFastExamples:
         run_example("serve_and_query")
         out = capsys.readouterr().out
         assert "daemon listening on http://" in out
-        assert "engine batches" in out
+        assert "scatter across 2 shards" in out
+        assert "/v1/link requests" in out
         assert "daemon drained; bye" in out

@@ -180,13 +180,14 @@ class TestFormatRegistry:
         assert {"csv", "jsonl", "sqlite", "store"} <= set(format_names())
 
 
-class TestSqliteDeprecations:
-    def test_iter_trajectories_warns_but_works(self, db, tmp_path):
+class TestSqliteRemovals:
+    def test_iter_trajectories_removed(self, db, tmp_path):
         from repro.io.sqlite_store import SQLiteTrajectoryStore
 
         path = tmp_path / "d.sqlite"
         with SQLiteTrajectoryStore(path) as store:
             store.save(db, "demo")
-            with pytest.warns(DeprecationWarning, match="load_database"):
-                trajs = list(store.iter_trajectories("demo"))
-        assert len(trajs) == len(db)
+            # The deprecated never-streaming shim is gone; load() is
+            # the (only) way to materialise a stored database.
+            assert not hasattr(store, "iter_trajectories")
+            assert len(store.load("demo")) == len(db)

@@ -471,7 +471,7 @@ class TestEndToEndObservability:
         assert request_events, (
             f"no structured request log carried trace ID {trace_id}"
         )
-        assert request_events[0]["path"] == "/link"
+        assert request_events[0]["path"] == "/v1/link"
         assert request_events[0]["status"] == 200
         batch_events = [
             e

@@ -79,34 +79,20 @@ class TestParallelPath:
         assert hits >= len(query_set) - 2
 
 
-class TestDeprecatedKwargs:
-    """Legacy alpha1/alpha2/phi_r kwargs still work but warn."""
+class TestRemovedKwargs:
+    """The pre-1.0 alpha1/alpha2/phi_r kwargs are gone (see docs/api-v1.md)."""
 
     @pytest.mark.parametrize(
         "legacy", [{"phi_r": 0.1}, {"alpha1": 0.01}, {"alpha2": 0.1}]
     )
-    def test_legacy_kwargs_warn(
+    def test_legacy_kwargs_rejected(
         self, small_pair, fitted_models, query_set, legacy
     ):
         mr, ma = fitted_models
-        with pytest.warns(DeprecationWarning, match="options=LinkOptions"):
+        with pytest.raises(TypeError, match="unexpected keyword"):
             link_queries_parallel(
                 query_set[:2], mr, ma, small_pair.q_db, n_workers=1, **legacy
             )
-
-    def test_legacy_kwargs_equal_options(
-        self, small_pair, fitted_models, query_set
-    ):
-        mr, ma = fitted_models
-        with pytest.warns(DeprecationWarning):
-            legacy = link_queries_parallel(
-                query_set, mr, ma, small_pair.q_db, n_workers=1, phi_r=0.1
-            )
-        modern = link_queries_parallel(
-            query_set, mr, ma, small_pair.q_db, n_workers=1,
-            options=NB_OPTIONS,
-        )
-        assert legacy == modern
 
     def test_options_path_does_not_warn(
         self, small_pair, fitted_models, query_set, recwarn

@@ -562,6 +562,8 @@ class TestBenchSmoke:
             concurrency_levels=(1, 2),
             requests_per_client=2,
             seed=5,
+            sharded_concurrency=2,
+            sharded_workers=2,
             out_path=out,
         )
         written = json.loads(out.read_text())
@@ -576,13 +578,19 @@ class TestBenchSmoke:
             assert overhead[label]["n_errors"] == 0
             assert overhead[label]["throughput_rps"] > 0
         assert "regression_pct" in overhead
+        sharded = written["sharded_scaling"]
+        assert sharded["n_workers"] == 2
+        assert sharded["cpu_count"] >= 1
+        for row in sharded["workers"].values():
+            assert row["n_errors"] == 0
+            assert row["throughput_rps"] > 0
 
 
 class TestStoreBackedService:
     """Provenance reporting and ingest-session flushes into a store."""
 
     def test_health_reports_in_memory_without_store(self, client):
-        health = client.request("GET", "/healthz", None)
+        health = client.healthz()
         assert health["data_source"] == {"source": "in-memory"}
 
     def test_health_reports_store_provenance(self, engine, pool, small_pair,
@@ -600,7 +608,7 @@ class TestStoreBackedService:
         with BackgroundServer(engine, pool, config=config, store=store,
                               provenance=provenance) as background:
             with ServiceClient(*background.address) as c:
-                health = c.request("GET", "/healthz", None)
+                health = c.healthz()
         assert health["data_source"]["source"] == "store"
         assert health["data_source"]["path"] == str(store.path)
         assert health["data_source"]["generation"] == 1

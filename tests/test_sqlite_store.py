@@ -106,9 +106,9 @@ class TestFileBacked:
             assert store.names() == ["demo"]
             assert store.count_points("demo") == db.total_records()
 
-    def test_iter_trajectories_deprecated_but_working(self, db, tmp_path):
+    def test_iter_trajectories_removed(self, db, tmp_path):
         with SQLiteTrajectoryStore(tmp_path / "s.db") as store:
             store.save(db, "demo")
-            with pytest.warns(DeprecationWarning, match="load_database"):
-                ids = [t.traj_id for t in store.iter_trajectories("demo")]
+            assert not hasattr(store, "iter_trajectories")
+            ids = [t.traj_id for t in store.load("demo")]
         assert sorted(ids) == ["t0", "t1", "t2"]
