@@ -32,16 +32,28 @@ alongside because the speedup is a *parallelism* claim: the full-size
 bench asserts >= 2.5x at 4 workers only when the host actually has
 four cores to run them on.
 
+``sustained_ingest`` measures the **continuous-linkage** path
+(:mod:`repro.stream`, see ``docs/streaming.md``): a store-backed
+daemon with standing queries registered, driven by repeated
+ingest-and-flush rounds.  Each flush appends to the store, writes an
+index delta block, and incrementally re-scores only the affected
+pairs; the section reports sustained ingest throughput (records/s)
+and the update-staleness percentiles observed on ``/v1/watch``, and
+asserts the incremental invariant — the total pairs re-scored stay
+strictly below what per-update full recomputes would have cost.
+
 Results are written to ``BENCH_service.json``.  Run standalone
-(``python -m benchmarks.bench_service_load``) or through pytest; the
-tier-1 suite exercises a tiny smoke configuration on every run (see
-``tests/test_service.py``).
+(``python -m benchmarks.bench_service_load``, or ``--sustained`` for
+just the streaming section merged into an existing report) or through
+pytest; the tier-1 suite exercises a tiny smoke configuration on
+every run (see ``tests/test_service.py``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -54,6 +66,7 @@ from repro.core.models import CompatibilityModel
 from repro.geo.units import days_to_seconds
 from repro.service.client import ServiceClient
 from repro.service.server import BackgroundServer, ServerConfig
+from repro.store import TrajectoryStore
 from repro.synth.city import CityModel
 from repro.synth.noise import GaussianNoise
 from repro.synth.observation import ObservationService
@@ -237,6 +250,117 @@ def _measure_sharded_scaling(
     }
 
 
+def _measure_sustained_ingest(
+    engine,
+    pool,
+    queries,
+    rounds: int,
+    records_per_round: int,
+    n_standing: int,
+) -> dict:
+    """Sustained ingest against a store-backed daemon with standing
+    queries registered.
+
+    Each round flushes one new candidate whose records sit inside a
+    standing query's time window, so every flush provably reaches the
+    incremental path: store append -> index delta block -> affected-id
+    probe -> re-score -> ``/v1/watch`` event.  Staleness is sampled
+    from the events themselves (``staleness_s`` spans flush start to
+    ranking refresh).  Asserts ``rescored < full``: the pairs actually
+    re-scored must undercut per-update full recomputes over the pool.
+    """
+    n_standing = max(1, min(n_standing, len(queries)))
+    staleness_s: list[float] = []
+    n_records = 0
+    n_updates = 0
+    full_recompute_pairs = 0
+    with tempfile.TemporaryDirectory(prefix="ftl-bench-stream-") as tmp:
+        store = TrajectoryStore.create(Path(tmp) / "stream-store", pool)
+        served = list(store.load())
+        server_config = ServerConfig(
+            port=0, max_wait_ms=1.0, session_ttl_s=3600.0
+        )
+        with BackgroundServer(
+            engine, served, options=RANKING_OPTIONS, config=server_config,
+            store=store,
+        ) as background:
+            with ServiceClient(
+                *background.address, timeout_s=120.0
+            ) as client:
+                seqs = {
+                    f"standing-{i}": client.register_query(
+                        queries[i], query_id=f"standing-{i}"
+                    )["seq"]
+                    for i in range(n_standing)
+                }
+                started = time.perf_counter()
+                for r in range(rounds):
+                    target = f"standing-{r % n_standing}"
+                    query = queries[r % n_standing]
+                    records = [
+                        (float(t), float(x) + 10.0 * (r + 1), float(y))
+                        for t, x, y in zip(
+                            query.ts[:records_per_round],
+                            query.xs[:records_per_round],
+                            query.ys[:records_per_round],
+                        )
+                    ]
+                    client.ingest(
+                        "sustained",
+                        candidate_records={f"stream-{r:03d}": records},
+                        decide=False,
+                        flush=True,
+                    )
+                    n_records += len(records)
+                    pool_size = len(served) + r + 1
+                    for qid in seqs:
+                        # The flush re-scores synchronously, so the
+                        # targeted query's event is already buffered;
+                        # the others are drained without blocking.
+                        got = client.watch(
+                            qid,
+                            since=seqs[qid],
+                            wait_ms=10_000.0 if qid == target else 0.0,
+                        )
+                        seqs[qid] = got["seq"]
+                        for event in got["events"]:
+                            if event["kind"] != "update":
+                                continue
+                            n_updates += 1
+                            full_recompute_pairs += pool_size
+                            if "staleness_s" in event:
+                                staleness_s.append(event["staleness_s"])
+                wall_s = time.perf_counter() - started
+                counters = client.metrics()["counters"]
+    rescored = counters.get("standing_rescored_pairs_total", 0)
+    assert n_updates >= rounds, (
+        f"every flush must reach at least its targeted standing query, "
+        f"got {n_updates} updates over {rounds} rounds"
+    )
+    assert rescored < full_recompute_pairs, (
+        f"incremental re-scoring must touch fewer pairs than full "
+        f"recomputes: rescored {rescored} vs full {full_recompute_pairs}"
+    )
+    flat = sorted(staleness_s)
+    return {
+        "n_pool_initial": len(pool),
+        "n_standing_queries": n_standing,
+        "rounds": rounds,
+        "records_per_round": records_per_round,
+        "n_records_flushed": n_records,
+        "n_updates": n_updates,
+        "wall_s": wall_s,
+        "records_per_s": n_records / wall_s if wall_s > 0 else float("inf"),
+        "staleness_p50_ms": _percentile(flat, 0.50) * 1e3,
+        "staleness_p99_ms": _percentile(flat, 0.99) * 1e3,
+        "rescored_pairs_total": rescored,
+        "full_recompute_pairs": full_recompute_pairs,
+        "rescored_over_full": (
+            rescored / full_recompute_pairs if full_recompute_pairs else 0.0
+        ),
+    }
+
+
 def run_service_load_benchmark(
     n_candidates: int = 200,
     n_queries: int = 10,
@@ -247,6 +371,9 @@ def run_service_load_benchmark(
     max_wait_ms: float = 2.0,
     sharded_concurrency: int = 64,
     sharded_workers: int = 4,
+    sustained_rounds: int = 8,
+    sustained_records: int = 6,
+    sustained_standing: int = 2,
     out_path: str | Path | None = DEFAULT_OUT,
 ) -> dict:
     """Drive micro-batched vs batch-size-1 serving; write the report.
@@ -335,10 +462,54 @@ def run_service_load_benchmark(
         max_batch_size=max_batch_size,
         max_wait_ms=max_wait_ms,
     )
+    report["sustained_ingest"] = _measure_sustained_ingest(
+        engine, pool, queries,
+        rounds=sustained_rounds,
+        records_per_round=sustained_records,
+        n_standing=sustained_standing,
+    )
 
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+def run_sustained_ingest_benchmark(
+    n_candidates: int = 200,
+    n_queries: int = 10,
+    seed: int = 7,
+    rounds: int = 8,
+    records_per_round: int = 6,
+    n_standing: int = 2,
+    out_path: str | Path | None = DEFAULT_OUT,
+) -> dict:
+    """Run only the ``sustained_ingest`` section (``--sustained``).
+
+    Builds the same workload as the full bench, measures the
+    continuous-linkage path, and merges the section into an existing
+    ``BENCH_service.json`` without disturbing the other sections.
+    """
+    rng = np.random.default_rng(seed)
+    pair = _build_pair(n_candidates, rng)
+    config = FTLConfig()
+    mr = CompatibilityModel.fit_rejection([pair.p_db, pair.q_db], config)
+    ma = CompatibilityModel.fit_acceptance([pair.p_db, pair.q_db], config, rng)
+    engine = LinkEngine(mr, ma, options=RANKING_OPTIONS)
+    pool = list(pair.q_db)
+    qids = pair.sample_queries(min(n_queries, len(pair.truth)), rng)
+    queries = [pair.p_db[qid] for qid in qids]
+    section = _measure_sustained_ingest(
+        engine, pool, queries,
+        rounds=rounds,
+        records_per_round=records_per_round,
+        n_standing=n_standing,
+    )
+    if out_path is not None:
+        path = Path(out_path)
+        report = json.loads(path.read_text()) if path.exists() else {}
+        report["sustained_ingest"] = section
+        path.write_text(json.dumps(report, indent=2) + "\n")
+    return section
 
 
 def _print_report(report: dict) -> None:
@@ -380,6 +551,23 @@ def _print_report(report: dict) -> None:
             f"{sharded['n_workers']} workers "
             f"({sharded['speedup']:.2f}x)"
         )
+    sustained = report.get("sustained_ingest")
+    if sustained:
+        _print_sustained(sustained)
+
+
+def _print_sustained(sustained: dict) -> None:
+    print(
+        f"sustained ingest over {sustained['rounds']} flush rounds "
+        f"({sustained['n_standing_queries']} standing queries, pool "
+        f"{sustained['n_pool_initial']}): "
+        f"{sustained['records_per_s']:.1f} records/s, staleness "
+        f"p50 {sustained['staleness_p50_ms']:.1f}ms / "
+        f"p99 {sustained['staleness_p99_ms']:.1f}ms, rescored "
+        f"{sustained['rescored_pairs_total']} of "
+        f"{sustained['full_recompute_pairs']} full-recompute pairs "
+        f"({sustained['rescored_over_full']:.3f}x)"
+    )
 
 
 def test_service_load_micro_batching_wins(benchmark):
@@ -417,7 +605,31 @@ def test_service_load_micro_batching_wins(benchmark):
             f"{sharded['concurrency']}, measured {sharded['speedup']:.2f}x "
             f"on {sharded['cpu_count']} cores"
         )
+    sustained = report["sustained_ingest"]
+    assert sustained["n_updates"] >= sustained["rounds"]
+    # The incremental invariant at full scale: re-scoring the affected
+    # pairs must cost well under a tenth of per-update full recomputes.
+    assert sustained["rescored_over_full"] < 0.1, (
+        f"incremental re-scoring should be <10% of full recompute at "
+        f"pool {sustained['n_pool_initial']}, measured "
+        f"{sustained['rescored_over_full']:.3f}x"
+    )
 
 
 if __name__ == "__main__":
-    _print_report(run_service_load_benchmark())
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sustained", action="store_true",
+        help="run only the sustained-ingest (streaming) section and "
+             "merge it into the existing report",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    cli_args = parser.parse_args()
+    if cli_args.sustained:
+        _print_sustained(run_sustained_ingest_benchmark(
+            out_path=cli_args.out
+        ))
+    else:
+        _print_report(run_service_load_benchmark(out_path=cli_args.out))

@@ -15,9 +15,13 @@ Installed as ``ftl`` (see ``pyproject.toml``).  Subcommands:
   JSON-over-HTTP linking daemon over a scenario's Q database or a
   persistent mmap-backed store (see ``docs/service.md``):
   micro-batched ``/link``, streaming ``/ingest`` sessions,
-  ``/healthz``, ``/metrics``;
-* ``ftl store build/append/compact/stats/index`` — manage persistent
-  columnar trajectory stores (see ``docs/store.md``).
+  ``/healthz``, ``/metrics``; store-backed daemons additionally serve
+  standing queries (``/queries`` + ``/watch``; ``docs/streaming.md``);
+* ``ftl store build/append/compact/stats/index/expire`` — manage
+  persistent columnar trajectory stores (see ``docs/store.md``);
+  ``index --incremental`` folds streaming delta blocks into the main
+  blocking index and ``expire`` slides the retention window (see
+  ``docs/streaming.md``).
 """
 
 from __future__ import annotations
@@ -169,6 +173,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="default per-request deadline (504 past it)")
     serve.add_argument("--session-ttl", type=float, default=900.0,
                        help="idle seconds before an /ingest session is dropped")
+    serve.add_argument("--watch-max-wait-ms", type=float, default=30_000.0,
+                       help="longest a /v1/watch long-poll is held open")
+    serve.add_argument("--merge-min-blocks", type=int, default=4,
+                       help="index delta blocks accumulated before the "
+                            "background merge folds them (store-backed only)")
     serve.add_argument("--max-body-mb", type=float, default=8.0,
                        help="request body cap in MiB (413 beyond it)")
     serve.add_argument("--shutdown-after", type=float, default=None,
@@ -227,6 +236,20 @@ def _build_parser() -> argparse.ArgumentParser:
     st_index.add_argument("--reach-gap", type=float, default=3600.0,
                           help="max time gap in seconds for reachability "
                                "dilation")
+    st_index.add_argument("--incremental", action="store_true",
+                          help="fold the streaming delta log into the "
+                               "existing index instead of rebuilding "
+                               "(requires a prior full `ftl store index`)")
+
+    st_expire = store_sub.add_parser(
+        "expire", help="slide the retention window: evict records older "
+                       "than a cutoff"
+    )
+    st_expire.add_argument("dir", help="existing store directory")
+    st_expire.add_argument("--before", type=float, required=True,
+                           metavar="T",
+                           help="drop records with timestamp strictly "
+                                "below T (t == T survives)")
 
     report = sub.add_parser(
         "report", help="run the mini evaluation and write a markdown report"
@@ -466,6 +489,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_body_bytes=int(args.max_body_mb * 1024 * 1024),
         default_timeout_ms=args.timeout_ms,
         spans=not args.no_spans,
+        watch_max_wait_ms=args.watch_max_wait_ms,
+        merge_min_blocks=args.merge_min_blocks,
     )
 
     async def _serve() -> None:
@@ -488,6 +513,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"sharded serving: {args.workers} worker processes, "
                 f"pool partitioned by {config.shard_cell_size_m:g} m "
                 f"home cells (API under /v1/)",
+                flush=True,
+            )
+        if store is not None:
+            print(
+                "streaming enabled: standing queries at /v1/queries, "
+                "long-poll result deltas at /v1/watch",
                 flush=True,
             )
         print(f"data source: {source}", flush=True)
@@ -538,6 +569,16 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
     if args.store_command == "index":
         store = open_store(args.dir)
+        if args.incremental:
+            from repro.stream import merge_index_deltas
+
+            index = merge_index_deltas(store)
+            params = ", ".join(
+                f"{k}={v:g}" for k, v in index.params().items()
+            )
+            print(f"merged delta log into {args.dir} index at generation "
+                  f"{store.generation} ({params})")
+            return 0
         index = store.build_index(
             cell_size_m=args.cell_size,
             vmax_kph=args.vmax,
@@ -546,6 +587,19 @@ def _cmd_store(args: argparse.Namespace) -> int:
         params = ", ".join(f"{k}={v:g}" for k, v in index.params().items())
         print(f"indexed {args.dir} at generation {store.generation} "
               f"({params})")
+        return 0
+    if args.store_command == "expire":
+        from repro.stream import DeltaLog
+
+        store = open_store(args.dir)
+        evicted = store.expire_before(args.before)
+        if evicted:
+            # Keep a covering union view openable: the eviction commit
+            # needs its marker in the delta log like the daemon writes.
+            DeltaLog(store).record_eviction(store.generation, args.before)
+        print(f"expired {evicted} records before t={args.before:g} from "
+              f"{args.dir} (generation {store.generation}, "
+              f"retain_after={store.manifest.retain_after:g})")
         return 0
     raise AssertionError(f"unhandled store command {args.store_command!r}")
 

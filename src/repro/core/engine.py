@@ -365,6 +365,25 @@ class ProfileCache:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
 
+    def invalidate(self, traj_ids) -> int:
+        """Drop every entry involving any of the given trajectory ids.
+
+        The targeted form of the :meth:`clear` contract for streaming:
+        when an ingest flush or sliding-window eviction changes records
+        under reused ids, only pairs touching those ids are stale.
+        Matches on either side of the pair key; returns entries dropped.
+        """
+        stale = set(traj_ids)
+        if not stale:
+            return 0
+        doomed = [
+            key for key in self._entries
+            if key[0] in stale or key[1] in stale
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -526,6 +545,17 @@ class LinkEngine:
             "blocking": "python",
             "prefilter": "python",
         }
+
+    def invalidate_profiles(self, traj_ids) -> int:
+        """Drop cached profiles for pairs touching any of ``traj_ids``.
+
+        Required after streaming mutates trajectories under reused ids
+        (ingest flush merges record deltas; eviction drops old records):
+        profile identity is keyed on ids, so stale entries would
+        otherwise serve pre-mutation evidence.  The Poisson-Binomial
+        tail memo is content-addressed and stays valid.
+        """
+        return self._cache.invalidate(traj_ids)
 
     # ------------------------------------------------------------------
     # Public API

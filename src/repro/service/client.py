@@ -23,6 +23,7 @@ import http.client
 import json
 import time
 from typing import Iterable, Mapping, Sequence
+from urllib.parse import quote
 
 from repro.core.engine import LinkOptions, LinkResult
 from repro.core.trajectory import Trajectory
@@ -37,13 +38,16 @@ from repro.service.protocol import (
 _WIRE_FIELDS = ("method", "alpha1", "alpha2", "phi_r", "top_k")
 
 #: Endpoints safe to replay: re-sending them cannot change server state
-#: (``/link`` is a pure read over the pool).  ``/ingest`` is absent on
-#: purpose — replaying it would double-observe records.  Both path
-#: families are listed: the client speaks v1 but callers may pass
-#: legacy paths to :meth:`ServiceClient.request` directly.
+#: (``/link`` is a pure read over the pool, ``/watch`` a pure read of
+#: the event buffer, and ``/queries`` register/unregister are
+#: replace/remove operations whose replay converges on the same
+#: state).  ``/ingest`` is absent on purpose — replaying it would
+#: double-observe records.  Both path families are listed: the client
+#: speaks v1 but callers may pass legacy paths to
+#: :meth:`ServiceClient.request` directly.
 _IDEMPOTENT_PATHS = (
-    "/v1/link", "/v1/healthz", "/v1/metrics",
-    "/link", "/healthz", "/metrics",
+    "/v1/link", "/v1/queries", "/v1/watch", "/v1/healthz", "/v1/metrics",
+    "/link", "/queries", "/watch", "/healthz", "/metrics",
 )
 
 #: Exceptions that mean "the transport failed", as opposed to a parsed
@@ -234,6 +238,63 @@ class ServiceClient:
         if timeout_ms is not None:
             body["timeout_ms"] = timeout_ms
         return result_from_wire(envelope_data(self.link_raw(body)))
+
+    def register_query(
+        self,
+        query: Trajectory,
+        query_id: str | None = None,
+        options: LinkOptions | None = None,
+    ) -> dict:
+        """Register (or replace) a standing query on the daemon.
+
+        Returns the initial snapshot (``seq`` 1, full warm ranking).
+        Requires a store-backed daemon (``ftl serve --store``).
+        """
+        if options is not None and options.prefilter is not None:
+            raise ValidationError(
+                "prefilter cannot be sent over the wire; configure it "
+                "on the server's LinkOptions"
+            )
+        body: dict = {"query": trajectory_to_wire(query)}
+        if query_id is not None:
+            body["query_id"] = str(query_id)
+        if options is not None:
+            body["options"] = {
+                field: getattr(options, field) for field in _WIRE_FIELDS
+            }
+        return envelope_data(self.request("POST", "/v1/queries", body))
+
+    def unregister_query(self, query_id: str) -> dict:
+        """Remove a standing query; ``{"removed": false}`` if unknown."""
+        return envelope_data(
+            self.request("POST", "/v1/queries", {"unregister": str(query_id)})
+        )
+
+    def queries(self) -> list[dict]:
+        """Summaries of every registered standing query."""
+        return envelope_data(self.request("GET", "/v1/queries"))["queries"]
+
+    def watch(
+        self,
+        query_id: str,
+        since: int = 0,
+        wait_ms: float | None = None,
+    ) -> dict:
+        """One ``/v1/watch`` long-poll round for a standing query.
+
+        Returns ``{"query_id", "seq", "resync", "events"}``; pass the
+        returned ``seq`` back as ``since`` to resume.  ``wait_ms`` is
+        how long the daemon may hold the poll open waiting for a new
+        event (capped server-side); keep it below this client's
+        ``timeout_s`` or the socket gives up first.
+        """
+        path = (
+            f"/v1/watch?query={quote(str(query_id), safe='')}"
+            f"&since={int(since)}"
+        )
+        if wait_ms is not None:
+            path += f"&wait_ms={float(wait_ms)}"
+        return envelope_data(self.request("GET", path))
 
     def ingest(
         self,

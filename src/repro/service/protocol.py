@@ -43,7 +43,7 @@ API_VERSION = "v1"
 
 #: Endpoint suffixes served under ``/v1/`` (bare legacy paths are
 #: deprecated aliases; see ``docs/api-v1.md``).
-V1_ENDPOINTS = ("link", "ingest", "healthz", "metrics")
+V1_ENDPOINTS = ("link", "ingest", "queries", "watch", "healthz", "metrics")
 
 #: ``LinkOptions`` fields settable over the wire.  ``prefilter`` is
 #: deliberately absent: it is a live object, not a serialisable value.
@@ -303,6 +303,76 @@ def ingest_request_from_wire(obj) -> IngestWireRequest:
         expire_before=None if expire_before is None else float(expire_before),
         decide=decide,
         flush=flush,
+    )
+
+
+# ----------------------------------------------------------------------
+# /queries (standing queries; see docs/streaming.md)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StandingQueryWireRequest:
+    """A parsed ``/queries`` request body.
+
+    Exactly one of ``query`` (register/replace) or ``unregister`` is
+    set; the parser rejects bodies carrying both.
+    """
+
+    query: Trajectory | None
+    query_id: str | None
+    options: LinkOptions
+    unregister: str | None
+
+
+def standing_query_from_wire(
+    obj, base_options: LinkOptions
+) -> StandingQueryWireRequest:
+    """Parse and validate one ``/queries`` body.
+
+    Schema::
+
+        {"query": {"traj_id": ..., "records": [[t, x, y], ...]},
+         "query_id": "watch-42",              # optional; default traj_id
+         "options": {"top_k": 5, ...}}        # optional
+
+    or, to remove a standing query::
+
+        {"unregister": "watch-42"}
+    """
+    body = _require_object(obj, "request")
+    unknown = set(body) - {"query", "query_id", "options", "unregister"}
+    if unknown:
+        raise ProtocolError(f"request has unknown keys: {sorted(unknown)}")
+    unregister = body.get("unregister")
+    if unregister is not None:
+        if not isinstance(unregister, str) or not unregister:
+            raise ProtocolError(
+                "unregister must be a non-empty standing-query id string"
+            )
+        if "query" in body or "query_id" in body or "options" in body:
+            raise ProtocolError(
+                "request cannot both register and unregister a standing query"
+            )
+        return StandingQueryWireRequest(
+            query=None, query_id=None, options=base_options,
+            unregister=unregister,
+        )
+    if "query" not in body:
+        raise ProtocolError(
+            "request needs 'query' (register) or 'unregister' (remove)"
+        )
+    query = trajectory_from_wire(body["query"], "query")
+    query_id = body.get("query_id")
+    if query_id is not None and (not isinstance(query_id, str) or not query_id):
+        raise ProtocolError(
+            f"query_id must be a non-empty string, got {query_id!r}"
+        )
+    options = (
+        options_from_wire(body["options"], base_options)
+        if body.get("options") is not None
+        else base_options
+    )
+    return StandingQueryWireRequest(
+        query=query, query_id=query_id, options=options, unregister=None
     )
 
 

@@ -13,7 +13,12 @@ the single-process ranking; see :mod:`repro.service.shard`).
 :class:`~repro.core.streaming.StreamingLinker` instances (sharded:
 queries broadcast, candidates routed to their owning shard), and
 ``/v1/healthz`` + ``/v1/metrics`` expose liveness and the
-counter/latency registry aggregated across workers.
+counter/latency registry aggregated across workers.  A store-backed
+daemon additionally runs the continuous-linkage pipeline of
+:class:`~repro.stream.runtime.StreamRuntime`: ``/v1/queries``
+registers standing queries whose top-k rankings are kept warm across
+ingest flushes and sliding-window evictions, and ``/v1/watch``
+long-polls their result deltas (see ``docs/streaming.md``).
 
 Every v1 JSON endpoint answers with the
 :class:`~repro.service.protocol.ResponseEnvelope` shape; the bare
@@ -45,7 +50,12 @@ from urllib.parse import parse_qs
 
 from repro import obs
 from repro.core.engine import LinkEngine, LinkOptions, LinkRequest
-from repro.errors import PayloadTooLargeError, ProtocolError, ValidationError
+from repro.errors import (
+    PayloadTooLargeError,
+    ProtocolError,
+    StateError,
+    ValidationError,
+)
 from repro.service import protocol
 from repro.service.batcher import (
     DEFAULT_MAX_BATCH_SIZE,
@@ -55,6 +65,7 @@ from repro.service.batcher import (
 )
 from repro.service.state import DEFAULT_SESSION_TTL_S, ServiceState
 from repro.service.supervisor import ShardSupervisor
+from repro.stream.runtime import DEFAULT_MERGE_MIN_BLOCKS, StreamRuntime
 
 _REASONS = {
     200: "OK",
@@ -106,6 +117,11 @@ class ServerConfig:
     #: Bind a span sink in batch worker threads so engine/store stage
     #: timers feed the ``/metrics`` histograms.  Off = timers no-op.
     spans: bool = True
+    #: Server-side cap on a ``/v1/watch`` long-poll's ``wait_ms``.
+    watch_max_wait_ms: float = 30_000.0
+    #: Delta blocks accumulated before the sweeper folds them into the
+    #: main ST-index (see :meth:`StreamRuntime.maybe_merge`).
+    merge_min_blocks: int = DEFAULT_MERGE_MIN_BLOCKS
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -117,6 +133,14 @@ class ServerConfig:
         if self.sweep_interval_s <= 0:
             raise ValidationError(
                 f"sweep_interval_s must be positive, got {self.sweep_interval_s}"
+            )
+        if self.watch_max_wait_ms < 0:
+            raise ValidationError(
+                f"watch_max_wait_ms must be >= 0, got {self.watch_max_wait_ms}"
+            )
+        if self.merge_min_blocks < 1:
+            raise ValidationError(
+                f"merge_min_blocks must be >= 1, got {self.merge_min_blocks}"
             )
 
 
@@ -179,6 +203,28 @@ class LinkServer:
             if config.workers > 1
             else None
         )
+        # A store-backed daemon is a *streaming* daemon: the runtime
+        # owns the delta log, the standing-query registry and the
+        # background-merge policy, and the flush/evict hooks in
+        # ServiceState (and the sharded supervisor) drive it.  Sharded,
+        # the changed-pair re-scoring scatters to the workers owning
+        # each candidate; unsharded it runs on the local engine.
+        if store is not None:
+            self._state.stream = StreamRuntime(
+                store,
+                engine,
+                self._state.pool,
+                self._state.options,
+                metrics=self._state.metrics,
+                clock=clock,
+                scorer=(
+                    self._supervisor.score_pairs
+                    if self._supervisor is not None
+                    else None
+                ),
+                engine_lock=self._engine_lock,
+                merge_min_blocks=config.merge_min_blocks,
+            )
         # Span sinks live in per-thread context, so bind one inside the
         # batch worker as it starts: engine/store spans then accumulate
         # into *this* server's metrics, and concurrent servers in one
@@ -294,7 +340,18 @@ class LinkServer:
                     None, self._sweep_sharded
                 )
             else:
-                self._state.expire_idle_sessions()
+                await self._off_loop(self._state.expire_idle_sessions)
+            if self._state.stream is not None:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._merge_deltas
+                )
+
+    def _merge_deltas(self) -> None:
+        """Background fold of the delta log into the main ST-index."""
+        try:
+            self._state.stream.maybe_merge()
+        except Exception:  # noqa: BLE001 - merge must never kill the sweeper
+            _LOG.warning("background index delta merge failed", exc_info=True)
 
     def _sweep_sharded(self) -> None:
         """Periodic sharded housekeeping (off the event loop: it pings)."""
@@ -543,11 +600,22 @@ class LinkServer:
                 return 200, self._envelope(
                     await self._off_loop(self._handle_ingest, body)
                 )
+            if path == "/queries":
+                if method == "GET":
+                    return 200, self._envelope(self._handle_queries_list())
+                self._require_method(method, "POST")
+                return 200, self._envelope(
+                    await self._off_loop(self._handle_queries, body)
+                )
+            if path == "/watch":
+                self._require_method(method, "GET")
+                return 200, self._envelope(await self._handle_watch(query))
             return 404, {
                 "error": {
                     "type": "NotFound",
                     "message": f"unknown endpoint {path!r}; known: "
-                               "/v1/link /v1/ingest /v1/healthz /v1/metrics",
+                               "/v1/link /v1/ingest /v1/queries /v1/watch "
+                               "/v1/healthz /v1/metrics",
                     "status": 404,
                 }
             }
@@ -566,12 +634,15 @@ class LinkServer:
     # Endpoint payloads
     # ------------------------------------------------------------------
     async def _off_loop(self, fn, *args):
-        """Run a handler off the event loop when it does worker IO.
+        """Run a handler off the event loop when it may block.
 
         Sharded health/metrics/ingest block on shard-socket round
-        trips; unsharded they are pure in-memory work and run inline.
+        trips, and a streaming daemon's ingest flush runs the whole
+        incremental pipeline (delta block write + standing-query
+        re-scoring) under the engine lock; both go to the executor.
+        Otherwise handlers are pure in-memory work and run inline.
         """
-        if self._supervisor is None:
+        if self._supervisor is None and self._state.stream is None:
             return fn(*args)
         return await asyncio.get_running_loop().run_in_executor(
             None, fn, *args
@@ -600,6 +671,9 @@ class LinkServer:
         if self._supervisor is not None:
             data["sessions"] = self._session_count()
             data["workers"] = self._supervisor.worker_status()
+        if self._state.stream is not None:
+            data["standing_queries"] = len(self._state.stream.registry)
+            data["index_delta_blocks"] = self._state.stream.n_delta_blocks()
         return data
 
     def _handle_metrics(self, query: str) -> dict | str:
@@ -610,6 +684,11 @@ class LinkServer:
             payload = self._state.metrics.to_dict()
             payload["queue_depth"] = self._batcher.queue_depth
             payload["sessions"] = self._session_count()
+            if self._state.stream is not None:
+                payload["standing_queries"] = len(self._state.stream.registry)
+                payload["index_delta_blocks"] = (
+                    self._state.stream.n_delta_blocks()
+                )
             return payload
         if fmt not in (None, "prometheus", "text"):
             raise ValidationError(
@@ -617,13 +696,14 @@ class LinkServer:
             )
         if self._supervisor is not None:
             return self._render_sharded_metrics()
-        return self._state.metrics.to_prometheus(
-            gauges={
-                "queue_depth": self._batcher.queue_depth,
-                "sessions": len(self._state.sessions),
-                "pool_size": len(self._state.pool),
-            }
-        )
+        gauges = {
+            "queue_depth": self._batcher.queue_depth,
+            "sessions": len(self._state.sessions),
+            "pool_size": len(self._state.pool),
+        }
+        if self._state.stream is not None:
+            gauges.update(self._state.stream.gauges())
+        return self._state.metrics.to_prometheus(gauges=gauges)
 
     def _render_sharded_metrics(self) -> str:
         """One exposition document aggregated across the worker fleet.
@@ -667,11 +747,14 @@ class LinkServer:
             "sessions": self._session_count(),
             "pool_size": len(self._state.pool),
             "shard_count": self._supervisor.n_shards,
+            "shard_plan_stale": 1.0 if self._supervisor.plan_drift() else 0.0,
             "worker_up": [
                 ({"shard": str(shard_id)}, 1.0 if shard_id in worker_payloads else 0.0)
                 for shard_id in range(self._supervisor.n_shards)
             ],
         }
+        if self._state.stream is not None:
+            gauges.update(self._state.stream.gauges())
         return obs.render_exposition(counter_families, histogram_families, gauges)
 
     @staticmethod
@@ -734,6 +817,78 @@ class LinkServer:
                 for d in entry.linker.decisions()
             ]
         return response
+
+    # ------------------------------------------------------------------
+    # Standing queries (/queries + /watch; see docs/streaming.md)
+    # ------------------------------------------------------------------
+    def _require_stream(self) -> StreamRuntime:
+        stream = self._state.stream
+        if stream is None:
+            raise StateError(
+                "standing queries need a store-backed daemon; "
+                "start with `ftl serve --store <dir>`"
+            )
+        return stream
+
+    def _handle_queries(self, body: bytes) -> dict:
+        wire = protocol.standing_query_from_wire(
+            protocol.parse_json_body(body, self._config.max_body_bytes),
+            self._state.options,
+        )
+        stream = self._require_stream()
+        if wire.unregister is not None:
+            removed = stream.unregister_query(wire.unregister)
+            return {"unregistered": wire.unregister, "removed": removed}
+        return stream.register_query(
+            wire.query, query_id=wire.query_id, options=wire.options
+        )
+
+    def _handle_queries_list(self) -> dict:
+        stream = self._require_stream()
+        return {"queries": stream.registry.summaries()}
+
+    async def _handle_watch(self, query: str) -> dict:
+        """One ``/v1/watch`` long-poll round.
+
+        The wait blocks on the registry's condition variable, so it
+        always runs in the executor — a long-poll must never park the
+        event loop.
+        """
+        stream = self._require_stream()
+        query_id = _query_param(query, "query")
+        if not query_id:
+            raise ValidationError(
+                "watch needs a ?query=<standing query id> parameter"
+            )
+        raw_since = _query_param(query, "since") or "0"
+        try:
+            since = int(raw_since)
+        except ValueError:
+            raise ValidationError(
+                f"since must be an integer sequence number, got {raw_since!r}"
+            ) from None
+        raw_wait = _query_param(query, "wait_ms")
+        if raw_wait is None:
+            wait_ms = 0.0
+        else:
+            try:
+                wait_ms = float(raw_wait)
+            except ValueError:
+                raise ValidationError(
+                    f"wait_ms must be a number, got {raw_wait!r}"
+                ) from None
+            if wait_ms < 0:
+                raise ValidationError(f"wait_ms must be >= 0, got {wait_ms}")
+        wait_ms = min(wait_ms, self._config.watch_max_wait_ms)
+        return await asyncio.get_running_loop().run_in_executor(
+            None,
+            functools.partial(
+                stream.registry.wait_events,
+                query_id,
+                since=since,
+                timeout_s=wait_ms / 1e3,
+            ),
+        )
 
 
 class _MethodNotAllowed(Exception):

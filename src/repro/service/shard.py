@@ -303,6 +303,22 @@ def _dispatch_op(state, shard_id: int, op: str, payload) -> object:
             }
             for d in entry.linker.decisions()
         ]
+    if op == "score_pairs":
+        # Standing-query re-scoring: the coordinator ships the current
+        # candidate trajectories (the worker's resident pool is a
+        # frozen fork-time slice) and names the ids whose cached
+        # profiles are stale from the flush/eviction being applied.
+        state.engine.invalidate_profiles(payload["invalidate"])
+        result = state.engine.link_requests(
+            [
+                LinkRequest(
+                    payload["query"],
+                    candidates=tuple(payload["candidates"]),
+                    options=payload["options"],
+                )
+            ]
+        )[0]
+        return list(result.candidates)
     if op == "take_pending":
         return state.take_pending(payload)
     if op == "drop_session":

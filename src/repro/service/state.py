@@ -239,6 +239,10 @@ class ServiceState:
     store: object | None = None
     provenance: dict | None = None
     collect_pending: bool = False
+    #: Optional :class:`repro.stream.StreamRuntime`; when set, every
+    #: store flush runs the incremental pipeline (delta block, pool
+    #: refresh, targeted cache invalidation, standing-query re-scoring).
+    stream: object | None = None
     started_at: float = field(init=False)
     sessions: dict[str, IngestSession] = field(default_factory=dict)
 
@@ -342,6 +346,8 @@ class ServiceState:
         entry.pending.clear()
         self.metrics.inc("store_flushes_total")
         self.metrics.inc("store_flushed_records_total", flushed)
+        if self.stream is not None:
+            self.stream.after_flush(deltas)
         return flushed
 
     def take_pending(
@@ -390,6 +396,12 @@ class ServiceState:
             self.metrics.inc("ingested_records_total", total)
         if expire_before is not None:
             linker.expire_before(expire_before)
+            # With a stream runtime attached, the sliding window is
+            # store-wide: old records age out of the append log, the
+            # index delta log, and every standing query — not just this
+            # session's evidence.
+            if self.stream is not None:
+                self.stream.evict_before(float(expire_before))
         return entry
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ that shard's slice of the session, and exactly the trade documented in
 from __future__ import annotations
 
 import contextlib
+import logging
 import os
 import signal
 import socket
@@ -43,7 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.engine import LinkRequest
-from repro.errors import ValidationError, WorkerCrashedError
+from repro.errors import FTLError, ValidationError, WorkerCrashedError
 from repro.service.protocol import IngestWireRequest, ShardInfo
 from repro.service.shard import (
     HashRing,
@@ -56,6 +57,8 @@ from repro.service.shard import (
 from repro.service.state import ServiceState
 from repro.core.trajectory import Trajectory
 
+_LOG = logging.getLogger("ftl.supervisor")
+
 
 @dataclass
 class _SessionEntry:
@@ -66,6 +69,12 @@ class _SessionEntry:
     :class:`StreamingLinker` would report decisions in.  ``n_records``
     is the monotone ingested-record counter the legacy response
     exposes (query + candidate records ever routed).
+
+    ``query_history``, ``expire_before`` and ``flushed_segments`` are
+    the rehydration ledger: enough coordinator-side state to replay a
+    respawned worker's slice of the session (the broadcast query
+    stream, the latest eviction cutoff, and the store segments holding
+    the session's flushed candidate records).
     """
 
     session_id: str
@@ -73,6 +82,9 @@ class _SessionEntry:
     last_used_at: float
     n_records: int = 0
     owners: dict[str, int] = field(default_factory=dict)
+    query_history: list[list[list[float]]] = field(default_factory=list)
+    expire_before: float | None = None
+    flushed_segments: list[str] = field(default_factory=list)
 
 
 class ShardSupervisor:
@@ -118,6 +130,7 @@ class ShardSupervisor:
             list(state.pool), self.ring, self._cell_size_m
         )
         self._pool_ids = [t.traj_id for t in state.pool]
+        self._plan_stale = False
         self._handles: list[ShardHandle | None] = [None] * self.n_shards
         self._restarts = [0] * self.n_shards
         self._spawn_lock = threading.Lock()
@@ -220,6 +233,69 @@ class ShardSupervisor:
             self._handles[shard_id] = self._spawn(shard_id)
             self._restarts[shard_id] += 1
             self._state.metrics.inc("worker_restarts_total")
+            self._rehydrate(shard_id)
+
+    def _rehydrate(self, shard_id: int) -> None:
+        """Replay a respawned worker's slice of every live session.
+
+        The broadcast query stream comes back from the coordinator's
+        per-session history; the worker's owned candidate records come
+        back from the store segments the session flushed (records that
+        were still buffered worker-side died with it — the documented
+        idle-TTL-equivalent loss).  Replayed candidate records are
+        already persisted, so the fresh worker's pending buffer is
+        drained immediately lest the next flush append them twice.
+        """
+        handle = self._handles[shard_id]
+        for entry in self.sessions.values():
+            records_by_cid: dict[str, list[list[float]]] = {}
+            if self._state.store is not None:
+                owned = {
+                    cid for cid, shard in entry.owners.items()
+                    if shard == shard_id
+                }
+                for dirname in entry.flushed_segments:
+                    try:
+                        segment = self._state.store.read_segment(dirname)
+                    except (FTLError, OSError):
+                        continue  # compacted away since the flush
+                    for traj in segment:
+                        cid = str(traj.traj_id)
+                        if cid not in owned:
+                            continue
+                        records_by_cid.setdefault(cid, []).extend(
+                            [float(t), float(x), float(y)]
+                            for t, x, y in zip(traj.ts, traj.xs, traj.ys)
+                        )
+            query_records = [
+                record for batch in entry.query_history for record in batch
+            ]
+            if not query_records and not records_by_cid:
+                continue
+            try:
+                handle.call(
+                    "ingest",
+                    {
+                        "session": entry.session_id,
+                        "query_records": query_records,
+                        "candidate_records": records_by_cid,
+                        "expire_before": entry.expire_before,
+                    },
+                )
+                if records_by_cid:
+                    handle.call("take_pending", entry.session_id)
+                self._state.metrics.inc("worker_rehydrated_sessions_total")
+                _LOG.info(
+                    "worker_rehydrated",
+                    extra={"ftl_fields": {
+                        "shard": shard_id,
+                        "session": entry.session_id,
+                        "n_query_records": len(query_records),
+                        "n_candidates": len(records_by_cid),
+                    }},
+                )
+            except (WorkerCrashedError, FTLError):
+                continue  # best effort: the next op respawns again
 
     def _call(self, shard_id: int, op: str, payload=None):
         """One shard op with crash-respawn-retry-once semantics."""
@@ -303,6 +379,62 @@ class ShardSupervisor:
         return result, (info,)
 
     # ------------------------------------------------------------------
+    # Standing-query re-scoring scatter
+    # ------------------------------------------------------------------
+    def score_pairs(self, query, candidates, options, changed_ids):
+        """Score changed standing-query pairs on the workers owning them.
+
+        The workers' resident pools are frozen fork-time slices, so the
+        *current* candidate trajectories ship with the request and each
+        worker first drops its cached profiles for those ids.
+        Candidates route by id hash (the ring ingest uses); a shard
+        that cannot answer even after a respawn falls back to the
+        coordinator engine, so an update is never silently lost.  The
+        returned :class:`Candidate` entries are bit-identical to a
+        coordinator-local score — per-pair statistics depend only on
+        (query, candidate, options), regardless of which process runs
+        them (the merge-correctness argument in
+        :mod:`repro.service.shard`).
+        """
+        del changed_ids  # implied by the shipped candidates
+        groups: dict[int, list[Trajectory]] = {}
+        for trajectory in candidates:
+            shard_id = self.ring.shard_for(f"id:{trajectory.traj_id}")
+            groups.setdefault(shard_id, []).append(trajectory)
+        futures = {
+            shard_id: self._scatter.submit(
+                self._call,
+                shard_id,
+                "score_pairs",
+                {
+                    "query": query,
+                    "candidates": group,
+                    "options": options,
+                    "invalidate": [str(t.traj_id) for t in group],
+                },
+            )
+            for shard_id, group in groups.items()
+        }
+        scored = []
+        for shard_id, future in futures.items():
+            try:
+                scored.extend(future.result())
+            except WorkerCrashedError:
+                self._state.metrics.inc("score_pairs_fallback_total")
+                self._state.engine.invalidate_profiles(
+                    [str(t.traj_id) for t in groups[shard_id]]
+                )
+                result = self._state.engine.link_requests(
+                    [LinkRequest(
+                        query,
+                        candidates=tuple(groups[shard_id]),
+                        options=options,
+                    )]
+                )[0]
+                scored.extend(result.candidates)
+        return scored
+
+    # ------------------------------------------------------------------
     # /ingest routing
     # ------------------------------------------------------------------
     def ingest(self, wire: IngestWireRequest) -> dict:
@@ -325,6 +457,16 @@ class ShardSupervisor:
             self.sessions[wire.session] = entry
             self._state.metrics.inc("sessions_created_total")
         entry.last_used_at = now
+        if wire.query_records:
+            entry.query_history.append(
+                [list(map(float, r)) for r in wire.query_records]
+            )
+        if wire.expire_before is not None:
+            entry.expire_before = (
+                wire.expire_before
+                if entry.expire_before is None
+                else max(entry.expire_before, wire.expire_before)
+            )
         for cid in wire.candidate_records:
             if cid not in entry.owners:
                 entry.owners[cid] = self.ring.shard_for(f"id:{cid}")
@@ -352,6 +494,10 @@ class ShardSupervisor:
         entry.n_records += total
         if total:
             self._state.metrics.inc("ingested_records_total", total)
+        if wire.expire_before is not None and self._state.stream is not None:
+            # Workers already dropped their in-session records; slide
+            # the store window and re-score standing queries to match.
+            self._state.stream.evict_before(float(wire.expire_before))
         response = {
             "session": wire.session,
             "n_candidates": sum(r["n_candidates"] for r in replies),
@@ -406,6 +552,12 @@ class ShardSupervisor:
             ts, xs, ys = zip(*records)
             deltas.append(Trajectory(ts, xs, ys, cid, sort=True))
         flushed = self._state.store.append(deltas)
+        if flushed:
+            entry.flushed_segments.append(
+                self._state.store.manifest.segments[-1].dirname
+            )
+            if self._state.stream is not None:
+                self._state.stream.after_flush(deltas)
         self._state.metrics.inc("store_flushes_total")
         self._state.metrics.inc("store_flushed_records_total", flushed)
         return flushed
@@ -436,6 +588,32 @@ class ShardSupervisor:
         """Ping every shard, respawning any dead worker (sweeper hook)."""
         for shard_id in range(self.n_shards):
             self._call(shard_id, "ping")
+
+    def plan_drift(self) -> bool:
+        """Whether the coordinator pool drifted from the frozen plan.
+
+        The shard plan is frozen at fork time, but streaming flushes
+        and evictions refresh the coordinator pool in place — so
+        pool-backed ``/v1/link`` scatters keep serving the fork-time
+        snapshot while standing queries track the live pool.  The
+        transition into staleness emits one structured warning (and
+        bumps ``shard_plan_drift_total``); ``/v1/metrics`` gauges the
+        current state as ``ftl_shard_plan_stale``.  Restart the daemon
+        to re-shard, as documented in ``docs/service.md``.
+        """
+        current = [t.traj_id for t in self._state.pool]
+        stale = current != self._pool_ids
+        if stale and not self._plan_stale:
+            self._state.metrics.inc("shard_plan_drift_total")
+            _LOG.warning(
+                "shard_plan_stale",
+                extra={"ftl_fields": {
+                    "frozen_pool": len(self._pool_ids),
+                    "current_pool": len(current),
+                }},
+            )
+        self._plan_stale = stale
+        return stale
 
     def worker_status(self) -> list[dict]:
         """Live per-worker status for ``/v1/healthz`` (active ping)."""

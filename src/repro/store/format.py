@@ -89,6 +89,12 @@ class StoreManifest:
     format_version: int = FORMAT_VERSION
     generation: int = 0
     segments: tuple[SegmentInfo, ...] = field(default_factory=tuple)
+    #: Sliding-window eviction watermark: records with ``t < retain_after``
+    #: are masked out of every read without rewriting segments (compaction
+    #: materialises the drop).  ``0.0`` means no eviction; the key is
+    #: omitted from the JSON then, so old readers stay compatible and old
+    #: manifests parse to "no watermark".
+    retain_after: float = 0.0
 
     @property
     def n_records(self) -> int:
@@ -102,13 +108,16 @@ class StoreManifest:
         )
 
     def to_dict(self) -> dict:
-        return {
+        obj = {
             "format": STORE_FORMAT,
             "format_version": self.format_version,
             "name": self.name,
             "generation": self.generation,
             "segments": [seg.to_dict() for seg in self.segments],
         }
+        if self.retain_after:
+            obj["retain_after"] = self.retain_after
+        return obj
 
     @classmethod
     def from_dict(cls, obj: dict, where: str = "manifest") -> "StoreManifest":
@@ -129,6 +138,7 @@ class StoreManifest:
             segments=tuple(
                 SegmentInfo.from_dict(entry) for entry in obj.get("segments", [])
             ),
+            retain_after=float(obj.get("retain_after", 0.0)),
         )
 
 

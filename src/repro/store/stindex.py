@@ -97,6 +97,75 @@ def pack_cell_keys(
 _cell_keys = pack_cell_keys
 
 
+def build_index_arrays(
+    trajectories, cell_size_m: float
+) -> tuple[list[str], np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The flat index columns for an iterable of trajectories.
+
+    Returns ``(ids, starts, ends, cells, cell_offsets, postings)`` — the
+    exact arrays :class:`SpatioTemporalIndex` persists.  Shared between
+    full builds and the append-only delta blocks of
+    :mod:`repro.stream.deltas`, so both probe identically.  Empty
+    trajectories are skipped (they can never match).
+    """
+    ids: list[str] = []
+    starts: list[float] = []
+    ends: list[float] = []
+    key_parts: list[np.ndarray] = []
+    idx_parts: list[np.ndarray] = []
+    for traj in trajectories:
+        if len(traj) == 0:
+            continue
+        keys = pack_cell_keys(traj.xs, traj.ys, cell_size_m)
+        if keys is None:
+            raise ValidationError(
+                f"trajectory {traj.traj_id!r}: coordinates exceed the "
+                f"indexable range at cell_size_m={cell_size_m}"
+            )
+        i = len(ids)
+        ids.append(str(traj.traj_id))
+        starts.append(traj.start_time)
+        ends.append(traj.end_time)
+        uniq = np.unique(keys)
+        key_parts.append(uniq)
+        idx_parts.append(np.full(uniq.size, i, dtype=np.int64))
+    cells, cell_offsets, postings = invert_cell_postings(key_parts, idx_parts)
+    return (
+        ids,
+        np.asarray(starts, dtype=np.float64),
+        np.asarray(ends, dtype=np.float64),
+        cells,
+        cell_offsets,
+        postings,
+    )
+
+
+def invert_cell_postings(
+    key_parts: list[np.ndarray], idx_parts: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build the inverted cell index from per-candidate cell-key arrays.
+
+    ``key_parts[i]`` holds candidate ``idx_parts[i]``'s (unique) cell
+    keys; the result is the sorted unique cell array, its CSR-style
+    offset table, and the posting list of candidate indices.
+    """
+    if key_parts:
+        all_keys = np.concatenate(key_parts)
+        all_idx = np.concatenate(idx_parts)
+        order = np.argsort(all_keys, kind="stable")
+        sorted_keys = all_keys[order]
+        postings = all_idx[order]
+        cells, first = np.unique(sorted_keys, return_index=True)
+        cell_offsets = np.concatenate(
+            [first, [sorted_keys.size]]
+        ).astype(np.int64)
+    else:
+        cells = np.empty(0, dtype=np.int64)
+        cell_offsets = np.zeros(1, dtype=np.int64)
+        postings = np.empty(0, dtype=np.int64)
+    return cells, cell_offsets, postings
+
+
 class SpatioTemporalIndex:
     """Time-window x visited-cell blocking over a candidate database.
 
@@ -171,46 +240,14 @@ class SpatioTemporalIndex:
             raise ValidationError(
                 f"cell_size_m must be positive, got {cell_size_m}"
             )
-        ids: list[str] = []
-        starts: list[float] = []
-        ends: list[float] = []
-        key_parts: list[np.ndarray] = []
-        idx_parts: list[np.ndarray] = []
-        for traj in db:
-            if len(traj) == 0:
-                continue
-            keys = pack_cell_keys(traj.xs, traj.ys, cell_size_m)
-            if keys is None:
-                raise ValidationError(
-                    f"trajectory {traj.traj_id!r}: coordinates exceed the "
-                    f"indexable range at cell_size_m={cell_size_m}"
-                )
-            i = len(ids)
-            ids.append(str(traj.traj_id))
-            starts.append(traj.start_time)
-            ends.append(traj.end_time)
-            uniq = np.unique(keys)
-            key_parts.append(uniq)
-            idx_parts.append(np.full(uniq.size, i, dtype=np.int64))
-        if key_parts:
-            all_keys = np.concatenate(key_parts)
-            all_idx = np.concatenate(idx_parts)
-            order = np.argsort(all_keys, kind="stable")
-            sorted_keys = all_keys[order]
-            postings = all_idx[order]
-            cells, first = np.unique(sorted_keys, return_index=True)
-            cell_offsets = np.concatenate(
-                [first, [sorted_keys.size]]
-            ).astype(np.int64)
-        else:
-            cells = np.empty(0, dtype=np.int64)
-            cell_offsets = np.zeros(1, dtype=np.int64)
-            postings = np.empty(0, dtype=np.int64)
+        ids, starts, ends, cells, cell_offsets, postings = build_index_arrays(
+            db, cell_size_m
+        )
         return cls(
             db,
             ids,
-            np.asarray(starts, dtype=np.float64),
-            np.asarray(ends, dtype=np.float64),
+            starts,
+            ends,
             cells,
             cell_offsets,
             postings,
@@ -255,6 +292,33 @@ class SpatioTemporalIndex:
             raise ValidationError("index is empty")
         return float(self._starts.min()), float(self._ends.max())
 
+    @property
+    def id_list(self) -> list[str]:
+        """The indexed candidate ids, in index order (do not mutate)."""
+        return self._ids
+
+    def windows(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-candidate ``(starts, ends)`` arrays, in index order."""
+        return self._starts, self._ends
+
+    def cell_sets(self) -> list[np.ndarray]:
+        """Per-candidate sorted unique cell keys, in index order.
+
+        Inverts the posting lists back to the per-candidate form used
+        at build time; the incremental merge of
+        :mod:`repro.stream.deltas` unions these with delta-block cells.
+        """
+        counts = np.diff(self._cell_offsets)
+        cell_per_posting = np.repeat(self._cells, counts)
+        order = np.argsort(self._postings, kind="stable")
+        owners = np.asarray(self._postings)[order]
+        keys = cell_per_posting[order]
+        bounds = np.searchsorted(owners, np.arange(len(self._ids) + 1))
+        return [
+            np.sort(keys[bounds[i]:bounds[i + 1]])
+            for i in range(len(self._ids))
+        ]
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -297,6 +361,36 @@ class SpatioTemporalIndex:
             a, b = self._cell_offsets[j], self._cell_offsets[j + 1]
             mask[self._postings[a:b]] = True
         return mask
+
+    def spatial_mask(self, query: Trajectory) -> np.ndarray:
+        """Public form of the spatial screen (index-order boolean mask).
+
+        Used by :class:`repro.stream.deltas.StreamIndexView` to OR the
+        screens of the main index and its delta blocks per candidate id.
+        """
+        if len(query) == 0:
+            return np.ones(len(self._ids), dtype=bool)
+        return self._spatial_mask(query)
+
+    def affected_ids(self, query: Trajectory, horizon_s: float) -> list[str]:
+        """Ids whose indexed window lies within ``horizon_s`` of the query.
+
+        Temporal-only on purpose: a new record changes a pair's evidence
+        whenever it can form a mutual segment with some query record —
+        *incompatible* mutual segments may be arbitrarily far away
+        spatially, so the spatial screen must not participate here.  The
+        window test is the overlap inequality dilated by the horizon
+        (``overlap >= -horizon_s``), which admits negative overlaps the
+        public ``candidates_for`` contract forbids.
+        """
+        if horizon_s < 0:
+            raise ValidationError(
+                f"horizon_s must be >= 0, got {horizon_s}"
+            )
+        if len(query) == 0 or not self._ids:
+            return []
+        mask = self._temporal_mask(query, -float(horizon_s))
+        return [self._ids[i] for i in np.nonzero(mask)[0]]
 
     def candidates_for(
         self, query: Trajectory, min_overlap_s: float = 0.0
@@ -421,16 +515,27 @@ class SpatioTemporalIndex:
         }
 
     @classmethod
+    def load_generation(cls, index_dir: str | Path) -> int:
+        """The store generation a persisted index was built at."""
+        return int(cls._read_meta(Path(index_dir)).get("generation", -1))
+
+    @classmethod
     def open(
         cls,
         index_dir: str | Path,
         db: TrajectoryDatabase,
         expected_generation: int | None = None,
+        strict_ids: bool = True,
     ) -> "SpatioTemporalIndex":
         """Memory-map a persisted index and bind it to its database.
 
         ``expected_generation`` (the store manifest's current value)
         guards against serving candidates from a superseded snapshot.
+        ``strict_ids=False`` skips the indexed-ids-present check — the
+        streaming union view opens the main index *behind* the store
+        generation (delta blocks cover the gap) where sliding-window
+        eviction may have dropped whole trajectories; its probes filter
+        missing ids instead.
         """
         index_dir = Path(index_dir)
         meta = cls._read_meta(index_dir)
@@ -481,12 +586,13 @@ class SpatioTemporalIndex:
                 if want
                 else np.empty(0, dtype=dtype)
             )
-        missing = [i for i in ids if i not in db]
-        if missing:
-            raise StaleIndexError(
-                f"{index_dir}: indexed ids missing from the database "
-                f"(first: {missing[0]!r}); rebuild the index"
-            )
+        if strict_ids:
+            missing = [i for i in ids if i not in db]
+            if missing:
+                raise StaleIndexError(
+                    f"{index_dir}: indexed ids missing from the database "
+                    f"(first: {missing[0]!r}); rebuild the index"
+                )
         return cls(
             db,
             [str(i) for i in ids],

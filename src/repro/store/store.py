@@ -33,7 +33,7 @@ data loaded through CSV (tested).
 from __future__ import annotations
 
 import shutil
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable
 
@@ -222,11 +222,20 @@ class TrajectoryStore:
         unchecked = Trajectory.from_arrays_unchecked
         pieces: dict[str, list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
         order: list[str] = []
+        # Sliding-window eviction: the manifest watermark masks records
+        # with t < retain_after at read time.  Per-trajectory slices are
+        # time-sorted, so the mask is one searchsorted per slice; whole
+        # trajectories disappear when all their records age out.
+        cut = self._manifest.retain_after
         for _info, (ts, xs, ys, offsets, ids) in segments:
             ts_v, xs_v, ys_v = np.asarray(ts), np.asarray(xs), np.asarray(ys)
             bounds = offsets.tolist()
             for slot, traj_id in enumerate(ids):
                 a, b = bounds[slot], bounds[slot + 1]
+                if cut:
+                    a += int(np.searchsorted(ts_v[a:b], cut, side="left"))
+                    if a == b:
+                        continue
                 if traj_id in multi:
                     parts = pieces.get(traj_id)
                     if parts is None:
@@ -242,6 +251,37 @@ class TrajectoryStore:
             ys = np.concatenate([p[2] for p in parts])
             db.add(Trajectory(ts, xs, ys, traj_id, sort=True))
         return db
+
+    def read_segment(self, dirname: str) -> list[Trajectory]:
+        """The record deltas of one live segment, watermark-filtered.
+
+        Segments are the store's append log: each holds exactly what one
+        :meth:`append` wrote.  The shard supervisor replays them to
+        rehydrate a respawned worker's ingest-session evidence.
+        """
+        info = next(
+            (s for s in self._manifest.segments if s.dirname == dirname), None
+        )
+        if info is None:
+            raise ValidationError(
+                f"{dirname}: not a live segment of {self._path}"
+            )
+        ts, xs, ys, offsets, ids = open_segment_arrays(
+            self._path / dirname, info
+        )
+        ts_v, xs_v, ys_v = np.asarray(ts), np.asarray(xs), np.asarray(ys)
+        bounds = offsets.tolist()
+        cut = self._manifest.retain_after
+        out: list[Trajectory] = []
+        for slot, traj_id in enumerate(ids):
+            a, b = bounds[slot], bounds[slot + 1]
+            if cut:
+                a += int(np.searchsorted(ts_v[a:b], cut, side="left"))
+            if a < b:
+                out.append(Trajectory.from_arrays_unchecked(
+                    ts_v[a:b], xs_v[a:b], ys_v[a:b], traj_id
+                ))
+        return out
 
     # ------------------------------------------------------------------
     # Writing
@@ -332,6 +372,40 @@ class TrajectoryStore:
         self._commit(self._manifest.bumped(self._manifest.segments + (info,)))
         return info.n_records
 
+    def expire_before(self, cutoff_t: float) -> int:
+        """Raise the sliding-window eviction watermark to ``cutoff_t``.
+
+        Records with ``t < cutoff_t`` (strictly — a record at exactly
+        the cutoff survives, matching
+        :meth:`repro.core.streaming.StreamingPairEvidence.expire_before`)
+        stop being visible to :meth:`load` and :meth:`read_segment`
+        immediately, without rewriting any segment; :meth:`compact`
+        materialises the drop.  Commits a new manifest generation, so
+        a plain persisted index goes stale (the streaming delta log
+        records eviction markers to keep its union view live).  Returns
+        the number of newly masked records; lowering the watermark is a
+        no-op.
+        """
+        old = self._manifest.retain_after
+        cut = float(cutoff_t)
+        if cut <= old:
+            return 0
+        evicted = 0
+        for _info, (ts, _xs, _ys, offsets, ids) in self._opened_segments():
+            ts_v = np.asarray(ts)
+            bounds = offsets.tolist()
+            for slot in range(len(ids)):
+                a, b = bounds[slot], bounds[slot + 1]
+                evicted += int(np.searchsorted(ts_v[a:b], cut, side="left"))
+                if old:
+                    evicted -= int(
+                        np.searchsorted(ts_v[a:b], old, side="left")
+                    )
+        self._commit(replace(
+            self._manifest.bumped(self._manifest.segments), retain_after=cut
+        ))
+        return evicted
+
     def compact(self) -> StoreStats:
         """Rewrite the store as a single merged snapshot segment.
 
@@ -377,7 +451,11 @@ class TrajectoryStore:
             n_trajectories=len(ids),
             n_records=int(offsets[-1]),
         )
-        self._commit(self._manifest.bumped((info,)))
+        # The snapshot was written through the watermark-filtered load,
+        # so evicted records are now physically gone: reset the watermark.
+        self._commit(replace(
+            self._manifest.bumped((info,)), retain_after=0.0
+        ))
         self._collect_garbage()
         if had_index and index_params is not None:
             self.build_index(**index_params)

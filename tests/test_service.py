@@ -584,6 +584,14 @@ class TestBenchSmoke:
         for row in sharded["workers"].values():
             assert row["n_errors"] == 0
             assert row["throughput_rps"] > 0
+        sustained = written["sustained_ingest"]
+        assert sustained["n_updates"] >= sustained["rounds"]
+        assert sustained["records_per_s"] > 0
+        assert sustained["staleness_p99_ms"] >= sustained["staleness_p50_ms"]
+        assert (
+            sustained["rescored_pairs_total"]
+            < sustained["full_recompute_pairs"]
+        )
 
 
 class TestStoreBackedService:

@@ -379,3 +379,103 @@ class TestShardedServer:
         assert sum(w["restarts"] for w in after) >= 1
         metrics = sharded_client.metrics()
         assert metrics["counters"]["worker_restarts_total"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Streaming over a store-backed sharded daemon: frozen-plan drift
+# detection and worker-session rehydration.  The single-process
+# streaming surface is covered in tests/test_stream.py.
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def stream_sharded_server(engine, pool, tmp_path):
+    from repro.store import TrajectoryStore
+
+    store = TrajectoryStore.create(tmp_path / "shard-store", pool)
+    shared = list(store.load())
+    config = ServerConfig(
+        port=0, max_wait_ms=1.0, workers=2, session_ttl_s=3600.0
+    )
+    with BackgroundServer(engine, shared, config=config,
+                          store=store) as background:
+        yield background, store
+
+
+class TestShardedStreaming:
+    @staticmethod
+    def _near_records(query, n=4):
+        return [
+            (float(t), float(x), float(y))
+            for t, x, y in zip(query.ts[:n], query.xs[:n], query.ys[:n])
+        ]
+
+    def test_flush_updates_standing_query_and_flags_plan_drift(
+        self, stream_sharded_server, fitted_models, small_pair
+    ):
+        server, store = stream_sharded_server
+        mr, ma = fitted_models
+        query = small_pair.p_db[sorted(small_pair.truth)[0]]
+        with ServiceClient(*server.address, timeout_s=60) as c:
+            assert "ftl_shard_plan_stale 0" in c.metrics_text()
+            assert c.register_query(query, query_id="sq")["seq"] == 1
+            near = self._near_records(query)
+            got = c.ingest("drift", candidate_records={"cNew": near},
+                           decide=False, flush=True)
+            assert got["flushed_records"] == len(near)
+            watched = c.watch("sq", since=1, wait_ms=5_000)
+            assert watched["seq"] == 2
+            [event] = watched["events"]
+            assert "cNew" in event["changed"]
+            # standing rankings are scored against the *refreshed* pool
+            # (workers receive the trajectories on the wire), so they
+            # stay bit-identical to a from-scratch single-process run
+            # even though the frozen shard plan no longer matches.
+            fresh = LinkEngine(mr, ma, options=RANKING).link_batch(
+                [query], list(store.load())
+            )[0]
+            assert event["ranking"] == [
+                cand.to_dict() for cand in fresh.candidates
+            ]
+            # ...and the drift is surfaced, not hidden: gauge flips to 1.
+            assert "ftl_shard_plan_stale 1" in c.metrics_text()
+
+    def test_killed_worker_rehydrates_flushed_sessions(
+        self, stream_sharded_server, small_pair
+    ):
+        server, store = stream_sharded_server
+        query = small_pair.p_db[sorted(small_pair.truth)[0]]
+        near = self._near_records(query)
+        shifted = [(t + 30.0, x + 40.0, y - 40.0) for t, x, y in near]
+        with ServiceClient(*server.address, timeout_s=60) as c:
+            first = c.ingest(
+                "reh", query_records=near,
+                candidate_records={"cA": near, "cB": shifted},
+                decide=True, flush=True,
+            )
+            assert first["flushed_records"] == len(near) + len(shifted)
+            before = {
+                d["candidate_id"]: d for d in first["decisions"]
+            }
+            assert set(before) == {"cA", "cB"}
+
+            workers = c.healthz()["workers"]
+            os.kill(workers[0]["pid"], signal.SIGKILL)
+            # The next ingest round-trip hits the dead pipe: the
+            # supervisor respawns the worker and replays the session's
+            # flushed segments from the store's append log.
+            second = c.ingest("reh", decide=True)
+            after = {
+                d["candidate_id"]: d for d in second["decisions"]
+            }
+            # Rehydrated evidence is rebuilt from the persisted records,
+            # so the decisions survive the crash bit-identically.
+            assert after == before
+
+            metrics = c.metrics()
+            assert metrics["counters"]["worker_rehydrated_sessions_total"] >= 1
+            assert metrics["counters"]["worker_restarts_total"] >= 1
+
+            # Replayed records were already persisted: re-flushing the
+            # session must append nothing (no double-observation).
+            third = c.ingest("reh", decide=False, flush=True)
+            assert third["flushed_records"] == 0
+            assert c.healthz()["workers"][0]["pid"] != workers[0]["pid"]

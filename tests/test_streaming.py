@@ -369,3 +369,62 @@ class TestStreamingLinkerLifecycle:
         assert removed == 2 * len(pair.p_db[pid])
         assert linker.n_query_records == 0
         assert linker.decision(qid).n_mutual == 0
+
+
+class TestExpireBoundarySemantics:
+    """Sliding-window edge cases shared with the store's watermark.
+
+    The contract everywhere (``StreamingPairEvidence.expire_before``,
+    ``StreamingLinker.expire_before``, ``TrajectoryStore.expire_before``)
+    is *strict*: records with ``t < cutoff`` drop, a record at exactly
+    the cutoff survives.
+    """
+
+    def test_record_at_exact_cutoff_survives(self, config):
+        evidence = StreamingPairEvidence(config)
+        evidence.insert(Record(100.0, 0.0, 0.0), SOURCE_P)
+        evidence.insert(Record(200.0, 10.0, 10.0), SOURCE_Q)
+        assert evidence.expire_before(100.0) == 0
+        assert evidence.n_records == 2
+        assert evidence.expire_before(100.0 + 1e-9) == 1
+        assert evidence.n_records == 1
+
+    def test_cutoff_on_segment_join_removes_exactly_that_segment(
+        self, config
+    ):
+        """Expiring the older endpoint of a segment deletes exactly the
+        tally joining it to its successor, no neighbours."""
+        dt = 0.5 * config.time_unit_s  # all three joins in-horizon
+        evidence = StreamingPairEvidence(config)
+        evidence.insert(Record(0.0, 0.0, 0.0), SOURCE_P)
+        evidence.insert(Record(dt, 0.0, 0.0), SOURCE_Q)
+        evidence.insert(Record(2 * dt, 0.0, 0.0), SOURCE_P)
+        evidence.insert(Record(3 * dt, 0.0, 0.0), SOURCE_Q)
+        assert evidence.n_mutual == 3
+        # cutoff exactly at the second record: only the first drops, and
+        # with it exactly one mutual segment (0 -> dt).
+        assert evidence.expire_before(dt) == 1
+        assert evidence.n_mutual == 2
+
+    def test_tallies_at_boundary_match_batch_over_survivors(
+        self, config
+    ):
+        """Property over random cutoffs pinned to record timestamps."""
+        rng = np.random.default_rng(11)
+        for trial in range(6):
+            p = random_traj(rng, 14)
+            q = random_traj(rng, 12)
+            evidence = StreamingPairEvidence(config)
+            evidence.extend(p, SOURCE_P)
+            evidence.extend(q, SOURCE_Q)
+            all_ts = np.sort(np.concatenate([p.ts, q.ts]))
+            # an exact record time: the boundary case merge-on-read and
+            # the store watermark must agree on
+            cutoff = float(all_ts[int(rng.integers(1, len(all_ts)))])
+            evidence.expire_before(cutoff)
+            batch = StreamingPairEvidence(config)
+            batch.extend(p.slice_time(cutoff, np.inf), SOURCE_P)
+            batch.extend(q.slice_time(cutoff, np.inf), SOURCE_Q)
+            assert np.array_equal(
+                evidence.bucket_counts(), batch.bucket_counts()
+            ), f"boundary expiry diverged (trial {trial}, cutoff {cutoff})"
