@@ -175,6 +175,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="idle seconds before an /ingest session is dropped")
     serve.add_argument("--watch-max-wait-ms", type=float, default=30_000.0,
                        help="longest a /v1/watch long-poll is held open")
+    serve.add_argument("--watch-concurrency", type=int, default=32,
+                       help="threads dedicated to /v1/watch long-polls "
+                            "(watchers beyond it queue for a free thread)")
     serve.add_argument("--merge-min-blocks", type=int, default=4,
                        help="index delta blocks accumulated before the "
                             "background merge folds them (store-backed only)")
@@ -490,6 +493,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_ms=args.timeout_ms,
         spans=not args.no_spans,
         watch_max_wait_ms=args.watch_max_wait_ms,
+        watch_concurrency=args.watch_concurrency,
         merge_min_blocks=args.merge_min_blocks,
     )
 

@@ -119,6 +119,12 @@ class ServerConfig:
     spans: bool = True
     #: Server-side cap on a ``/v1/watch`` long-poll's ``wait_ms``.
     watch_max_wait_ms: float = 30_000.0
+    #: Threads dedicated to ``/v1/watch`` long-polls.  Watch waits can
+    #: park a thread for ``watch_max_wait_ms``, so they never share the
+    #: default executor with ingest/flush handlers and the sweeper —
+    #: a burst of watchers would starve all other off-loop work.
+    #: Watchers beyond the cap queue for a free watch thread.
+    watch_concurrency: int = 32
     #: Delta blocks accumulated before the sweeper folds them into the
     #: main ST-index (see :meth:`StreamRuntime.maybe_merge`).
     merge_min_blocks: int = DEFAULT_MERGE_MIN_BLOCKS
@@ -141,6 +147,10 @@ class ServerConfig:
         if self.merge_min_blocks < 1:
             raise ValidationError(
                 f"merge_min_blocks must be >= 1, got {self.merge_min_blocks}"
+            )
+        if self.watch_concurrency < 1:
+            raise ValidationError(
+                f"watch_concurrency must be >= 1, got {self.watch_concurrency}"
             )
 
 
@@ -243,6 +253,15 @@ class LinkServer:
             thread_name_prefix="ftl-batch",
             initializer=initializer,
         )
+        # /v1/watch long-polls park a thread for up to
+        # watch_max_wait_ms; a dedicated pool keeps them from starving
+        # the default executor that serves ingest/flush handlers and
+        # the sweeper.  Threads spawn lazily, so an idle daemon (or one
+        # without a store) pays nothing.
+        self._watch_executor = ThreadPoolExecutor(
+            max_workers=config.watch_concurrency,
+            thread_name_prefix="ftl-watch",
+        )
         self._batcher = MicroBatcher(
             runner=self._run_batch,
             max_batch_size=config.max_batch_size,
@@ -298,6 +317,11 @@ class LinkServer:
                 await self._sweeper
             self._sweeper = None
         self._executor.shutdown(wait=True)
+        # Wake parked long-polls first so the watch pool drains now,
+        # not after each watcher's full wait_ms elapses.
+        if self._state.stream is not None:
+            self._state.stream.registry.close()
+        self._watch_executor.shutdown(wait=True)
         if self._supervisor is not None:
             # After the batcher drain nothing is in flight, so worker
             # shutdown loses no queued work.
@@ -851,8 +875,9 @@ class LinkServer:
         """One ``/v1/watch`` long-poll round.
 
         The wait blocks on the registry's condition variable, so it
-        always runs in the executor — a long-poll must never park the
-        event loop.
+        runs in the dedicated watch executor — a long-poll must never
+        park the event loop, and must not occupy the shared default
+        executor that serves ingest/flush handlers and the sweeper.
         """
         stream = self._require_stream()
         query_id = _query_param(query, "query")
@@ -881,7 +906,7 @@ class LinkServer:
                 raise ValidationError(f"wait_ms must be >= 0, got {wait_ms}")
         wait_ms = min(wait_ms, self._config.watch_max_wait_ms)
         return await asyncio.get_running_loop().run_in_executor(
-            None,
+            self._watch_executor,
             functools.partial(
                 stream.registry.wait_events,
                 query_id,

@@ -342,12 +342,16 @@ class ServiceState:
         for cid, records in entry.pending.items():
             ts, xs, ys = zip(*records)
             deltas.append(Trajectory(ts, xs, ys, cid, sort=True))
-        flushed = self.store.append(deltas)
+        # The stream runtime appends *inside* its locks so the delta
+        # block is stamped with exactly the generation this append
+        # commits (concurrent flushes would otherwise race the stamp).
+        if self.stream is not None:
+            flushed, _segment = self.stream.append_flush(deltas)
+        else:
+            flushed = self.store.append(deltas)
         entry.pending.clear()
         self.metrics.inc("store_flushes_total")
         self.metrics.inc("store_flushed_records_total", flushed)
-        if self.stream is not None:
-            self.stream.after_flush(deltas)
         return flushed
 
     def take_pending(

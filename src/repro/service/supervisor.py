@@ -59,6 +59,13 @@ from repro.core.trajectory import Trajectory
 
 _LOG = logging.getLogger("ftl.supervisor")
 
+#: Cap on query records retained per session for worker rehydration.
+#: Beyond it the oldest records are dropped (counted by
+#: ``session_ledger_truncated_records_total``): a respawn then replays
+#: a truncated query stream — the same best-effort trade as losing a
+#: worker's unflushed buffer.
+MAX_QUERY_HISTORY_RECORDS = 50_000
+
 
 @dataclass
 class _SessionEntry:
@@ -74,7 +81,11 @@ class _SessionEntry:
     the rehydration ledger: enough coordinator-side state to replay a
     respawned worker's slice of the session (the broadcast query
     stream, the latest eviction cutoff, and the store segments holding
-    the session's flushed candidate records).
+    the session's flushed candidate records).  The ledger is bounded:
+    query records behind the eviction cutoff are compacted away, the
+    total is capped at :data:`MAX_QUERY_HISTORY_RECORDS`, and segments
+    compacted out of the store are pruned on flush — a long-lived
+    session cannot grow coordinator memory without bound.
     """
 
     session_id: str
@@ -130,6 +141,12 @@ class ShardSupervisor:
             list(state.pool), self.ring, self._cell_size_m
         )
         self._pool_ids = [t.traj_id for t in state.pool]
+        # A streaming flush can append records to *existing* ids (the
+        # id list then never changes), so drift detection also pins the
+        # store generation the plan was computed against.
+        self._plan_generation = (
+            state.store.generation if state.store is not None else None
+        )
         self._plan_stale = False
         self._handles: list[ShardHandle | None] = [None] * self.n_shards
         self._restarts = [0] * self.n_shards
@@ -467,6 +484,7 @@ class ShardSupervisor:
                 if entry.expire_before is None
                 else max(entry.expire_before, wire.expire_before)
             )
+        self._compact_ledger(entry)
         for cid in wire.candidate_records:
             if cid not in entry.owners:
                 entry.owners[cid] = self.ring.shard_for(f"id:{cid}")
@@ -510,6 +528,41 @@ class ShardSupervisor:
             response["decisions"] = self._decisions(entry)
         return response
 
+    def _compact_ledger(self, entry: _SessionEntry) -> None:
+        """Keep the session's rehydration ledger bounded.
+
+        Query records behind the eviction cutoff would be dropped by
+        the workers' linkers on replay anyway (``expire_before`` is
+        replayed too), so compacting them away changes nothing.  Past
+        :data:`MAX_QUERY_HISTORY_RECORDS` the oldest records go as
+        well — lossy but counted, and strictly better than unbounded
+        coordinator growth.
+        """
+        if entry.expire_before is not None:
+            cutoff = entry.expire_before
+            entry.query_history = [
+                kept
+                for batch in entry.query_history
+                if (kept := [r for r in batch if r[0] >= cutoff])
+            ]
+        overflow = (
+            sum(len(batch) for batch in entry.query_history)
+            - MAX_QUERY_HISTORY_RECORDS
+        )
+        if overflow <= 0:
+            return
+        self._state.metrics.inc(
+            "session_ledger_truncated_records_total", overflow
+        )
+        while overflow > 0:
+            batch = entry.query_history[0]
+            if len(batch) <= overflow:
+                overflow -= len(batch)
+                entry.query_history.pop(0)
+            else:
+                del batch[:overflow]
+                overflow = 0
+
     def _decisions(self, entry: _SessionEntry) -> list[dict]:
         """Per-candidate decisions in global registration order.
 
@@ -551,13 +604,27 @@ class ShardSupervisor:
         for cid, records in pending.items():
             ts, xs, ys = zip(*records)
             deltas.append(Trajectory(ts, xs, ys, cid, sort=True))
-        flushed = self._state.store.append(deltas)
-        if flushed:
-            entry.flushed_segments.append(
+        # The stream runtime appends inside its locks (delta-block
+        # stamp must match this append's committed generation) and
+        # reports back the segment it wrote for the rehydration ledger.
+        if self._state.stream is not None:
+            flushed, segment = self._state.stream.append_flush(deltas)
+        else:
+            flushed = self._state.store.append(deltas)
+            segment = (
                 self._state.store.manifest.segments[-1].dirname
+                if flushed
+                else None
             )
-            if self._state.stream is not None:
-                self._state.stream.after_flush(deltas)
+        if segment is not None and segment not in entry.flushed_segments:
+            entry.flushed_segments.append(segment)
+        # Compaction rewrites the store into one segment; ledger
+        # entries pointing at dead segments are useless for rehydration
+        # and would otherwise accumulate for the session's lifetime.
+        live = {info.dirname for info in self._state.store.manifest.segments}
+        entry.flushed_segments = [
+            d for d in entry.flushed_segments if d in live
+        ]
         self._state.metrics.inc("store_flushes_total")
         self._state.metrics.inc("store_flushed_records_total", flushed)
         return flushed
@@ -595,14 +662,24 @@ class ShardSupervisor:
         The shard plan is frozen at fork time, but streaming flushes
         and evictions refresh the coordinator pool in place — so
         pool-backed ``/v1/link`` scatters keep serving the fork-time
-        snapshot while standing queries track the live pool.  The
-        transition into staleness emits one structured warning (and
-        bumps ``shard_plan_drift_total``); ``/v1/metrics`` gauges the
+        snapshot while standing queries track the live pool.  Drift is
+        either an id-list change *or* a store-generation change: a
+        flush appending records to already-stored ids mutates pool
+        content without touching the id list.  The transition into
+        staleness emits one structured warning (and bumps
+        ``shard_plan_drift_total``); ``/v1/metrics`` gauges the
         current state as ``ftl_shard_plan_stale``.  Restart the daemon
         to re-shard, as documented in ``docs/service.md``.
         """
         current = [t.traj_id for t in self._state.pool]
-        stale = current != self._pool_ids
+        generation = (
+            self._state.store.generation
+            if self._state.store is not None
+            else None
+        )
+        stale = (
+            current != self._pool_ids or generation != self._plan_generation
+        )
         if stale and not self._plan_stale:
             self._state.metrics.inc("shard_plan_drift_total")
             _LOG.warning(
@@ -610,6 +687,8 @@ class ShardSupervisor:
                 extra={"ftl_fields": {
                     "frozen_pool": len(self._pool_ids),
                     "current_pool": len(current),
+                    "plan_generation": self._plan_generation,
+                    "store_generation": generation,
                 }},
             )
         self._plan_stale = stale

@@ -3,12 +3,15 @@
 :class:`StreamRuntime` owns the per-daemon streaming state: the store's
 :class:`~repro.stream.deltas.DeltaLog`, the
 :class:`~repro.stream.standing.StandingQueryRegistry`, and the
-background-merge policy.  The service layer calls exactly three hooks:
+background-merge policy.  The service layer calls exactly these hooks:
 
-* :meth:`after_flush` — right after an ingest session's record deltas
-  were appended to the store.  Writes the delta block, refreshes the
-  daemon pool, invalidates stale profile-cache pairs, and re-scores
-  only the standing-query pairs the block's dilated probe names.
+* :meth:`append_flush` — appends an ingest session's record deltas to
+  the store **and** runs the incremental pipeline (delta block, pool
+  refresh, targeted profile-cache invalidation, standing-query
+  re-scoring) atomically under the runtime locks, so a concurrent
+  flush or eviction can never stamp a delta block with another
+  commit's generation.  (:meth:`after_flush` is the low-level form for
+  callers that already appended — single-threaded tests and tools.)
 * :meth:`evict_before` — sliding-window eviction.  Raises the store
   watermark, records the eviction in the delta log (keeping the union
   view's generation coverage contiguous), then refreshes/invalidates/
@@ -17,20 +20,23 @@ background-merge policy.  The service layer calls exactly three hooks:
   enough blocks accumulated (the daemon's sweep task calls this off
   the event loop; ``ftl store index --incremental`` is the CLI form).
 
-All three run under one re-entrant lock so log writes, pool refreshes
-and merges never interleave; the caller supplies the engine lock that
-serialises scoring against the batch thread (hold it *around* these
-hooks — the runtime never takes it itself).
+All hooks run under one re-entrant lock so store appends, log writes,
+pool refreshes and merges never interleave; the hooks additionally
+take the (injectable) engine lock that serialises scoring against the
+daemon's batch thread, always engine lock first, runtime lock second.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 
 from repro.geo.units import kph_to_mps
 from repro.stream.deltas import DeltaLog, merge_index_deltas
 from repro.stream.standing import StandingQueryRegistry
+
+_LOG = logging.getLogger("ftl.stream")
 
 #: Delta blocks accumulated before the background merge folds them.
 DEFAULT_MERGE_MIN_BLOCKS = 4
@@ -143,30 +149,76 @@ class StreamRuntime:
     # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------
-    def after_flush(self, deltas) -> int:
+    def append_flush(self, deltas) -> tuple[int, str | None]:
+        """Append ``deltas`` to the store and run the flush pipeline.
+
+        The store append and the matching delta-block write happen
+        under one critical section, so concurrent session flushes (or
+        a racing :meth:`evict_before`) can never stamp a block with
+        another commit's generation or leave a coverage gap in the
+        delta log.  Returns ``(records appended, new segment dirname
+        or None when nothing was written)``; a failed store append
+        propagates with nothing committed.
+        """
+        live = [t for t in deltas if len(t)]
+        started = self._clock()
+        with self._engine_lock, self._lock:
+            flushed = self._store.append(deltas)
+            if not flushed:
+                return 0, None
+            segment = self._store.manifest.segments[-1].dirname
+            try:
+                self._flush_pipeline(live, self._store.generation, started)
+            except Exception:  # noqa: BLE001 - records ARE persisted
+                # The append committed, so the served state must stay
+                # consistent even though the delta block is missing
+                # (the union view reports the coverage gap as stale and
+                # a rebuild heals it).  Refresh the pool and re-score
+                # the flushed ids conservatively, then keep serving.
+                _LOG.warning(
+                    "stream flush pipeline failed after store append",
+                    exc_info=True,
+                )
+                changed = [str(t.traj_id) for t in live]
+                self._refresh(changed)
+                self.registry.apply_update(
+                    evicted_ids=changed, started_s=started
+                )
+                if self._metrics is not None:
+                    self._metrics.inc("stream_flush_pipeline_errors_total")
+            return flushed, segment
+
+    def after_flush(self, deltas, generation: int | None = None) -> int:
         """Run the incremental pipeline for freshly appended deltas.
 
-        The store append already committed (its generation names the
-        new segment); this writes the matching delta block, refreshes
-        the pool to the merged view, drops stale cached profiles for
-        exactly the flushed ids, and re-scores affected standing-query
-        pairs.  Returns the number of pairs re-scored.
+        The store append already committed; ``generation`` is the
+        generation that append produced (defaults to the store's
+        current one, which is only safe when the caller serialises
+        flushes itself — the service layer uses :meth:`append_flush`
+        instead).  Writes the matching delta block, refreshes the pool
+        to the merged view, drops stale cached profiles for exactly
+        the flushed ids, and re-scores affected standing-query pairs.
+        Returns the number of pairs re-scored.
         """
         live = [t for t in deltas if len(t)]
         if not live:
             return 0
         started = self._clock()
         with self._engine_lock, self._lock:
-            block = self.delta_log.append_block(
-                live, generation=self._store.generation, **self._params
-            )
-            self._refresh([str(t.traj_id) for t in live])
-            rescored = self.registry.apply_update(
-                block=block, started_s=started
-            )
-            if self._metrics is not None:
-                self._metrics.inc("stream_flushes_total")
-            return rescored
+            if generation is None:
+                generation = self._store.generation
+            return self._flush_pipeline(live, generation, started)
+
+    def _flush_pipeline(self, live, generation: int, started: float) -> int:
+        """Delta block + refresh + re-score; caller holds both locks."""
+        block = self.delta_log.append_block(
+            live, generation=generation, **self._params
+        )
+        self._refresh([str(t.traj_id) for t in live])
+        rescored = self.registry.apply_update(block=block, started_s=started)
+        if self._metrics is not None:
+            self._metrics.inc("stream_flushes_total")
+        return rescored
 
     def evict_before(self, cutoff_t: float) -> int:
         """Slide the window: evict records older than ``cutoff_t``.

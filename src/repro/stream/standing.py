@@ -93,6 +93,7 @@ class StandingQueryRegistry:
         self._event_buffer = int(event_buffer)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
+        self._closed = False
         self._queries: dict[str, StandingQuery] = {}
         self._pool_by_id: dict[str, Trajectory] = {}
         self._pool_index: dict[str, int] = {}
@@ -194,17 +195,25 @@ class StandingQueryRegistry:
         """Register (or replace) a standing query; scores the full pool.
 
         Returns the initial snapshot (seq 1, kind ``"snapshot"``).
+
+        The full-pool scoring pass runs *outside* the registry lock —
+        a large pool would otherwise block every concurrent
+        ``/v1/watch`` poll for its duration.  Callers must hold the
+        engine lock (:meth:`StreamRuntime.register_query` does), which
+        already serialises the scoring against pool-mutating flush and
+        eviction updates; only the install + snapshot event take the
+        registry lock.
         """
         if len(trajectory) == 0:
             raise ValidationError("standing query trajectory is empty")
         qid = str(query_id if query_id is not None else trajectory.traj_id)
         opts = options if options is not None else self._options
         full_opts = opts.with_updates(top_k=None)
+        result = self._engine.link_requests(
+            [LinkRequest(trajectory, options=full_opts)],
+            default_pool=self._pool,
+        )[0]
         with self._lock:
-            result = self._engine.link_requests(
-                [LinkRequest(trajectory, options=full_opts)],
-                default_pool=self._pool,
-            )[0]
             q = StandingQuery(
                 query_id=qid,
                 trajectory=trajectory,
@@ -230,6 +239,16 @@ class StandingQueryRegistry:
             q.events.append(event)
             self._cond.notify_all()
             return self._snapshot_locked(q)
+
+    def close(self) -> None:
+        """Wake every parked watcher; later waits return immediately.
+
+        Called on daemon drain so long-poll threads release promptly
+        instead of running out their full ``wait_ms``.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
     def unregister(self, query_id: str) -> bool:
         with self._lock:
@@ -342,7 +361,7 @@ class StandingQueryRegistry:
         deadline = self._clock() + max(0.0, float(timeout_s))
         with self._cond:
             q = self._require(query_id)
-            while q.seq <= since:
+            while q.seq <= since and not self._closed:
                 remaining = deadline - self._clock()
                 if remaining <= 0:
                     break

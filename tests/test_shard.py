@@ -382,6 +382,90 @@ class TestShardedServer:
 
 
 # ----------------------------------------------------------------------
+# Coordinator-side unit coverage (no fork): plan-drift detection and
+# the bounded rehydration ledger.
+# ----------------------------------------------------------------------
+class TestPlanDriftDetection:
+    def test_generation_only_change_flags_drift(self, engine, pool,
+                                                tmp_path):
+        # An eviction that only masks records mutates pool *content*
+        # while the id list (and its order) stays identical; drift must
+        # still be flagged via the store generation recorded at plan
+        # time.
+        from repro.service.state import ServiceState
+        from repro.service.supervisor import ShardSupervisor
+        from repro.store import TrajectoryStore
+
+        store = TrajectoryStore.create(tmp_path / "drift-store", pool)
+        state = ServiceState(
+            engine=engine, pool=list(store.load()), options=RANKING,
+            store=store,
+        )
+        sup = ShardSupervisor(state, 2)
+        assert sup.plan_drift() is False
+        # cutoff just past the earliest record: at least one record is
+        # masked, and (checked below) no trajectory vanishes entirely,
+        # so the id list is untouched.
+        cutoff = min(float(t.ts[0]) for t in state.pool) + 1e-6
+        assert all(float(t.ts[-1]) >= cutoff for t in state.pool)
+        assert store.expire_before(cutoff) >= 1
+        state.refresh_pool()
+        assert [t.traj_id for t in state.pool] == sup._pool_ids
+        assert sup.plan_drift() is True
+        assert state.metrics.counter("shard_plan_drift_total") == 1
+        # steady state: no repeat warning/counter while still stale
+        assert sup.plan_drift() is True
+        assert state.metrics.counter("shard_plan_drift_total") == 1
+
+
+class TestSessionLedgerBounds:
+    def _supervisor(self, engine, pool):
+        from repro.service.state import ServiceState
+        from repro.service.supervisor import ShardSupervisor
+
+        state = ServiceState(engine=engine, pool=list(pool), options=RANKING)
+        return ShardSupervisor(state, 2), state
+
+    def test_eviction_cutoff_compacts_query_history(self, engine, pool):
+        from repro.service.supervisor import _SessionEntry
+
+        sup, _state = self._supervisor(engine, pool)
+        entry = _SessionEntry("s", created_at=0.0, last_used_at=0.0)
+        entry.query_history = [
+            [[10.0, 0.0, 0.0], [50.0, 1.0, 1.0]],
+            [[200.0, 2.0, 2.0]],
+        ]
+        entry.expire_before = 100.0
+        sup._compact_ledger(entry)
+        assert entry.query_history == [[[200.0, 2.0, 2.0]]]
+
+    def test_record_cap_drops_oldest_and_counts(self, engine, pool,
+                                                monkeypatch):
+        import repro.service.supervisor as supervisor_mod
+        from repro.service.supervisor import _SessionEntry
+
+        monkeypatch.setattr(
+            supervisor_mod, "MAX_QUERY_HISTORY_RECORDS", 5
+        )
+        sup, state = self._supervisor(engine, pool)
+        entry = _SessionEntry("s", created_at=0.0, last_used_at=0.0)
+        entry.query_history = [
+            [[float(i), 0.0, 0.0] for i in range(4)],
+            [[float(10 + i), 0.0, 0.0] for i in range(4)],
+        ]
+        sup._compact_ledger(entry)
+        kept = [r for batch in entry.query_history for r in batch]
+        assert len(kept) == 5
+        # newest records survive, oldest were dropped
+        assert kept == [[3.0, 0.0, 0.0]] + [
+            [float(10 + i), 0.0, 0.0] for i in range(4)
+        ]
+        assert state.metrics.counter(
+            "session_ledger_truncated_records_total"
+        ) == 3
+
+
+# ----------------------------------------------------------------------
 # Streaming over a store-backed sharded daemon: frozen-plan drift
 # detection and worker-session rehydration.  The single-process
 # streaming surface is covered in tests/test_stream.py.

@@ -335,6 +335,82 @@ class TestExpireBoundary:
 
 
 # ----------------------------------------------------------------------
+# Atomic flush pipeline: append + delta block under one critical section
+# ----------------------------------------------------------------------
+class TestAppendFlushAtomicity:
+    def test_concurrent_flushes_keep_coverage_contiguous(
+        self, rng, tmp_path, fitted_models
+    ):
+        """Racing session flushes must never mis-stamp a delta block.
+
+        Before the store append moved inside the runtime lock, two
+        concurrent flushes could both read the second append's
+        generation: one block got the wrong stamp (or raised
+        "already exists"), leaving a permanent coverage gap that turned
+        every union-view open and background merge into a
+        StaleIndexError.
+        """
+        mr, ma = fitted_models
+        store = TrajectoryStore.create(tmp_path / "s", _random_db(rng, 3))
+        store.build_index(**PARAMS)
+        engine = LinkEngine(mr, ma, options=RANKING)
+        pool = list(store.load())
+        runtime = StreamRuntime(store, engine, pool, RANKING)
+        n_threads = 8
+        deltas = [
+            [_random_traj(np.random.default_rng(i), 3, f"race{i}")]
+            for i in range(n_threads)
+        ]
+        barrier = threading.Barrier(n_threads)
+        errors: list[Exception] = []
+
+        def flush(i):
+            barrier.wait()
+            try:
+                runtime.append_flush(deltas[i])
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=flush, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        log = runtime.delta_log
+        assert len(log.entries()) == n_threads
+        # one block per committed generation, no gaps, distinct stamps
+        assert log.covered_entries() == log.entries()
+        gens = [gen for gen, _kind, _path in log.entries()]
+        assert len(set(gens)) == n_threads
+        view = StreamIndexView.open(store)
+        assert view.n_blocks == n_threads
+        assert {f"race{i}" for i in range(n_threads)} <= {
+            str(t.traj_id) for t in pool
+        }
+
+    def test_append_flush_returns_segment_and_skips_empty(
+        self, rng, tmp_path, fitted_models
+    ):
+        mr, ma = fitted_models
+        store = TrajectoryStore.create(tmp_path / "s", _random_db(rng, 2))
+        store.build_index(**PARAMS)
+        engine = LinkEngine(mr, ma, options=RANKING)
+        runtime = StreamRuntime(store, engine, list(store.load()), RANKING)
+        flushed, segment = runtime.append_flush([Trajectory.empty("void")])
+        assert (flushed, segment) == (0, None)
+        assert runtime.delta_log.entries() == []
+        flushed, segment = runtime.append_flush(
+            [_random_traj(rng, 3, "fresh")]
+        )
+        assert flushed == 3
+        assert segment == store.manifest.segments[-1].dirname
+
+
+# ----------------------------------------------------------------------
 # Standing queries: the bit-identity invariant
 # ----------------------------------------------------------------------
 def _fresh_ranking(fitted_models, query, options, pool):
@@ -517,6 +593,23 @@ class TestWatchEvents:
         registry, _pool = self._registry(fitted_models, small_pair)
         with pytest.raises(ValidationError, match="unknown standing query"):
             registry.wait_events("nope", since=0)
+
+    def test_close_wakes_parked_watcher(self, fitted_models, small_pair):
+        # Daemon drain: close() must release long-polls immediately
+        # instead of letting them run out their full wait_ms.
+        registry, _pool = self._registry(fitted_models, small_pair,
+                                         event_buffer=16)
+        results = []
+
+        def waiter():
+            results.append(registry.wait_events("w", since=1, timeout_s=30.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        registry.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results[0]["events"] == []
 
 
 # ----------------------------------------------------------------------
