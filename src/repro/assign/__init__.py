@@ -1,0 +1,52 @@
+"""Sparse global one-to-one assignment over blocked pair graphs.
+
+The investigation scenario solved at pool scale: build a sparse cost
+graph over only the pairs spatio-temporal blocking keeps
+(:mod:`repro.assign.graph`), score every edge in one batch pass
+through the :class:`~repro.core.engine.LinkEngine`, split into
+connected components and solve each exactly
+(:mod:`repro.assign.solver`), and compare the matching's precision@1
+against independent per-query ranking
+(:mod:`repro.assign.evaluate`).  Exposed as ``ftl assign`` on the CLI
+and ``/v1/assign`` on the serving daemon; see ``docs/assignment.md``.
+"""
+
+from repro.assign.evaluate import (
+    AssignmentEvaluation,
+    evaluate_assignment,
+    independent_top1,
+    precision_at_1,
+)
+from repro.assign.graph import (
+    PERMISSIVE_LINK_OPTIONS,
+    CostGraph,
+    build_cost_graph,
+    graph_from_link_results,
+)
+from repro.assign.solver import (
+    BACKENDS,
+    TIE_BREAK,
+    GlobalAssignment,
+    resolve_backend,
+    scipy_available,
+    solve,
+    split_components,
+)
+
+__all__ = [
+    "AssignmentEvaluation",
+    "BACKENDS",
+    "CostGraph",
+    "GlobalAssignment",
+    "PERMISSIVE_LINK_OPTIONS",
+    "TIE_BREAK",
+    "build_cost_graph",
+    "evaluate_assignment",
+    "graph_from_link_results",
+    "independent_top1",
+    "precision_at_1",
+    "resolve_backend",
+    "scipy_available",
+    "solve",
+    "split_components",
+]

@@ -126,9 +126,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     assign.add_argument("name", help="catalog entry name")
     assign.add_argument(
-        "--method", default="optimal", choices=("greedy", "optimal")
+        "--method", default="optimal",
+        choices=("greedy", "optimal", "auto", "sparse", "reference"),
+        help="'optimal' picks the exact solver (sparse scipy LSA, or "
+             "the dense networkx reference without scipy); the rest "
+             "name repro.assign backends directly",
     )
     assign.add_argument("--min-score", type=float, default=1e-6)
+    assign.add_argument("--no-blocking", action="store_true",
+                        help="score the dense |Q| x |C| pool instead of "
+                             "only ST-index-blocked pairs")
+    assign.add_argument("--json", action="store_true",
+                        help="print the evaluation report as JSON")
     assign.add_argument("--seed", type=int, default=0)
 
     holdout = sub.add_parser(
@@ -406,22 +415,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_assign(args: argparse.Namespace) -> int:
-    from repro.core.assignment import assign_queries
-    from repro.core.models import CompatibilityModel
+    import json as json_mod
+
+    from repro.assign import evaluate_assignment
+    from repro.assign.solver import scipy_available
 
     rng = np.random.default_rng(args.seed)
     pair = build_scenario(args.name)
     config = FTLConfig()
-    mr = CompatibilityModel.fit_rejection([pair.p_db, pair.q_db], config)
-    ma = CompatibilityModel.fit_acceptance([pair.p_db, pair.q_db], config, rng)
-    assignment = assign_queries(
-        pair.p_db, pair.q_db, mr, ma,
-        method=args.method, min_score=args.min_score,
+    if args.method == "optimal":
+        # Exact either way: sparse LSA with scipy, dense networkx without.
+        backend = "sparse" if scipy_available() else "reference"
+    elif args.method == "greedy":
+        backend = "greedy"
+    else:
+        backend = args.method
+    evaluation = evaluate_assignment(
+        pair, config, rng,
+        backend=backend,
+        min_score=args.min_score,
+        use_blocking=not args.no_blocking,
     )
-    print(f"dataset={args.name} method={args.method}")
-    print(f"assigned {len(assignment)}/{len(pair.p_db)} queries, "
+    if args.json:
+        report = evaluation.to_dict()
+        report["dataset"] = args.name
+        report["method"] = args.method
+        print(json_mod.dumps(report, indent=2))
+        return 0
+    assignment = evaluation.assignment
+    graph = evaluation.graph
+    print(f"dataset={args.name} method={args.method} "
+          f"solver={assignment.backend}")
+    print(f"edges {graph.n_edges} of {graph.n_scored_pairs} scored pairs "
+          f"(density {graph.density:.4f}), "
+          f"{assignment.n_components} components")
+    print(f"assigned {len(assignment)}/{len(graph.query_ids)} queries, "
           f"total score {assignment.total_score:.2f}")
     print(f"accuracy over assigned: {assignment.accuracy(pair.truth):.3f}")
+    print(f"precision@1: independent={evaluation.precision_independent:.3f} "
+          f"assignment={evaluation.precision_assignment:.3f} "
+          f"(n={len(evaluation.evaluated_queries)})")
     return 0
 
 

@@ -65,7 +65,13 @@ def greedy_assignment(scores: ScoreTriples, min_score: float = 0.0) -> Assignmen
     when neither endpoint is taken yet.
     """
     usable = _validated(scores, min_score)
-    usable.sort(key=lambda item: -item[2])
+    # Deterministic tie-break: (-score, input order).  With triples
+    # produced in (query_index, candidate_index) order this is exactly
+    # the subsystem-wide (-score, query_index, candidate_index) key of
+    # repro.assign.solver.TIE_BREAK; the stable sort made it implicit
+    # before, this makes it explicit.
+    order = sorted(range(len(usable)), key=lambda i: (-usable[i][2], i))
+    usable = [usable[i] for i in order]
     taken_q: set[object] = set()
     taken_c: set[object] = set()
     pairs: dict[object, object] = {}
@@ -81,8 +87,17 @@ def greedy_assignment(scores: ScoreTriples, min_score: float = 0.0) -> Assignmen
 
 
 def optimal_assignment(scores: ScoreTriples, min_score: float = 0.0) -> Assignment:
-    """Exact maximum-weight bipartite matching over the score graph."""
+    """Exact maximum-weight bipartite matching over the score graph.
+
+    Edges enter the graph in explicit (-score, input order) order — the
+    same (-score, query_index, candidate_index) key as
+    :func:`greedy_assignment` when triples arrive index-sorted — so a
+    given input always builds the same graph and yields the same
+    matching (networkx iterates in insertion order).
+    """
     usable = _validated(scores, min_score)
+    order = sorted(range(len(usable)), key=lambda i: (-usable[i][2], i))
+    usable = [usable[i] for i in order]
     graph = nx.Graph()
     for qid, cid, score in usable:
         key_q = ("Q", qid)

@@ -2,39 +2,48 @@
 
 The paper's introduction contemplates "the databases of two *or more*
 service providers": once pairwise links exist, identities can be chained
-(commuting card -> CDR -> credit card) into cross-source identity
-clusters, with each additional hop enriching the merged trajectory
-further.
+(commuting card -> CDR -> wifi) into cross-source identity clusters,
+with each additional hop enriching the merged trajectory further.
 
 :func:`chain_assignments` composes one-to-one assignments along a chain
-of database hops and reports the surviving end-to-end identity chains;
-:func:`link_chain` is the end-to-end helper that fits models and runs
-the global assignment for each consecutive database pair.
+of database hops into end-to-end identity chains, propagating a
+per-chain **confidence** (the product of the hop edges' Eq. 2 scores)
+and pruning chains that fall under a confidence floor;
+:func:`link_chain` is the end-to-end helper that fits models per
+consecutive pair and solves each hop as a sparse global assignment
+through :mod:`repro.assign` (blocked cost graph, one batch engine pass
+per hop, exact component-wise solve).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.config import FTLConfig
-from repro.core.assignment import assign_queries
 from repro.core.database import TrajectoryDatabase
 from repro.core.models import CompatibilityModel
 from repro.core.trajectory import Trajectory
 from repro.errors import ValidationError
+
+#: ``link_chain`` hop-solver choices; ``optimal``/``greedy`` are the
+#: historical names, the rest name :mod:`repro.assign.solver` backends.
+CHAIN_METHODS = ("optimal", "greedy", "auto", "sparse", "reference")
 
 
 @dataclass(frozen=True)
 class IdentityChain:
     """One linked identity across the database chain.
 
-    ``ids[k]`` is the trajectory id in the k-th database of the chain.
+    ``ids[k]`` is the trajectory id in the k-th database of the chain;
+    ``confidence`` is the product of the chain's per-hop link scores
+    (1.0 when the hops carried no scores, e.g. plain id mappings).
     """
 
     ids: tuple[object, ...]
+    confidence: float = field(default=1.0, compare=False)
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -49,7 +58,9 @@ class IdentityChain:
 
 
 def chain_assignments(
-    hops: Sequence[Mapping[object, object]]
+    hops: Sequence[Mapping[object, object]],
+    hop_scores: Sequence[Mapping[object, float]] | None = None,
+    min_confidence: float = 0.0,
 ) -> list[IdentityChain]:
     """Compose per-hop id mappings into end-to-end identity chains.
 
@@ -57,9 +68,23 @@ def chain_assignments(
     Only chains that survive *every* hop are returned (a missing link at
     any hop drops the identity, which keeps precision high at the cost
     of recall — the right default for investigation workloads).
+
+    ``hop_scores[k]``, when given, maps database-``k`` ids to the Eq. 2
+    score of that hop's assigned edge; a chain's confidence is the
+    product over its hops (so it is non-increasing in chain length —
+    each extra fallible hop can only lower it).  Chains with confidence
+    strictly below ``min_confidence`` are pruned.
     """
     if not hops:
         raise ValidationError("need at least one hop")
+    if hop_scores is not None and len(hop_scores) != len(hops):
+        raise ValidationError(
+            f"{len(hop_scores)} hop_scores for {len(hops)} hops"
+        )
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValidationError(
+            f"min_confidence must be in [0, 1], got {min_confidence}"
+        )
     chains: list[IdentityChain] = []
     for start_id, next_id in hops[0].items():
         ids = [start_id, next_id]
@@ -70,9 +95,31 @@ def chain_assignments(
                 alive = False
                 break
             ids.append(following)
-        if alive:
-            chains.append(IdentityChain(ids=tuple(ids)))
+        if not alive:
+            continue
+        confidence = 1.0
+        if hop_scores is not None:
+            for k in range(len(hops)):
+                confidence *= hop_scores[k].get(ids[k], 1.0)
+        if confidence < min_confidence:
+            continue
+        chains.append(IdentityChain(ids=tuple(ids), confidence=confidence))
     return chains
+
+
+def _hop_backend(method: str) -> str:
+    """Map the historical method names onto solver backends."""
+    from repro.assign.solver import scipy_available
+
+    if method not in CHAIN_METHODS:
+        raise ValidationError(
+            f"unknown method {method!r}; known: {CHAIN_METHODS}"
+        )
+    if method == "optimal":
+        # Exact either way: sparse LSA when scipy is present, the dense
+        # networkx reference otherwise (never the greedy approximation).
+        return "sparse" if scipy_available() else "reference"
+    return method
 
 
 def link_chain(
@@ -81,24 +128,45 @@ def link_chain(
     rng: np.random.Generator,
     method: str = "optimal",
     min_score: float = 1e-6,
+    min_confidence: float = 0.0,
 ) -> list[IdentityChain]:
     """Fit, assign and chain across three or more databases.
 
     For each consecutive pair a fresh (Mr, Ma) model pair is fitted on
-    that pair's data and a global one-to-one assignment computed; the
-    per-hop assignments are then composed.
+    that pair's data, a blocked sparse cost graph scored in one engine
+    pass, and the hop solved as an exact global assignment; the per-hop
+    assignments are then composed with confidence propagation.
     """
+    from repro.assign.graph import PERMISSIVE_LINK_OPTIONS, build_cost_graph
+    from repro.assign.solver import solve
+    from repro.core.engine import LinkEngine
+    from repro.store.stindex import SpatioTemporalIndex
+
     if len(databases) < 2:
         raise ValidationError("need at least two databases to chain")
+    backend = _hop_backend(method)
     hops: list[Mapping[object, object]] = []
+    hop_scores: list[Mapping[object, float]] = []
     for left, right in zip(databases, databases[1:]):
         mr = CompatibilityModel.fit_rejection([left, right], config)
         ma = CompatibilityModel.fit_acceptance([left, right], config, rng)
-        assignment = assign_queries(
-            left, right, mr, ma, method=method, min_score=min_score
+        engine = LinkEngine(mr, ma)
+        blocking = SpatioTemporalIndex.build(
+            right, vmax_kph=config.vmax_kph, reach_gap_s=config.horizon_s
         )
+        graph = build_cost_graph(
+            engine,
+            list(left),
+            blocking=blocking,
+            options=PERMISSIVE_LINK_OPTIONS,
+            min_score=min_score,
+        )
+        assignment = solve(graph, backend=backend)
         hops.append(assignment.pairs)
-    return chain_assignments(hops)
+        hop_scores.append(assignment.scores)
+    return chain_assignments(
+        hops, hop_scores=hop_scores, min_confidence=min_confidence
+    )
 
 
 def enrich_chain(

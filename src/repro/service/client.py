@@ -46,8 +46,9 @@ _WIRE_FIELDS = ("method", "alpha1", "alpha2", "phi_r", "top_k")
 #: speaks v1 but callers may pass legacy paths to
 #: :meth:`ServiceClient.request` directly.
 _IDEMPOTENT_PATHS = (
-    "/v1/link", "/v1/queries", "/v1/watch", "/v1/healthz", "/v1/metrics",
-    "/link", "/queries", "/watch", "/healthz", "/metrics",
+    "/v1/link", "/v1/assign", "/v1/queries", "/v1/watch", "/v1/healthz",
+    "/v1/metrics",
+    "/link", "/assign", "/queries", "/watch", "/healthz", "/metrics",
 )
 
 #: Exceptions that mean "the transport failed", as opposed to a parsed
@@ -238,6 +239,44 @@ class ServiceClient:
         if timeout_ms is not None:
             body["timeout_ms"] = timeout_ms
         return result_from_wire(envelope_data(self.link_raw(body)))
+
+    def assign_raw(self, body: dict) -> dict:
+        """POST a pre-built ``/v1/assign`` body; returns the full
+        response envelope (``data`` + scatter-gather provenance)."""
+        return self.request("POST", "/v1/assign", body)
+
+    def assign(
+        self,
+        queries: Iterable[Trajectory],
+        options: LinkOptions | None = None,
+        min_score: float | None = None,
+        solver: str | None = None,
+    ) -> dict:
+        """Solve a global one-to-one assignment over the resident pool.
+
+        Returns the assignment payload (``matches``, ``unassigned``,
+        ``total_score``, ``solver``, component/edge counts).  Omitting
+        ``options`` scores with the daemon's permissive score-all
+        semantics; omitting ``solver`` picks the best available
+        backend.  See ``docs/assignment.md``.
+        """
+        if options is not None and options.prefilter is not None:
+            raise ValidationError(
+                "prefilter cannot be sent over the wire; configure it "
+                "on the server's LinkOptions"
+            )
+        body: dict = {
+            "queries": [trajectory_to_wire(q) for q in queries]
+        }
+        if options is not None:
+            body["options"] = {
+                field: getattr(options, field) for field in _WIRE_FIELDS
+            }
+        if min_score is not None:
+            body["min_score"] = min_score
+        if solver is not None:
+            body["solver"] = solver
+        return envelope_data(self.assign_raw(body))
 
     def register_query(
         self,

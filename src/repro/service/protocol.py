@@ -43,7 +43,9 @@ API_VERSION = "v1"
 
 #: Endpoint suffixes served under ``/v1/`` (bare legacy paths are
 #: deprecated aliases; see ``docs/api-v1.md``).
-V1_ENDPOINTS = ("link", "ingest", "queries", "watch", "healthz", "metrics")
+V1_ENDPOINTS = (
+    "link", "assign", "ingest", "queries", "watch", "healthz", "metrics"
+)
 
 #: ``LinkOptions`` fields settable over the wire.  ``prefilter`` is
 #: deliberately absent: it is a live object, not a serialisable value.
@@ -238,6 +240,85 @@ def result_from_wire(obj) -> LinkResult:
         )
     except (KeyError, TypeError) as exc:
         raise ProtocolError(f"malformed link result on the wire: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# /assign
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AssignWireRequest:
+    """A parsed ``/assign`` request body."""
+
+    queries: tuple[Trajectory, ...]
+    options: LinkOptions
+    min_score: float
+    solver: str
+
+
+def assign_request_from_wire(obj, base_options: LinkOptions) -> AssignWireRequest:
+    """Parse and validate one ``/assign`` body.
+
+    Schema::
+
+        {"queries": [<trajectory>, ...],     # required, non-empty
+         "options": {"method": ..., ...},    # optional; default scores
+                                             #   every pair (see below)
+         "min_score": 1e-6,                  # optional edge threshold
+         "solver": "auto"}                   # optional assign backend
+
+    When ``options`` is absent the daemon scores with the subsystem's
+    permissive score-all semantics
+    (:data:`repro.assign.graph.PERMISSIVE_LINK_OPTIONS`) so the solver
+    sees every positive-score edge; an explicit ``options`` object is
+    applied on top of the server defaults, exactly like ``/link``
+    (``top_k`` is forced off either way — a truncated ranking would
+    silently drop edges).
+    """
+    from repro.assign.graph import PERMISSIVE_LINK_OPTIONS
+    from repro.assign.solver import BACKENDS
+
+    body = _require_object(obj, "request")
+    unknown = set(body) - {"queries", "options", "min_score", "solver"}
+    if unknown:
+        raise ProtocolError(f"request has unknown keys: {sorted(unknown)}")
+    raw = body.get("queries")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(
+            "request needs a non-empty 'queries' array of trajectories"
+        )
+    queries = tuple(
+        trajectory_from_wire(q, f"queries[{i}]") for i, q in enumerate(raw)
+    )
+    ids = [q.traj_id for q in queries]
+    if any(i is None for i in ids):
+        raise ProtocolError(
+            "every assign query needs a traj_id (it keys the matching)"
+        )
+    if len(set(ids)) != len(ids):
+        raise ProtocolError("assign queries have duplicate traj_ids")
+    options = (
+        options_from_wire(body["options"], base_options)
+        if body.get("options") is not None
+        else PERMISSIVE_LINK_OPTIONS
+    )
+    if options.top_k is not None:
+        options = options.with_updates(top_k=None)
+    min_score = body.get("min_score", 1e-6)
+    if not isinstance(min_score, (int, float)) or min_score < 0:
+        raise ProtocolError(
+            f"min_score must be a number >= 0, got {min_score!r}"
+        )
+    solver = body.get("solver", "auto")
+    if not isinstance(solver, str) or solver not in BACKENDS:
+        raise ProtocolError(
+            f"solver must be one of {list(BACKENDS)}, got {solver!r}"
+        )
+    return AssignWireRequest(
+        queries=queries,
+        options=options,
+        min_score=float(min_score),
+        solver=solver,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -619,6 +619,9 @@ class LinkServer:
             if path == "/link":
                 self._require_method(method, "POST")
                 return 200, await self._handle_link(body)
+            if path == "/assign":
+                self._require_method(method, "POST")
+                return 200, await self._handle_assign(body)
             if path == "/ingest":
                 self._require_method(method, "POST")
                 return 200, self._envelope(
@@ -638,8 +641,8 @@ class LinkServer:
                 "error": {
                     "type": "NotFound",
                     "message": f"unknown endpoint {path!r}; known: "
-                               "/v1/link /v1/ingest /v1/queries /v1/watch "
-                               "/v1/healthz /v1/metrics",
+                               "/v1/link /v1/assign /v1/ingest /v1/queries "
+                               "/v1/watch /v1/healthz /v1/metrics",
                     "status": 404,
                 }
             }
@@ -806,6 +809,100 @@ class LinkServer:
             request, timeout_ms=timeout_ms
         )
         return self._envelope(protocol.result_to_wire(result), shards=shards)
+
+    async def _handle_assign(self, body: bytes) -> dict:
+        wire = protocol.assign_request_from_wire(
+            protocol.parse_json_body(body, self._config.max_body_bytes),
+            self._state.options,
+        )
+        self._state.metrics.inc("assign_requests_total")
+        # Scoring a |Q| x |pool| batch is the heaviest request the
+        # daemon serves; it runs on the batch executor (where the span
+        # sink is bound, so edge_scoring/component_split/solve land in
+        # the stage histograms) rather than inline on the loop.
+        data, shards = await asyncio.get_running_loop().run_in_executor(
+            self._executor, self._assign_compute, wire
+        )
+        return self._envelope(data, shards=shards)
+
+    def _assign_compute(
+        self, wire: protocol.AssignWireRequest
+    ) -> tuple[dict, tuple[protocol.ShardInfo, ...]]:
+        """Score the edge set, then solve the global matching.
+
+        Scatter-gather aware: under ``--workers N`` each shard scores
+        its home-cell slice of the pool and ``merge_partials`` restores
+        the exact single-process ranking per query (property-tested in
+        ``tests/test_shard.py``), so the coordinator's solve sees the
+        same edges — and returns the same matching — as an unsharded
+        daemon over the same pool.
+        """
+        from repro.assign import graph_from_link_results, solve
+
+        requests = [
+            LinkRequest(query=q, options=wire.options) for q in wire.queries
+        ]
+        pool_ids = [t.traj_id for t in self._state.pool]
+        started = self._clock()
+        if self._supervisor is not None:
+            with obs.span("edge_scoring"):
+                scattered = self._supervisor.link_requests(requests)
+            results = [result for result, _ in scattered]
+            shards = self._aggregate_shards(
+                info for _, infos in scattered for info in infos
+            )
+        else:
+            with self._engine_lock:
+                with obs.span("edge_scoring"):
+                    results = self._state.engine.link_requests(
+                        requests, default_pool=self._state.pool
+                    )
+            elapsed_ms = round((self._clock() - started) * 1e3, 3)
+            shards = (
+                protocol.ShardInfo(
+                    shard=0,
+                    pid=os.getpid(),
+                    n_candidates=len(pool_ids) * len(requests),
+                    n_matched=sum(len(r.candidates) for r in results),
+                    elapsed_ms=elapsed_ms,
+                ),
+            )
+        graph = graph_from_link_results(
+            results,
+            [q.traj_id for q in wire.queries],
+            pool_ids,
+            wire.min_score,
+            len(pool_ids) * len(requests),
+        )
+        assignment = solve(graph, backend=wire.solver)
+        data = assignment.to_dict()
+        data["unassigned"] = assignment.unassigned(graph.query_ids)
+        data["density"] = graph.density
+        return data, shards
+
+    @staticmethod
+    def _aggregate_shards(
+        infos,
+    ) -> tuple[protocol.ShardInfo, ...]:
+        """Per-shard totals across an assign request's scattered batches."""
+        agg: dict[int, dict] = {}
+        for info in infos:
+            cur = agg.setdefault(
+                info.shard,
+                {
+                    "pid": info.pid,
+                    "n_candidates": 0,
+                    "n_matched": 0,
+                    "elapsed_ms": 0.0,
+                },
+            )
+            cur["n_candidates"] += info.n_candidates
+            cur["n_matched"] += info.n_matched
+            cur["elapsed_ms"] = max(cur["elapsed_ms"], info.elapsed_ms)
+        return tuple(
+            protocol.ShardInfo(shard=shard, **agg[shard])
+            for shard in sorted(agg)
+        )
 
     def _handle_ingest(self, body: bytes) -> dict:
         wire = protocol.ingest_request_from_wire(

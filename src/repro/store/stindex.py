@@ -201,6 +201,10 @@ class SpatioTemporalIndex:
         # Euclidean distance <= R = vmax * gap (see module docstring).
         reach_m = kph_to_mps(self._vmax_kph) * self._reach_gap_s
         self._dilation = int(math.floor(reach_m / self._cell_size_m)) + 1
+        # Bounding cells over the whole index, computed lazily from the
+        # cell keys (or seeded from persisted meta by open()).
+        self._bounds: tuple[int, int, int, int] | None = None
+        self._bounds_computed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -372,6 +376,61 @@ class SpatioTemporalIndex:
             return np.ones(len(self._ids), dtype=bool)
         return self._spatial_mask(query)
 
+    def bounding_cells(self) -> tuple[int, int, int, int] | None:
+        """``(min_cx, max_cx, min_cy, max_cy)`` over all indexed cells.
+
+        ``None`` when the index holds no cells.  The packed keys invert
+        exactly (``cx + bias < mult``), so the bounds are derived from
+        the unpacked per-axis coordinates — never from min/max of the
+        packed keys, whose order mixes the axes.  Persisted in
+        ``meta.json`` so delta blocks carry their bounds from flush
+        time without touching the mmap.
+        """
+        if not self._bounds_computed:
+            if self._cells.size:
+                cx = self._cells // _MULT - _BIAS
+                cy = self._cells % _MULT - _BIAS
+                self._bounds = (
+                    int(cx.min()), int(cx.max()),
+                    int(cy.min()), int(cy.max()),
+                )
+            else:
+                self._bounds = None
+            self._bounds_computed = True
+        return self._bounds
+
+    def overlaps_query_reach(self, query: Trajectory) -> bool:
+        """Coarse screen: could *any* indexed cell survive the spatial mask?
+
+        ``False`` is a proof that :meth:`spatial_mask` would be
+        all-``False`` for this query — the query's cells dilated by the
+        Chebyshev reach radius cannot intersect the index's bounding
+        rectangle on at least one axis — so a caller holding several
+        structures (the streaming union view) may skip the full probe.
+        ``True`` means "maybe": the rectangles overlap, or the query is
+        empty / out of packing range (where the mask falls back to
+        keeping everything and must not be skipped).
+        """
+        if len(query) == 0:
+            return True
+        bounds = self.bounding_cells()
+        if bounds is None:
+            # No cells: the full mask is all-False, skipping is exact.
+            return False
+        base = pack_cell_keys(query.xs, query.ys, self._cell_size_m)
+        if base is None:
+            return True
+        cx = base // _MULT - _BIAS
+        cy = base % _MULT - _BIAS
+        k = self._dilation
+        min_cx, max_cx, min_cy, max_cy = bounds
+        return not (
+            int(cx.max()) + k < min_cx
+            or int(cx.min()) - k > max_cx
+            or int(cy.max()) + k < min_cy
+            or int(cy.min()) - k > max_cy
+        )
+
     def affected_ids(self, query: Trajectory, horizon_s: float) -> list[str]:
         """Ids whose indexed window lies within ``horizon_s`` of the query.
 
@@ -485,6 +544,11 @@ class SpatioTemporalIndex:
                 "n_candidates": len(self._ids),
                 "n_cells": int(self._cells.size),
                 "n_postings": int(self._postings.size),
+                "bounding_cells": (
+                    list(self.bounding_cells())
+                    if self.bounding_cells() is not None
+                    else None
+                ),
             },
         )
 
@@ -593,7 +657,7 @@ class SpatioTemporalIndex:
                     f"{index_dir}: indexed ids missing from the database "
                     f"(first: {missing[0]!r}); rebuild the index"
                 )
-        return cls(
+        index = cls(
             db,
             [str(i) for i in ids],
             loaded["starts.f64"],
@@ -605,3 +669,10 @@ class SpatioTemporalIndex:
             float(meta["vmax_kph"]),
             float(meta["reach_gap_s"]),
         )
+        if "bounding_cells" in meta:
+            bounds = meta["bounding_cells"]
+            index._bounds = (
+                tuple(int(v) for v in bounds) if bounds is not None else None
+            )
+            index._bounds_computed = True
+        return index

@@ -323,7 +323,15 @@ class StreamIndexView:
         keep = overlap >= min_overlap_s
         spatial = np.zeros(len(self._ids), dtype=bool)
         for s, rows in zip(self._structures, self._rowmaps):
-            if rows.size:
+            # Coarse per-block screen first: each block's bounding
+            # cells are recorded in its meta at flush time, so a block
+            # provably outside the query's dilated reach is skipped
+            # without probing its postings.  Exactly equivalent — a
+            # screened-out block's spatial_mask is all-False — so the
+            # union superset contract is untouched (the screen answers
+            # True for empty / out-of-range queries, where the mask
+            # falls back to keeping everything).
+            if rows.size and s.overlaps_query_reach(query):
                 spatial[rows] |= s.spatial_mask(query)
         return keep & spatial & self._present
 

@@ -46,6 +46,54 @@ class TestChainAssignments:
             chain_assignments([])
 
 
+class TestConfidencePropagation:
+    def test_confidence_is_product_of_hop_scores(self):
+        hop1 = {"a1": "b1", "a2": "b2"}
+        hop2 = {"b1": "c1", "b2": "c2"}
+        scores = [{"a1": 0.8, "a2": 0.5}, {"b1": 0.9, "b2": 0.4}]
+        chains = chain_assignments([hop1, hop2], hop_scores=scores)
+        by_head = {c.head: c for c in chains}
+        assert by_head["a1"].confidence == pytest.approx(0.8 * 0.9)
+        assert by_head["a2"].confidence == pytest.approx(0.5 * 0.4)
+
+    def test_confidence_defaults_to_one_without_scores(self):
+        chains = chain_assignments([{"a": "b"}, {"b": "c"}])
+        assert all(c.confidence == 1.0 for c in chains)
+
+    def test_missing_score_counts_as_one(self):
+        chains = chain_assignments(
+            [{"a": "b"}, {"b": "c"}], hop_scores=[{"a": 0.5}, {}]
+        )
+        assert chains[0].confidence == pytest.approx(0.5)
+
+    def test_confidence_monotone_nonincreasing_with_hops(self):
+        """Each extra hop can only shrink (or keep) chain confidence."""
+        scores = [{"a": 0.9}, {"b": 0.7}, {"c": 0.6}]
+        hops = [{"a": "b"}, {"b": "c"}, {"c": "d"}]
+        prev = 1.0
+        for k in range(1, len(hops) + 1):
+            chains = chain_assignments(hops[:k], hop_scores=scores[:k])
+            assert chains[0].confidence <= prev
+            prev = chains[0].confidence
+
+    def test_min_confidence_prunes_weak_chains(self):
+        hop1 = {"a1": "b1", "a2": "b2"}
+        hop2 = {"b1": "c1", "b2": "c2"}
+        scores = [{"a1": 0.9, "a2": 0.2}, {"b1": 0.9, "b2": 0.2}]
+        chains = chain_assignments(
+            [hop1, hop2], hop_scores=scores, min_confidence=0.5
+        )
+        assert [c.head for c in chains] == ["a1"]
+
+    def test_hop_scores_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            chain_assignments([{"a": "b"}], hop_scores=[{}, {}])
+
+    def test_min_confidence_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            chain_assignments([{"a": "b"}], min_confidence=1.5)
+
+
 class TestChainAccuracy:
     def test_all_correct(self):
         chains = [IdentityChain(("a", "b", "c"))]
@@ -110,6 +158,39 @@ class TestLinkChain:
         chains = link_chain(databases, FTLConfig(), rng)
         assert len(chains) >= 0.5 * len(databases[0])
         assert chain_accuracy(chains, truths) >= 0.7
+
+    def test_chains_carry_link_confidence(self, three_source_scenario):
+        databases, _truths = three_source_scenario
+        rng = np.random.default_rng(0)
+        chains = link_chain(databases, FTLConfig(), rng)
+        assert all(0.0 < c.confidence <= 1.0 for c in chains)
+        # With real (noisy) hops at least one chain must be uncertain.
+        assert any(c.confidence < 1.0 for c in chains)
+
+    def test_min_confidence_filters_link_chain(self, three_source_scenario):
+        databases, _truths = three_source_scenario
+        rng = np.random.default_rng(0)
+        all_chains = link_chain(databases, FTLConfig(), rng)
+        threshold = sorted(c.confidence for c in all_chains)[len(all_chains) // 2]
+        rng = np.random.default_rng(0)
+        kept = link_chain(
+            databases, FTLConfig(), rng, min_confidence=threshold
+        )
+        assert 0 < len(kept) < len(all_chains)
+        assert all(c.confidence >= threshold for c in kept)
+
+    def test_greedy_method_also_chains(self, three_source_scenario):
+        databases, truths = three_source_scenario
+        rng = np.random.default_rng(0)
+        chains = link_chain(databases, FTLConfig(), rng, method="greedy")
+        assert len(chains) >= 0.5 * len(databases[0])
+        assert chain_accuracy(chains, truths) >= 0.7
+
+    def test_unknown_method_rejected(self, three_source_scenario):
+        databases, _truths = three_source_scenario
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            link_chain(databases, FTLConfig(), rng, method="hungarian-dense")
 
     def test_requires_two_databases(self, three_source_scenario):
         databases, _truths = three_source_scenario

@@ -185,6 +185,85 @@ class TestLinkEndpoint:
             assert results[tid] == expected[tid % len(queries)]
 
 
+class TestAssignEndpoint:
+    def test_matches_local_library_assignment(
+        self, client, engine, pool, queries
+    ):
+        """/v1/assign == build_cost_graph + solve over the same pool.
+
+        The CLI path (`ftl assign`) goes through exactly this library
+        pipeline, so this also pins CLI/service matching identity.
+        """
+        from repro.assign import build_cost_graph, solve
+
+        local = solve(
+            build_cost_graph(engine, queries, pool, options=RANKING),
+            backend="auto",
+        )
+        data = client.assign(queries)
+        assert {
+            m["query_id"]: m["candidate_id"] for m in data["matches"]
+        } == dict(local.pairs)
+        assert {
+            m["query_id"]: m["score"] for m in data["matches"]
+        } == dict(local.scores)
+        assert data["total_score"] == local.total_score
+        assert data["solver"] == local.backend
+        assert data["n_components"] == local.n_components
+        assert data["n_edges"] == local.n_edges
+        assert sorted(data["unassigned"]) == sorted(
+            local.unassigned([q.traj_id for q in queries])
+        )
+
+    def test_solver_override(self, client, engine, pool, queries):
+        from repro.assign import build_cost_graph, solve
+
+        local = solve(
+            build_cost_graph(engine, queries, pool, options=RANKING),
+            backend="greedy",
+        )
+        data = client.assign(queries, solver="greedy")
+        assert data["solver"] == "greedy"
+        assert {
+            m["query_id"]: m["candidate_id"] for m in data["matches"]
+        } == dict(local.pairs)
+
+    def test_min_score_prunes_edges(self, client, queries):
+        loose = client.assign(queries, min_score=1e-6)
+        tight = client.assign(queries, min_score=0.9)
+        assert tight["n_edges"] <= loose["n_edges"]
+
+    def test_unknown_solver_is_400(self, client, queries):
+        from repro.errors import RemoteServiceError
+        from repro.service.protocol import trajectory_to_wire
+
+        with pytest.raises(RemoteServiceError) as exc:
+            client.assign_raw(
+                {
+                    "queries": [trajectory_to_wire(queries[0])],
+                    "solver": "simplex",
+                }
+            )
+        assert exc.value.status == 400
+
+    def test_empty_queries_is_400(self, client):
+        from repro.errors import RemoteServiceError
+
+        with pytest.raises(RemoteServiceError) as exc:
+            client.assign_raw({"queries": []})
+        assert exc.value.status == 400
+
+    def test_duplicate_query_ids_is_400(self, client, queries):
+        from repro.errors import RemoteServiceError
+        from repro.service.protocol import trajectory_to_wire
+
+        with pytest.raises(RemoteServiceError) as exc:
+            client.assign_raw(
+                {"queries": [trajectory_to_wire(queries[0])] * 2}
+            )
+        assert exc.value.status == 400
+
+
 class TestBodyLimit:
     def test_oversized_body_is_structured_413(self, engine, pool):
         config = ServerConfig(port=0, max_body_bytes=256)
