@@ -21,7 +21,11 @@ Installed as ``ftl`` (see ``pyproject.toml``).  Subcommands:
   persistent columnar trajectory stores (see ``docs/store.md``);
   ``index --incremental`` folds streaming delta blocks into the main
   blocking index and ``expire`` slides the retention window (see
-  ``docs/streaming.md``).
+  ``docs/streaming.md``);
+* ``ftl model fit/inspect/diff/activate`` — manage versioned fitted
+  Mr/Ma model artifacts inside a store (see ``docs/models.md``); a
+  store-backed ``ftl serve`` loads the active artifact, and a running
+  daemon hot-swaps refits via ``POST /v1/admin/model``.
 """
 
 from __future__ import annotations
@@ -263,6 +267,46 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="drop records with timestamp strictly "
                                 "below T (t == T survives)")
 
+    model = sub.add_parser(
+        "model", help="manage versioned fitted Mr/Ma model artifacts"
+    )
+    model_sub = model.add_subparsers(dest="model_command", required=True)
+
+    md_fit = model_sub.add_parser(
+        "fit", help="fit Mr/Ma and persist the artifact into a store"
+    )
+    md_fit.add_argument("dir", help="existing store directory")
+    md_fit.add_argument("--scenario", default=None, metavar="NAME",
+                        help="fit on a catalog scenario's P+Q databases "
+                             "instead of the store's own data")
+    md_fit.add_argument("--max-pairs", type=int, default=None,
+                        help="acceptance-pair cap per database (default: "
+                             "the config's max_acceptance_pairs)")
+    md_fit.add_argument("--activate", action="store_true",
+                        help="point the store's active model at the new "
+                             "artifact")
+    md_fit.add_argument("--seed", type=int, default=0)
+
+    md_inspect = model_sub.add_parser(
+        "inspect", help="print an artifact's config + provenance as JSON"
+    )
+    md_inspect.add_argument("dir", help="existing store directory")
+    md_inspect.add_argument("id", nargs="?", default=None,
+                            help="artifact id (default: the active one)")
+
+    md_diff = model_sub.add_parser(
+        "diff", help="compare two artifacts (config, provenance, tables)"
+    )
+    md_diff.add_argument("dir", help="existing store directory")
+    md_diff.add_argument("a", help="first artifact id")
+    md_diff.add_argument("b", help="second artifact id")
+
+    md_activate = model_sub.add_parser(
+        "activate", help="point the store's active model at an artifact"
+    )
+    md_activate.add_argument("dir", help="existing store directory")
+    md_activate.add_argument("id", help="artifact id to activate")
+
     report = sub.add_parser(
         "report", help="run the mini evaluation and write a markdown report"
     )
@@ -479,6 +523,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     config = FTLConfig()
     store = None
+    mr = ma = None
+    model_artifact_id = None
     if args.store is not None:
         from repro.store import open_store
 
@@ -494,6 +540,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "generation": store.generation,
             "n_segments": len(store.manifest.segments),
         }
+        # A store with an active model artifact serves *that* pair —
+        # the daemon reports which one, and /v1/admin/model can swap a
+        # refit in without a restart.  Stores without one (or written
+        # by the pre-artifact format) fall back to an ad-hoc fit.
+        if store.active_model_id is not None:
+            artifact = store.load_model()
+            mr, ma = artifact.rejection, artifact.acceptance
+            model_artifact_id = artifact.artifact_id
+            provenance["model_artifact"] = model_artifact_id
     else:
         pair = build_scenario(args.name)
         fit_dbs = [pair.p_db, pair.q_db]
@@ -503,8 +558,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "source": "parsed",
             "scenario": args.name,
         }
-    mr = CompatibilityModel.fit_rejection(fit_dbs, config)
-    ma = CompatibilityModel.fit_acceptance(fit_dbs, config, rng)
+    if mr is None:
+        mr = CompatibilityModel.fit_rejection(fit_dbs, config)
+        ma = CompatibilityModel.fit_acceptance(fit_dbs, config, rng)
     options = LinkOptions(
         method=args.method,
         alpha1=args.alpha1,
@@ -532,7 +588,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _serve() -> None:
         server = LinkServer(engine, pool, config=server_config,
-                            store=store, provenance=provenance)
+                            store=store, provenance=provenance,
+                            model_artifact_id=model_artifact_id)
         await server.start()
         server.install_signal_handlers()
         host, port = server.address
@@ -548,7 +605,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.workers > 1:
             print(
                 f"sharded serving: {args.workers} worker processes, "
-                f"pool partitioned by {config.shard_cell_size_m:g} m "
+                f"pool partitioned by {engine.config.shard_cell_size_m:g} m "
                 f"home cells (API under /v1/)",
                 flush=True,
             )
@@ -641,6 +698,48 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
+def _cmd_model(args: argparse.Namespace) -> int:
+    import time as time_mod
+
+    from repro.store import diff_artifacts, fit_model_artifact, open_store
+
+    store = open_store(args.dir)
+    if args.model_command == "fit":
+        rng = np.random.default_rng(args.seed)
+        if args.scenario is not None:
+            pair = build_scenario(args.scenario)
+            databases = [pair.p_db, pair.q_db]
+        else:
+            databases = [store.load()]
+        artifact = fit_model_artifact(
+            databases, FTLConfig(), rng, max_pairs=args.max_pairs
+        )
+        info = store.save_model(
+            artifact, created_at=time_mod.time(), activate=args.activate
+        )
+        active = " (active)" if store.active_model_id == info.artifact_id else ""
+        prov = artifact.provenance
+        print(f"saved {info.artifact_id}{active} in {args.dir}: "
+              f"{prov.n_trajectories} trajectories, "
+              f"{artifact.rejection.n_buckets} buckets, "
+              f"dataset {prov.dataset_hash[:12]}")
+        return 0
+    if args.model_command == "inspect":
+        print(json.dumps(store.load_model(args.id).summary(), indent=2))
+        return 0
+    if args.model_command == "diff":
+        print(json.dumps(
+            diff_artifacts(store.load_model(args.a), store.load_model(args.b)),
+            indent=2,
+        ))
+        return 0
+    if args.model_command == "activate":
+        info = store.activate_model(args.id)
+        print(f"activated {info.artifact_id} in {args.dir}")
+        return 0
+    raise AssertionError(f"unhandled model command {args.model_command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -666,6 +765,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "model":
+        return _cmd_model(args)
     if args.command == "holdout":
         from repro.pipeline.crossval import format_holdout, run_holdout
 

@@ -11,9 +11,9 @@ all decided in one place.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from functools import cached_property
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -175,6 +175,49 @@ class FTLConfig:
     def with_updates(self, **changes: Any) -> "FTLConfig":
         """A copy of this config with the given fields replaced."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot of every dataclass field.
+
+        The single authoritative config serialisation: iterating
+        :func:`dataclasses.fields` means a field added to the dataclass
+        is serialised automatically — the snapshot can never silently
+        drift from the class the way a hand-maintained dict can.
+        (``metric_fn`` is a ``cached_property`` living in the instance
+        ``__dict__``, not a field, so it is naturally excluded.)
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FTLConfig":
+        """Rebuild a config saved by :meth:`to_dict`.
+
+        Missing keys take the dataclass defaults (snapshots written by
+        *older* versions load cleanly).  Unknown keys are rejected with
+        an error that names them — a snapshot carrying fields this
+        version does not know about was written by a *newer* version,
+        and silently dropping its settings would load a different
+        config than the one saved.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValidationError(
+                f"config snapshot must be a mapping, got {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValidationError(
+                f"config snapshot has unknown field(s) {unknown}; it was "
+                "saved by a newer version of this software — upgrade before "
+                "loading it"
+            )
+        try:
+            return cls(**dict(payload))
+        except TypeError as exc:
+            raise ValidationError(f"malformed config snapshot: {exc}") from exc
 
 
 #: Paper default for the Singapore taxi evaluation (Section VII-B).

@@ -61,7 +61,7 @@ from repro.core.models import CompatibilityModel, require_fitted_pair
 from repro.core.trajectory import Trajectory
 from repro.errors import ValidationError
 from repro.kernels import KERNEL_BACKENDS, resolve_kernel_backend
-from repro.obs import span
+from repro.obs import record_evidence, span
 
 #: The two linking algorithms of the paper (Sections IV-D and IV-E).
 METHODS = ("alpha-filter", "naive-bayes")
@@ -695,6 +695,10 @@ class LinkEngine:
                 query, pool, config, self._kernel, flat
             )
             ev = _PoolEvidence(profiles, self._mr.n_buckets)
+            # Feed the context-bound drift sink (no-op when none): the
+            # pool's in-horizon (bucket, incompatible) observations are
+            # exactly the live counterpart of the fitted count tables.
+            record_evidence(ev.buckets, ev.incompatible)
 
         with span("pb_test"):
             if opts.method == "alpha-filter":

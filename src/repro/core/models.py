@@ -262,37 +262,38 @@ class CompatibilityModel:
     # Serialisation (round-trips through repro.io)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """A JSON-serialisable snapshot of the fitted model."""
+        """A JSON-serialisable snapshot of the fitted model.
+
+        The config is serialised through :meth:`FTLConfig.to_dict` —
+        the field-iteration snapshot that cannot drift from the
+        dataclass (a hand-maintained dict here once dropped
+        ``shard_cell_size_m``, silently round-tripping models to a
+        different config).
+        """
         return {
             "kind": self._kind,
             "total": self._counts.total.tolist(),
             "incompatible": self._counts.incompatible.tolist(),
-            "config": {
-                "vmax_kph": self._config.vmax_kph,
-                "time_unit_s": self._config.time_unit_s,
-                "horizon_s": self._config.horizon_s,
-                "metric": self._config.metric,
-                "smoothing": self._config.smoothing,
-                "min_bucket_count": self._config.min_bucket_count,
-                "max_acceptance_pairs": self._config.max_acceptance_pairs,
-                "pb_backend": self._config.pb_backend,
-                "prob_floor": self._config.prob_floor,
-                "kernel_backend": self._config.kernel_backend,
-            },
+            "config": self._config.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CompatibilityModel":
-        """Rebuild a model saved by :meth:`to_dict`."""
+        """Rebuild a model saved by :meth:`to_dict`.
+
+        A config carrying fields this version does not know raises a
+        :class:`ValidationError` naming them (the model was saved by a
+        newer version) rather than a kwargs ``TypeError`` fragment.
+        """
         try:
-            config = FTLConfig(**payload["config"])
-            counts = BucketCounts(
-                np.asarray(payload["total"], dtype=np.int64),
-                np.asarray(payload["incompatible"], dtype=np.int64),
-            )
-            return cls(payload["kind"], counts, config)
+            raw_config = payload["config"]
+            kind = payload["kind"]
+            total = np.asarray(payload["total"], dtype=np.int64)
+            incompatible = np.asarray(payload["incompatible"], dtype=np.int64)
         except (KeyError, TypeError) as exc:
             raise ValidationError(f"malformed model payload: {exc}") from exc
+        config = FTLConfig.from_dict(raw_config)
+        return cls(kind, BucketCounts(total, incompatible), config)
 
     def __repr__(self) -> str:
         return (
@@ -306,20 +307,31 @@ def _sample_distinct_pairs(
 ) -> list[tuple[int, int]]:
     """Up to ``max_pairs`` unordered distinct index pairs from ``range(n)``.
 
-    When the full pair space fits, it is enumerated; otherwise pairs are
-    drawn by rejection sampling without replacement.
+    When the full pair space fits, it is enumerated.  When more than
+    half of the pair space is requested, the space is enumerated and
+    ``max_pairs`` pairs are chosen without replacement in one draw —
+    rejection sampling degrades badly as the sample density approaches
+    1 (each new pair is increasingly likely to collide with one already
+    seen, with no iteration bound).  Below that 50% density threshold
+    rejection sampling is kept: collisions are then rare, and each
+    round draws a whole batch of candidates at once.
     """
     total_pairs = n * (n - 1) // 2
     if total_pairs <= max_pairs:
         return [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if 2 * max_pairs >= total_pairs:
+        universe = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = rng.choice(total_pairs, size=max_pairs, replace=False)
+        return sorted(universe[int(k)] for k in chosen)
     seen: set[tuple[int, int]] = set()
     while len(seen) < max_pairs:
-        i = int(rng.integers(0, n))
-        j = int(rng.integers(0, n))
-        if i == j:
-            continue
-        pair = (min(i, j), max(i, j))
-        seen.add(pair)
+        draws = rng.integers(0, n, size=2 * (max_pairs - len(seen)) + 8)
+        for i, j in zip(draws[0::2], draws[1::2]):
+            if i == j:
+                continue
+            seen.add((int(min(i, j)), int(max(i, j))))
+            if len(seen) == max_pairs:
+                break
     return sorted(seen)
 
 

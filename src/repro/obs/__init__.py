@@ -24,6 +24,15 @@ threads, so engine/store spans accumulate into the shared
 See ``docs/observability.md``.
 """
 
+from repro.obs.evidence import (
+    BucketEvidence,
+    bind_evidence_sink,
+    current_evidence_sink,
+    drift_against,
+    merge_evidence,
+    record_evidence,
+    use_evidence_sink,
+)
 from repro.obs.prometheus import (
     merge_histogram_snapshots,
     render_exposition,
@@ -50,11 +59,18 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BucketEvidence",
     "JsonLogFormatter",
     "MetricsSpanSink",
     "STAGES",
     "StageAccumulator",
+    "bind_evidence_sink",
     "bind_sink",
+    "current_evidence_sink",
+    "drift_against",
+    "merge_evidence",
+    "record_evidence",
+    "use_evidence_sink",
     "configure_json_logging",
     "current_sink",
     "current_trace_id",

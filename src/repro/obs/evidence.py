@@ -1,0 +1,180 @@
+"""Live per-bucket incompatibility evidence for model-drift detection.
+
+The fitted Mr/Ma models predict, per time-difference bucket, how often
+a mutual segment is incompatible.  The serving hot path computes
+exactly that observation for every query/candidate pair it links — so
+drift detection is free evidence-wise: the engine reports each pool's
+``(bucket, incompatible)`` pairs to a context-bound sink, mirroring the
+stage-timer API in :mod:`repro.obs.spans` (one ``ContextVar`` read, a
+no-op when nothing is bound).
+
+:class:`BucketEvidence` is the daemon-side sink: a thread-safe pair of
+per-bucket ``total`` / ``incompatible`` tallies.  ``/metrics`` turns a
+snapshot into ``ftl_model_drift{model="rejection"|"acceptance"}``
+gauges via :func:`drift_against` — the mean absolute gap between the
+live incompatibility rate and the model's fitted probability over
+sufficiently observed buckets.  Shard workers ship their snapshots to
+the coordinator, which merges them with :func:`merge_evidence` before
+rendering, so the sharded daemon reports fleet-wide drift.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterable, Iterator, Protocol
+
+import numpy as np
+
+
+class EvidenceSink(Protocol):
+    """Anything that can receive per-pool bucket/incompatibility arrays."""
+
+    def record_evidence(
+        self, buckets: np.ndarray, incompatible: np.ndarray
+    ) -> None: ...
+
+
+_evidence_var: ContextVar[EvidenceSink | None] = ContextVar(
+    "ftl_evidence_sink", default=None
+)
+
+
+def current_evidence_sink() -> EvidenceSink | None:
+    """The evidence sink bound to the current context, if any."""
+    return _evidence_var.get()
+
+
+def bind_evidence_sink(sink: EvidenceSink | None) -> None:
+    """Bind a sink for the rest of this context (thread initializers)."""
+    _evidence_var.set(sink)
+
+
+@contextmanager
+def use_evidence_sink(sink: EvidenceSink) -> Iterator[EvidenceSink]:
+    """Bind a sink for the duration of a block, then restore."""
+    token = _evidence_var.set(sink)
+    try:
+        yield sink
+    finally:
+        _evidence_var.reset(token)
+
+
+def record_evidence(buckets: np.ndarray, incompatible: np.ndarray) -> None:
+    """Report one pool's mutual-segment evidence (no-op when unbound)."""
+    sink = _evidence_var.get()
+    if sink is not None:
+        sink.record_evidence(buckets, incompatible)
+
+
+class BucketEvidence:
+    """Thread-safe per-bucket incompatibility tallies from live traffic.
+
+    The same shape as the fitting-time
+    :class:`~repro.core.models.BucketCounts`, but mutated concurrently
+    from batch worker threads and reset on model hot-swap (evidence
+    gathered under the old model says nothing about the new one).
+    """
+
+    def __init__(self, n_buckets: int) -> None:
+        self._lock = threading.Lock()
+        self._total = np.zeros(int(n_buckets), dtype=np.int64)
+        self._incompatible = np.zeros(int(n_buckets), dtype=np.int64)
+
+    @property
+    def n_buckets(self) -> int:
+        return int(self._total.shape[0])
+
+    def record_evidence(
+        self, buckets: np.ndarray, incompatible: np.ndarray
+    ) -> None:
+        n = self._total.shape[0]
+        buckets = np.asarray(buckets, dtype=np.int64)
+        mask = buckets < n
+        if not np.any(mask):
+            return
+        kept = buckets[mask]
+        total_delta = np.bincount(kept, minlength=n)
+        inc_delta = np.bincount(
+            kept,
+            weights=np.asarray(incompatible)[mask].astype(np.int64),
+            minlength=n,
+        ).astype(np.int64)
+        with self._lock:
+            self._total += total_delta
+            self._incompatible += inc_delta
+
+    def snapshot(self) -> dict:
+        """JSON/pickle-friendly tallies (the shard "metrics" op payload)."""
+        with self._lock:
+            return {
+                "total": self._total.tolist(),
+                "incompatible": self._incompatible.tolist(),
+            }
+
+    def reset(self, n_buckets: int | None = None) -> None:
+        """Zero the tallies, optionally resizing (model hot-swap)."""
+        with self._lock:
+            if n_buckets is not None and int(n_buckets) != self._total.shape[0]:
+                self._total = np.zeros(int(n_buckets), dtype=np.int64)
+                self._incompatible = np.zeros(int(n_buckets), dtype=np.int64)
+            else:
+                self._total[:] = 0
+                self._incompatible[:] = 0
+
+
+def merge_evidence(snapshots: Iterable[dict]) -> dict:
+    """Element-wise sum of :meth:`BucketEvidence.snapshot` payloads.
+
+    Snapshots of mismatched length are tolerated by padding with zeros
+    (a worker may briefly report under an older model mid-swap); an
+    empty iterable merges to empty tallies.
+    """
+    total: np.ndarray | None = None
+    incompatible: np.ndarray | None = None
+    for snap in snapshots:
+        t = np.asarray(snap.get("total", []), dtype=np.int64)
+        i = np.asarray(snap.get("incompatible", []), dtype=np.int64)
+        if total is None:
+            total, incompatible = t.copy(), i.copy()
+            continue
+        if t.shape[0] > total.shape[0]:
+            total = np.pad(total, (0, t.shape[0] - total.shape[0]))
+            incompatible = np.pad(
+                incompatible, (0, i.shape[0] - incompatible.shape[0])
+            )
+        elif t.shape[0] < total.shape[0]:
+            t = np.pad(t, (0, total.shape[0] - t.shape[0]))
+            i = np.pad(i, (0, incompatible.shape[0] - i.shape[0]))
+        total += t
+        incompatible += i
+    if total is None:
+        return {"total": [], "incompatible": []}
+    return {"total": total.tolist(), "incompatible": incompatible.tolist()}
+
+
+def drift_against(
+    prob_table: np.ndarray, evidence: dict, min_obs: int = 10
+) -> float:
+    """Mean absolute gap between live rates and a model's fitted rates.
+
+    Only buckets with at least ``min_obs`` live observations vote (a
+    bucket seen twice says nothing reliable about its rate); with no
+    such bucket the drift is 0.0 — "no evidence of drift", which keeps
+    the gauge well-defined on an idle daemon.
+    """
+    prob_table = np.asarray(prob_table, dtype=np.float64)
+    total = np.asarray(evidence.get("total", []), dtype=np.float64)
+    incompatible = np.asarray(
+        evidence.get("incompatible", []), dtype=np.float64
+    )
+    n = min(prob_table.shape[0], total.shape[0])
+    if n == 0:
+        return 0.0
+    total, incompatible = total[:n], incompatible[:n]
+    mask = total >= max(int(min_obs), 1)
+    if not np.any(mask):
+        return 0.0
+    live_rate = incompatible[mask] / total[mask]
+    return float(np.mean(np.abs(live_rate - prob_table[:n][mask])))

@@ -42,12 +42,13 @@ _WIRE_FIELDS = ("method", "alpha1", "alpha2", "phi_r", "top_k")
 #: the event buffer, and ``/queries`` register/unregister are
 #: replace/remove operations whose replay converges on the same
 #: state).  ``/ingest`` is absent on purpose — replaying it would
-#: double-observe records.  Both path families are listed: the client
-#: speaks v1 but callers may pass legacy paths to
-#: :meth:`ServiceClient.request` directly.
+#: double-observe records.  ``/admin/model`` converges too: swapping to
+#: an artifact the daemon already serves is a no-op.  Both path
+#: families are listed: the client speaks v1 but callers may pass
+#: legacy paths to :meth:`ServiceClient.request` directly.
 _IDEMPOTENT_PATHS = (
     "/v1/link", "/v1/assign", "/v1/queries", "/v1/watch", "/v1/healthz",
-    "/v1/metrics",
+    "/v1/metrics", "/v1/admin/model",
     "/link", "/assign", "/queries", "/watch", "/healthz", "/metrics",
 )
 
@@ -334,6 +335,23 @@ class ServiceClient:
         if wait_ms is not None:
             path += f"&wait_ms={float(wait_ms)}"
         return envelope_data(self.request("GET", path))
+
+    def model_info(self) -> dict:
+        """The daemon's serving model + the store's artifact registry."""
+        return envelope_data(self.request("GET", "/v1/admin/model"))
+
+    def swap_model(self, artifact_id: str | None = None) -> dict:
+        """Hot-swap the daemon onto a persisted model artifact.
+
+        ``artifact_id=None`` swaps to the store's *active* artifact
+        (re-read from disk, so an ``ftl model fit`` or ``activate`` in
+        another process is picked up).  Returns ``{"swapped", "artifact",
+        "previous", ...}``; requires a store-backed daemon.
+        """
+        body: dict = {}
+        if artifact_id is not None:
+            body["artifact_id"] = str(artifact_id)
+        return envelope_data(self.request("POST", "/v1/admin/model", body))
 
     def ingest(
         self,

@@ -42,7 +42,9 @@ DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 API_VERSION = "v1"
 
 #: Endpoint suffixes served under ``/v1/`` (bare legacy paths are
-#: deprecated aliases; see ``docs/api-v1.md``).
+#: deprecated aliases; see ``docs/api-v1.md``).  ``/v1/admin/model`` is
+#: deliberately absent: the admin surface is new and has no legacy
+#: alias to deprecate.
 V1_ENDPOINTS = (
     "link", "assign", "ingest", "queries", "watch", "healthz", "metrics"
 )
@@ -385,6 +387,42 @@ def ingest_request_from_wire(obj) -> IngestWireRequest:
         decide=decide,
         flush=flush,
     )
+
+
+# ----------------------------------------------------------------------
+# /admin/model (model lifecycle; see docs/models.md)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdminModelWireRequest:
+    """A parsed ``POST /v1/admin/model`` body."""
+
+    artifact_id: str | None
+
+
+def admin_model_from_wire(obj) -> AdminModelWireRequest:
+    """Parse and validate one ``/admin/model`` swap body.
+
+    Schema::
+
+        {"artifact_id": "m-1a2b3c4d5e6f7a8b"}   # optional; default: the
+                                                # store's active artifact
+
+    An empty object requests a swap to whatever artifact the store's
+    manifest currently marks active (the ``ftl model activate`` +
+    ``POST {}`` two-step).
+    """
+    body = _require_object(obj, "request")
+    unknown = set(body) - {"artifact_id"}
+    if unknown:
+        raise ProtocolError(f"request has unknown keys: {sorted(unknown)}")
+    artifact_id = body.get("artifact_id")
+    if artifact_id is not None and (
+        not isinstance(artifact_id, str) or not artifact_id
+    ):
+        raise ProtocolError(
+            f"artifact_id must be a non-empty string, got {artifact_id!r}"
+        )
+    return AdminModelWireRequest(artifact_id=artifact_id)
 
 
 # ----------------------------------------------------------------------

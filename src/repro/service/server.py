@@ -188,6 +188,7 @@ class LinkServer:
         clock=time.monotonic,
         store=None,
         provenance: dict | None = None,
+        model_artifact_id: str | None = None,
     ) -> None:
         self._config = config
         self._state = ServiceState(
@@ -198,6 +199,7 @@ class LinkServer:
             clock=clock,
             store=store,
             provenance=provenance,
+            model_artifact_id=model_artifact_id,
         )
         self._clock = clock
         # The engine's caches are plain dicts; one lock keeps them
@@ -235,23 +237,19 @@ class LinkServer:
                 engine_lock=self._engine_lock,
                 merge_min_blocks=config.merge_min_blocks,
             )
-        # Span sinks live in per-thread context, so bind one inside the
-        # batch worker as it starts: engine/store spans then accumulate
-        # into *this* server's metrics, and concurrent servers in one
+        # Span and evidence sinks live in per-thread context, so bind
+        # them inside the batch worker as it starts: engine/store spans
+        # accumulate into *this* server's metrics, drift evidence into
+        # *this* server's tallies, and concurrent servers in one
         # process (the test suite) never see each other's stages.
-        # (Sharded mode binds a sink per worker process instead; batch
-        # execution there is a scatter, not engine work.)
-        initializer = (
-            functools.partial(
-                obs.bind_sink, obs.MetricsSpanSink(self._state.metrics)
-            )
-            if config.spans
-            else None
-        )
+        # (Sharded mode binds sinks per worker process instead; batch
+        # execution there is a scatter, not engine work — but
+        # coordinator-local scoring still runs on this thread, covered
+        # by the same binding.)
         self._executor = ThreadPoolExecutor(
             max_workers=1,
             thread_name_prefix="ftl-batch",
-            initializer=initializer,
+            initializer=self._bind_batch_sinks,
         )
         # /v1/watch long-polls park a thread for up to
         # watch_max_wait_ms; a dedicated pool keeps them from starving
@@ -385,6 +383,17 @@ class LinkServer:
     # ------------------------------------------------------------------
     # Batch execution (worker thread)
     # ------------------------------------------------------------------
+    def _bind_batch_sinks(self) -> None:
+        """Thread initializer for the batch executor: bind both sinks.
+
+        The evidence sink is bound unconditionally — drift detection is
+        an always-on correctness signal, not an opt-in timer — while
+        the span sink follows ``config.spans``.
+        """
+        if self._config.spans:
+            obs.bind_sink(obs.MetricsSpanSink(self._state.metrics))
+        obs.bind_evidence_sink(self._state.evidence)
+
     def _run_batch(
         self, requests: list[LinkRequest]
     ) -> list[tuple[object, tuple[protocol.ShardInfo, ...]]]:
@@ -637,12 +646,20 @@ class LinkServer:
             if path == "/watch":
                 self._require_method(method, "GET")
                 return 200, self._envelope(await self._handle_watch(query))
+            if path == "/admin/model":
+                if method == "GET":
+                    return 200, self._envelope(
+                        await self._off_loop(self._handle_model_info)
+                    )
+                self._require_method(method, "POST")
+                return 200, self._envelope(await self._handle_admin_model(body))
             return 404, {
                 "error": {
                     "type": "NotFound",
                     "message": f"unknown endpoint {path!r}; known: "
                                "/v1/link /v1/assign /v1/ingest /v1/queries "
-                               "/v1/watch /v1/healthz /v1/metrics",
+                               "/v1/watch /v1/healthz /v1/metrics "
+                               "/v1/admin/model",
                     "status": 404,
                 }
             }
@@ -703,6 +720,122 @@ class LinkServer:
             data["index_delta_blocks"] = self._state.stream.n_delta_blocks()
         return data
 
+    # ------------------------------------------------------------------
+    # Model lifecycle (/v1/admin/model; see docs/models.md)
+    # ------------------------------------------------------------------
+    def _handle_model_info(self) -> dict:
+        """GET /v1/admin/model: the serving model + the store registry."""
+        data: dict = {
+            "serving_artifact": self._state.model_artifact_id,
+            "n_buckets": self._state.engine.config.n_buckets,
+            "config": self._state.engine.config.to_dict(),
+            "swaps": self._state.metrics.counter("model_swaps_total"),
+        }
+        if self._state.store is not None:
+            from repro.store import open_store
+
+            # Re-read the manifest from disk: `ftl model fit/activate`
+            # in another process may have registered artifacts since
+            # this daemon opened its handle.
+            store = open_store(self._state.store.path)
+            data["store_active_model"] = store.active_model_id
+            data["artifacts"] = [
+                {"id": info.artifact_id, "created_at": info.created_at}
+                for info in store.list_models()
+            ]
+        return data
+
+    def _load_swap_artifact(self, artifact_id: str | None):
+        from repro.store import open_store
+
+        store = open_store(self._state.store.path)
+        return store.load_model(artifact_id)
+
+    async def _handle_admin_model(self, body: bytes) -> dict:
+        """POST /v1/admin/model: hot-swap the serving model pair.
+
+        Loads the named (or active) artifact from the store, then
+        swaps atomically: the micro-batcher drains — every already
+        submitted request finishes under the old engine; submissions
+        arriving inside the swap window get a 503 with ``Retry-After``
+        rather than a half-swapped fleet — the coordinator adopts the
+        new engine under the engine lock, the stream runtime and every
+        shard worker are rebound, and the batcher restarts.  Sharded
+        responses stay bit-identical because workers rebuild their
+        engines from the same canonical count tables + config snapshot
+        the coordinator serves (see ``swap_model`` in
+        :mod:`repro.service.shard`).
+        """
+        wire = protocol.admin_model_from_wire(
+            protocol.parse_json_body(body, self._config.max_body_bytes)
+        )
+        if self._state.store is None:
+            raise StateError(
+                "model hot-swap needs a store-backed daemon; "
+                "start with `ftl serve --store <dir>`"
+            )
+        loop = asyncio.get_running_loop()
+        artifact = await loop.run_in_executor(
+            None, self._load_swap_artifact, wire.artifact_id
+        )
+        previous = self._state.model_artifact_id
+        if artifact.artifact_id == previous:
+            return {
+                "swapped": False,
+                "artifact": artifact.artifact_id,
+                "previous": previous,
+            }
+        engine = LinkEngine(
+            artifact.rejection, artifact.acceptance, options=self._state.options
+        )
+        self._state.metrics.inc("model_swap_requests_total")
+        await self._batcher.stop()
+        try:
+            await loop.run_in_executor(
+                None, self._swap_engine_everywhere, engine, artifact
+            )
+        finally:
+            await self._batcher.start()
+        return {
+            "swapped": True,
+            "artifact": artifact.artifact_id,
+            "previous": previous,
+            "provenance": artifact.provenance.to_dict(),
+        }
+
+    def _swap_engine_everywhere(self, engine: LinkEngine, artifact) -> None:
+        """Adopt ``engine`` on the coordinator, stream and all shards.
+
+        Runs off-loop with the batcher drained.  Coordinator first:
+        a worker that crashes mid-broadcast respawns from the already
+        swapped ``state.engine`` (the supervisor reads it at fork), so
+        the fleet converges on the new model either way.
+        """
+        with self._engine_lock:
+            self._state.adopt_engine(engine, artifact.artifact_id)
+            if self._state.stream is not None:
+                self._state.stream.swap_engine(engine)
+            if self._supervisor is not None:
+                self._supervisor.broadcast_model(
+                    artifact.rejection.to_dict(),
+                    artifact.acceptance.to_dict(),
+                    artifact.artifact_id,
+                )
+
+    def _drift_gauge(self, evidence: dict) -> list:
+        """``ftl_model_drift{model=...}`` series against the live engine."""
+        engine = self._state.engine
+        return [
+            (
+                {"model": "rejection"},
+                obs.drift_against(engine.rejection_model.prob_table, evidence),
+            ),
+            (
+                {"model": "acceptance"},
+                obs.drift_against(engine.acceptance_model.prob_table, evidence),
+            ),
+        ]
+
     def _handle_metrics(self, query: str) -> dict | str:
         """Prometheus exposition by default; ``?format=json`` for the
         JSON registry dump."""
@@ -727,6 +860,7 @@ class LinkServer:
             "queue_depth": self._batcher.queue_depth,
             "sessions": len(self._state.sessions),
             "pool_size": len(self._state.pool),
+            "model_drift": self._drift_gauge(self._state.evidence.snapshot()),
         }
         if self._state.stream is not None:
             gauges.update(self._state.stream.gauges())
@@ -769,10 +903,22 @@ class LinkServer:
             + shard_series.get(name, [])
             for name, snaps in all_snaps.items()
         }
+        # Fleet-wide drift: the engine runs inside the workers, so the
+        # coordinator's own tallies (local-candidate requests) merge
+        # with every worker's shipped evidence snapshot.
+        evidence = obs.merge_evidence(
+            [self._state.evidence.snapshot()]
+            + [
+                payload["evidence"]
+                for payload in worker_payloads.values()
+                if "evidence" in payload
+            ]
+        )
         gauges = {
             "queue_depth": self._batcher.queue_depth,
             "sessions": self._session_count(),
             "pool_size": len(self._state.pool),
+            "model_drift": self._drift_gauge(evidence),
             "shard_count": self._supervisor.n_shards,
             "shard_plan_stale": 1.0 if self._supervisor.plan_drift() else 0.0,
             "worker_up": [
@@ -1040,8 +1186,12 @@ class BackgroundServer:
         clock=time.monotonic,
         store=None,
         provenance: dict | None = None,
+        model_artifact_id: str | None = None,
     ) -> None:
-        self._args = (engine, pool, options, config, clock, store, provenance)
+        self._args = (
+            engine, pool, options, config, clock, store, provenance,
+            model_artifact_id,
+        )
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
         self._address: tuple[str, int] | None = None
@@ -1097,9 +1247,11 @@ class BackgroundServer:
             self._ready.set()
 
     async def _main(self) -> None:
-        engine, pool, options, config, clock, store, provenance = self._args
+        (engine, pool, options, config, clock, store, provenance,
+         model_artifact_id) = self._args
         server = LinkServer(engine, pool, options=options, config=config,
-                            clock=clock, store=store, provenance=provenance)
+                            clock=clock, store=store, provenance=provenance,
+                            model_artifact_id=model_artifact_id)
         await server.start()
         self._server = server
         self._loop = asyncio.get_running_loop()

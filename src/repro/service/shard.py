@@ -236,6 +236,10 @@ def run_worker(
 
     if spans:
         obs.bind_sink(obs.MetricsSpanSink(state.metrics))
+    # Drift evidence accumulates worker-side (the engine runs here);
+    # the coordinator pulls snapshots via the "metrics" op and merges
+    # them fleet-wide before rendering the ftl_model_drift gauges.
+    obs.bind_evidence_sink(state.evidence)
     while True:
         try:
             op, payload = recv_msg(sock)
@@ -326,7 +330,31 @@ def _dispatch_op(state, shard_id: int, op: str, payload) -> object:
         return {"shard": shard_id}
     if op == "metrics":
         counters, histograms = state.metrics.snapshots()
-        return {"counters": counters, "histograms": histograms}
+        return {
+            "counters": counters,
+            "histograms": histograms,
+            "evidence": state.evidence.snapshot(),
+        }
+    if op == "swap_model":
+        # Model hot-swap broadcast.  The coordinator ships to_dict()
+        # payloads (not pickled models): both models are rebuilt from
+        # their count tables + config snapshot, so the worker's engine
+        # is provably the same pure function of the artifact as the
+        # coordinator's — partial rankings stay bit-identical.
+        from repro.core.engine import LinkEngine
+        from repro.core.models import CompatibilityModel
+
+        mr = CompatibilityModel.from_dict(payload["rejection"])
+        ma = CompatibilityModel.from_dict(payload["acceptance"])
+        state.adopt_engine(
+            LinkEngine(mr, ma, options=state.options),
+            payload.get("artifact_id"),
+        )
+        return {
+            "shard": shard_id,
+            "pid": os.getpid(),
+            "model_artifact": payload.get("artifact_id"),
+        }
     raise ValidationError(f"unknown shard op {op!r}")
 
 

@@ -18,7 +18,7 @@ from repro.core.records import Record
 from repro.core.streaming import StreamingLinker
 from repro.core.trajectory import Trajectory
 from repro.errors import ValidationError
-from repro.obs import STAGES, render_exposition
+from repro.obs import BucketEvidence, STAGES, render_exposition
 from repro.obs.spans import STAGE_METRIC_PREFIX
 
 #: Idle seconds after which an ingest session is garbage-collected.
@@ -243,7 +243,11 @@ class ServiceState:
     #: store flush runs the incremental pipeline (delta block, pool
     #: refresh, targeted cache invalidation, standing-query re-scoring).
     stream: object | None = None
+    #: Artifact id of the model pair the engine was built from (``None``
+    #: for an ad-hoc in-process fit); reported by health/admin handlers.
+    model_artifact_id: str | None = None
     started_at: float = field(init=False)
+    evidence: BucketEvidence = field(init=False)
     sessions: dict[str, IngestSession] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -252,10 +256,28 @@ class ServiceState:
                 f"session_ttl_s must be positive, got {self.session_ttl_s}"
             )
         self.started_at = self.clock()
+        #: Live per-bucket drift evidence; batch worker threads bind it
+        #: as their evidence sink, ``/metrics`` renders it as the
+        #: ``ftl_model_drift`` gauges.
+        self.evidence = BucketEvidence(self.engine.config.n_buckets)
         # Pre-register the per-stage timer histograms so ``/metrics``
         # always exposes the full pipeline breakdown, sampled or not.
         for stage in STAGES:
             self.metrics.histogram(STAGE_METRIC_PREFIX + stage)
+
+    def adopt_engine(self, engine: LinkEngine, artifact_id: str | None) -> None:
+        """Swap the serving engine in place (model hot-swap).
+
+        Rebinds the engine, records which artifact it came from, and
+        resets the drift evidence — tallies gathered under the old
+        model pair say nothing about the new one.  Callers are
+        responsible for quiescing in-flight batches first (the server
+        drains its batcher before calling this).
+        """
+        self.engine = engine
+        self.model_artifact_id = artifact_id
+        self.evidence.reset(engine.config.n_buckets)
+        self.metrics.inc("model_swaps_total")
 
     def refresh_pool(self) -> int:
         """Reload the resident pool from the attached store, in place.
@@ -418,6 +440,7 @@ class ServiceState:
             "pool_size": len(self.pool),
             "sessions": len(self.sessions),
             "method": self.options.method,
+            "model_artifact": self.model_artifact_id,
             "kernel_backend": self.engine.kernel_backend,
             "stage_backends": self.engine.stage_backends(),
             "data_source": (

@@ -649,6 +649,37 @@ class ShardSupervisor:
         return expired
 
     # ------------------------------------------------------------------
+    # Model hot-swap broadcast
+    # ------------------------------------------------------------------
+    def broadcast_model(
+        self,
+        rejection: dict,
+        acceptance: dict,
+        artifact_id: str | None,
+    ) -> list[dict]:
+        """Ship a fitted model pair to every shard worker.
+
+        Called *after* the coordinator's own :meth:`ServiceState.adopt_engine`
+        (and while the batcher is drained), so a worker that crashes
+        mid-broadcast respawns from the already-swapped coordinator
+        engine — ``_spawn`` reads ``self._state.engine`` at fork time —
+        and the retry lands the explicit swap on the fresh process too.
+        Models travel as ``to_dict()`` payloads, not pickled objects,
+        so each worker rebuilds its engine from the canonical count
+        tables + config snapshot.
+        """
+        payload = {
+            "rejection": rejection,
+            "acceptance": acceptance,
+            "artifact_id": artifact_id,
+        }
+        futures = [
+            self._scatter.submit(self._call, shard_id, "swap_model", payload)
+            for shard_id in range(self.n_shards)
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
     # Introspection / aggregation
     # ------------------------------------------------------------------
     def ensure_alive(self) -> None:
@@ -724,7 +755,7 @@ class ShardSupervisor:
         return status
 
     def metrics_payloads(self) -> dict[int, dict]:
-        """Per-shard ``{"counters", "histograms"}`` snapshots.
+        """Per-shard ``{"counters", "histograms", "evidence"}`` snapshots.
 
         A shard whose worker cannot answer even after a respawn is
         omitted — ``/v1/metrics`` then simply lacks that shard's

@@ -20,8 +20,18 @@ the operations runbook.
 from repro.store.format import (
     FORMAT_VERSION,
     MANIFEST_NAME,
+    MODELS_DIR,
+    ModelArtifactInfo,
     SegmentInfo,
     StoreManifest,
+)
+from repro.store.models import (
+    ARTIFACT_SCHEMA_VERSION,
+    ModelArtifact,
+    ModelProvenance,
+    dataset_content_hash,
+    diff_artifacts,
+    fit_model_artifact,
 )
 from repro.store.stindex import SpatioTemporalIndex, pack_cell_keys
 from repro.store.store import (
@@ -32,8 +42,13 @@ from repro.store.store import (
 )
 
 __all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
     "FORMAT_VERSION",
     "MANIFEST_NAME",
+    "MODELS_DIR",
+    "ModelArtifact",
+    "ModelArtifactInfo",
+    "ModelProvenance",
     "SegmentInfo",
     "SpatioTemporalIndex",
     "pack_cell_keys",
@@ -41,5 +56,8 @@ __all__ = [
     "StoreStats",
     "TrajectoryStore",
     "build_store",
+    "dataset_content_hash",
+    "diff_artifacts",
+    "fit_model_artifact",
     "open_store",
 ]

@@ -40,10 +40,15 @@ MANIFEST_NAME = "manifest.json"
 STORE_FORMAT = "ftl-store"
 
 #: Current on-disk format version; readers reject anything newer.
-FORMAT_VERSION = 1
+#: Version 2 added the fitted-model artifact registry (``models`` +
+#: ``active_model``); version-1 manifests parse to an empty registry.
+FORMAT_VERSION = 2
 
 #: Subdirectory holding the persisted spatio-temporal blocking index.
 INDEX_DIR = "index"
+
+#: Subdirectory holding versioned fitted-model artifacts.
+MODELS_DIR = "models"
 
 #: The flat columnar files inside every segment directory.
 SEGMENT_ARRAYS = (
@@ -82,6 +87,38 @@ class SegmentInfo:
 
 
 @dataclass(frozen=True)
+class ModelArtifactInfo:
+    """One fitted Mr/Ma artifact as registered in the manifest.
+
+    The artifact payload itself (count tables + provenance) lives in
+    ``models/<artifact_id>.json``; the manifest only carries the
+    registry entry so opening a store never reads model payloads.
+    """
+
+    artifact_id: str
+    filename: str
+    created_at: float
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.artifact_id,
+            "file": self.filename,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "ModelArtifactInfo":
+        try:
+            return cls(
+                artifact_id=str(obj["id"]),
+                filename=str(obj["file"]),
+                created_at=float(obj["created_at"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreFormatError(f"malformed model entry {obj!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
 class StoreManifest:
     """The store's root metadata (the content of ``manifest.json``)."""
 
@@ -95,6 +132,12 @@ class StoreManifest:
     #: omitted from the JSON then, so old readers stay compatible and old
     #: manifests parse to "no watermark".
     retain_after: float = 0.0
+    #: Registered fitted-model artifacts.  Like ``retain_after``, the
+    #: keys are omitted from the JSON when empty, so a v1 manifest (and
+    #: a v2 store without models) parses to an empty registry.
+    models: tuple[ModelArtifactInfo, ...] = field(default_factory=tuple)
+    #: Artifact id the daemon serves by default; ``""`` means none.
+    active_model: str = ""
 
     @property
     def n_records(self) -> int:
@@ -117,6 +160,10 @@ class StoreManifest:
         }
         if self.retain_after:
             obj["retain_after"] = self.retain_after
+        if self.models:
+            obj["models"] = [info.to_dict() for info in self.models]
+        if self.active_model:
+            obj["active_model"] = self.active_model
         return obj
 
     @classmethod
@@ -139,6 +186,11 @@ class StoreManifest:
                 SegmentInfo.from_dict(entry) for entry in obj.get("segments", [])
             ),
             retain_after=float(obj.get("retain_after", 0.0)),
+            models=tuple(
+                ModelArtifactInfo.from_dict(entry)
+                for entry in obj.get("models", [])
+            ),
+            active_model=str(obj.get("active_model", "")),
         )
 
 

@@ -32,6 +32,7 @@ data loaded through CSV (tested).
 
 from __future__ import annotations
 
+import json
 import shutil
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -46,13 +47,17 @@ from repro.store.format import (
     FORMAT_VERSION,
     INDEX_DIR,
     MANIFEST_NAME,
+    MODELS_DIR,
+    ModelArtifactInfo,
     SegmentInfo,
     StoreManifest,
     open_segment_arrays,
     read_manifest,
+    write_json_atomic,
     write_manifest,
     write_segment_arrays,
 )
+from repro.store.models import ModelArtifact
 
 
 @dataclass(frozen=True)
@@ -497,6 +502,110 @@ class TrajectoryStore:
             index_dir, self.load(), expected_generation=self.generation
         )
 
+    # ------------------------------------------------------------------
+    # Fitted-model artifacts
+    # ------------------------------------------------------------------
+    def list_models(self) -> tuple[ModelArtifactInfo, ...]:
+        """The registered model artifacts, in registration order."""
+        return self._manifest.models
+
+    @property
+    def active_model_id(self) -> str | None:
+        """Artifact id of the active model, or ``None`` when unset."""
+        return self._manifest.active_model or None
+
+    def save_model(
+        self, artifact: ModelArtifact, created_at: float, activate: bool = False
+    ) -> ModelArtifactInfo:
+        """Persist an artifact under ``models/`` and register it.
+
+        The payload file is written and fsynced *before* the manifest
+        swap (the same discipline as segment appends): a crash mid-save
+        leaves an unreferenced JSON file, never a registered-but-missing
+        artifact.  Saving an already-registered artifact id is
+        idempotent — artifacts are content-addressed, so the payload is
+        byte-identical by construction.
+        """
+        artifact_id = artifact.artifact_id
+        existing = next(
+            (m for m in self._manifest.models if m.artifact_id == artifact_id),
+            None,
+        )
+        if existing is not None:
+            if activate and self._manifest.active_model != artifact_id:
+                self.activate_model(artifact_id)
+            return existing
+        models_dir = self._path / MODELS_DIR
+        models_dir.mkdir(parents=True, exist_ok=True)
+        info = ModelArtifactInfo(
+            artifact_id=artifact_id,
+            filename=f"{artifact_id}.json",
+            created_at=float(created_at),
+        )
+        write_json_atomic(models_dir / info.filename, artifact.to_dict())
+        # Model registration leaves the data snapshot untouched, so the
+        # generation is deliberately *not* bumped: a persisted blocking
+        # index stays valid and shard plans see no drift.
+        manifest = replace(
+            self._manifest,
+            format_version=FORMAT_VERSION,
+            models=self._manifest.models + (info,),
+        )
+        if activate:
+            manifest = replace(manifest, active_model=artifact_id)
+        self._commit(manifest)
+        return info
+
+    def _model_info(self, artifact_id: str) -> ModelArtifactInfo:
+        info = next(
+            (m for m in self._manifest.models if m.artifact_id == artifact_id),
+            None,
+        )
+        if info is None:
+            known = [m.artifact_id for m in self._manifest.models]
+            raise ValidationError(
+                f"no model artifact {artifact_id!r} in {self._path} "
+                f"(registered: {known or 'none'})"
+            )
+        return info
+
+    def load_model(self, artifact_id: str | None = None) -> ModelArtifact:
+        """Load one artifact (the active one when ``artifact_id`` is None)."""
+        if artifact_id is None:
+            artifact_id = self._manifest.active_model
+            if not artifact_id:
+                raise ValidationError(
+                    f"{self._path}: no active model artifact (fit one with "
+                    f"`ftl model fit` or pass an explicit artifact id)"
+                )
+        info = self._model_info(artifact_id)
+        path = self._path / MODELS_DIR / info.filename
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise StoreFormatError(f"{path}: unreadable: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise StoreFormatError(f"{path}: invalid JSON: {exc}") from exc
+        artifact = ModelArtifact.from_dict(payload)
+        if artifact.artifact_id != artifact_id:
+            raise StoreFormatError(
+                f"{path}: content hashes to {artifact.artifact_id!r}, "
+                f"manifest registered it as {artifact_id!r}"
+            )
+        return artifact
+
+    def activate_model(self, artifact_id: str) -> ModelArtifactInfo:
+        """Point ``active_model`` at a registered artifact (atomic)."""
+        info = self._model_info(artifact_id)
+        self._commit(
+            replace(
+                self._manifest,
+                format_version=FORMAT_VERSION,
+                active_model=artifact_id,
+            )
+        )
+        return info
+
 
 def build_store(
     path: str | Path,
@@ -514,6 +623,8 @@ def open_store(path: str | Path) -> TrajectoryStore:
 
 __all__ = [
     "FORMAT_VERSION",
+    "ModelArtifact",
+    "ModelArtifactInfo",
     "StoreStats",
     "TrajectoryStore",
     "build_store",

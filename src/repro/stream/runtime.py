@@ -120,6 +120,21 @@ class StreamRuntime:
     def n_delta_blocks(self) -> int:
         return len(self.delta_log.block_dirs())
 
+    def swap_engine(self, engine) -> None:
+        """Rebind the scoring engine after a model hot-swap.
+
+        The caller must hold the daemon's engine lock with the batcher
+        drained (the admin hot-swap path does), so no scoring is in
+        flight; only the runtime and registry locks are taken here —
+        the engine lock is a plain ``Lock`` and must not be re-taken.
+        Delta-block build parameters are *not* re-resolved: blocks must
+        keep probing identically to the persisted main index regardless
+        of which model pair scores the results.
+        """
+        with self._lock:
+            self._engine = engine
+            self.registry.swap_engine(engine)
+
     def gauges(self) -> dict:
         """Streaming gauges merged into the /metrics exposition."""
         return {

@@ -113,6 +113,11 @@ class StandingQueryRegistry:
         with self._lock:
             self._rebuild_pool_view()
 
+    def swap_engine(self, engine: LinkEngine) -> None:
+        """Rebind the scoring engine (model hot-swap; no scoring in flight)."""
+        with self._lock:
+            self._engine = engine
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -140,6 +140,25 @@ class TestSampleDistinctPairs:
         assert len(set(pairs)) == 25
         assert all(i != j for i, j in pairs)
 
+    def test_dense_regime_deterministic(self):
+        # max_pairs covers >= half the universe: enumerate + choice
+        # without replacement, so the draw is bounded and seeded.
+        pairs = _sample_distinct_pairs(5, 8, np.random.default_rng(7))
+        assert pairs == [
+            (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)
+        ]
+
+    def test_sparse_regime_deterministic_and_bounded(self):
+        pairs = _sample_distinct_pairs(100, 25, np.random.default_rng(7))
+        assert len(pairs) == 25 == len(set(pairs))
+        assert pairs == sorted(pairs)
+        assert pairs[:5] == [(0, 91), (3, 44), (4, 11), (5, 30), (11, 46)]
+
+    def test_exact_boundary_enumerates(self):
+        # C(5, 2) == 10 == max_pairs: the full universe, no sampling.
+        pairs = _sample_distinct_pairs(5, 10, np.random.default_rng(0))
+        assert pairs == [(i, j) for i in range(5) for j in range(i + 1, 5)]
+
 
 class TestLookup:
     @pytest.fixture
@@ -209,6 +228,44 @@ class TestSerialisation:
     def test_malformed_payload(self):
         with pytest.raises(ValidationError):
             CompatibilityModel.from_dict({"kind": "rejection"})
+
+    def test_config_round_trip_preserves_every_field(self):
+        # Regression: the hand-maintained config dict in to_dict()
+        # silently dropped fields added to FTLConfig (last casualty:
+        # shard_cell_size_m), so a persisted model deserialised into a
+        # *different* config and require_fitted_pair rejected pairs
+        # that were fitted together.  Every field non-default here.
+        config = FTLConfig(
+            vmax_kph=90.0,
+            time_unit_s=30.0,
+            horizon_s=1800.0,
+            metric="haversine",
+            smoothing=1.0,
+            min_bucket_count=5,
+            max_acceptance_pairs=77,
+            pb_backend="normal",
+            prob_floor=1e-6,
+            kernel_backend="python",
+            shard_cell_size_m=250.0,
+        )
+        model = CompatibilityModel(
+            REJECTION, BucketCounts.zeros(config.n_buckets), config
+        )
+        clone = CompatibilityModel.from_dict(model.to_dict())
+        assert clone.config == model.config
+        assert clone.config.shard_cell_size_m == 250.0
+
+    def test_unknown_config_key_is_a_clear_newer_version_error(
+        self, fitted_models
+    ):
+        mr, _ma = fitted_models
+        payload = mr.to_dict()
+        payload["config"]["future_knob"] = 1.0
+        with pytest.raises(ValidationError) as err:
+            CompatibilityModel.from_dict(payload)
+        message = str(err.value)
+        assert "future_knob" in message
+        assert "newer version" in message
 
 
 class TestRequireFittedPair:

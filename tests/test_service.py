@@ -841,3 +841,182 @@ class TestStoreBackedService:
                              clock=FakeClock())
         with pytest.raises(ValidationError, match="no trajectory store"):
             state.refresh_pool()
+
+
+class TestModelHotSwap:
+    """/v1/admin/model: artifact-backed serving and atomic hot-swap."""
+
+    @pytest.fixture
+    def model_store(self, small_pair, tmp_path):
+        """A store over the SB-mini candidate pool holding two distinct
+        fitted artifacts, the first one active."""
+        import numpy as np
+
+        from repro.config import FTLConfig
+        from repro.store import build_store, fit_model_artifact
+
+        store = build_store(tmp_path / "q-store", small_pair.q_db)
+        ftl_config = FTLConfig()
+        first = fit_model_artifact(
+            [small_pair.q_db], ftl_config, np.random.default_rng(0),
+            fitted_at=100.0,
+        )
+        second = fit_model_artifact(
+            [small_pair.q_db], ftl_config, np.random.default_rng(1),
+            max_pairs=5, fitted_at=200.0,
+        )
+        assert first.artifact_id != second.artifact_id
+        store.save_model(first, created_at=100.0, activate=True)
+        store.save_model(second, created_at=200.0)
+        return store, first, second
+
+    def _serve(self, store, artifact, workers=1):
+        engine = LinkEngine(
+            artifact.rejection, artifact.acceptance, options=RANKING
+        )
+        config = ServerConfig(port=0, workers=workers, max_wait_ms=1.0)
+        return BackgroundServer(
+            engine, list(store.load()), config=config, store=store,
+            model_artifact_id=artifact.artifact_id,
+        )
+
+    def test_info_reports_serving_and_registry(self, model_store):
+        store, first, second = model_store
+        with self._serve(store, first) as background:
+            with ServiceClient(*background.address) as c:
+                info = c.model_info()
+                health = c.healthz()
+        assert info["serving_artifact"] == first.artifact_id
+        assert info["store_active_model"] == first.artifact_id
+        assert {a["id"] for a in info["artifacts"]} == {
+            first.artifact_id, second.artifact_id
+        }
+        assert health["model_artifact"] == first.artifact_id
+
+    def test_swap_without_store_is_conflict(self, client):
+        with pytest.raises(RemoteServiceError) as exc:
+            client.swap_model()
+        assert exc.value.status == 409
+        assert "store-backed" in str(exc.value)
+
+    def test_swap_unknown_artifact_rejected(self, model_store):
+        store, first, _second = model_store
+        with self._serve(store, first) as background:
+            with ServiceClient(*background.address) as c:
+                with pytest.raises(RemoteServiceError) as exc:
+                    c.swap_model("m-0000000000000000")
+                assert exc.value.status == 400
+                # the failed swap leaves the serving model untouched
+                assert c.healthz()["model_artifact"] == first.artifact_id
+
+    def test_swap_is_noop_when_already_serving(self, model_store):
+        store, first, _second = model_store
+        with self._serve(store, first) as background:
+            with ServiceClient(*background.address) as c:
+                out = c.swap_model(first.artifact_id)
+        assert out["swapped"] is False
+        assert out["artifact"] == first.artifact_id
+
+    def test_sharded_swap_serves_bit_identical_rankings(
+        self, model_store, small_pair
+    ):
+        """The acceptance criterion: after hot-swapping a 2-worker
+        sharded daemon onto a refit artifact, /v1/link responses are
+        bit-identical (ids AND scores) to a fresh single-process engine
+        built from the same artifact."""
+        store, first, second = model_store
+        queries = [
+            small_pair.p_db[qid] for qid in sorted(small_pair.truth)[:3]
+        ]
+        fresh = LinkEngine(
+            second.rejection, second.acceptance, options=RANKING
+        )
+        with self._serve(store, first, workers=2) as background:
+            with ServiceClient(*background.address) as c:
+                out = c.swap_model(second.artifact_id)
+                assert out["swapped"] is True
+                assert out["previous"] == first.artifact_id
+                assert out["provenance"]["dataset_hash"] == \
+                    second.provenance.dataset_hash
+                assert c.healthz()["model_artifact"] == second.artifact_id
+                for query in queries:
+                    wire = c.link(query, options=RANKING)
+                    local = fresh.link(
+                        query, list(small_pair.q_db), options=RANKING
+                    )
+                    assert [str(x.candidate_id) for x in wire.candidates] \
+                        == [str(x.candidate_id) for x in local.candidates]
+                    assert [x.score for x in wire.candidates] \
+                        == [x.score for x in local.candidates]
+
+    def test_swap_to_store_active_artifact(self, model_store):
+        """POST {} re-reads the manifest: an ``ftl model activate`` run
+        by another process is picked up without naming the id."""
+        store, first, second = model_store
+        with self._serve(store, first) as background:
+            store.activate_model(second.artifact_id)
+            with ServiceClient(*background.address) as c:
+                out = c.swap_model()
+                assert out["swapped"] is True
+                assert out["artifact"] == second.artifact_id
+                assert c.healthz()["model_artifact"] == second.artifact_id
+
+    def test_no_requests_dropped_during_swap(self, model_store, small_pair):
+        """Clients hammering /v1/link through a swap see only 200s or
+        the documented 503 + Retry-After drain signal — never a dropped
+        connection or 5xx crash; and the swap itself succeeds."""
+        store, first, second = model_store
+        query = small_pair.p_db[sorted(small_pair.truth)[0]]
+        stop = threading.Event()
+        outcomes: list = []
+
+        def hammer():
+            with ServiceClient(*background.address) as c:
+                while not stop.is_set():
+                    try:
+                        c.link(query, options=RANKING)
+                        outcomes.append(200)
+                    except RemoteServiceError as exc:
+                        outcomes.append(exc.status)
+                        time.sleep(0.01)
+
+        with self._serve(store, first, workers=2) as background:
+            threads = [threading.Thread(target=hammer) for _ in range(3)]
+            for t in threads:
+                t.start()
+            try:
+                time.sleep(0.1)
+                with ServiceClient(*background.address) as admin:
+                    out = admin.swap_model(second.artifact_id)
+                time.sleep(0.1)
+            finally:
+                stop.set()
+                for t in threads:
+                    t.join()
+        assert out["swapped"] is True
+        assert outcomes.count(200) > 0
+        assert set(outcomes) <= {200, 503}
+
+    def test_drift_gauges_in_exposition(self, model_store, small_pair):
+        """ftl_model_drift{model=...} renders (sharded path included)
+        and the exposition stays valid; traffic populates the evidence
+        histograms that feed it."""
+        from repro.obs.prometheus import validate_exposition
+
+        store, first, _second = model_store
+        query = small_pair.p_db[sorted(small_pair.truth)[0]]
+        with self._serve(store, first, workers=2) as background:
+            with ServiceClient(*background.address) as c:
+                for _ in range(3):
+                    c.link(query, options=RANKING)
+                text = c.metrics_text()
+        assert 'ftl_model_drift{model="rejection"}' in text
+        assert 'ftl_model_drift{model="acceptance"}' in text
+        assert validate_exposition(text) == []
+        drift = {
+            line.split(" ")[0]: float(line.split(" ")[1])
+            for line in text.splitlines()
+            if line.startswith("ftl_model_drift{")
+        }
+        for value in drift.values():
+            assert 0.0 <= value <= 1.0
